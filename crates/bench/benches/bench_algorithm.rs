@@ -1,0 +1,58 @@
+//! Criterion bench: Algorithm 1 end-to-end in exact mode (the inference half
+//! of Figures 8 and 10), and slice enumeration scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nni_core::{
+    enumerate_slices, identify, Classes, Config, EquivalentNetwork, ExactOracle, LinkPerf,
+    NetworkPerf,
+};
+use nni_topology::library::{dumbbell, parking_lot, topology_b};
+
+fn bench_slice_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumerate_slices");
+    for segs in [4usize, 8, 16, 32] {
+        let t = parking_lot(segs);
+        g.bench_with_input(BenchmarkId::from_parameter(segs), &t, |b, t| {
+            b.iter(|| enumerate_slices(&t.topology).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_identify_topology_b(c: &mut Criterion) {
+    let t = topology_b();
+    let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
+    let mut perf = NetworkPerf::congestion_free(&t.topology, 2);
+    for &l in &t.nonneutral_links {
+        perf = perf.with_link(l, LinkPerf::per_class(vec![0.001, 0.05]));
+    }
+    let oracle = ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
+    c.bench_function("identify/topology_b_exact", |b| {
+        b.iter(|| identify(&t.topology, &oracle, Config::exact()))
+    });
+}
+
+fn bench_identify_dumbbell_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("identify/dumbbell");
+    for n in [4usize, 8, 16] {
+        let t = dumbbell(n / 2, n / 2);
+        let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
+        let shared = t.nonneutral_links[0];
+        let perf = NetworkPerf::congestion_free(&t.topology, 2)
+            .with_link(shared, LinkPerf::per_class(vec![0.0, 0.1]));
+        let oracle =
+            ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| identify(&t.topology, &oracle, Config::exact()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slice_enumeration,
+    bench_identify_topology_b,
+    bench_identify_dumbbell_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: emulator event throughput (the substrate cost of every
+//! Figure 8 / 10 / 11 regeneration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nni_bench::{run_topology_a, ExperimentParams, Mechanism};
+use nni_emu::{
+    link_params, measured_routes, CcKind, RouteId, SimConfig, Simulator, SizeDist, TrafficSpec,
+};
+use nni_topology::library::topology_a;
+
+fn bench_dumbbell_second(c: &mut Criterion) {
+    // One simulated second of a loaded dumbbell: measures events/sec.
+    c.bench_function("emulator/topology_a_1s", |b| {
+        b.iter(|| {
+            let paper = topology_a(0.05, 0.05);
+            let g = &paper.topology;
+            let cfg = SimConfig { duration_s: 1.0, warmup_s: 0.0, ..SimConfig::default() };
+            let mut sim =
+                Simulator::new(link_params(g, &[]), measured_routes(g), 4, 2, cfg);
+            for p in 0..4usize {
+                sim.add_traffic(TrafficSpec {
+                    route: RouteId(p),
+                    class: (p >= 2) as u8,
+                    cc: CcKind::Cubic,
+                    size: SizeDist::Fixed { bytes: 100_000_000 },
+                    mean_gap_s: 10.0,
+                    parallel: 4,
+                });
+            }
+            sim.run().segments_sent
+        })
+    });
+}
+
+fn bench_full_experiment(c: &mut Criterion) {
+    // A short end-to-end Figure 8 experiment (emulate + measure + infer).
+    let mut g = c.benchmark_group("experiment");
+    g.sample_size(10);
+    g.bench_function("fig8_policing_10s", |b| {
+        b.iter(|| {
+            run_topology_a(ExperimentParams {
+                mechanism: Mechanism::Policing(0.2),
+                duration_s: 10.0,
+                ..ExperimentParams::default()
+            })
+            .flagged_nonneutral
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dumbbell_second, bench_full_experiment);
+criterion_main!(benches);

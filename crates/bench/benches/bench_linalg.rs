@@ -1,0 +1,55 @@
+//! Criterion bench: the linear-algebra kernel that decides slice-system
+//! solvability (supports every table/figure regeneration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nni_linalg::{analyze, default_tolerance, lstsq, rank, Matrix};
+
+fn routing_like_matrix(rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            if (i * 31 + j * 17) % 3 == 0 {
+                m[(i, j)] = 1.0;
+            }
+        }
+    }
+    m
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank");
+    for n in [8usize, 16, 32, 64] {
+        let m = routing_like_matrix(2 * n, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| rank(m, default_tolerance(m)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_consistency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consistency");
+    for n in [8usize, 16, 32] {
+        let m = routing_like_matrix(2 * n, n);
+        let y: Vec<f64> = (0..2 * n).map(|i| (i % 5) as f64 * 0.1).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(m, y), |b, (m, y)| {
+            b.iter(|| analyze(m, y, 1e-9).is_consistent())
+        });
+    }
+    g.finish();
+}
+
+fn bench_lstsq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lstsq");
+    for n in [8usize, 16, 32] {
+        let m = routing_like_matrix(2 * n, n);
+        let y: Vec<f64> = (0..2 * n).map(|i| (i % 7) as f64 * 0.1).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(m, y), |b, (m, y)| {
+            b.iter(|| lstsq(m, y))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank, bench_consistency, bench_lstsq);
+criterion_main!(benches);

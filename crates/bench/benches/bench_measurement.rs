@@ -1,0 +1,33 @@
+//! Criterion bench: Algorithm 2 (normalization + pathset performance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nni_measure::{group_indicators, MeasurementLog, NormalizeConfig};
+use nni_topology::PathId;
+
+fn synthetic_log(paths: usize, intervals: usize) -> MeasurementLog {
+    let mut log = MeasurementLog::new(paths, 0.1);
+    for t in 0..intervals {
+        for p in 0..paths {
+            log.record_sent(t, PathId(p), 500 + (t * 13 + p * 7) as u64 % 300);
+            if (t + p) % 9 == 0 {
+                log.record_lost(t, PathId(p), 12);
+            }
+        }
+    }
+    log
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm2/group_indicators");
+    for intervals in [600usize, 1200, 6000] {
+        let log = synthetic_log(4, intervals);
+        let group: Vec<PathId> = (0..4).map(PathId).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(intervals), &log, |b, log| {
+            b.iter(|| group_indicators(log, &group, NormalizeConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_normalization);
+criterion_main!(benches);

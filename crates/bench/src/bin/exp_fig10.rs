@@ -1,0 +1,134 @@
+//! Regenerates **Figure 10 + Table 3 metrics** on topology B: ground-truth
+//! per-link per-class congestion (10a), inferred per-link-sequence
+//! performance split by pair class (10b), and the §6.4 headline metrics
+//! (false negatives, false positives, granularity).
+//!
+//! Usage: `exp_fig10 [--duration SECS] [--seed N]`
+
+use nni_bench::{run_topology_b, Table, TopologyBParams};
+use nni_core::prob_from_perf;
+use nni_stats::FiveNumber;
+
+fn main() {
+    let mut p = TopologyBParams::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--duration" => {
+                p.duration_s = args[i + 1].parse().expect("--duration SECS");
+                i += 2;
+            }
+            "--seed" => {
+                p.seed = args[i + 1].parse().expect("--seed N");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!(
+        "== Figure 10: topology B, {} s, policing {}%, seed {} ==\n",
+        p.duration_s,
+        p.policing_fraction * 100.0,
+        p.seed
+    );
+    let out = run_topology_b(p);
+    let g = &out.paper.topology;
+
+    println!("--- Figure 10(a): actual link congestion probability per class ---");
+    println!("(links marked * implement policing)\n");
+    let mut ta = Table::new(vec!["link", "class c1 [%]", "class c2 [%]", "separation"]);
+    for l in g.link_ids() {
+        let name = &g.link(l).name;
+        let mark = if out.paper.nonneutral_links.contains(&l) { "*" } else { "" };
+        let [c1, c2] = out.link_congestion[l.index()];
+        ta.row(vec![
+            format!("{name}{mark}"),
+            format!("{:5.2}", 100.0 * c1),
+            format!("{:5.2}", 100.0 * c2),
+            format!("{:+5.2}", 100.0 * (c2 - c1)),
+        ]);
+    }
+    println!("{ta}");
+
+    println!("--- Figure 10(b): inferred link-sequence performance by pair class ---");
+    println!("(inferred congestion probability = 1 - exp(-estimate); boxplots as min/q1/med/q3/max)\n");
+    let mut tb = Table::new(vec![
+        "link sequence",
+        "pairs",
+        "c1-pair estimates [%]",
+        "c2-pair estimates [%]",
+        "mixed [%]",
+        "verdict",
+    ]);
+    for (tau, tags, nonneutral) in &out.tagged_estimates {
+        let names: Vec<String> = tau
+            .links()
+            .iter()
+            .map(|&l| g.link(l).name.trim_start_matches('l').to_string())
+            .collect();
+        let mark = if tau.links().iter().any(|l| out.paper.nonneutral_links.contains(l)) {
+            "*"
+        } else {
+            ""
+        };
+        let bucket = |class: Option<usize>| -> String {
+            let vals: Vec<f64> = tags
+                .iter()
+                .filter(|t| t.pure_class == class)
+                .map(|t| 100.0 * (1.0 - prob_from_perf(t.estimate.max(0.0))))
+                .collect();
+            if vals.is_empty() {
+                "-".into()
+            } else if vals.len() == 1 {
+                format!("{:.2}", vals[0])
+            } else {
+                let f = FiveNumber::of(&vals);
+                format!("{:.2}/{:.2}/{:.2}", f.min, f.median, f.max)
+            }
+        };
+        tb.row(vec![
+            format!("⟨{}⟩{mark}", names.join(",")),
+            tags.len().to_string(),
+            bucket(Some(0)),
+            bucket(Some(1)),
+            bucket(None),
+            if *nonneutral { "NON-NEUTRAL".into() } else { "neutral".into() },
+        ]);
+    }
+    println!("{tb}");
+
+    println!("--- §6.4 headline metrics ---");
+    println!("identified (after redundancy removal):");
+    for s in &out.inference.nonneutral {
+        let names: Vec<String> = s
+            .links()
+            .iter()
+            .map(|&l| g.link(l).name.clone())
+            .collect();
+        println!("  ⟨{}⟩", names.join(", "));
+    }
+    println!(
+        "\nfalse-negative rate: {:.2} (paper: 0.00)",
+        out.quality.false_negative_rate
+    );
+    println!(
+        "false-positive rate: {:.2} (paper: 0.00)",
+        out.quality.false_positive_rate
+    );
+    println!("granularity:         {:.2} (paper: 2.7)", out.quality.granularity);
+    println!(
+        "\nsim: {} segments sent, {} delivered, {} dropped, {} flows completed",
+        out.report.segments_sent,
+        out.report.segments_delivered,
+        out.report.segments_dropped,
+        out.report.completed_flows
+    );
+
+    let ok = out.quality.false_negative_rate == 0.0 && out.quality.false_positive_rate == 0.0;
+    println!("\nheadline (FN = FP = 0): {}", if ok { "REPRODUCED" } else { "NOT reproduced" });
+    if !ok {
+        std::process::exit(1);
+    }
+}

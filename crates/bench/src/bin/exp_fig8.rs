@@ -1,0 +1,79 @@
+//! Regenerates **Table 2 + Figure 8(a–i)**: the nine experiment sets on
+//! topology A. For each experiment it prints the per-path congestion
+//! probability (the four bars of the corresponding Figure 8 panel) and the
+//! algorithm's verdict; §6.3's headline claim is that the verdict is correct
+//! in every experiment.
+//!
+//! Usage: `exp_fig8 [--duration SECS] [--seed N] [--set K]`
+
+use nni_bench::{run_topology_a, table2_sets, Table};
+
+fn main() {
+    let mut duration = 60.0;
+    let mut seed = 42u64;
+    let mut only_set: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--duration" => {
+                duration = args[i + 1].parse().expect("--duration SECS");
+                i += 2;
+            }
+            "--seed" => {
+                seed = args[i + 1].parse().expect("--seed N");
+                i += 2;
+            }
+            "--set" => {
+                only_set = Some(args[i + 1].parse().expect("--set K"));
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!("== Figure 8 / Table 2: topology A, {duration} s per experiment, seed {seed} ==\n");
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (k, set) in table2_sets(duration, seed).into_iter().enumerate() {
+        if let Some(s) = only_set {
+            if s != k + 1 {
+                continue;
+            }
+        }
+        println!("--- {} ---", set.name);
+        let mut t = Table::new(vec![
+            set.axis.clone(),
+            "p1 (c1) [%]".into(),
+            "p2 (c1) [%]".into(),
+            "p3 (c2) [%]".into(),
+            "p4 (c2) [%]".into(),
+            "verdict".into(),
+            "correct".into(),
+        ]);
+        for (tick, params) in set.experiments {
+            let out = run_topology_a(params);
+            let pc: Vec<String> = out
+                .path_congestion
+                .iter()
+                .map(|p| format!("{:5.1}", 100.0 * p))
+                .collect();
+            t.row(vec![
+                tick,
+                pc[0].clone(),
+                pc[1].clone(),
+                pc[2].clone(),
+                pc[3].clone(),
+                if out.flagged_nonneutral { "NON-NEUTRAL".into() } else { "neutral".into() },
+                if out.correct { "yes".into() } else { "NO".into() },
+            ]);
+            total += 1;
+            correct += out.correct as usize;
+        }
+        println!("{t}");
+    }
+    println!("verdicts correct: {correct}/{total}");
+    if correct != total {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # nni-bench
+//!
+//! Experiment regenerators for every table and figure of the paper's
+//! evaluation (§6), plus shared harness code for the Criterion benches.
+//!
+//! Binaries (`cargo run -p nni-bench --release --bin <name>`):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `exp_fig8` | Table 2 + Figure 8(a–i): nine experiment sets on topology A |
+//! | `exp_fig10` | Table 3 + Figure 10(a, b) + FN/FP/granularity on topology B |
+//! | `exp_fig11` | Figure 11: queue occupancy of neutral `l13` vs policing `l14` |
+//! | `exp_theory` | Figures 1–6: observability / identifiability worked examples |
+//! | `exp_robustness` | §6.5 sweep: loss thresholds × measurement intervals |
+//! | `exp_baselines` | Ablation: Algorithm 1 vs boolean/loss tomography vs Glasnost |
+
+pub mod expsets;
+pub mod table;
+pub mod topob;
+
+pub use expsets::{
+    run_topology_a, table2_sets, ExperimentOutcome, ExperimentParams, ExperimentSet, Mechanism,
+};
+pub use table::Table;
+pub use topob::{run_topology_b, TopologyBOutcome, TopologyBParams};

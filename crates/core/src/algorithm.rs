@@ -1,0 +1,392 @@
+//! Algorithm 1: identification of non-neutral link sequences (§5), plus the
+//! redundancy-removal post-pass and the two solvability deciders of §6.2.
+//!
+//! ```text
+//! 1. group all path pairs by their shared link set τ            (slices)
+//! 2. keep slices with |Θ_τ| >= 5  (== at least 2 path pairs)
+//! 3. decide, per slice, whether System 4 "has a solution":
+//!      exact mode     — Rouché–Capelli rank test (noise-free oracles)
+//!      clustered mode — per-pair estimates x_τ = y_i + y_j − y_ij; the
+//!                       slice's unsolvability is their max−min spread;
+//!                       2-means over all slices' unsolvability; high
+//!                       cluster = unsolvable (§6.2)
+//! 4. Σ_n̄ = unsolvable slices; remove redundant sequences        (§5)
+//! ```
+
+use crate::obs::Observations;
+use crate::slice::{enumerate_slices, normalization_group, Slice};
+use nni_linalg::{analyze, default_tolerance};
+use nni_stats::{two_means, SeparationGuard};
+use nni_topology::{LinkSeq, PathId, Topology};
+
+/// How to decide whether a slice's System 4 "has a solution".
+#[derive(Debug, Clone, Copy)]
+pub enum DecisionMode {
+    /// Exact consistency test with an absolute tolerance — for noise-free
+    /// (oracle) observations.
+    Exact {
+        /// Entries below this are treated as zero.
+        tol: f64,
+    },
+    /// The paper's measurement-mode rule: two-cluster the unsolvability
+    /// scores, high cluster = unsolvable.
+    ///
+    /// Clustering needs a population; topology A produces a *single* slice
+    /// (every path pair shares exactly `⟨l5⟩`), yet the paper still decides
+    /// it correctly in every experiment. `abs_threshold` supplies the
+    /// missing rule: a slice whose unsolvability exceeds it is unsolvable
+    /// regardless of the clustering outcome (subject to the relative
+    /// margin below). The default (0.04 ≈ a 4% disagreement between
+    /// congestion-free probability estimates) is far above sampling noise —
+    /// in a neutral network the normalized per-interval indicators of paths
+    /// sharing a queue are strongly correlated, so pair estimates agree to
+    /// well under that — and below the differentiation signal of the
+    /// policing/shaping experiments.
+    Clustered {
+        /// Minimum-separation rule (see `nni-stats`).
+        guard: SeparationGuard,
+        /// Absolute unsolvability above which a slice is non-neutral even
+        /// when clustering collapses.
+        abs_threshold: f64,
+        /// Relative margin: the spread must also exceed `rel_margin` times
+        /// the median |estimate| of the slice. A heavily congested *neutral*
+        /// sequence yields pair estimates that are all large and agree to
+        /// within proportional sampling noise (spread ≪ median); a
+        /// differentiating sequence yields a structured split (pairs inside
+        /// the throttled class high, the rest near zero), so its spread is
+        /// comparable to or larger than the median. This is the
+        /// scale-awareness that cross-system clustering provides in the
+        /// paper's multi-slice experiments, applied within a slice.
+        rel_margin: f64,
+    },
+}
+
+/// Algorithm configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Minimum number of path pairs per slice (the paper's `|Θ_τ| >= 5`
+    /// equals 2 pairs).
+    pub min_pairs: usize,
+    /// Solvability decider.
+    pub mode: DecisionMode,
+}
+
+impl Config {
+    /// Exact mode with the default tolerance.
+    pub fn exact() -> Config {
+        Config { min_pairs: 2, mode: DecisionMode::Exact { tol: 1e-9 } }
+    }
+
+    /// Clustered (measurement) mode with the default separation guard and
+    /// absolute threshold.
+    pub fn clustered() -> Config {
+        Config {
+            min_pairs: 2,
+            mode: DecisionMode::Clustered {
+                guard: SeparationGuard::default(),
+                abs_threshold: 0.04,
+                rel_margin: 1.0,
+            },
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::clustered()
+    }
+}
+
+/// Per-pair estimate of `x_τ` (used for reporting, e.g. Figure 10(b)).
+#[derive(Debug, Clone)]
+pub struct PairEstimate {
+    /// The path pair.
+    pub pair: (PathId, PathId),
+    /// The pair's unique estimate `x_τ = y_i + y_j − y_{ij}`.
+    pub estimate: f64,
+}
+
+/// The analysis of one slice.
+#[derive(Debug, Clone)]
+pub struct SliceVerdict {
+    /// The candidate link sequence.
+    pub tau: LinkSeq,
+    /// Per-pair estimates of `x_τ`.
+    pub estimates: Vec<PairEstimate>,
+    /// Unsolvability score (max − min of the estimates).
+    pub unsolvability: f64,
+    /// Final verdict: `true` = System 4 has no solution = non-neutral.
+    pub nonneutral: bool,
+}
+
+/// Output of Algorithm 1 (+ redundancy removal).
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// All analyzed slices with their verdicts (deterministic order).
+    pub verdicts: Vec<SliceVerdict>,
+    /// `Σ_n̄` before redundancy removal.
+    pub nonneutral_raw: Vec<LinkSeq>,
+    /// `Σ_n̄` after redundancy removal — the algorithm's answer.
+    pub nonneutral: Vec<LinkSeq>,
+    /// Sequences classified neutral (`Σ_n` in the paper's notation).
+    pub neutral: Vec<LinkSeq>,
+}
+
+impl InferenceResult {
+    /// Whether any non-neutral link sequence was identified.
+    pub fn network_is_nonneutral(&self) -> bool {
+        !self.nonneutral.is_empty()
+    }
+}
+
+/// Runs Algorithm 1 against an observation source.
+pub fn identify(topology: &Topology, obs: &impl Observations, cfg: Config) -> InferenceResult {
+    let slices: Vec<Slice> = enumerate_slices(topology)
+        .into_iter()
+        .filter(|s| s.pair_count() >= cfg.min_pairs)
+        .collect();
+
+    // Gather observations and per-slice scores.
+    let mut verdicts: Vec<SliceVerdict> = Vec::with_capacity(slices.len());
+    let mut exact_flags: Vec<bool> = Vec::with_capacity(slices.len());
+    for s in &slices {
+        let group = normalization_group(topology, &s.tau);
+        let y = obs.observe_all(&group, &s.pathsets);
+        let estimates: Vec<PairEstimate> = s
+            .pairs
+            .iter()
+            .zip(s.pair_estimates(&y))
+            .map(|(&pair, estimate)| PairEstimate { pair, estimate })
+            .collect();
+        let unsolvability = s.unsolvability(&y);
+        let exact_unsolvable = match cfg.mode {
+            DecisionMode::Exact { tol } => {
+                let a = s.routing_matrix();
+                let tol = tol.max(default_tolerance(&a.augment_col(&y)));
+                !analyze(&a, &y, tol).is_consistent()
+            }
+            DecisionMode::Clustered { .. } => false, // decided below
+        };
+        exact_flags.push(exact_unsolvable);
+        verdicts.push(SliceVerdict {
+            tau: s.tau.clone(),
+            estimates,
+            unsolvability,
+            nonneutral: false,
+        });
+    }
+
+    // Decide solvability.
+    match cfg.mode {
+        DecisionMode::Exact { .. } => {
+            for (v, flag) in verdicts.iter_mut().zip(exact_flags) {
+                v.nonneutral = flag;
+            }
+        }
+        DecisionMode::Clustered { guard, abs_threshold, rel_margin } => {
+            let scores: Vec<f64> = verdicts.iter().map(|v| v.unsolvability).collect();
+            let clusters = two_means(&scores, guard);
+            for (v, &high) in verdicts.iter_mut().zip(clusters.high.iter()) {
+                let mut mags: Vec<f64> =
+                    v.estimates.iter().map(|e| e.estimate.abs()).collect();
+                mags.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+                let median = if mags.is_empty() { 0.0 } else { mags[mags.len() / 2] };
+                let floor = abs_threshold.max(rel_margin * median);
+                v.nonneutral = high || v.unsolvability > floor;
+            }
+        }
+    }
+
+    let nonneutral_raw: Vec<LinkSeq> = verdicts
+        .iter()
+        .filter(|v| v.nonneutral)
+        .map(|v| v.tau.clone())
+        .collect();
+    let neutral: Vec<LinkSeq> = verdicts
+        .iter()
+        .filter(|v| !v.nonneutral)
+        .map(|v| v.tau.clone())
+        .collect();
+    let nonneutral = remove_redundant(&nonneutral_raw, &neutral);
+
+    InferenceResult { verdicts, nonneutral_raw, nonneutral, neutral }
+}
+
+/// Redundancy removal (§5): `τ ∈ Σ_n̄` is redundant iff there exists a set of
+/// *other* classified sequences `{τ_i} ⊆ Σ_n̄ ∪ Σ_n`, at least one of them
+/// non-neutral, whose union equals `τ`.
+///
+/// Because all candidate `τ_i` must be subsets of `τ`, the union of *all*
+/// subset-candidates is the maximal reachable union; the existential check
+/// reduces to comparing that union with `τ` and checking that some
+/// non-neutral candidate exists.
+pub fn remove_redundant(nonneutral: &[LinkSeq], neutral: &[LinkSeq]) -> Vec<LinkSeq> {
+    nonneutral
+        .iter()
+        .filter(|tau| {
+            let candidates: Vec<&LinkSeq> = nonneutral
+                .iter()
+                .filter(|t| *t != *tau && t.is_subset_of(tau))
+                .chain(neutral.iter().filter(|t| t.is_subset_of(tau)))
+                .collect();
+            let has_nonneutral = candidates
+                .iter()
+                .any(|t| nonneutral.contains(t));
+            if !has_nonneutral {
+                return true; // keep: cannot be covered with a non-neutral member
+            }
+            let mut union = LinkSeq::new(Vec::new());
+            for c in &candidates {
+                union = union.union(c);
+            }
+            union != **tau // keep unless fully covered
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::Classes;
+    use crate::equivalent::EquivalentNetwork;
+    use crate::obs::ExactOracle;
+    use crate::perf::{LinkPerf, NetworkPerf};
+    use nni_topology::library::{figure4, figure5, topology_b};
+    use nni_topology::LinkId;
+
+    fn oracle_for(
+        t: &nni_topology::PaperTopology,
+        perf: &NetworkPerf,
+    ) -> ExactOracle {
+        let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
+        ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, perf))
+    }
+
+    #[test]
+    fn figure4_example_from_section_5() {
+        // Both l1 and l2 non-neutral: the algorithm must return
+        // Σ = {⟨l1⟩, ⟨l1,l2⟩}, FN 0, granularity 1.5.
+        let t = figure4();
+        let l1 = t.topology.link_by_name("l1").unwrap();
+        let l2 = t.topology.link_by_name("l2").unwrap();
+        let perf = NetworkPerf::congestion_free(&t.topology, 2)
+            .with_link(l1, LinkPerf::per_class(vec![0.0, 0.4]))
+            .with_link(l2, LinkPerf::per_class(vec![0.0, 0.2]));
+        let oracle = oracle_for(&t, &perf);
+        let r = identify(&t.topology, &oracle, Config::exact());
+        assert!(r.network_is_nonneutral());
+        let mut got = r.nonneutral.clone();
+        got.sort();
+        let mut want = vec![
+            LinkSeq::single(l1),
+            LinkSeq::new(vec![l1, l2]),
+        ];
+        want.sort();
+        assert_eq!(got, want);
+        let granularity: f64 = got.iter().map(|s| s.len() as f64).sum::<f64>() / 2.0;
+        assert!((granularity - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neutral_network_yields_empty_result_exact() {
+        let t = figure4();
+        let perf = NetworkPerf::neutral(&[0.1, 0.2, 0.05, 0.0, 0.3, 0.15], 2);
+        let oracle = oracle_for(&t, &perf);
+        let r = identify(&t.topology, &oracle, Config::exact());
+        assert!(!r.network_is_nonneutral());
+        assert!(r.nonneutral_raw.is_empty());
+    }
+
+    #[test]
+    fn neutral_network_yields_empty_result_clustered() {
+        // The separation guard must keep a noise-free neutral network from
+        // splitting into two clusters.
+        let t = figure4();
+        let perf = NetworkPerf::neutral(&[0.1, 0.2, 0.05, 0.0, 0.3, 0.15], 2);
+        let oracle = oracle_for(&t, &perf);
+        let r = identify(&t.topology, &oracle, Config::clustered());
+        assert!(!r.network_is_nonneutral());
+    }
+
+    #[test]
+    fn clustered_mode_flags_figure5() {
+        let t = figure5();
+        let l1 = t.topology.link_by_name("l1").unwrap();
+        let perf = NetworkPerf::congestion_free(&t.topology, 2)
+            .with_link(l1, LinkPerf::per_class(vec![0.0, (2.0_f64).ln()]));
+        let oracle = oracle_for(&t, &perf);
+        let r = identify(&t.topology, &oracle, Config::clustered());
+        assert!(r.network_is_nonneutral());
+        assert_eq!(r.nonneutral, vec![LinkSeq::single(l1)]);
+    }
+
+    #[test]
+    fn topology_b_exact_mode_identifies_all_policers() {
+        let t = topology_b();
+        let mut perf = NetworkPerf::congestion_free(&t.topology, 2);
+        for &l in &t.nonneutral_links {
+            perf = perf.with_link(l, LinkPerf::per_class(vec![0.001, 0.05]));
+        }
+        let oracle = oracle_for(&t, &perf);
+        let r = identify(&t.topology, &oracle, Config::exact());
+        for &pol in &t.nonneutral_links {
+            assert!(
+                r.nonneutral.iter().any(|s| s.contains(pol)),
+                "policer {pol} missed"
+            );
+        }
+        // Zero false positives: every identified sequence contains a policer.
+        for s in &r.nonneutral {
+            assert!(
+                t.nonneutral_links.iter().any(|&pol| s.contains(pol)),
+                "sequence {s} wrongly identified"
+            );
+        }
+    }
+
+    #[test]
+    fn redundancy_removal_paper_example() {
+        // Σ_n̄ = {⟨1,2⟩, ⟨2,3⟩, ⟨1,2,3⟩}: the long one is redundant.
+        let s12 = LinkSeq::new(vec![LinkId(1), LinkId(2)]);
+        let s23 = LinkSeq::new(vec![LinkId(2), LinkId(3)]);
+        let s123 = LinkSeq::new(vec![LinkId(1), LinkId(2), LinkId(3)]);
+        let kept = remove_redundant(&[s12.clone(), s23.clone(), s123], &[]);
+        assert_eq!(kept, vec![s12, s23]);
+    }
+
+    #[test]
+    fn redundancy_removal_needs_nonneutral_member() {
+        // ⟨1,2⟩ non-neutral; ⟨1⟩ and ⟨2⟩ both classified *neutral*: the union
+        // covers τ but contains no non-neutral member, so τ is kept.
+        let s12 = LinkSeq::new(vec![LinkId(1), LinkId(2)]);
+        let s1 = LinkSeq::single(LinkId(1));
+        let s2 = LinkSeq::single(LinkId(2));
+        let kept = remove_redundant(&[s12.clone()], &[s1, s2]);
+        assert_eq!(kept, vec![s12]);
+    }
+
+    #[test]
+    fn redundancy_removal_mixed_cover() {
+        // §6.4 discussion: had ⟨18,14⟩ been classified non-neutral, the long
+        // ⟨18,14,6,3⟩ would be discarded thanks to neutral ⟨6,3⟩.
+        let long = LinkSeq::new(vec![LinkId(18), LinkId(14), LinkId(6), LinkId(3)]);
+        let s1814 = LinkSeq::new(vec![LinkId(18), LinkId(14)]);
+        let s63 = LinkSeq::new(vec![LinkId(6), LinkId(3)]);
+        let kept = remove_redundant(&[long.clone(), s1814.clone()], &[s63]);
+        assert_eq!(kept, vec![s1814]);
+    }
+
+    #[test]
+    fn verdicts_report_estimates() {
+        let t = figure5();
+        let l1 = t.topology.link_by_name("l1").unwrap();
+        let perf = NetworkPerf::congestion_free(&t.topology, 2)
+            .with_link(l1, LinkPerf::per_class(vec![0.0, (2.0_f64).ln()]));
+        let oracle = oracle_for(&t, &perf);
+        let r = identify(&t.topology, &oracle, Config::exact());
+        let v = &r.verdicts[0];
+        assert_eq!(v.estimates.len(), 3);
+        assert!((v.unsolvability - (2.0_f64).ln()).abs() < 1e-9);
+    }
+}

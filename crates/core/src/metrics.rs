@@ -1,0 +1,137 @@
+//! The three quality metrics of §5.
+//!
+//! * **False-negative rate** — fraction of (ground-truth) non-neutral links
+//!   that participate in *no* link sequence of `Σ_n̄`.
+//! * **Granularity** — average size of the sequences in `Σ_n̄` (1 is ideal:
+//!   every violation localized to a single link).
+//! * **False-positive rate** — fraction of neutral links that participate in
+//!   a *neutral* link sequence incorrectly present in `Σ_n̄` (a sequence with
+//!   no non-neutral member at all).
+
+use nni_topology::{LinkId, LinkSeq, Topology};
+use std::collections::HashSet;
+
+/// Quality of an inference result against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Fraction of non-neutral links missing from every identified sequence.
+    pub false_negative_rate: f64,
+    /// Fraction of neutral links implicated by incorrectly identified
+    /// (fully neutral) sequences.
+    pub false_positive_rate: f64,
+    /// Average identified-sequence length (0 when nothing was identified).
+    pub granularity: f64,
+}
+
+/// Evaluates an identified set `Σ_n̄` against the ground-truth non-neutral
+/// links.
+pub fn evaluate(
+    topology: &Topology,
+    identified: &[LinkSeq],
+    truth_nonneutral: &[LinkId],
+) -> Quality {
+    let truth: HashSet<LinkId> = truth_nonneutral.iter().copied().collect();
+
+    // False negatives.
+    let covered: HashSet<LinkId> = identified
+        .iter()
+        .flat_map(|s| s.links().iter().copied())
+        .collect();
+    let fn_count = truth.iter().filter(|l| !covered.contains(l)).count();
+    let false_negative_rate = if truth.is_empty() {
+        0.0
+    } else {
+        fn_count as f64 / truth.len() as f64
+    };
+
+    // False positives: neutral links inside *fully neutral* identified
+    // sequences.
+    let incorrectly_present: Vec<&LinkSeq> = identified
+        .iter()
+        .filter(|s| s.links().iter().all(|l| !truth.contains(l)))
+        .collect();
+    let implicated: HashSet<LinkId> = incorrectly_present
+        .iter()
+        .flat_map(|s| s.links().iter().copied())
+        .collect();
+    let neutral_count = topology.link_count() - truth.len();
+    let false_positive_rate = if neutral_count == 0 {
+        0.0
+    } else {
+        implicated.len() as f64 / neutral_count as f64
+    };
+
+    // Granularity.
+    let granularity = if identified.is_empty() {
+        0.0
+    } else {
+        identified.iter().map(|s| s.len() as f64).sum::<f64>() / identified.len() as f64
+    };
+
+    Quality { false_negative_rate, false_positive_rate, granularity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nni_topology::library::figure4;
+
+    fn fig4_ids() -> (Topology, LinkId, LinkId, LinkId) {
+        let t = figure4();
+        let l1 = t.topology.link_by_name("l1").unwrap();
+        let l2 = t.topology.link_by_name("l2").unwrap();
+        let l3 = t.topology.link_by_name("l3").unwrap();
+        (t.topology, l1, l2, l3)
+    }
+
+    #[test]
+    fn section5_worked_example() {
+        // Σ_n̄ = {⟨l1⟩, ⟨l1,l2⟩}, truth {l1, l2}: FN 0, FP 0, granularity 1.5.
+        let (t, l1, l2, _) = fig4_ids();
+        let identified = vec![LinkSeq::single(l1), LinkSeq::new(vec![l1, l2])];
+        let q = evaluate(&t, &identified, &[l1, l2]);
+        assert_eq!(q.false_negative_rate, 0.0);
+        assert_eq!(q.false_positive_rate, 0.0);
+        assert!((q.granularity - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_negative_counted() {
+        // Truth {l1, l2} but only ⟨l1⟩ identified: FN = 1/2.
+        let (t, l1, l2, _) = fig4_ids();
+        let q = evaluate(&t, &[LinkSeq::single(l1)], &[l1, l2]);
+        assert!((q.false_negative_rate - 0.5).abs() < 1e-12);
+        assert_eq!(q.false_positive_rate, 0.0);
+        assert_eq!(q.granularity, 1.0);
+    }
+
+    #[test]
+    fn false_positive_counted() {
+        // Truth {l1}; identified ⟨l3⟩ (fully neutral): 1 of 5 neutral links
+        // implicated.
+        let (t, l1, _, l3) = fig4_ids();
+        let q = evaluate(&t, &[LinkSeq::single(l3)], &[l1]);
+        assert!((q.false_positive_rate - 1.0 / 5.0).abs() < 1e-12);
+        assert!((q.false_negative_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_containing_truth_is_not_false_positive() {
+        // ⟨l1, l3⟩ contains the non-neutral l1: l3's presence worsens
+        // granularity but is not a false positive (§5's definition).
+        let (t, l1, _, l3) = fig4_ids();
+        let q = evaluate(&t, &[LinkSeq::new(vec![l1, l3])], &[l1]);
+        assert_eq!(q.false_positive_rate, 0.0);
+        assert_eq!(q.false_negative_rate, 0.0);
+        assert_eq!(q.granularity, 2.0);
+    }
+
+    #[test]
+    fn empty_result_on_neutral_truth_is_perfect() {
+        let (t, ..) = fig4_ids();
+        let q = evaluate(&t, &[], &[]);
+        assert_eq!(q.false_negative_rate, 0.0);
+        assert_eq!(q.false_positive_rate, 0.0);
+        assert_eq!(q.granularity, 0.0);
+    }
+}

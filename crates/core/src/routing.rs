@@ -1,0 +1,97 @@
+//! Generalized routing matrices (§2.3).
+//!
+//! Given a set of pathsets `Θ = {Θ_1, …}`, the generalized routing matrix
+//! `A(Θ)` is the `|Θ| × |L|` 0/1 matrix with `A_ik = 1` iff at least one path
+//! in pathset `Θ_i` traverses link `l_k` (Figure 1(b)). The neutral-network
+//! hypothesis is the statement `y = A(Θ) · x` (System 3).
+
+use nni_linalg::Matrix;
+use nni_topology::{PathSet, Topology};
+
+/// Builds the generalized routing matrix `A(Θ)` for the given pathsets.
+pub fn routing_matrix(topology: &Topology, pathsets: &[PathSet]) -> Matrix {
+    let mut a = Matrix::zeros(pathsets.len(), topology.link_count());
+    for (i, theta) in pathsets.iter().enumerate() {
+        for &p in theta.paths() {
+            for &l in topology.path(p).links() {
+                a[(i, l.index())] = 1.0;
+            }
+        }
+    }
+    a
+}
+
+/// Predicted observation vector for a *neutral* network: `y = A(Θ) · x`
+/// (Equation 2 row by row).
+pub fn neutral_predictions(topology: &Topology, pathsets: &[PathSet], x: &[f64]) -> Vec<f64> {
+    routing_matrix(topology, pathsets).matvec(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nni_topology::library::figure1;
+    use nni_topology::PathId;
+
+    /// Figure 1(b) is given verbatim in the paper; reproduce it.
+    #[test]
+    fn figure1b_routing_matrix() {
+        let t = figure1();
+        let (p1, p2, p3) = (PathId(0), PathId(1), PathId(2));
+        let pathsets = vec![
+            PathSet::single(p1),
+            PathSet::single(p2),
+            PathSet::single(p3),
+            PathSet::pair(p1, p2),
+            PathSet::pair(p1, p3),
+            PathSet::pair(p2, p3),
+            PathSet::new(vec![p1, p2, p3]),
+        ];
+        let a = routing_matrix(&t.topology, &pathsets);
+        let expected = [
+            [1.0, 1.0, 0.0, 0.0], // {p1}
+            [1.0, 0.0, 1.0, 0.0], // {p2}
+            [0.0, 0.0, 1.0, 1.0], // {p3}
+            [1.0, 1.0, 1.0, 0.0], // {p1,p2}
+            [1.0, 1.0, 1.0, 1.0], // {p1,p3}
+            [1.0, 0.0, 1.0, 1.0], // {p2,p3}
+            [1.0, 1.0, 1.0, 1.0], // {p1,p2,p3}
+        ];
+        for (i, row) in expected.iter().enumerate() {
+            for (k, &want) in row.iter().enumerate() {
+                assert_eq!(a[(i, k)], want, "A[{i}][{k}]");
+            }
+        }
+    }
+
+    #[test]
+    fn pathset_row_is_or_of_singleton_rows() {
+        let t = figure1();
+        let (p1, p3) = (PathId(0), PathId(2));
+        let single = routing_matrix(
+            &t.topology,
+            &[PathSet::single(p1), PathSet::single(p3)],
+        );
+        let pair = routing_matrix(&t.topology, &[PathSet::pair(p1, p3)]);
+        for k in 0..t.topology.link_count() {
+            let or = (single[(0, k)] != 0.0 || single[(1, k)] != 0.0) as u8 as f64;
+            assert_eq!(pair[(0, k)], or);
+        }
+    }
+
+    #[test]
+    fn neutral_predictions_match_paper_equations() {
+        // §2.3: y{p1} = x1 + x2; y{p2} = x1 + x3; y{p1,p2} = x1 + x2 + x3.
+        let t = figure1();
+        let x = [0.1, 0.2, 0.3, 0.4];
+        let ps = vec![
+            PathSet::single(PathId(0)),
+            PathSet::single(PathId(1)),
+            PathSet::pair(PathId(0), PathId(1)),
+        ];
+        let y = neutral_predictions(&t.topology, &ps, &x);
+        assert!((y[0] - 0.3).abs() < 1e-12);
+        assert!((y[1] - 0.4).abs() < 1e-12);
+        assert!((y[2] - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Token buckets — the mechanism behind both policing and shaping (§6.1).
+//!
+//! "Policing relies on a token bucket; the rate at which tokens are added to
+//! the bucket determines the maximum rate of the targeted performance class;
+//! the size of the bucket determines the maximum allowed burst; any excess
+//! traffic is immediately dropped. Shaping is similar, with the difference
+//! that any excess traffic is buffered in a dedicated queue."
+
+use crate::time::SimTime;
+
+/// A byte-denominated token bucket.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bps: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_update: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    ///
+    /// # Panics
+    /// Panics unless rate and burst are positive.
+    pub fn new(rate_bps: f64, burst_bytes: f64) -> TokenBucket {
+        assert!(rate_bps > 0.0, "token rate must be positive");
+        assert!(burst_bytes > 0.0, "burst size must be positive");
+        TokenBucket {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Token fill rate in bits per second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Refills tokens up to `now`.
+    pub fn update(&mut self, now: SimTime) {
+        if now <= self.last_update {
+            return;
+        }
+        let dt = (now - self.last_update).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_bps / 8.0).min(self.burst_bytes);
+        self.last_update = now;
+    }
+
+    /// Current token level in bytes (after the last `update`).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Tries to consume `bytes`; returns whether the packet conformed.
+    pub fn try_consume(&mut self, bytes: u64) -> bool {
+        let b = bytes as f64;
+        if self.tokens >= b {
+            self.tokens -= b;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time from `now` until `bytes` tokens will be available (zero when
+    /// already available). Used by the shaper to schedule releases.
+    pub fn time_until_available(&self, bytes: u64) -> SimTime {
+        let deficit = bytes as f64 - self.tokens;
+        if deficit <= 0.0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_secs_f64(deficit * 8.0 / self.rate_bps)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_consumes() {
+        let mut tb = TokenBucket::new(8e6, 1000.0); // 1 MB/s, 1000 B burst
+        assert!(tb.try_consume(600));
+        assert!(tb.try_consume(400));
+        assert!(!tb.try_consume(1));
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut tb = TokenBucket::new(8e6, 1000.0); // 1 MB/s fill
+        tb.try_consume(1000);
+        // After 0.5 ms, 500 bytes available.
+        tb.update(SimTime::from_secs_f64(0.0005));
+        assert!(tb.try_consume(500));
+        assert!(!tb.try_consume(1));
+    }
+
+    #[test]
+    fn burst_caps_accumulation() {
+        let mut tb = TokenBucket::new(8e6, 1000.0);
+        tb.update(SimTime::from_secs_f64(100.0));
+        assert!((tb.tokens() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_until_available() {
+        let mut tb = TokenBucket::new(8e6, 1000.0);
+        tb.try_consume(1000);
+        let t = tb.time_until_available(500);
+        assert!((t.as_secs_f64() - 0.0005).abs() < 1e-9);
+        assert_eq!(tb.time_until_available(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn update_is_monotonic_safe() {
+        let mut tb = TokenBucket::new(8e6, 1000.0);
+        tb.update(SimTime::from_secs_f64(1.0));
+        tb.try_consume(1000);
+        // A stale update must not rewind.
+        tb.update(SimTime::from_secs_f64(0.5));
+        assert!(tb.tokens() < 1.0);
+    }
+
+    #[test]
+    fn never_negative() {
+        let mut tb = TokenBucket::new(1e6, 100.0);
+        assert!(!tb.try_consume(101));
+        assert!(tb.tokens() >= 0.0);
+    }
+}

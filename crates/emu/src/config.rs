@@ -1,0 +1,82 @@
+//! Simulation configuration (Table 1 defaults).
+
+/// Global simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Simulated duration in seconds (the paper runs 10 minutes; the
+    /// experiment binaries default to 120 s and expose `--duration`).
+    pub duration_s: f64,
+    /// Measurement interval in seconds (Table 1: 100 ms default).
+    pub interval_s: f64,
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Queue sizing: each queue holds `rate * queue_rtt / 8` bytes — "the
+    /// size of each queue is set according to the maximum RTT experienced by
+    /// traffic traversing the queue" (§6.1). Table 1's maximum RTT is 200 ms.
+    pub queue_rtt_s: f64,
+    /// Queue-occupancy sampling period in seconds (Figure 11).
+    pub sample_period_s: f64,
+    /// Minimum retransmission timeout in seconds.
+    pub min_rto_s: f64,
+    /// Warm-up prefix (seconds) dropped from the measurement log so
+    /// slow-start transients do not bias congestion-free frequencies.
+    pub warmup_s: f64,
+    /// RNG seed (flow sizes, inter-flow gaps, start jitter).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration_s: 120.0,
+            interval_s: 0.1,
+            mss: 1500,
+            queue_rtt_s: 0.2,
+            sample_period_s: 0.5,
+            min_rto_s: 0.2,
+            warmup_s: 5.0,
+            seed: 1,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Number of warm-up measurement intervals.
+    pub fn warmup_intervals(&self) -> usize {
+        (self.warmup_s / self.interval_s).round() as usize
+    }
+
+    /// Queue capacity in bytes for a link of the given rate.
+    pub fn queue_bytes(&self, rate_bps: f64) -> u64 {
+        let bdp = rate_bps * self.queue_rtt_s / 8.0;
+        (bdp as u64).max(10 * self.mss as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = SimConfig::default();
+        assert_eq!(c.interval_s, 0.1);
+        assert_eq!(c.mss, 1500);
+        assert_eq!(c.min_rto_s, 0.2);
+    }
+
+    #[test]
+    fn queue_sizing_is_one_bdp() {
+        let c = SimConfig::default();
+        // 100 Mb/s * 0.2 s / 8 = 2.5 MB.
+        assert_eq!(c.queue_bytes(100e6), 2_500_000);
+        // Tiny links floor at 10 MSS.
+        assert_eq!(c.queue_bytes(1e3), 15_000);
+    }
+
+    #[test]
+    fn warmup_interval_count() {
+        let c = SimConfig { warmup_s: 5.0, interval_s: 0.1, ..Default::default() };
+        assert_eq!(c.warmup_intervals(), 50);
+    }
+}

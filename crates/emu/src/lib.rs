@@ -1,0 +1,46 @@
+//! # nni-emu
+//!
+//! A deterministic, packet-level network emulator — the substrate the
+//! paper's evaluation runs on (§6.1; the authors use the LINE user-level
+//! emulator, we rebuild the equivalent in Rust, see DESIGN.md).
+//!
+//! * [`sim`] — the discrete-event engine: per-link store-and-forward with
+//!   drop-tail queues sized by the maximum RTT, and the TCP flow drivers.
+//! * [`tcp`] — NewReno and CUBIC congestion control plus the RFC 6298
+//!   RTT/RTO estimator.
+//! * [`diff`] — the two differentiation mechanisms of §6.1: token-bucket
+//!   **policing** (non-conforming packets dropped) and **shaping**
+//!   (non-conforming packets buffered in a dedicated queue).
+//! * [`traffic`] — the dynamic traffic model: parallel TCP flows with
+//!   Pareto sizes and exponential idle gaps.
+//! * [`stats`] — the measurement log handed to the inference, the per-link
+//!   per-class ground truth (Figure 10a), and queue traces (Figure 11).
+//! * [`scenario`] — adapters from `nni-topology` graphs to simulator inputs.
+//!
+//! Determinism: integer-nanosecond event times, insertion-order tie
+//! breaking, and a single seeded RNG make every run reproducible.
+
+pub mod bucket;
+pub mod config;
+pub mod diff;
+pub mod event;
+pub mod packet;
+pub mod scenario;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+pub mod time;
+pub mod traffic;
+
+pub use bucket::TokenBucket;
+pub use config::SimConfig;
+pub use diff::{Differentiation, ShapeLaneConfig};
+pub use packet::{ClassLabel, FlowId, Packet, Route, RouteId};
+pub use scenario::{
+    background_route, link_params, measured_routes, policer_at_fraction, shaper_at_fraction,
+};
+pub use sim::{LinkParams, Simulator};
+pub use stats::{LinkTruth, QueueTrace, SimReport};
+pub use tcp::{CcKind, CongestionControl, RttEstimator};
+pub use time::SimTime;
+pub use traffic::{long_flow, short_flow_mix, SizeDist, TrafficSpec};

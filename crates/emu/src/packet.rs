@@ -1,0 +1,79 @@
+//! Packets and routes.
+
+use crate::time::SimTime;
+use nni_topology::{LinkId, PathId};
+
+/// Traffic class label carried by every packet. The differentiation
+/// mechanisms classify on this label — mirroring real devices that classify
+/// on ports/DPI — while the inference layer never sees it.
+pub type ClassLabel = u8;
+
+/// Identifier of a route (measured path or background route).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouteId(pub usize);
+
+/// A forwarding route through the network.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Links in traversal order.
+    pub links: Vec<LinkId>,
+    /// The measured path this route realises, if any (background routes
+    /// carry `None` — their traffic loads the network but is not observed).
+    pub path: Option<PathId>,
+}
+
+/// Identifier of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub usize);
+
+/// A data packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Globally unique packet id (diagnostics).
+    pub id: u64,
+    /// Owning flow.
+    pub flow: FlowId,
+    /// TCP sequence number in segments (0-based).
+    pub seq: u64,
+    /// Size in bytes (MSS for full segments).
+    pub size: u32,
+    /// Traffic class label.
+    pub class: ClassLabel,
+    /// Route being traversed.
+    pub route: RouteId,
+    /// Index of the *next* link to enter (0 = first hop).
+    pub hop: usize,
+    /// Time the segment was (re)transmitted by the sender.
+    pub sent_at: SimTime,
+    /// Whether this is a retransmission (Karn's rule: no RTT sample).
+    pub retx: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_holds_links_and_path() {
+        let r = Route { links: vec![LinkId(0), LinkId(2)], path: Some(PathId(1)) };
+        assert_eq!(r.links.len(), 2);
+        assert_eq!(r.path, Some(PathId(1)));
+    }
+
+    #[test]
+    fn packet_fields() {
+        let p = Packet {
+            id: 7,
+            flow: FlowId(3),
+            seq: 42,
+            size: 1500,
+            class: 1,
+            route: RouteId(0),
+            hop: 0,
+            sent_at: SimTime::ZERO,
+            retx: false,
+        };
+        assert_eq!(p.seq, 42);
+        assert!(!p.retx);
+    }
+}

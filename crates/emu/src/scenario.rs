@@ -1,0 +1,155 @@
+//! Bridging `nni-topology` graphs into simulator inputs.
+
+use crate::diff::Differentiation;
+use crate::packet::Route;
+use crate::sim::LinkParams;
+use nni_topology::{LinkId, Topology};
+
+/// Builds the per-link simulator parameters from a topology, applying the
+/// given differentiation mechanisms (all other links are neutral FIFO).
+pub fn link_params(
+    topology: &Topology,
+    mechanisms: &[(LinkId, Differentiation)],
+) -> Vec<LinkParams> {
+    topology
+        .links()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let diff = mechanisms
+                .iter()
+                .find(|(id, _)| id.index() == i)
+                .map(|(_, d)| d.clone())
+                .unwrap_or(Differentiation::None);
+            LinkParams {
+                rate_bps: l.capacity_bps,
+                delay_s: l.delay_s,
+                diff,
+                queue_bytes: None,
+            }
+        })
+        .collect()
+}
+
+/// One measured route per topology path, in path order.
+pub fn measured_routes(topology: &Topology) -> Vec<Route> {
+    topology
+        .paths()
+        .iter()
+        .map(|p| Route { links: p.links().to_vec(), path: Some(p.id()) })
+        .collect()
+}
+
+/// An unmeasured background route over explicit links (loads the network
+/// without appearing in the measurement log).
+pub fn background_route(links: Vec<LinkId>) -> Route {
+    Route { links, path: None }
+}
+
+/// Convenience: a policer at `fraction` of the link's capacity with a burst
+/// of `burst_s` seconds at the policed rate (§6.1: the policing rate varies
+/// from 50% down to 20% of link capacity).
+///
+/// The burst controls the regime: ~10 ms is a strict carrier policer that
+/// clips every slow-start burst (topology A's strongly inconsistent
+/// observations); ~100 ms lets persistent flows ride at the token rate with
+/// periodic loss episodes (topology B's long-flow throttling).
+pub fn policer_at_fraction(
+    topology: &Topology,
+    link: LinkId,
+    class: u8,
+    fraction: f64,
+    burst_s: f64,
+) -> (LinkId, Differentiation) {
+    let rate = topology.link(link).capacity_bps * fraction;
+    (
+        link,
+        Differentiation::Policing {
+            class,
+            rate_bps: rate,
+            burst_bytes: (rate * burst_s / 8.0).max(3000.0),
+        },
+    )
+}
+
+/// Convenience: the paper's shaping setup — class 2 shaped to `fraction`,
+/// class 1 shaped to `1 − fraction` of link capacity, each with a dedicated
+/// buffer of `buffer_ms` milliseconds at the shaped rate.
+pub fn shaper_at_fraction(
+    topology: &Topology,
+    link: LinkId,
+    fraction: f64,
+) -> (LinkId, Differentiation) {
+    let cap = topology.link(link).capacity_bps;
+    let lane = |class: u8, frac: f64| crate::diff::ShapeLaneConfig {
+        class,
+        rate_bps: cap * frac,
+        burst_bytes: (cap * frac * 0.01 / 8.0).max(3000.0),
+        buffer_bytes: ((cap * frac * 0.1 / 8.0) as u64).max(15_000),
+    };
+    (
+        link,
+        Differentiation::Shaping { lanes: vec![lane(0, 1.0 - fraction), lane(1, fraction)] },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nni_topology::library::topology_a;
+
+    #[test]
+    fn link_params_carry_topology_attributes() {
+        let t = topology_a(0.05, 0.05);
+        let l5 = t.topology.link_by_name("l5").unwrap();
+        let params = link_params(&t.topology, &[policer_at_fraction(&t.topology, l5, 1, 0.2, 0.01)]);
+        assert_eq!(params.len(), 9);
+        assert_eq!(params[l5.index()].rate_bps, 100e6);
+        assert!(matches!(
+            params[l5.index()].diff,
+            Differentiation::Policing { class: 1, .. }
+        ));
+        assert!(matches!(params[0].diff, Differentiation::None));
+    }
+
+    #[test]
+    fn measured_routes_align_with_paths() {
+        let t = topology_a(0.05, 0.05);
+        let routes = measured_routes(&t.topology);
+        assert_eq!(routes.len(), 4);
+        for (i, r) in routes.iter().enumerate() {
+            assert_eq!(r.path.unwrap().index(), i);
+            assert_eq!(r.links, t.topology.path(r.path.unwrap()).links());
+        }
+    }
+
+    #[test]
+    fn policer_rate_follows_fraction() {
+        let t = topology_a(0.05, 0.05);
+        let l5 = t.topology.link_by_name("l5").unwrap();
+        let (_, diff) = policer_at_fraction(&t.topology, l5, 1, 0.3, 0.01);
+        match diff {
+            Differentiation::Policing { rate_bps, .. } => {
+                assert!((rate_bps - 30e6).abs() < 1e-6);
+            }
+            _ => panic!("expected policer"),
+        }
+    }
+
+    #[test]
+    fn shaper_splits_capacity() {
+        let t = topology_a(0.05, 0.05);
+        let l5 = t.topology.link_by_name("l5").unwrap();
+        let (_, diff) = shaper_at_fraction(&t.topology, l5, 0.2);
+        match diff {
+            Differentiation::Shaping { lanes } => {
+                assert_eq!(lanes.len(), 2);
+                assert!((lanes[0].rate_bps - 80e6).abs() < 1e-6);
+                assert!((lanes[1].rate_bps - 20e6).abs() < 1e-6);
+                assert_eq!(lanes[0].class, 0);
+                assert_eq!(lanes[1].class, 1);
+            }
+            _ => panic!("expected shaper"),
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Simulation statistics: the measurement log the inference consumes, the
+//! per-link per-class ground truth it is evaluated against (Figure 10a), and
+//! queue-occupancy traces (Figure 11).
+
+use crate::packet::ClassLabel;
+use nni_measure::MeasurementLog;
+use nni_topology::LinkId;
+
+/// Ground-truth per-link, per-class, per-interval packet accounting —
+/// "directly measured by the network; our algorithm does not use them in any
+/// way" (§6.4).
+#[derive(Debug, Clone)]
+pub struct LinkTruth {
+    n_links: usize,
+    n_classes: usize,
+    /// `offered[interval][link][class]`, `dropped[interval][link][class]`.
+    offered: Vec<Vec<Vec<u64>>>,
+    dropped: Vec<Vec<Vec<u64>>>,
+}
+
+impl LinkTruth {
+    /// Creates an empty ground-truth recorder.
+    pub fn new(n_links: usize, n_classes: usize) -> LinkTruth {
+        LinkTruth { n_links, n_classes, offered: Vec::new(), dropped: Vec::new() }
+    }
+
+    fn ensure(&mut self, t: usize) {
+        while self.offered.len() <= t {
+            self.offered.push(vec![vec![0; self.n_classes]; self.n_links]);
+            self.dropped.push(vec![vec![0; self.n_classes]; self.n_links]);
+        }
+    }
+
+    /// Records a packet offered to `link`.
+    pub fn record_offered(&mut self, t: usize, link: LinkId, class: ClassLabel) {
+        self.ensure(t);
+        self.offered[t][link.index()][class as usize] += 1;
+    }
+
+    /// Records a packet dropped at `link` (queue overflow, policer, or
+    /// shaper buffer overflow).
+    pub fn record_dropped(&mut self, t: usize, link: LinkId, class: ClassLabel) {
+        self.ensure(t);
+        self.dropped[t][link.index()][class as usize] += 1;
+    }
+
+    /// Number of recorded intervals.
+    pub fn interval_count(&self) -> usize {
+        self.offered.len()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Drops the first `k` intervals (aligned with the measurement warm-up).
+    pub fn drop_warmup(&mut self, k: usize) {
+        let k = k.min(self.offered.len());
+        self.offered.drain(0..k);
+        self.dropped.drain(0..k);
+    }
+
+    /// The link's ground-truth congestion probability for one class: the
+    /// fraction of (active) intervals in which the link dropped more than
+    /// `loss_threshold` of that class's offered packets.
+    pub fn congestion_probability(
+        &self,
+        link: LinkId,
+        class: ClassLabel,
+        loss_threshold: f64,
+    ) -> f64 {
+        let mut active = 0usize;
+        let mut congested = 0usize;
+        for t in 0..self.offered.len() {
+            let off = self.offered[t][link.index()][class as usize];
+            if off == 0 {
+                continue;
+            }
+            active += 1;
+            let drop = self.dropped[t][link.index()][class as usize];
+            if drop as f64 > loss_threshold * off as f64 {
+                congested += 1;
+            }
+        }
+        if active == 0 {
+            0.0
+        } else {
+            congested as f64 / active as f64
+        }
+    }
+
+    /// Per-interval loss fractions of one (link, class) — the samples behind
+    /// Figure 10(a)'s boxplots.
+    pub fn loss_fractions(&self, link: LinkId, class: ClassLabel) -> Vec<f64> {
+        (0..self.offered.len())
+            .filter_map(|t| {
+                let off = self.offered[t][link.index()][class as usize];
+                if off == 0 {
+                    None
+                } else {
+                    Some(self.dropped[t][link.index()][class as usize] as f64 / off as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Total packets offered to a link across classes.
+    pub fn total_offered(&self, link: LinkId) -> u64 {
+        (0..self.offered.len())
+            .map(|t| self.offered[t][link.index()].iter().sum::<u64>())
+            .sum()
+    }
+
+    /// Total packets dropped at a link across classes.
+    pub fn total_dropped(&self, link: LinkId) -> u64 {
+        (0..self.dropped.len())
+            .map(|t| self.dropped[t][link.index()].iter().sum::<u64>())
+            .sum()
+    }
+}
+
+/// Queue-occupancy time series of one link (Figure 11).
+#[derive(Debug, Clone, Default)]
+pub struct QueueTrace {
+    /// Sample timestamps (seconds).
+    pub times_s: Vec<f64>,
+    /// Queue occupancy at each sample (bytes, main queue + shaper lanes).
+    pub bytes: Vec<u64>,
+}
+
+impl QueueTrace {
+    /// Appends a sample.
+    pub fn push(&mut self, time_s: f64, bytes: u64) {
+        self.times_s.push(time_s);
+        self.bytes.push(bytes);
+    }
+
+    /// Peak occupancy.
+    pub fn max_bytes(&self) -> u64 {
+        self.bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean occupancy.
+    pub fn mean_bytes(&self) -> f64 {
+        if self.bytes.is_empty() {
+            return 0.0;
+        }
+        self.bytes.iter().map(|&b| b as f64).sum::<f64>() / self.bytes.len() as f64
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Measured-path packet log (the only thing inference sees).
+    pub log: MeasurementLog,
+    /// Ground truth for evaluation.
+    pub link_truth: LinkTruth,
+    /// Per-link queue occupancy traces.
+    pub queue_traces: Vec<QueueTrace>,
+    /// Flows that ran to completion.
+    pub completed_flows: usize,
+    /// Total segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Segments delivered to receivers.
+    pub segments_delivered: u64,
+    /// Segments dropped anywhere in the network.
+    pub segments_dropped: u64,
+}
+
+impl SimReport {
+    /// Conservation check: every transmitted segment is delivered, dropped,
+    /// or still in flight at the end of the run.
+    pub fn in_flight(&self) -> u64 {
+        self.segments_sent - self.segments_delivered - self.segments_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_accumulates_and_computes_probability() {
+        let mut t = LinkTruth::new(2, 2);
+        // Interval 0: 100 offered to link 0 class 1, 5 dropped (5% > 1%).
+        for _ in 0..100 {
+            t.record_offered(0, LinkId(0), 1);
+        }
+        for _ in 0..5 {
+            t.record_dropped(0, LinkId(0), 1);
+        }
+        // Interval 1: clean.
+        for _ in 0..100 {
+            t.record_offered(1, LinkId(0), 1);
+        }
+        assert!((t.congestion_probability(LinkId(0), 1, 0.01) - 0.5).abs() < 1e-12);
+        assert_eq!(t.congestion_probability(LinkId(0), 0, 0.01), 0.0);
+        assert_eq!(t.congestion_probability(LinkId(1), 1, 0.01), 0.0);
+        assert_eq!(t.total_offered(LinkId(0)), 200);
+        assert_eq!(t.total_dropped(LinkId(0)), 5);
+    }
+
+    #[test]
+    fn loss_fractions_skip_idle_intervals() {
+        let mut t = LinkTruth::new(1, 1);
+        t.record_offered(0, LinkId(0), 0);
+        t.record_dropped(0, LinkId(0), 0);
+        t.ensure(2); // interval 1 idle, interval 2 idle
+        let f = t.loss_fractions(LinkId(0), 0);
+        assert_eq!(f, vec![1.0]);
+    }
+
+    #[test]
+    fn warmup_drop() {
+        let mut t = LinkTruth::new(1, 1);
+        t.record_offered(0, LinkId(0), 0);
+        t.record_offered(1, LinkId(0), 0);
+        t.drop_warmup(1);
+        assert_eq!(t.interval_count(), 1);
+    }
+
+    #[test]
+    fn queue_trace_summaries() {
+        let mut q = QueueTrace::default();
+        q.push(0.0, 100);
+        q.push(1.0, 300);
+        q.push(2.0, 200);
+        assert_eq!(q.max_bytes(), 300);
+        assert!((q.mean_bytes() - 200.0).abs() < 1e-12);
+    }
+}

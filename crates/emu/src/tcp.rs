@@ -1,0 +1,374 @@
+//! TCP congestion control: NewReno and CUBIC (Table 1's two algorithms), and
+//! the RFC 6298 retransmission-timeout estimator.
+//!
+//! The state machines are pure (no event-queue coupling) so they can be unit
+//! tested exhaustively; the flow driver in `sim.rs` feeds them ACK/loss
+//! events and reads back the congestion window.
+
+use crate::time::SimTime;
+
+/// Which congestion-control algorithm a flow runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcKind {
+    /// RFC 6582 NewReno: AIMD with fast retransmit / fast recovery.
+    NewReno,
+    /// RFC 8312 CUBIC: cubic window growth with beta = 0.7.
+    Cubic,
+}
+
+/// Initial congestion window in segments (RFC 6928).
+pub const INITIAL_CWND: f64 = 10.0;
+
+/// Minimum congestion window after any loss event, in segments.
+pub const MIN_CWND: f64 = 2.0;
+
+const CUBIC_BETA: f64 = 0.7;
+const CUBIC_C: f64 = 0.4;
+
+/// CUBIC-specific state.
+#[derive(Debug, Clone, Copy)]
+struct CubicState {
+    /// Window size just before the last reduction (segments).
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// Time offset at which the cubic curve crosses `w_max`.
+    k: f64,
+}
+
+impl CubicState {
+    fn new() -> CubicState {
+        CubicState { w_max: 0.0, epoch_start: None, k: 0.0 }
+    }
+
+    fn on_loss(&mut self, cwnd: f64) {
+        self.w_max = cwnd;
+        self.epoch_start = None;
+        self.k = (self.w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+    }
+
+    fn target(&mut self, now: SimTime, rtt_s: f64) -> f64 {
+        let start = *self.epoch_start.get_or_insert(now);
+        let t = (now - start).as_secs_f64() + rtt_s;
+        CUBIC_C * (t - self.k).powi(3) + self.w_max
+    }
+}
+
+/// Congestion-control state of one flow.
+#[derive(Debug, Clone)]
+pub struct CongestionControl {
+    kind: CcKind,
+    cwnd: f64,
+    ssthresh: f64,
+    cubic: CubicState,
+    in_recovery: bool,
+}
+
+impl CongestionControl {
+    /// Fresh state in slow start.
+    pub fn new(kind: CcKind) -> CongestionControl {
+        CongestionControl {
+            kind,
+            cwnd: INITIAL_CWND,
+            ssthresh: f64::INFINITY,
+            cubic: CubicState::new(),
+            in_recovery: false,
+        }
+    }
+
+    /// Current congestion window in segments.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in segments.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Whether the flow is in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    /// Whether the flow is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh && !self.in_recovery
+    }
+
+    /// A new cumulative ACK advanced `snd_una` by `acked` segments.
+    pub fn on_new_ack(&mut self, acked: u64, now: SimTime, srtt_s: f64) {
+        if self.in_recovery {
+            return; // window managed by recovery entry/exit
+        }
+        if self.in_slow_start() {
+            self.cwnd += acked as f64;
+            if self.cwnd >= self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+            return;
+        }
+        match self.kind {
+            CcKind::NewReno => {
+                // Standard congestion avoidance: +1 MSS per RTT.
+                self.cwnd += acked as f64 / self.cwnd;
+            }
+            CcKind::Cubic => {
+                let rtt = srtt_s.max(1e-3);
+                let target = self.cubic.target(now, rtt);
+                if target > self.cwnd {
+                    // Approach the cubic target over one RTT.
+                    self.cwnd += ((target - self.cwnd) / self.cwnd).min(1.0) * acked as f64;
+                } else {
+                    // TCP-friendly floor: grow slowly even above the curve.
+                    self.cwnd += 0.01 * acked as f64 / self.cwnd;
+                }
+            }
+        }
+    }
+
+    /// Third duplicate ACK: fast retransmit. `flight` is the flight size in
+    /// segments. Returns the new `ssthresh`.
+    pub fn enter_fast_recovery(&mut self, flight: f64) -> f64 {
+        let factor = match self.kind {
+            CcKind::NewReno => 0.5,
+            CcKind::Cubic => CUBIC_BETA,
+        };
+        if self.kind == CcKind::Cubic {
+            self.cubic.on_loss(self.cwnd);
+        }
+        self.ssthresh = (flight * factor).max(MIN_CWND);
+        // NewReno window inflation: ssthresh + 3 (the three dup-acked
+        // segments have left the network).
+        self.cwnd = self.ssthresh + 3.0;
+        self.in_recovery = true;
+        self.ssthresh
+    }
+
+    /// Additional duplicate ACK while in recovery: one more segment left the
+    /// network.
+    pub fn on_dupack_in_recovery(&mut self) {
+        if self.in_recovery {
+            self.cwnd += 1.0;
+        }
+    }
+
+    /// Full ACK: leave recovery, deflate the window to `ssthresh`.
+    pub fn exit_recovery(&mut self) {
+        if self.in_recovery {
+            self.in_recovery = false;
+            self.cwnd = self.ssthresh.max(MIN_CWND);
+        }
+    }
+
+    /// Retransmission timeout: collapse to one segment (RFC 5681 §3.1).
+    pub fn on_timeout(&mut self, flight: f64) {
+        if self.kind == CcKind::Cubic {
+            self.cubic.on_loss(self.cwnd);
+        }
+        self.ssthresh = (flight / 2.0).max(MIN_CWND);
+        self.cwnd = 1.0;
+        self.in_recovery = false;
+    }
+}
+
+/// RFC 6298 RTT estimator and retransmission timer.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: f64,
+    min_rto: f64,
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given minimum RTO (seconds).
+    pub fn new(min_rto: f64) -> RttEstimator {
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            rto: 1.0, // RFC 6298 initial RTO
+            min_rto,
+            backoff: 0,
+        }
+    }
+
+    /// Feeds one RTT sample (seconds). Resets any timeout backoff.
+    pub fn on_sample(&mut self, rtt: f64) {
+        assert!(rtt >= 0.0, "RTT samples are non-negative");
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2.0;
+            }
+            Some(srtt) => {
+                const ALPHA: f64 = 0.125;
+                const BETA: f64 = 0.25;
+                self.rttvar = (1.0 - BETA) * self.rttvar + BETA * (srtt - rtt).abs();
+                self.srtt = Some((1.0 - ALPHA) * srtt + ALPHA * rtt);
+            }
+        }
+        let srtt = self.srtt.unwrap();
+        self.rto = (srtt + (4.0 * self.rttvar).max(0.001)).max(self.min_rto);
+        self.backoff = 0;
+    }
+
+    /// Smoothed RTT (seconds); falls back to the current RTO before the
+    /// first sample.
+    pub fn srtt(&self) -> f64 {
+        self.srtt.unwrap_or(self.rto)
+    }
+
+    /// Current RTO including exponential backoff, clamped to 60 s.
+    pub fn rto(&self) -> f64 {
+        (self.rto * f64::from(1u32 << self.backoff.min(6))).min(60.0)
+    }
+
+    /// Doubles the RTO (called when the timer fires).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(6);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = CongestionControl::new(CcKind::NewReno);
+        assert!(cc.in_slow_start());
+        let w0 = cc.cwnd();
+        // Ack a full window: window doubles.
+        cc.on_new_ack(w0 as u64, t(0.1), 0.05);
+        assert!((cc.cwnd() - 2.0 * w0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut cc = CongestionControl::new(CcKind::NewReno);
+        cc.enter_fast_recovery(20.0);
+        cc.exit_recovery();
+        assert!(!cc.in_slow_start());
+        let w = cc.cwnd();
+        // One full window of acks: +1 segment.
+        let mut acked = 0;
+        while acked < w as u64 {
+            cc.on_new_ack(1, t(0.1), 0.05);
+            acked += 1;
+        }
+        assert!((cc.cwnd() - (w + 1.0)).abs() < 0.1, "cwnd {}", cc.cwnd());
+    }
+
+    #[test]
+    fn fast_recovery_halves_newreno() {
+        let mut cc = CongestionControl::new(CcKind::NewReno);
+        for _ in 0..30 {
+            cc.on_new_ack(1, t(0.1), 0.05);
+        }
+        let flight = cc.cwnd();
+        let ssthresh = cc.enter_fast_recovery(flight);
+        assert!((ssthresh - flight / 2.0).abs() < 1e-9);
+        assert!(cc.in_recovery());
+        cc.on_dupack_in_recovery();
+        assert!((cc.cwnd() - (ssthresh + 4.0)).abs() < 1e-9);
+        cc.exit_recovery();
+        assert!((cc.cwnd() - ssthresh).abs() < 1e-9);
+        assert!(!cc.in_recovery());
+    }
+
+    #[test]
+    fn cubic_reduces_by_beta() {
+        let mut cc = CongestionControl::new(CcKind::Cubic);
+        for _ in 0..40 {
+            cc.on_new_ack(1, t(0.01), 0.05);
+        }
+        let flight = cc.cwnd();
+        let ssthresh = cc.enter_fast_recovery(flight);
+        assert!((ssthresh - flight * 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_grows_toward_wmax() {
+        let mut cc = CongestionControl::new(CcKind::Cubic);
+        // Force out of slow start with a loss at cwnd = 100.
+        cc.ssthresh = 0.0;
+        cc.cwnd = 100.0;
+        cc.cubic.on_loss(100.0);
+        cc.cwnd = 70.0;
+        // Feed acks over simulated time; window must approach w_max ~ 100.
+        let mut now = 0.0;
+        for _ in 0..4000 {
+            now += 0.001;
+            cc.on_new_ack(1, t(now), 0.05);
+        }
+        assert!(cc.cwnd() > 90.0, "cwnd {} should approach w_max", cc.cwnd());
+    }
+
+    #[test]
+    fn timeout_collapses_window() {
+        let mut cc = CongestionControl::new(CcKind::NewReno);
+        for _ in 0..50 {
+            cc.on_new_ack(1, t(0.1), 0.05);
+        }
+        cc.on_timeout(cc.cwnd());
+        assert_eq!(cc.cwnd(), 1.0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn min_cwnd_floor() {
+        let mut cc = CongestionControl::new(CcKind::NewReno);
+        cc.enter_fast_recovery(1.0);
+        assert!(cc.ssthresh() >= MIN_CWND);
+        cc.on_timeout(0.5);
+        assert!(cc.ssthresh() >= MIN_CWND);
+    }
+
+    #[test]
+    fn rtt_estimator_first_sample() {
+        let mut e = RttEstimator::new(0.2);
+        e.on_sample(0.1);
+        assert!((e.srtt() - 0.1).abs() < 1e-12);
+        // RTO = srtt + 4*rttvar = 0.1 + 4*0.05 = 0.3.
+        assert!((e.rto() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_estimator_min_rto_enforced() {
+        let mut e = RttEstimator::new(0.2);
+        for _ in 0..50 {
+            e.on_sample(0.01);
+        }
+        assert!(e.rto() >= 0.2);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_and_resets() {
+        let mut e = RttEstimator::new(0.2);
+        e.on_sample(0.1);
+        let base = e.rto();
+        e.on_timeout();
+        assert!((e.rto() - 2.0 * base).abs() < 1e-9);
+        e.on_timeout();
+        assert!((e.rto() - 4.0 * base).abs() < 1e-9);
+        e.on_sample(0.1);
+        // rttvar keeps decaying with each sample, so the post-reset RTO is
+        // at most the pre-backoff value (and certainly below 2x it).
+        assert!(e.rto() <= base + 1e-9, "backoff resets on new sample");
+    }
+
+    #[test]
+    fn slow_start_exits_at_ssthresh() {
+        let mut cc = CongestionControl::new(CcKind::NewReno);
+        cc.ssthresh = 16.0;
+        cc.on_new_ack(20, t(0.1), 0.05);
+        assert!((cc.cwnd() - 16.0).abs() < 1e-9);
+        assert!(!cc.in_slow_start());
+    }
+}

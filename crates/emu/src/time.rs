@@ -1,0 +1,109 @@
+//! Simulation time.
+//!
+//! Integer nanoseconds since simulation start. Integer time makes event
+//! ordering exact (no float-comparison ties) and keeps the simulation
+//! deterministic across platforms.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from seconds (saturating at zero for negative input).
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        SimTime((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Converts to seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanosecond count.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("time went backwards"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Duration needed to serialize `bytes` at `rate_bps` (bits per second).
+pub fn tx_time(bytes: u64, rate_bps: f64) -> SimTime {
+    assert!(rate_bps > 0.0, "link rate must be positive");
+    SimTime::from_secs_f64(bytes as f64 * 8.0 / rate_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs_f64(1.0);
+        let b = SimTime::from_secs_f64(0.25);
+        assert_eq!((a + b).as_secs_f64(), 1.25);
+        assert_eq!((a - b).as_secs_f64(), 0.75);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn negative_duration_panics() {
+        let _ = SimTime::from_secs_f64(1.0) - SimTime::from_secs_f64(2.0);
+    }
+
+    #[test]
+    fn tx_time_at_line_rate() {
+        // 1500 bytes at 100 Mb/s = 120 microseconds.
+        let t = tx_time(1500, 100e6);
+        assert_eq!(t.nanos(), 120_000);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(SimTime(1) < SimTime(2));
+        assert_eq!(SimTime::ZERO, SimTime::from_secs_f64(-3.0));
+    }
+}

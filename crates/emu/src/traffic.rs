@@ -1,0 +1,157 @@
+//! Dynamic traffic generation (§6.1).
+//!
+//! "Each pair of communicating end-hosts starts a number of parallel TCP
+//! flows with the transfer size following a Pareto distribution; when a TCP
+//! flow ends, a new one starts after an idle time that is governed by an
+//! exponential distribution."
+
+use crate::packet::{ClassLabel, RouteId};
+use crate::tcp::CcKind;
+use nni_stats::{Exponential, Pareto};
+use rand::Rng;
+
+/// Flow-size distribution.
+#[derive(Debug, Clone, Copy)]
+pub enum SizeDist {
+    /// Pareto with the given mean (bytes) and shape (Table 1 flow sizes are
+    /// specified by their mean; shape defaults to 1.5 in the scenarios).
+    ParetoMean {
+        /// Mean transfer size in bytes.
+        mean_bytes: f64,
+        /// Pareto shape parameter (> 1).
+        shape: f64,
+    },
+    /// Deterministic size (used for the 10 Gb persistent flows of Table 3).
+    Fixed {
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+}
+
+impl SizeDist {
+    /// Samples a flow size in bytes (at least one MSS).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, mss: u32) -> u64 {
+        let raw = match self {
+            SizeDist::ParetoMean { mean_bytes, shape } => {
+                Pareto::with_mean(*shape, *mean_bytes).sample(rng)
+            }
+            SizeDist::Fixed { bytes } => *bytes as f64,
+        };
+        (raw.round() as u64).max(mss as u64)
+    }
+}
+
+/// One traffic source: `parallel` independent slots on a route, each running
+/// an endless start-transfer/idle cycle.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// Route the flows follow.
+    pub route: RouteId,
+    /// Class label stamped on every packet (what differentiators match on).
+    pub class: ClassLabel,
+    /// Congestion-control algorithm.
+    pub cc: CcKind,
+    /// Flow-size distribution.
+    pub size: SizeDist,
+    /// Mean inter-flow idle time in seconds (Table 1: 10 s).
+    pub mean_gap_s: f64,
+    /// Number of parallel flow slots.
+    pub parallel: usize,
+}
+
+impl TrafficSpec {
+    /// Samples the idle gap before the next flow of a slot.
+    pub fn sample_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean_gap_s <= 0.0 {
+            0.0
+        } else {
+            Exponential::with_mean(self.mean_gap_s).sample(rng)
+        }
+    }
+}
+
+/// Helper mirroring Table 3's "1 Mb + 10 Mb + 40 Mb" short-flow mix: three
+/// specs, one slot each, with fixed-mean Pareto sizes.
+pub fn short_flow_mix(route: RouteId, class: ClassLabel, cc: CcKind) -> Vec<TrafficSpec> {
+    [1e6, 10e6, 40e6]
+        .iter()
+        .map(|&mean_bits| TrafficSpec {
+            route,
+            class,
+            cc,
+            size: SizeDist::ParetoMean { mean_bytes: mean_bits / 8.0, shape: 1.5 },
+            mean_gap_s: 10.0,
+            parallel: 1,
+        })
+        .collect()
+}
+
+/// Helper for Table 3's light-gray hosts: one persistent 10 Gb flow.
+pub fn long_flow(route: RouteId, class: ClassLabel, cc: CcKind) -> TrafficSpec {
+    TrafficSpec {
+        route,
+        class,
+        cc,
+        size: SizeDist::Fixed { bytes: (10e9 / 8.0) as u64 },
+        mean_gap_s: 10.0,
+        parallel: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_floor_at_one_mss() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = SizeDist::Fixed { bytes: 10 };
+        assert_eq!(d.sample(&mut rng, 1500), 1500);
+    }
+
+    #[test]
+    fn pareto_sizes_scatter_around_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = SizeDist::ParetoMean { mean_bytes: 125_000.0, shape: 1.5 };
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng, 1500)).sum();
+        let mean = sum as f64 / n as f64;
+        // Heavy tail: generous tolerance.
+        assert!(
+            (mean - 125_000.0).abs() < 25_000.0,
+            "empirical mean {mean} too far off"
+        );
+    }
+
+    #[test]
+    fn gap_sampling_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = TrafficSpec {
+            route: RouteId(0),
+            class: 0,
+            cc: CcKind::Cubic,
+            size: SizeDist::Fixed { bytes: 1500 },
+            mean_gap_s: 10.0,
+            parallel: 1,
+        };
+        for _ in 0..100 {
+            assert!(spec.sample_gap(&mut rng) >= 0.0);
+        }
+        let zero_gap = TrafficSpec { mean_gap_s: 0.0, ..spec };
+        assert_eq!(zero_gap.sample_gap(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn table3_helpers() {
+        let mix = short_flow_mix(RouteId(2), 0, CcKind::Cubic);
+        assert_eq!(mix.len(), 3);
+        assert!(mix.iter().all(|s| s.route == RouteId(2) && s.parallel == 1));
+        let lf = long_flow(RouteId(1), 1, CcKind::Cubic);
+        match lf.size {
+            SizeDist::Fixed { bytes } => assert_eq!(bytes, 1_250_000_000),
+            _ => panic!("long flow must be fixed size"),
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Gaussian elimination: row echelon form, RREF, rank, pivot columns.
+//!
+//! All routines take an explicit absolute tolerance below which an entry is
+//! treated as zero. Callers that work with measured (noisy) data pass a
+//! tolerance derived from the measurement noise; exact-mode callers use
+//! [`default_tolerance`].
+
+use crate::matrix::Matrix;
+
+/// Scale-aware default tolerance for treating a pivot as zero:
+/// `max(rows, cols) * eps * max|A|`, floored at `eps`.
+pub fn default_tolerance(a: &Matrix) -> f64 {
+    let scale = a.max_abs().max(1.0);
+    let dim = a.rows().max(a.cols()).max(1) as f64;
+    (dim * f64::EPSILON * scale).max(f64::EPSILON)
+}
+
+/// Result of reducing a matrix to (reduced) row echelon form.
+#[derive(Debug, Clone)]
+pub struct Echelon {
+    /// The reduced matrix.
+    pub matrix: Matrix,
+    /// Columns that contain a pivot, in elimination order.
+    pub pivot_cols: Vec<usize>,
+    /// Rank, i.e. `pivot_cols.len()`.
+    pub rank: usize,
+}
+
+/// Reduces `a` to **reduced row echelon form** with partial pivoting.
+///
+/// Entries with absolute value below `tol` are treated as zero.
+pub fn rref(a: &Matrix, tol: f64) -> Echelon {
+    let mut m = a.clone();
+    let (rows, cols) = (m.rows(), m.cols());
+    let mut pivot_cols = Vec::new();
+    let mut pivot_row = 0usize;
+
+    for col in 0..cols {
+        if pivot_row >= rows {
+            break;
+        }
+        // Partial pivoting: pick the largest-magnitude entry in this column.
+        let mut best = pivot_row;
+        let mut best_val = m[(pivot_row, col)].abs();
+        for r in pivot_row + 1..rows {
+            let v = m[(r, col)].abs();
+            if v > best_val {
+                best = r;
+                best_val = v;
+            }
+        }
+        if best_val <= tol {
+            // Deliberately zero the (numerically zero) tail of the column so
+            // later consistency checks are not confused by noise residue.
+            for r in pivot_row..rows {
+                m[(r, col)] = 0.0;
+            }
+            continue;
+        }
+        m.swap_rows(pivot_row, best);
+        let inv = 1.0 / m[(pivot_row, col)];
+        m.scale_row(pivot_row, inv);
+        m[(pivot_row, col)] = 1.0; // kill round-off on the pivot itself
+        for r in 0..rows {
+            if r != pivot_row {
+                let factor = -m[(r, col)];
+                if factor != 0.0 {
+                    m.add_scaled_row(r, pivot_row, factor);
+                    m[(r, col)] = 0.0;
+                }
+            }
+        }
+        pivot_cols.push(col);
+        pivot_row += 1;
+    }
+
+    let rank = pivot_cols.len();
+    Echelon { matrix: m, pivot_cols, rank }
+}
+
+/// Rank of `a` with tolerance `tol`.
+pub fn rank(a: &Matrix, tol: f64) -> usize {
+    rref(a, tol).rank
+}
+
+/// Rank of `a` with the scale-aware [`default_tolerance`].
+pub fn rank_default(a: &Matrix) -> usize {
+    rank(a, default_tolerance(a))
+}
+
+/// Tests whether the column vector `v` lies in the column space of `a`.
+///
+/// This is the structural core of Theorem 1: a virtual link's column is
+/// "maskable" exactly when it lies in the span of the original links' columns.
+pub fn in_column_space(a: &Matrix, v: &[f64], tol: f64) -> bool {
+    assert_eq!(v.len(), a.rows(), "vector length must equal row count");
+    let aug = a.augment_col(v);
+    rank(a, tol) == rank(&aug, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn rank_of_identity() {
+        assert_eq!(rank_default(&Matrix::identity(4)), 4);
+    }
+
+    #[test]
+    fn rank_of_zero_matrix() {
+        assert_eq!(rank_default(&Matrix::zeros(3, 5)), 0);
+    }
+
+    #[test]
+    fn rank_detects_dependent_rows() {
+        let a = m(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![1.0, 0.0]]);
+        assert_eq!(rank_default(&a), 2);
+    }
+
+    #[test]
+    fn rank_detects_dependent_cols() {
+        // col2 = col0 + col1
+        let a = m(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0], vec![1.0, 1.0, 2.0]]);
+        assert_eq!(rank_default(&a), 2);
+    }
+
+    #[test]
+    fn rref_of_invertible_is_identity() {
+        let a = m(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let e = rref(&a, default_tolerance(&a));
+        assert_eq!(e.rank, 2);
+        assert_eq!(e.pivot_cols, vec![0, 1]);
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((e.matrix[(i, j)] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rref_known_echelon() {
+        let a = m(&[vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0], vec![1.0, 1.0, 1.0]]);
+        let e = rref(&a, default_tolerance(&a));
+        assert_eq!(e.rank, 2);
+        assert_eq!(e.pivot_cols, vec![0, 1]);
+        // Third row must be all zeros.
+        assert!(e.matrix.row(2).iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn in_column_space_accepts_span_member() {
+        let a = m(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        // v = 2*c0 + 3*c1
+        assert!(in_column_space(&a, &[2.0, 3.0, 5.0], 1e-9));
+    }
+
+    #[test]
+    fn in_column_space_rejects_outsider() {
+        let a = m(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        assert!(!in_column_space(&a, &[0.0, 0.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn tolerance_scales_with_matrix_magnitude() {
+        let small = m(&[vec![1e-3]]);
+        let large = m(&[vec![1e9]]);
+        assert!(default_tolerance(&large) > default_tolerance(&small));
+    }
+
+    #[test]
+    fn noisy_rank_collapses_with_generous_tolerance() {
+        let a = m(&[vec![1.0, 1.0 + 1e-12], vec![1.0, 1.0]]);
+        assert_eq!(rank(&a, 1e-9), 1);
+        assert_eq!(rank(&a, 1e-15), 2);
+    }
+}

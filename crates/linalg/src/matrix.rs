@@ -1,0 +1,373 @@
+//! Dense row-major `f64` matrix.
+//!
+//! The systems the inference algorithm manipulates are tiny (a slice system
+//! has a handful of rows and columns; the largest exact-mode system is
+//! `|P*| x |L|` for small `|P|`), so a simple contiguous row-major layout is
+//! both the fastest and the simplest correct choice.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of equally sized rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "all rows must have identical length"
+        );
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` when the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Borrows row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a fresh vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length must equal column count");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Horizontally concatenates `self` with a column vector, producing the
+    /// augmented matrix `[A | y]` used in consistency tests.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != self.rows()`.
+    pub fn augment_col(&self, y: &[f64]) -> Matrix {
+        assert_eq!(y.len(), self.rows, "augmenting column has wrong length");
+        let mut out = Matrix::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out[(i, self.cols)] = y[i];
+        }
+        out
+    }
+
+    /// Horizontally concatenates two matrices with equal row counts.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts must match for hstack");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        out
+    }
+
+    /// Returns the matrix restricted to the given columns, in order.
+    pub fn select_cols(&self, cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, cols.len());
+        for i in 0..self.rows {
+            for (jj, &j) in cols.iter().enumerate() {
+                out[(i, jj)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Largest absolute entry (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Swaps rows `a` and `b` in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        let c = self.cols;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (top, bottom) = self.data.split_at_mut(hi * c);
+        top[lo * c..(lo + 1) * c].swap_with_slice(&mut bottom[..c]);
+    }
+
+    /// `row(dst) += factor * row(src)` in place.
+    pub fn add_scaled_row(&mut self, dst: usize, src: usize, factor: f64) {
+        assert!(dst != src, "source and destination rows must differ");
+        assert!(dst < self.rows && src < self.rows, "row index out of bounds");
+        let c = self.cols;
+        let (src_off, dst_off) = (src * c, dst * c);
+        for j in 0..c {
+            let v = self.data[src_off + j];
+            self.data[dst_off + j] += factor * v;
+        }
+    }
+
+    /// Scales row `i` by `factor` in place.
+    pub fn scale_row(&mut self, i: usize, factor: f64) {
+        for v in self.row_mut(i) {
+            *v *= factor;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:9.4}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dot product of two equally sized slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Largest absolute entry of a slice (0 for empty input).
+pub fn max_abs(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert!(m.row(0).iter().all(|&v| v == 0.0));
+        assert!(m.row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let m = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical length")]
+    fn from_rows_rejects_ragged_input() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.matmul(&Matrix::identity(2)), m);
+        assert_eq!(Matrix::identity(2).matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matvec_matches_manual_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 1.0, -1.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 0.0]);
+    }
+
+    #[test]
+    fn augment_col_appends_vector() {
+        let a = Matrix::identity(2);
+        let aug = a.augment_col(&[7.0, 8.0]);
+        assert_eq!(aug.cols(), 3);
+        assert_eq!(aug[(0, 2)], 7.0);
+        assert_eq!(aug[(1, 2)], 8.0);
+    }
+
+    #[test]
+    fn swap_rows_exchanges_contents() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[3.0, 4.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_scaled_row_is_elementary_operation() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.add_scaled_row(1, 0, -3.0);
+        assert_eq!(m.row(1), &[0.0, -2.0]);
+    }
+
+    #[test]
+    fn select_cols_projects() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let s = m.select_cols(&[2, 0]);
+        assert_eq!(s, Matrix::from_rows(&[vec![3.0, 1.0], vec![6.0, 4.0]]));
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(max_abs(&[-7.0, 2.0]), 7.0);
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the linear algebra kernel.
+
+use nni_linalg::{
+    analyze, default_tolerance, dot, in_column_space, lstsq, norm2, rank, residual,
+    Matrix, Solvability,
+};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with entries in [-10, 10] and modest dimensions.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0..10.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a 0/1 routing-style matrix (the shape the algorithm actually
+/// feeds the kernel).
+fn binary_matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(prop::bool::ANY, r * c).prop_map(move |bits| {
+            Matrix::from_vec(r, c, bits.into_iter().map(|b| b as u8 as f64).collect())
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(a in matrix_strategy(6)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn rank_bounded_by_dimensions(a in matrix_strategy(6)) {
+        let r = rank(&a, default_tolerance(&a));
+        prop_assert!(r <= a.rows().min(a.cols()));
+    }
+
+    #[test]
+    fn rank_invariant_under_transpose(a in binary_matrix_strategy(6)) {
+        let tol = default_tolerance(&a);
+        prop_assert_eq!(rank(&a, tol), rank(&a.transpose(), tol));
+    }
+
+    #[test]
+    fn consistent_system_from_known_solution(
+        a in matrix_strategy(5),
+        xs in prop::collection::vec(-5.0..5.0f64, 5),
+    ) {
+        let x = &xs[..a.cols()];
+        let y = a.matvec(x);
+        // y was *constructed* from a solution, so the system must be solvable.
+        let aug = a.augment_col(&y);
+        let tol = default_tolerance(&aug).max(1e-7);
+        match analyze(&a, &y, tol) {
+            Solvability::Consistent { solution, .. } => {
+                let r = residual(&a, &solution, &y);
+                prop_assert!(norm2(&r) < 1e-6, "claimed solution must satisfy the system");
+            }
+            Solvability::Inconsistent { residual, .. } => {
+                prop_assert!(residual < 1e-6, "system built from a solution declared unsolvable");
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_orthogonal_to_column_space(
+        a in matrix_strategy(5),
+        ys in prop::collection::vec(-5.0..5.0f64, 5),
+    ) {
+        let y = &ys[..a.rows()];
+        let x = lstsq(&a, y);
+        let r = residual(&a, &x, y);
+        let scale = a.max_abs().max(1.0) * norm2(y).max(1.0);
+        for j in 0..a.cols() {
+            let c = a.col(j);
+            prop_assert!(dot(&c, &r).abs() <= 1e-6 * scale,
+                "normal equations violated on column {}", j);
+        }
+    }
+
+    #[test]
+    fn lstsq_never_beats_by_perturbation(
+        a in matrix_strategy(4),
+        ys in prop::collection::vec(-5.0..5.0f64, 4),
+        delta in prop::collection::vec(-0.5..0.5f64, 4),
+    ) {
+        let y = &ys[..a.rows()];
+        let x = lstsq(&a, y);
+        let base = norm2(&residual(&a, &x, y));
+        let perturbed: Vec<f64> =
+            x.iter().zip(delta.iter().cycle()).map(|(xi, d)| xi + d).collect();
+        let other = norm2(&residual(&a, &perturbed, y));
+        prop_assert!(base <= other + 1e-7, "least squares must be a minimiser");
+    }
+
+    #[test]
+    fn column_of_matrix_is_in_its_own_column_space(a in binary_matrix_strategy(6)) {
+        for j in 0..a.cols() {
+            let c = a.col(j);
+            prop_assert!(in_column_space(&a, &c, 1e-9));
+        }
+    }
+
+    #[test]
+    fn matmul_associative_on_small_matrices(
+        data in prop::collection::vec(-3.0..3.0f64, 27),
+    ) {
+        let a = Matrix::from_vec(3, 3, data[0..9].to_vec());
+        let b = Matrix::from_vec(3, 3, data[9..18].to_vec());
+        let c = Matrix::from_vec(3, 3, data[18..27].to_vec());
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # nni-measure
+//!
+//! Measurement processing for neutrality inference (§6.2 and Appendix
+//! Algorithm 2 of the paper):
+//!
+//! * [`record`] — the raw per-interval, per-path send/loss log produced by
+//!   the emulator (or any measurement platform).
+//! * [`normalize`] — Algorithm 2: per-interval discounting of every path's
+//!   packets to the normalization group's common budget (hypergeometric
+//!   retention draw), loss-threshold congestion-free indicators, and pathset
+//!   performance numbers `y_Θ = -ln P(Θ congestion-free)`.
+//! * [`observer`] — [`MeasuredObservations`], the measured implementation of
+//!   `nni_core::Observations` that Algorithm 1 consumes.
+
+pub mod normalize;
+pub mod observer;
+pub mod record;
+
+pub use normalize::{
+    group_indicators, hypergeometric, pathset_cf_counts, perf_from_counts, NormalizeConfig,
+};
+pub use observer::MeasuredObservations;
+pub use record::MeasurementLog;

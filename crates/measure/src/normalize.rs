@@ -1,0 +1,260 @@
+//! Algorithm 2: computation of pathset performance numbers (§6.2, Appendix).
+//!
+//! Per interval `t`:
+//!
+//! 1. `m = min_{p ∈ Paths(τ)} |M[t][p]|` — the common packet budget;
+//! 2. every path's measurement is *discounted* to `m` random packets
+//!    (the retained losses follow a hypergeometric draw);
+//! 3. a path is congestion-free when its retained loss fraction is below the
+//!    loss threshold (Table 1: 1% default);
+//! 4. a pathset is congestion-free when **all** member paths are;
+//! 5. `y_Θ = -ln( fraction of intervals in which Θ was congestion-free )`.
+//!
+//! The normalization is the paper's defence against mistaking TCP dynamics
+//! for differentiation: a neutral drop-tail queue drops *different amounts*
+//! from flows of different sizes, but it produces loss *events* on all of
+//! them in the same intervals; comparing similarly sized aggregates under a
+//! frequency metric keeps those observations consistent (§6.5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::MeasurementLog;
+use nni_topology::PathId;
+
+/// Exact hypergeometric draw: out of `total` packets of which `marked` are
+/// lost, sample `draw` without replacement; returns how many lost packets
+/// land in the sample.
+///
+/// Sequential construction over the marked packets: the probability that the
+/// next marked packet falls into the remaining sample slots is
+/// `remaining_draw / remaining_total`. Runs in `O(marked)` — loss counts are
+/// small, packet counts large, so this is far cheaper than sampling the
+/// packets themselves.
+pub fn hypergeometric<R: Rng + ?Sized>(
+    rng: &mut R,
+    total: u64,
+    marked: u64,
+    draw: u64,
+) -> u64 {
+    assert!(marked <= total, "cannot mark more than total");
+    assert!(draw <= total, "cannot draw more than total");
+    let mut remaining_total = total;
+    let mut remaining_draw = draw;
+    let mut hits = 0;
+    for _ in 0..marked {
+        if remaining_draw == 0 {
+            break;
+        }
+        let p = remaining_draw as f64 / remaining_total as f64;
+        if rng.gen::<f64>() < p {
+            hits += 1;
+            remaining_draw -= 1;
+        }
+        remaining_total -= 1;
+    }
+    hits
+}
+
+/// Configuration of Algorithm 2.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalizeConfig {
+    /// Loss threshold below which an interval counts as congestion-free
+    /// (Table 1: 1% default, 5% and 10% variants).
+    pub loss_threshold: f64,
+    /// RNG seed for the packet-discounting draws (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for NormalizeConfig {
+    fn default() -> Self {
+        NormalizeConfig { loss_threshold: 0.01, seed: 0x5eed }
+    }
+}
+
+/// Per-interval congestion-free indicators `S[t][{p}]` for each path of a
+/// normalization group, after discounting to the group's common packet
+/// budget.
+///
+/// Intervals in which some group path sent nothing carry no information
+/// (the common budget is zero) and are marked `None`.
+pub fn group_indicators(
+    log: &MeasurementLog,
+    group: &[PathId],
+    cfg: NormalizeConfig,
+) -> Vec<Vec<Option<bool>>> {
+    let t_max = log.interval_count();
+    let mut out = vec![vec![None; t_max]; group.len()];
+    for t in 0..t_max {
+        let m = group.iter().map(|&p| log.sent(t, p)).min().unwrap_or(0);
+        if m == 0 {
+            continue;
+        }
+        for (gi, &p) in group.iter().enumerate() {
+            let sent = log.sent(t, p);
+            let lost = log.lost(t, p).min(sent);
+            // Deterministic per (seed, interval, path): independent of the
+            // order in which slices query the oracle.
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed
+                    ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (p.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+            );
+            let retained_lost = if sent == m {
+                lost
+            } else {
+                hypergeometric(&mut rng, sent, lost, m)
+            };
+            // Algorithm 2 line 11: congestion-free iff lost fraction below
+            // the threshold of the *common* budget m.
+            out[gi][t] = Some((retained_lost as f64) < cfg.loss_threshold * m as f64);
+        }
+    }
+    out
+}
+
+/// The congestion-free probability of a *pathset* given the group
+/// indicators: the fraction of informative intervals in which all member
+/// paths were congestion-free (Algorithm 2 lines 17–23).
+///
+/// `member_rows` indexes into `indicators` (one row per member path).
+/// Returns `(cf_intervals, informative_intervals)`.
+pub fn pathset_cf_counts(
+    indicators: &[Vec<Option<bool>>],
+    member_rows: &[usize],
+) -> (usize, usize) {
+    assert!(!member_rows.is_empty(), "pathsets are non-empty");
+    let t_max = indicators.first().map_or(0, Vec::len);
+    let mut cf = 0;
+    let mut informative = 0;
+    for t in 0..t_max {
+        let states: Option<Vec<bool>> = member_rows
+            .iter()
+            .map(|&r| indicators[r][t])
+            .collect();
+        if let Some(states) = states {
+            informative += 1;
+            if states.iter().all(|&s| s) {
+                cf += 1;
+            }
+        }
+    }
+    (cf, informative)
+}
+
+/// Converts congestion-free counts to the performance number
+/// `y = -ln P(congestion-free)`.
+///
+/// A pathset never observed congestion-free would have `y = ∞`; the estimate
+/// is clamped by half a count (`0.5 / T`), the usual continuity correction
+/// for log-of-frequency estimators. With zero informative intervals the
+/// pathset is assumed congestion-free (`y = 0`) — no evidence, no accusation.
+pub fn perf_from_counts(cf: usize, informative: usize) -> f64 {
+    if informative == 0 {
+        return 0.0;
+    }
+    let p = (cf as f64).max(0.5) / informative as f64;
+    -p.min(1.0).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hypergeometric_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let h = hypergeometric(&mut rng, 100, 10, 30);
+            assert!(h <= 10);
+        }
+        // Degenerate cases.
+        assert_eq!(hypergeometric(&mut rng, 50, 0, 20), 0);
+        assert_eq!(hypergeometric(&mut rng, 50, 50, 50), 50);
+        assert_eq!(hypergeometric(&mut rng, 50, 5, 0), 0);
+    }
+
+    #[test]
+    fn hypergeometric_mean_converges() {
+        // E[h] = draw * marked / total = 30 * 10 / 100 = 3.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| hypergeometric(&mut rng, 100, 10, 30)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn indicators_skip_empty_intervals() {
+        let mut log = MeasurementLog::new(2, 0.1);
+        let (p0, p1) = (PathId(0), PathId(1));
+        // Interval 0: both active, p1 heavily lossy.
+        log.record_sent(0, p0, 100);
+        log.record_sent(0, p1, 100);
+        log.record_lost(0, p1, 50);
+        // Interval 1: p1 silent.
+        log.record_sent(1, p0, 100);
+        let ind = group_indicators(&log, &[p0, p1], NormalizeConfig::default());
+        assert_eq!(ind[0][0], Some(true));
+        assert_eq!(ind[1][0], Some(false));
+        assert_eq!(ind[0][1], None, "no common budget in interval 1");
+        assert_eq!(ind[1][1], None);
+    }
+
+    #[test]
+    fn normalization_discounts_to_common_budget() {
+        // p0 sends 1000 with 500 lost (50%); p1 sends 10. The draw retains
+        // ~50% of 10 packets for p0: still far above a 1% threshold.
+        let mut log = MeasurementLog::new(2, 0.1);
+        let (p0, p1) = (PathId(0), PathId(1));
+        log.record_sent(0, p0, 1000);
+        log.record_lost(0, p0, 500);
+        log.record_sent(0, p1, 10);
+        let ind = group_indicators(&log, &[p0, p1], NormalizeConfig::default());
+        assert_eq!(ind[0][0], Some(false), "50% loss stays congested after discount");
+        assert_eq!(ind[1][0], Some(true));
+    }
+
+    #[test]
+    fn indicators_deterministic_across_calls_and_group_order() {
+        let mut log = MeasurementLog::new(2, 0.1);
+        let (p0, p1) = (PathId(0), PathId(1));
+        for t in 0..50 {
+            log.record_sent(t, p0, 200);
+            log.record_lost(t, p0, (t % 7) as u64);
+            log.record_sent(t, p1, 100);
+            log.record_lost(t, p1, (t % 3) as u64);
+        }
+        let cfg = NormalizeConfig::default();
+        let a = group_indicators(&log, &[p0, p1], cfg);
+        let b = group_indicators(&log, &[p1, p0], cfg);
+        assert_eq!(a[0], b[1], "p0's indicators must not depend on group order");
+        assert_eq!(a[1], b[0]);
+    }
+
+    #[test]
+    fn pathset_counts_and_perf() {
+        // Two paths over 4 intervals; one uninformative interval.
+        let ind = vec![
+            vec![Some(true), Some(true), Some(false), None],
+            vec![Some(true), Some(false), Some(true), None],
+        ];
+        let (cf, total) = pathset_cf_counts(&ind, &[0]);
+        assert_eq!((cf, total), (2, 3));
+        let (cf_pair, total_pair) = pathset_cf_counts(&ind, &[0, 1]);
+        assert_eq!((cf_pair, total_pair), (1, 3));
+        let y = perf_from_counts(cf_pair, total_pair);
+        assert!((y + (1.0f64 / 3.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_from_counts_edge_cases() {
+        assert_eq!(perf_from_counts(0, 0), 0.0);
+        assert_eq!(perf_from_counts(10, 10), 0.0);
+        // Zero congestion-free intervals: clamped, finite, large.
+        let y = perf_from_counts(0, 100);
+        assert!(y.is_finite() && y > 5.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The measured implementation of [`nni_core::Observations`].
+//!
+//! Bridges a [`MeasurementLog`] to Algorithm 1: every slice queries the
+//! performance numbers of its pathsets in the normalization context of
+//! `Paths(τ)`; this type runs Algorithm 2 on demand and caches per-group
+//! indicator series (the discounting draw is deterministic per
+//! `(seed, interval, path)`, so caching never changes results).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::normalize::{group_indicators, pathset_cf_counts, perf_from_counts, NormalizeConfig};
+use crate::record::MeasurementLog;
+use nni_core::Observations;
+use nni_topology::{PathId, PathSet};
+
+/// Measured observation source.
+pub struct MeasuredObservations<'a> {
+    log: &'a MeasurementLog,
+    cfg: NormalizeConfig,
+    /// Cache: normalization group -> per-path indicator rows.
+    cache: RefCell<HashMap<Vec<PathId>, Vec<Vec<Option<bool>>>>>,
+}
+
+impl<'a> MeasuredObservations<'a> {
+    /// Wraps a measurement log.
+    pub fn new(log: &'a MeasurementLog, cfg: NormalizeConfig) -> MeasuredObservations<'a> {
+        MeasuredObservations { log, cfg, cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> NormalizeConfig {
+        self.cfg
+    }
+
+    fn with_indicators<R>(
+        &self,
+        group: &[PathId],
+        f: impl FnOnce(&[Vec<Option<bool>>]) -> R,
+    ) -> R {
+        let mut key: Vec<PathId> = group.to_vec();
+        key.sort();
+        key.dedup();
+        let mut cache = self.cache.borrow_mut();
+        let ind = cache
+            .entry(key.clone())
+            .or_insert_with(|| group_indicators(self.log, &key, self.cfg));
+        f(ind)
+    }
+
+    /// Congestion-free probability of a pathset under the group
+    /// normalization (exposed for the experiment reports).
+    pub fn pathset_cf_probability(&self, group: &[PathId], pathset: &PathSet) -> f64 {
+        self.with_indicators(group, |ind| {
+            let rows = Self::rows_of(group, pathset);
+            let (cf, total) = pathset_cf_counts(ind, &rows);
+            if total == 0 {
+                1.0
+            } else {
+                cf as f64 / total as f64
+            }
+        })
+    }
+
+    fn rows_of(group: &[PathId], pathset: &PathSet) -> Vec<usize> {
+        let mut key: Vec<PathId> = group.to_vec();
+        key.sort();
+        key.dedup();
+        pathset
+            .paths()
+            .iter()
+            .map(|p| {
+                key.binary_search(p)
+                    .expect("pathset members must belong to the normalization group")
+            })
+            .collect()
+    }
+}
+
+impl Observations for MeasuredObservations<'_> {
+    fn pathset_perf(&self, group: &[PathId], pathset: &PathSet) -> f64 {
+        self.with_indicators(group, |ind| {
+            let rows = Self::rows_of(group, pathset);
+            let (cf, total) = pathset_cf_counts(ind, &rows);
+            perf_from_counts(cf, total)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a log in which paths 0 and 1 congest together in 25% of
+    /// intervals and path 2 never congests.
+    fn correlated_log() -> MeasurementLog {
+        let mut log = MeasurementLog::new(3, 0.1);
+        for t in 0..400 {
+            for p in 0..3 {
+                log.record_sent(t, PathId(p), 500);
+            }
+            if t % 4 == 0 {
+                log.record_lost(t, PathId(0), 50);
+                log.record_lost(t, PathId(1), 50);
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn singleton_perf_matches_frequency() {
+        let log = correlated_log();
+        let obs = MeasuredObservations::new(&log, NormalizeConfig::default());
+        let group = [PathId(0), PathId(1), PathId(2)];
+        let y0 = obs.pathset_perf(&group, &PathSet::single(PathId(0)));
+        assert!((y0 + (0.75f64).ln()).abs() < 1e-9, "y0 = {y0}");
+        let y2 = obs.pathset_perf(&group, &PathSet::single(PathId(2)));
+        assert_eq!(y2, 0.0);
+    }
+
+    #[test]
+    fn correlated_pair_shows_joint_congestion() {
+        // p0 and p1 congest in the SAME intervals: y({p0,p1}) == y({p0}),
+        // the §3.3 signature of shared congestion.
+        let log = correlated_log();
+        let obs = MeasuredObservations::new(&log, NormalizeConfig::default());
+        let group = [PathId(0), PathId(1), PathId(2)];
+        let y0 = obs.pathset_perf(&group, &PathSet::single(PathId(0)));
+        let y01 = obs.pathset_perf(&group, &PathSet::pair(PathId(0), PathId(1)));
+        assert!((y01 - y0).abs() < 1e-9);
+        // And pairing with the clean path adds nothing.
+        let y02 = obs.pathset_perf(&group, &PathSet::pair(PathId(0), PathId(2)));
+        assert!((y02 - y0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cf_probability_reported() {
+        let log = correlated_log();
+        let obs = MeasuredObservations::new(&log, NormalizeConfig::default());
+        let group = [PathId(0), PathId(2)];
+        let p = obs.pathset_cf_probability(&group, &PathSet::single(PathId(0)));
+        assert!((p - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caching_is_transparent() {
+        let log = correlated_log();
+        let obs = MeasuredObservations::new(&log, NormalizeConfig::default());
+        let group = [PathId(0), PathId(1)];
+        let a = obs.pathset_perf(&group, &PathSet::single(PathId(0)));
+        let b = obs.pathset_perf(&group, &PathSet::single(PathId(0)));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-interval, per-path packet accounting — the raw input of Algorithm 2.
+//!
+//! The emulator (or any measurement platform) records, for every measurement
+//! interval `t` and path `p`, the number of packets sent `|M[t][p]|` and the
+//! number of those lost `|L[t][p]|`. That is all the inference ever sees: no
+//! link-level information crosses this boundary.
+
+use nni_topology::PathId;
+
+/// Raw measurement log: packets sent and lost per interval per path.
+#[derive(Debug, Clone)]
+pub struct MeasurementLog {
+    interval_s: f64,
+    n_paths: usize,
+    /// `sent[t][p]`, `lost[t][p]`.
+    sent: Vec<Vec<u64>>,
+    lost: Vec<Vec<u64>>,
+}
+
+impl MeasurementLog {
+    /// Creates an empty log for `n_paths` paths with the given measurement
+    /// interval (Table 1: 100 ms default).
+    pub fn new(n_paths: usize, interval_s: f64) -> MeasurementLog {
+        assert!(interval_s > 0.0, "interval must be positive");
+        assert!(n_paths > 0, "need at least one path");
+        MeasurementLog { interval_s, n_paths, sent: Vec::new(), lost: Vec::new() }
+    }
+
+    /// Measurement interval in seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// Number of paths.
+    pub fn path_count(&self) -> usize {
+        self.n_paths
+    }
+
+    /// Number of recorded intervals `T`.
+    pub fn interval_count(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Interval index for a timestamp.
+    pub fn interval_of(&self, time_s: f64) -> usize {
+        (time_s / self.interval_s).floor().max(0.0) as usize
+    }
+
+    fn ensure(&mut self, t: usize) {
+        while self.sent.len() <= t {
+            self.sent.push(vec![0; self.n_paths]);
+            self.lost.push(vec![0; self.n_paths]);
+        }
+    }
+
+    /// Records `n` packets sent on `path` during interval `t`.
+    pub fn record_sent(&mut self, t: usize, path: PathId, n: u64) {
+        self.ensure(t);
+        self.sent[t][path.index()] += n;
+    }
+
+    /// Records `n` packets lost on `path` that were sent during interval `t`.
+    pub fn record_lost(&mut self, t: usize, path: PathId, n: u64) {
+        self.ensure(t);
+        self.lost[t][path.index()] += n;
+    }
+
+    /// `|M[t][p]|`.
+    pub fn sent(&self, t: usize, path: PathId) -> u64 {
+        self.sent[t][path.index()]
+    }
+
+    /// `|L[t][p]|`.
+    pub fn lost(&self, t: usize, path: PathId) -> u64 {
+        self.lost[t][path.index()]
+    }
+
+    /// Drops the first `k` intervals (warm-up: slow-start transients).
+    pub fn drop_warmup(&mut self, k: usize) {
+        let k = k.min(self.sent.len());
+        self.sent.drain(0..k);
+        self.lost.drain(0..k);
+    }
+
+    /// The *unnormalized* per-path congestion probability: the fraction of
+    /// intervals in which the path lost more than `loss_threshold` of its
+    /// packets — the quantity Figure 8 plots.
+    ///
+    /// Intervals with no traffic on the path are skipped.
+    pub fn congestion_probability(&self, path: PathId, loss_threshold: f64) -> f64 {
+        let mut active = 0usize;
+        let mut congested = 0usize;
+        for t in 0..self.interval_count() {
+            let m = self.sent(t, path);
+            if m == 0 {
+                continue;
+            }
+            active += 1;
+            if self.lost(t, path) as f64 > loss_threshold * m as f64 {
+                congested += 1;
+            }
+        }
+        if active == 0 {
+            0.0
+        } else {
+            congested as f64 / active as f64
+        }
+    }
+
+    /// Total packets sent on a path over the whole log.
+    pub fn total_sent(&self, path: PathId) -> u64 {
+        (0..self.interval_count()).map(|t| self.sent(t, path)).sum()
+    }
+
+    /// Total packets lost on a path over the whole log.
+    pub fn total_lost(&self, path: PathId) -> u64 {
+        (0..self.interval_count()).map(|t| self.lost(t, path)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut log = MeasurementLog::new(2, 0.1);
+        log.record_sent(0, PathId(0), 10);
+        log.record_sent(0, PathId(0), 5);
+        log.record_lost(0, PathId(0), 2);
+        assert_eq!(log.sent(0, PathId(0)), 15);
+        assert_eq!(log.lost(0, PathId(0)), 2);
+        assert_eq!(log.sent(0, PathId(1)), 0);
+    }
+
+    #[test]
+    fn intervals_grow_on_demand() {
+        let mut log = MeasurementLog::new(1, 0.1);
+        log.record_sent(4, PathId(0), 1);
+        assert_eq!(log.interval_count(), 5);
+        assert_eq!(log.sent(2, PathId(0)), 0);
+    }
+
+    #[test]
+    fn interval_of_maps_time() {
+        let log = MeasurementLog::new(1, 0.1);
+        assert_eq!(log.interval_of(0.0), 0);
+        assert_eq!(log.interval_of(0.05), 0);
+        assert_eq!(log.interval_of(0.1), 1);
+        assert_eq!(log.interval_of(1.234), 12);
+    }
+
+    #[test]
+    fn congestion_probability_thresholds() {
+        let mut log = MeasurementLog::new(1, 0.1);
+        let p = PathId(0);
+        // Interval 0: 100 sent, 5 lost (5% > 1%) -> congested.
+        log.record_sent(0, p, 100);
+        log.record_lost(0, p, 5);
+        // Interval 1: 100 sent, 0 lost -> congestion-free.
+        log.record_sent(1, p, 100);
+        // Interval 2: idle -> skipped.
+        log.record_sent(3, p, 100);
+        log.record_lost(3, p, 1); // exactly 1%: NOT above threshold
+        assert!((log.congestion_probability(p, 0.01) - 1.0 / 3.0).abs() < 1e-12);
+        // With a 10% threshold nothing is congested.
+        assert_eq!(log.congestion_probability(p, 0.10), 0.0);
+    }
+
+    #[test]
+    fn warmup_dropping() {
+        let mut log = MeasurementLog::new(1, 0.1);
+        log.record_sent(0, PathId(0), 7);
+        log.record_sent(1, PathId(0), 9);
+        log.drop_warmup(1);
+        assert_eq!(log.interval_count(), 1);
+        assert_eq!(log.sent(0, PathId(0)), 9);
+        assert_eq!(log.total_sent(PathId(0)), 9);
+        assert_eq!(log.total_lost(PathId(0)), 0);
+    }
+}

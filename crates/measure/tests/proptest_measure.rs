@@ -1,0 +1,132 @@
+//! Property-based tests for Algorithm 2 (measurement processing).
+
+use nni_measure::{
+    group_indicators, hypergeometric, pathset_cf_counts, perf_from_counts, MeasurementLog,
+    NormalizeConfig,
+};
+use nni_topology::PathId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random measurement log for `paths` paths over `t` intervals.
+fn log_strategy() -> impl Strategy<Value = MeasurementLog> {
+    (2usize..=4, 5usize..=40).prop_flat_map(|(paths, intervals)| {
+        prop::collection::vec((0u64..500, 0.0..0.3f64), paths * intervals).prop_map(
+            move |cells| {
+                let mut log = MeasurementLog::new(paths, 0.1);
+                for (idx, &(sent, loss_frac)) in cells.iter().enumerate() {
+                    let t = idx / paths;
+                    let p = PathId(idx % paths);
+                    log.record_sent(t, p, sent);
+                    log.record_lost(t, p, (sent as f64 * loss_frac) as u64);
+                }
+                log
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hypergeometric draws are bounded by both the marked count and the
+    /// draw size, and are deterministic per seed.
+    #[test]
+    fn hypergeometric_bounds_and_determinism(
+        total in 1u64..10_000,
+        marked_frac in 0.0..1.0f64,
+        draw_frac in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let marked = (total as f64 * marked_frac) as u64;
+        let draw = (total as f64 * draw_frac) as u64;
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let ha = hypergeometric(&mut a, total, marked, draw);
+        let hb = hypergeometric(&mut b, total, marked, draw);
+        prop_assert_eq!(ha, hb);
+        prop_assert!(ha <= marked.min(draw));
+        // Everything marked is drawn when we draw everything.
+        let mut c = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(hypergeometric(&mut c, total, marked, total), marked);
+    }
+
+    /// Indicators are independent of the group ordering and of unrelated
+    /// query order — the foundation of the observation cache's correctness.
+    #[test]
+    fn indicators_invariant_under_group_permutation(log in log_strategy()) {
+        let n = log.path_count();
+        let fwd: Vec<PathId> = (0..n).map(PathId).collect();
+        let rev: Vec<PathId> = (0..n).rev().map(PathId).collect();
+        let cfg = NormalizeConfig::default();
+        let a = group_indicators(&log, &fwd, cfg);
+        let b = group_indicators(&log, &rev, cfg);
+        for (i, p) in fwd.iter().enumerate() {
+            let j = rev.iter().position(|q| q == p).unwrap();
+            prop_assert_eq!(&a[i], &b[j], "indicators depend on group order");
+        }
+    }
+
+    /// Congestion-free counts are antitone in the pathset: adding a member
+    /// path can only reduce (or keep) the joint congestion-free count —
+    /// Equation 2's monotonicity at the indicator level.
+    #[test]
+    fn pathset_cf_counts_antitone(log in log_strategy()) {
+        let n = log.path_count();
+        let group: Vec<PathId> = (0..n).map(PathId).collect();
+        let ind = group_indicators(&log, &group, NormalizeConfig::default());
+        let (cf_single, t1) = pathset_cf_counts(&ind, &[0]);
+        let all: Vec<usize> = (0..n).collect();
+        let (cf_all, t2) = pathset_cf_counts(&ind, &all);
+        prop_assert_eq!(t1, t2, "informative interval count is group-wide");
+        prop_assert!(cf_all <= cf_single);
+    }
+
+    /// Performance numbers are non-negative, finite, and antitone in the
+    /// congestion-free count.
+    #[test]
+    fn perf_from_counts_shape(total in 1usize..5000, cf in 0usize..5000) {
+        let cf = cf.min(total);
+        let y = perf_from_counts(cf, total);
+        prop_assert!(y >= 0.0 && y.is_finite());
+        if cf < total {
+            prop_assert!(perf_from_counts(cf + 1, total) <= y);
+        }
+    }
+
+    /// Raising the loss threshold can only turn congested intervals into
+    /// congestion-free ones (verdict monotonicity behind the §6.5 sweep).
+    #[test]
+    fn threshold_monotonicity(log in log_strategy()) {
+        let n = log.path_count();
+        let group: Vec<PathId> = (0..n).map(PathId).collect();
+        let lo = group_indicators(
+            &log, &group, NormalizeConfig { loss_threshold: 0.01, seed: 9 });
+        let hi = group_indicators(
+            &log, &group, NormalizeConfig { loss_threshold: 0.10, seed: 9 });
+        for (row_lo, row_hi) in lo.iter().zip(&hi) {
+            for (a, b) in row_lo.iter().zip(row_hi) {
+                match (a, b) {
+                    (Some(cf_lo), Some(cf_hi)) => {
+                        // congestion-free at 1% implies congestion-free at 10%
+                        if *cf_lo {
+                            prop_assert!(*cf_hi);
+                        }
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(false, "informative-ness must not depend on threshold"),
+                }
+            }
+        }
+    }
+
+    /// Congestion probability is within [0, 1] and zero for loss-free logs.
+    #[test]
+    fn congestion_probability_range(log in log_strategy()) {
+        for p in 0..log.path_count() {
+            let pr = log.congestion_probability(PathId(p), 0.01);
+            prop_assert!((0.0..=1.0).contains(&pr));
+        }
+    }
+}

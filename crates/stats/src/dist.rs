@@ -1,0 +1,156 @@
+//! Samplers for the traffic model of §6.1.
+//!
+//! *"Each pair of communicating end-hosts starts a number of parallel TCP
+//! flows with the transfer size following a Pareto distribution; when a TCP
+//! flow ends, a new one starts after an idle time that is governed by an
+//! exponential distribution."* (citing the Crovella–Bestavros self-similarity
+//! evidence [9]).
+//!
+//! Both samplers use inverse-transform sampling over a caller-supplied RNG so
+//! every experiment is reproducible from its seed.
+
+use rand::Rng;
+
+/// Pareto distribution with shape `alpha` and scale `x_min` (the minimum).
+///
+/// Mean is `alpha * x_min / (alpha - 1)` for `alpha > 1`. Flow-size modelling
+/// conventionally uses `alpha` around 1.2–1.5 (heavy-tailed, finite mean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    alpha: f64,
+    x_min: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto sampler.
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 1` (finite mean required to target a mean flow
+    /// size) and `x_min > 0`.
+    pub fn new(alpha: f64, x_min: f64) -> Pareto {
+        assert!(alpha > 1.0, "Pareto shape must exceed 1 for a finite mean");
+        assert!(x_min > 0.0, "Pareto scale must be positive");
+        Pareto { alpha, x_min }
+    }
+
+    /// Creates a Pareto sampler with shape `alpha` whose *mean* is `mean`.
+    ///
+    /// This is the form the experiments use: Table 1/2 specify the *mean*
+    /// flow size (1 Mb … 10 Gb); the scale is derived.
+    pub fn with_mean(alpha: f64, mean: f64) -> Pareto {
+        assert!(alpha > 1.0, "Pareto shape must exceed 1 for a finite mean");
+        assert!(mean > 0.0, "mean must be positive");
+        let x_min = mean * (alpha - 1.0) / alpha;
+        Pareto::new(alpha, x_min)
+    }
+
+    /// Theoretical mean.
+    pub fn mean(&self) -> f64 {
+        self.alpha * self.x_min / (self.alpha - 1.0)
+    }
+
+    /// Minimum possible sample.
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// Draws one sample via inverse transform: `x_min * u^{-1/alpha}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Draw u in (0, 1]; u = 0 would map to infinity.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.x_min * u.powf(-1.0 / self.alpha)
+    }
+}
+
+/// Exponential distribution parameterised by its mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler with the given mean.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0`.
+    pub fn with_mean(mean: f64) -> Exponential {
+        assert!(mean > 0.0, "mean must be positive");
+        Exponential { mean }
+    }
+
+    /// Theoretical mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws one sample via inverse transform: `-mean * ln(u)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -self.mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pareto_samples_respect_minimum() {
+        let p = Pareto::new(1.5, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(p.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_with_mean_hits_target_mean() {
+        let p = Pareto::with_mean(2.5, 10.0);
+        assert!((p.mean() - 10.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+        let empirical = sum / n as f64;
+        // alpha = 2.5 has finite variance, the sample mean converges well.
+        assert!(
+            (empirical - 10.0).abs() < 0.5,
+            "empirical mean {empirical} too far from 10"
+        );
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let e = Exponential::with_mean(3.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| e.sample(&mut rng)).sum();
+        assert!((sum / n as f64 - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn exponential_samples_nonnegative() {
+        let e = Exponential::with_mean(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_given_seed() {
+        let p = Pareto::with_mean(1.3, 5.0);
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(p.sample(&mut a), p.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must exceed 1")]
+    fn pareto_rejects_infinite_mean_shape() {
+        Pareto::new(0.9, 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! A Glasnost-style differential detector (Dischinger et al. [11]).
+//!
+//! Glasnost detects per-*path* differentiation by comparing the performance
+//! of two flow types exchanged between the same pair of end-hosts. Cast into
+//! this codebase's terms: given the class partition (which Glasnost knows —
+//! it crafts the two flow types itself), compare the per-class congestion
+//! probability of each path-pair sharing the same endpoints-ish context.
+//!
+//! The contrast with the paper's algorithm:
+//!
+//! * Glasnost **requires knowing the differentiation criterion** (the class
+//!   partition) — Algorithm 1 does not;
+//! * Glasnost yields a per-path verdict and **cannot localize** the
+//!   violation to links — Algorithm 1 can.
+
+use nni_measure::MeasurementLog;
+use nni_topology::PathId;
+
+/// Verdict of the differential detector.
+#[derive(Debug, Clone)]
+pub struct GlasnostVerdict {
+    /// Mean congestion probability of class-1 paths.
+    pub class1_congestion: f64,
+    /// Mean congestion probability of class-2 paths.
+    pub class2_congestion: f64,
+    /// Whether differentiation was declared.
+    pub differentiated: bool,
+}
+
+/// Declares differentiation when the two classes' mean congestion
+/// probabilities differ by more than `margin` (both absolutely and by a
+/// factor of two, mirroring Glasnost's noise rules).
+pub fn detect(
+    log: &MeasurementLog,
+    class1: &[PathId],
+    class2: &[PathId],
+    loss_threshold: f64,
+    margin: f64,
+) -> GlasnostVerdict {
+    let mean = |paths: &[PathId]| -> f64 {
+        if paths.is_empty() {
+            return 0.0;
+        }
+        paths
+            .iter()
+            .map(|&p| log.congestion_probability(p, loss_threshold))
+            .sum::<f64>()
+            / paths.len() as f64
+    };
+    let c1 = mean(class1);
+    let c2 = mean(class2);
+    let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+    let differentiated = hi - lo > margin && hi > 2.0 * lo;
+    GlasnostVerdict { class1_congestion: c1, class2_congestion: c2, differentiated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(c1_loss: bool, c2_loss: bool) -> MeasurementLog {
+        let mut log = MeasurementLog::new(4, 0.1);
+        for t in 0..100 {
+            for p in 0..4 {
+                log.record_sent(t, PathId(p), 100);
+            }
+            if t % 2 == 0 {
+                if c1_loss {
+                    log.record_lost(t, PathId(0), 10);
+                    log.record_lost(t, PathId(1), 10);
+                }
+                if c2_loss {
+                    log.record_lost(t, PathId(2), 10);
+                    log.record_lost(t, PathId(3), 10);
+                }
+            }
+        }
+        log
+    }
+
+    const C1: [PathId; 2] = [PathId(0), PathId(1)];
+    const C2: [PathId; 2] = [PathId(2), PathId(3)];
+
+    #[test]
+    fn detects_one_sided_congestion() {
+        let log = log_with(false, true);
+        let v = detect(&log, &C1, &C2, 0.01, 0.05);
+        assert!(v.differentiated);
+        assert!(v.class2_congestion > v.class1_congestion);
+    }
+
+    #[test]
+    fn symmetric_congestion_is_not_differentiation() {
+        let log = log_with(true, true);
+        let v = detect(&log, &C1, &C2, 0.01, 0.05);
+        assert!(!v.differentiated);
+    }
+
+    #[test]
+    fn clean_network_is_not_differentiation() {
+        let log = log_with(false, false);
+        let v = detect(&log, &C1, &C2, 0.01, 0.05);
+        assert!(!v.differentiated);
+        assert_eq!(v.class1_congestion, 0.0);
+    }
+}

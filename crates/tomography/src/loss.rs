@@ -1,0 +1,104 @@
+//! Least-squares loss tomography (Caceres et al. [7] lineage).
+//!
+//! Solves `y = A({singletons}) · x` for per-link performance numbers in the
+//! least-squares sense, with negative estimates clipped to zero. Like all of
+//! classic tomography it **assumes neutrality** — a single number per link —
+//! so under differentiation its per-link estimates are a class-blind average
+//! and the residual blows up (which is, in essence, the paper's Lemma 1).
+
+use nni_core::routing_matrix;
+use nni_linalg::{lstsq, norm2, residual};
+use nni_topology::{LinkId, PathSet, Topology};
+
+/// Result of least-squares loss tomography.
+#[derive(Debug, Clone)]
+pub struct LossTomography {
+    /// Per-link performance-number estimates (clipped at zero).
+    pub link_perf: Vec<f64>,
+    /// Residual norm of the fit — large residuals signal that no neutral
+    /// explanation fits the observations.
+    pub residual_norm: f64,
+}
+
+impl LossTomography {
+    /// Estimate for one link.
+    pub fn perf(&self, l: LinkId) -> f64 {
+        self.link_perf[l.index()]
+    }
+}
+
+/// Fits per-link performance numbers to pathset observations.
+///
+/// `pathsets` and `y` must align; using all singletons is the classic
+/// formulation, adding multi-path pathsets tightens the fit.
+pub fn infer(topology: &Topology, pathsets: &[PathSet], y: &[f64]) -> LossTomography {
+    assert_eq!(pathsets.len(), y.len(), "observations must align with pathsets");
+    let a = routing_matrix(topology, pathsets);
+    let x = lstsq(&a, y);
+    let r = residual(&a, &x, y);
+    LossTomography {
+        link_perf: x.into_iter().map(|v| v.max(0.0)).collect(),
+        residual_norm: norm2(&r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nni_core::{Classes, EquivalentNetwork, LinkPerf, NetworkPerf};
+    use nni_topology::library::figure1;
+    use nni_topology::{power_set, PathId};
+
+    #[test]
+    fn recovers_neutral_ground_truth() {
+        let t = figure1();
+        let truth = [0.05, 0.1, 0.2, 0.0];
+        let pathsets = power_set(t.topology.path_count());
+        let classes = Classes::single(&t.topology);
+        let perf = NetworkPerf::neutral(&truth, 1);
+        let eq = EquivalentNetwork::build(&t.topology, &classes, &perf);
+        let y: Vec<f64> = pathsets.iter().map(|p| eq.pathset_perf(p)).collect();
+        let r = infer(&t.topology, &pathsets, &y);
+        assert!(r.residual_norm < 1e-9, "neutral network fits exactly");
+        for (k, &want) in truth.iter().enumerate() {
+            assert!(
+                (r.perf(LinkId(k)) - want).abs() < 1e-6,
+                "link {k}: got {} want {want}",
+                r.perf(LinkId(k))
+            );
+        }
+    }
+
+    #[test]
+    fn differentiation_inflates_residual() {
+        // Figure 1 with non-neutral l1: no neutral x fits all pathsets.
+        let t = figure1();
+        let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
+        let l1 = t.topology.link_by_name("l1").unwrap();
+        let perf = NetworkPerf::congestion_free(&t.topology, 2)
+            .with_link(l1, LinkPerf::per_class(vec![0.0, 0.6]));
+        let eq = EquivalentNetwork::build(&t.topology, &classes, &perf);
+        let pathsets = power_set(t.topology.path_count());
+        let y: Vec<f64> = pathsets.iter().map(|p| eq.pathset_perf(p)).collect();
+        let r = infer(&t.topology, &pathsets, &y);
+        assert!(
+            r.residual_norm > 0.1,
+            "non-neutral observations must not fit: residual {}",
+            r.residual_norm
+        );
+    }
+
+    #[test]
+    fn estimates_clip_at_zero() {
+        let t = figure1();
+        // Deliberately inconsistent small system pushing a variable negative.
+        let pathsets = vec![
+            PathSet::single(PathId(0)),
+            PathSet::single(PathId(1)),
+            PathSet::single(PathId(2)),
+        ];
+        let y = [0.0, 0.5, 0.0];
+        let r = infer(&t.topology, &pathsets, &y);
+        assert!(r.link_perf.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! A NetPolice-style baseline (Zhang, Mao, Zhang [31]).
+//!
+//! NetPolice detects ISP-level differentiation by *directly measuring* the
+//! loss rate an ISP inflicts on different traffic using traceroute-like
+//! probes, then comparing the per-class rates. It localizes (per ISP) but
+//! fundamentally relies on probes that (a) can be generated toward interior
+//! routers and (b) are treated like regular traffic — the two assumptions
+//! the paper's approach drops (§8).
+//!
+//! In this codebase the "probe measurements" are stood in by the emulator's
+//! per-link ground truth: what NetPolice would measure *if* its probes were
+//! perfect. The ablation bench contrasts this best-case baseline with
+//! Algorithm 1, which needs no interior measurements at all.
+
+use nni_topology::LinkId;
+
+/// Per-link per-class directly measured loss rates (the probe results).
+#[derive(Debug, Clone)]
+pub struct ProbeMeasurements {
+    /// `loss_rate[link][class]` — fraction of probes lost.
+    pub loss_rate: Vec<Vec<f64>>,
+}
+
+/// Verdict for one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkVerdict {
+    /// Maximum per-class loss rate.
+    pub max_rate: f64,
+    /// Minimum per-class loss rate.
+    pub min_rate: f64,
+    /// Whether the link was flagged as differentiating.
+    pub differentiates: bool,
+}
+
+/// Flags links whose per-class loss rates differ by more than `margin`
+/// (absolute) *and* a factor of two (NetPolice's significance heuristic,
+/// simplified).
+pub fn detect(probes: &ProbeMeasurements, margin: f64) -> Vec<LinkVerdict> {
+    probes
+        .loss_rate
+        .iter()
+        .map(|rates| {
+            let max_rate = rates.iter().cloned().fold(0.0, f64::max);
+            let min_rate = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+            let min_rate = if min_rate.is_finite() { min_rate } else { 0.0 };
+            let differentiates = max_rate - min_rate > margin && max_rate > 2.0 * min_rate;
+            LinkVerdict { max_rate, min_rate, differentiates }
+        })
+        .collect()
+}
+
+/// Convenience accessor.
+pub fn flagged_links(verdicts: &[LinkVerdict]) -> Vec<LinkId> {
+    verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.differentiates)
+        .map(|(i, _)| LinkId(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_clearly_skewed_link() {
+        let probes = ProbeMeasurements {
+            loss_rate: vec![
+                vec![0.001, 0.002], // neutral-ish
+                vec![0.001, 0.050], // differentiating
+                vec![0.0, 0.0],     // clean
+            ],
+        };
+        let v = detect(&probes, 0.01);
+        assert!(!v[0].differentiates);
+        assert!(v[1].differentiates);
+        assert!(!v[2].differentiates);
+        assert_eq!(flagged_links(&v), vec![LinkId(1)]);
+    }
+
+    #[test]
+    fn symmetric_loss_is_not_differentiation() {
+        let probes = ProbeMeasurements { loss_rate: vec![vec![0.08, 0.085]] };
+        let v = detect(&probes, 0.01);
+        assert!(!v[0].differentiates, "equal heavy loss is congestion, not bias");
+    }
+
+    #[test]
+    fn margin_suppresses_noise() {
+        let probes = ProbeMeasurements { loss_rate: vec![vec![0.000, 0.004]] };
+        assert!(!detect(&probes, 0.01)[0].differentiates);
+        assert!(detect(&probes, 0.001)[0].differentiates);
+    }
+
+    #[test]
+    fn single_class_never_differentiates() {
+        let probes = ProbeMeasurements { loss_rate: vec![vec![0.3]] };
+        assert!(!detect(&probes, 0.01)[0].differentiates);
+    }
+}

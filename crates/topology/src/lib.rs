@@ -1,0 +1,28 @@
+//! # nni-topology
+//!
+//! The network graph model of §2.3 — `G = (V, L, P)` — plus factories for
+//! every topology the paper uses:
+//!
+//! * [`graph`] — nodes (hosts / relays), directed links with emulation
+//!   parameters, validated loop-free host-to-host paths, and the precomputed
+//!   `Paths(l)` / distinguishability helpers.
+//! * [`path`] — paths and [`path::LinkSeq`] (candidate non-neutral link
+//!   sequences `τ`).
+//! * [`pathset`] — pathsets `Θ` (the unit of external observation) and the
+//!   power-set enumeration used by the exact-mode observability oracle.
+//! * [`ids`] — strongly typed node / link / path identifiers.
+//! * [`library`] — Figures 1, 2, 4, 5 (theory examples), topology A
+//!   (Figure 7), topology B (Figure 9, reconstructed per DESIGN.md), and
+//!   parametric generators for tests and benches.
+
+pub mod graph;
+pub mod ids;
+pub mod library;
+pub mod path;
+pub mod pathset;
+
+pub use graph::{Link, Node, NodeKind, Topology, TopologyBuilder, TopologyError};
+pub use ids::{LinkId, NodeId, PathId};
+pub use library::PaperTopology;
+pub use path::{LinkSeq, Path};
+pub use pathset::{power_set, PathSet};

@@ -1,0 +1,208 @@
+//! Paths and link sequences.
+
+use crate::ids::{LinkId, PathId};
+
+/// A loop-free sequence of consecutive links between two end-hosts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    id: PathId,
+    name: String,
+    links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Creates a path; validation happens in the topology builder.
+    pub(crate) fn new(id: PathId, name: String, links: Vec<LinkId>) -> Path {
+        Path { id, name, links }
+    }
+
+    /// Path identifier.
+    pub fn id(&self) -> PathId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `Links(p)`: the links traversed by this path, in traversal order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// A validated path is never empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Whether this path traverses link `l`.
+    pub fn traverses(&self, l: LinkId) -> bool {
+        self.links.contains(&l)
+    }
+
+    /// The links shared with another path, as a [`LinkSeq`]
+    /// (the `Links(p_i) ∩ Links(p_j)` of Algorithm 1, line 3).
+    pub fn shared_links(&self, other: &Path) -> LinkSeq {
+        let shared: Vec<LinkId> = self
+            .links
+            .iter()
+            .copied()
+            .filter(|l| other.links.contains(l))
+            .collect();
+        LinkSeq::new(shared)
+    }
+}
+
+/// A set of links treated as a candidate non-neutral link sequence `τ`.
+///
+/// Stored sorted so that equal sets compare equal and can key maps; the
+/// traversal order along a concrete path is irrelevant to the algorithm
+/// (System 4 only needs the *membership* of links in `τ`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LinkSeq {
+    links: Vec<LinkId>,
+}
+
+impl LinkSeq {
+    /// Creates a link sequence from any collection of links (sorted,
+    /// deduplicated).
+    pub fn new(mut links: Vec<LinkId>) -> LinkSeq {
+        links.sort();
+        links.dedup();
+        LinkSeq { links }
+    }
+
+    /// Single-link sequence `⟨l⟩`.
+    pub fn single(l: LinkId) -> LinkSeq {
+        LinkSeq { links: vec![l] }
+    }
+
+    /// Member links (sorted).
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when the sequence has no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, l: LinkId) -> bool {
+        self.links.binary_search(&l).is_ok()
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset_of(&self, other: &LinkSeq) -> bool {
+        self.links.iter().all(|l| other.contains(*l))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &LinkSeq) -> LinkSeq {
+        let mut links = self.links.clone();
+        links.extend_from_slice(&other.links);
+        LinkSeq::new(links)
+    }
+
+    /// Renders as the paper's `⟨l3, l5⟩` notation.
+    pub fn render(&self) -> String {
+        let inner: Vec<String> = self.links.iter().map(|l| l.to_string()).collect();
+        format!("⟨{}⟩", inner.join(", "))
+    }
+}
+
+impl std::fmt::Display for LinkSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl FromIterator<LinkId> for LinkSeq {
+    fn from_iter<T: IntoIterator<Item = LinkId>>(iter: T) -> Self {
+        LinkSeq::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(id: usize, links: &[usize]) -> Path {
+        Path::new(
+            PathId(id),
+            format!("p{id}"),
+            links.iter().map(|&l| LinkId(l)).collect(),
+        )
+    }
+
+    #[test]
+    fn shared_links_is_intersection() {
+        let a = path(0, &[0, 1, 2, 3]);
+        let b = path(1, &[5, 2, 1, 7]);
+        let shared = a.shared_links(&b);
+        assert_eq!(shared.links(), &[LinkId(1), LinkId(2)]);
+    }
+
+    #[test]
+    fn shared_links_empty_when_disjoint() {
+        let a = path(0, &[0, 1]);
+        let b = path(1, &[2, 3]);
+        assert!(a.shared_links(&b).is_empty());
+    }
+
+    #[test]
+    fn linkseq_sorted_and_deduped() {
+        let s = LinkSeq::new(vec![LinkId(3), LinkId(1), LinkId(3)]);
+        assert_eq!(s.links(), &[LinkId(1), LinkId(3)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn linkseq_equality_is_set_equality() {
+        let a = LinkSeq::new(vec![LinkId(2), LinkId(1)]);
+        let b = LinkSeq::new(vec![LinkId(1), LinkId(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let a = LinkSeq::new(vec![LinkId(1)]);
+        let b = LinkSeq::new(vec![LinkId(1), LinkId(2)]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert_eq!(a.union(&b), b);
+    }
+
+    #[test]
+    fn contains_uses_sorted_order() {
+        let s = LinkSeq::new(vec![LinkId(9), LinkId(4), LinkId(6)]);
+        assert!(s.contains(LinkId(6)));
+        assert!(!s.contains(LinkId(5)));
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        let s = LinkSeq::new(vec![LinkId(5), LinkId(3)]);
+        assert_eq!(s.render(), "⟨l3, l5⟩");
+    }
+
+    #[test]
+    fn traverses_checks_membership() {
+        let p = path(0, &[4, 5]);
+        assert!(p.traverses(LinkId(4)));
+        assert!(!p.traverses(LinkId(6)));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.name(), "p0");
+    }
+}

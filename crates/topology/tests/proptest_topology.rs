@@ -1,0 +1,108 @@
+//! Property-based tests for the graph model.
+
+use nni_topology::library::{dumbbell, parking_lot};
+use nni_topology::{LinkId, LinkSeq, PathSet, PathId};
+use proptest::prelude::*;
+
+fn linkseq_strategy() -> impl Strategy<Value = LinkSeq> {
+    prop::collection::vec(0usize..8, 0..6)
+        .prop_map(|v| LinkSeq::new(v.into_iter().map(LinkId).collect()))
+}
+
+proptest! {
+    /// LinkSeq union is commutative, associative, idempotent (it is a set).
+    #[test]
+    fn linkseq_union_laws(
+        a in linkseq_strategy(),
+        b in linkseq_strategy(),
+        c in linkseq_strategy(),
+    ) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert!(a.is_subset_of(&a.union(&b)));
+    }
+
+    /// Subset relation is a partial order w.r.t. union.
+    #[test]
+    fn linkseq_subset_consistency(a in linkseq_strategy(), b in linkseq_strategy()) {
+        if a.is_subset_of(&b) {
+            prop_assert_eq!(&a.union(&b), &b);
+        }
+        if a.is_subset_of(&b) && b.is_subset_of(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// Pathset canonicalisation: construction order never matters.
+    #[test]
+    fn pathset_canonical(mut ids in prop::collection::vec(0usize..10, 1..6)) {
+        let s1 = PathSet::new(ids.iter().map(|&i| PathId(i)).collect());
+        ids.reverse();
+        let s2 = PathSet::new(ids.iter().map(|&i| PathId(i)).collect());
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// `paths_through` is the inverse of `Path::links`: p traverses l iff
+    /// l's path list contains p, for every generated topology.
+    #[test]
+    fn paths_through_is_inverse_of_links(n1 in 1usize..4, n2 in 1usize..4) {
+        let t = dumbbell(n1, n2);
+        let g = &t.topology;
+        for p in g.paths() {
+            for l in g.link_ids() {
+                let forward = p.traverses(l);
+                let backward = g.paths_through(l).contains(&p.id());
+                prop_assert_eq!(forward, backward);
+            }
+        }
+    }
+
+    /// `paths_through_all` equals the intersection of single-link lists.
+    #[test]
+    fn paths_through_all_is_intersection(segments in 2usize..8) {
+        let t = parking_lot(segments);
+        let g = &t.topology;
+        // Take the first two backbone links of the full path.
+        let full = g.path(PathId(0));
+        let pair = [full.links()[1], full.links()[2]];
+        let joint = g.paths_through_all(&pair);
+        for p in g.path_ids() {
+            let in_both = g.paths_through(pair[0]).contains(&p)
+                && g.paths_through(pair[1]).contains(&p);
+            prop_assert_eq!(joint.contains(&p), in_both);
+        }
+    }
+
+    /// shared_links is symmetric and a subset of both paths.
+    #[test]
+    fn shared_links_symmetric(n1 in 1usize..4, n2 in 1usize..4) {
+        let t = dumbbell(n1, n2);
+        let g = &t.topology;
+        let paths = g.paths();
+        for i in 0..paths.len() {
+            for j in 0..paths.len() {
+                let ab = paths[i].shared_links(&paths[j]);
+                let ba = paths[j].shared_links(&paths[i]);
+                prop_assert_eq!(&ab, &ba);
+                for &l in ab.links() {
+                    prop_assert!(paths[i].traverses(l) && paths[j].traverses(l));
+                }
+            }
+        }
+    }
+
+    /// Distinguishability is irreflexive-ish: a link is never distinguishable
+    /// from itself, and the relation is symmetric.
+    #[test]
+    fn distinguishability_relation(n1 in 1usize..4, n2 in 1usize..4) {
+        let t = dumbbell(n1, n2);
+        let g = &t.topology;
+        for a in g.link_ids() {
+            prop_assert!(!g.distinguishable(a, a));
+            for b in g.link_ids() {
+                prop_assert_eq!(g.distinguishable(a, b), g.distinguishable(b, a));
+            }
+        }
+    }
+}

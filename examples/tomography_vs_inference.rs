@@ -1,0 +1,104 @@
+//! Why neutrality inference "turns tomography on its head" (§1, §8).
+//!
+//! The same differentiated network is analysed by:
+//!   1. boolean tomography (assumes neutrality) — blames innocent links,
+//!   2. least-squares loss tomography — cannot fit, leaves a residual,
+//!   3. Algorithm 1 — reads that inconsistency as the *signal* and
+//!      localizes the differentiating link.
+//!
+//! Everything runs in exact mode (ground-truth oracles), so the comparison
+//! is about the *methods*, not measurement noise.
+//!
+//! Run with: `cargo run --example tomography_vs_inference`
+
+use netneutrality::core::{
+    identify, Classes, Config, EquivalentNetwork, ExactOracle, LinkPerf, NetworkPerf,
+    Observations,
+};
+use netneutrality::topology::library::topology_a;
+use netneutrality::topology::{power_set, PathId};
+use netneutrality::tomography::{boolean_infer, loss_infer, Snapshot};
+
+fn main() {
+    // Topology A with the shared link l5 congesting class-2 traffic in 30%
+    // of intervals and class-1 in 2%.
+    let paper = topology_a(0.05, 0.05);
+    let g = &paper.topology;
+    let l5 = g.link_by_name("l5").unwrap();
+    let classes = Classes::new(g, paper.classes.clone()).unwrap();
+    let perf = NetworkPerf::congestion_free(g, 2).with_link(
+        l5,
+        LinkPerf::per_class(vec![-(0.98_f64.ln()), -(0.70_f64.ln())]),
+    );
+    let oracle = ExactOracle::new(EquivalentNetwork::build(g, &classes, &perf));
+
+    // 1. Boolean tomography on synthetic snapshots drawn from the ground
+    //    truth: class-2 paths congest together, class-1 paths almost never.
+    let snapshots: Vec<Snapshot> = (0..100)
+        .map(|i| {
+            let c2_congested = i % 10 < 3; // 30% of intervals
+            let c1_congested = i % 50 == 0; // 2% of intervals
+            g.path_ids()
+                .map(|p| {
+                    if paper.classes[1].contains(&p) {
+                        c2_congested || c1_congested
+                    } else {
+                        c1_congested
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let boolean = boolean_infer(g, &snapshots);
+    println!("1. boolean tomography (assumes neutrality):");
+    for l in g.link_ids() {
+        if boolean.prob(l) > 0.0 {
+            println!("   blames {} in {:.0}% of snapshots", g.link(l).name, 100.0 * boolean.prob(l));
+        }
+    }
+    println!(
+        "   blame on the true culprit l5: {:.0}%  <- exonerated! blaming l5 would\n\
+         \x20  implicate the congestion-free class-1 paths\n",
+        100.0 * boolean.prob(l5)
+    );
+
+    // 2. Least-squares loss tomography over all pathsets.
+    let pathsets = power_set(g.path_count());
+    let y: Vec<f64> = pathsets
+        .iter()
+        .map(|p| oracle.pathset_perf(&[], p))
+        .collect();
+    let ls = loss_infer(g, &pathsets, &y);
+    println!("2. least-squares loss tomography (assumes neutrality):");
+    println!(
+        "   residual norm {:.4}  <- no neutral explanation fits (Lemma 1's signal),\n\
+         \x20  but the method has no way to interpret it\n",
+        ls.residual_norm
+    );
+    assert!(ls.residual_norm > 0.05);
+
+    // 3. Algorithm 1 turns the inconsistency into a localized verdict.
+    let result = identify(g, &oracle, Config::exact());
+    println!("3. Algorithm 1 (this paper):");
+    for v in &result.verdicts {
+        println!(
+            "   slice {}: unsolvability {:.4} -> {}",
+            v.tau,
+            v.unsolvability,
+            if v.nonneutral { "NON-NEUTRAL" } else { "consistent" }
+        );
+    }
+    assert!(result.nonneutral.iter().any(|s| s.contains(l5)));
+    println!("   l5 identified as non-neutral — detection AND localization,");
+    println!("   with no knowledge of the differentiation criteria.");
+
+    // Bonus: the pathset correlations that make it work (§3.3, observable
+    // violation #2): p3 and p4 congest *together*.
+    let (p3, p4) = (PathId(2), PathId(3));
+    let y3 = oracle.pathset_perf(&[], &netneutrality::topology::PathSet::single(p3));
+    let y34 = oracle.pathset_perf(&[], &netneutrality::topology::PathSet::pair(p3, p4));
+    println!(
+        "\nthe giveaway correlation: y({{p3}}) = {y3:.3} equals y({{p3,p4}}) = {y34:.3}\n\
+         — the throttled paths always congest in the same intervals."
+    );
+}
