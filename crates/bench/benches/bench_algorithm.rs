@@ -40,8 +40,7 @@ fn bench_identify_dumbbell_scaling(c: &mut Criterion) {
         let shared = t.nonneutral_links[0];
         let perf = NetworkPerf::congestion_free(&t.topology, 2)
             .with_link(shared, LinkPerf::per_class(vec![0.0, 0.1]));
-        let oracle =
-            ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
+        let oracle = ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
         g.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
             b.iter(|| identify(&t.topology, &oracle, Config::exact()))
         });

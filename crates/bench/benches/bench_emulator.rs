@@ -14,9 +14,12 @@ fn bench_dumbbell_second(c: &mut Criterion) {
         b.iter(|| {
             let paper = topology_a(0.05, 0.05);
             let g = &paper.topology;
-            let cfg = SimConfig { duration_s: 1.0, warmup_s: 0.0, ..SimConfig::default() };
-            let mut sim =
-                Simulator::new(link_params(g, &[]), measured_routes(g), 4, 2, cfg);
+            let cfg = SimConfig {
+                duration_s: 1.0,
+                warmup_s: 0.0,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(link_params(g, &[]), measured_routes(g), 4, 2, cfg);
             for p in 0..4usize {
                 sim.add_traffic(TrafficSpec {
                     route: RouteId(p),

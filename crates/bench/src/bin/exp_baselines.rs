@@ -16,9 +16,9 @@
 use nni_bench::{run_topology_a, ExperimentParams, Mechanism, Table};
 use nni_core::Observations;
 use nni_measure::{MeasuredObservations, NormalizeConfig};
+use nni_tomography::{boolean_infer, glasnost_detect, loss_infer, Snapshot};
 use nni_topology::library::topology_a;
 use nni_topology::{PathId, PathSet};
-use nni_tomography::{boolean_infer, glasnost_detect, loss_infer, Snapshot};
 
 fn main() {
     let mut duration = 60.0;
@@ -74,7 +74,11 @@ fn main() {
         tb.row(vec![
             g.link(l).name.clone(),
             format!("{:5.2}", 100.0 * boolean.prob(l)),
-            if l == l5 { "POLICING".into() } else { "neutral".into() },
+            if l == l5 {
+                "POLICING".into()
+            } else {
+                "neutral".into()
+            },
         ]);
     }
     println!("--- Boolean tomography (assumes neutrality) ---");
@@ -87,7 +91,10 @@ fn main() {
     // --- Least-squares loss tomography over singleton + pair pathsets. ---
     let obs = MeasuredObservations::new(
         log,
-        NormalizeConfig { loss_threshold: params.loss_threshold, seed: seed ^ 0xDEAD },
+        NormalizeConfig {
+            loss_threshold: params.loss_threshold,
+            seed: seed ^ 0xDEAD,
+        },
     );
     let group: Vec<PathId> = g.path_ids().collect();
     let mut pathsets: Vec<PathSet> = g.path_ids().map(PathSet::single).collect();
@@ -96,14 +103,20 @@ fn main() {
             pathsets.push(PathSet::pair(PathId(i), PathId(j)));
         }
     }
-    let y: Vec<f64> = pathsets.iter().map(|p| obs.pathset_perf(&group, p)).collect();
+    let y: Vec<f64> = pathsets
+        .iter()
+        .map(|p| obs.pathset_perf(&group, p))
+        .collect();
     let ls = loss_infer(g, &pathsets, &y);
     println!("--- Least-squares loss tomography (assumes neutrality) ---");
     println!(
         "fit residual: {:.4}  <- large residual = no neutral explanation fits (Lemma 1)",
         ls.residual_norm
     );
-    println!("per-link estimate for l5: {:.4} (a class-blind average)\n", ls.perf(l5));
+    println!(
+        "per-link estimate for l5: {:.4} (a class-blind average)\n",
+        ls.perf(l5)
+    );
 
     // --- Glasnost-style differential detector (knows the classes). ---
     let verdict = glasnost_detect(
@@ -129,8 +142,7 @@ fn main() {
         .nonneutral
         .iter()
         .map(|s| {
-            let inner: Vec<String> =
-                s.links().iter().map(|&l| g.link(l).name.clone()).collect();
+            let inner: Vec<String> = s.links().iter().map(|&l| g.link(l).name.clone()).collect();
             format!("⟨{}⟩", inner.join(","))
         })
         .collect();

@@ -41,7 +41,11 @@ fn main() {
     let mut ta = Table::new(vec!["link", "class c1 [%]", "class c2 [%]", "separation"]);
     for l in g.link_ids() {
         let name = &g.link(l).name;
-        let mark = if out.paper.nonneutral_links.contains(&l) { "*" } else { "" };
+        let mark = if out.paper.nonneutral_links.contains(&l) {
+            "*"
+        } else {
+            ""
+        };
         let [c1, c2] = out.link_congestion[l.index()];
         ta.row(vec![
             format!("{name}{mark}"),
@@ -53,7 +57,9 @@ fn main() {
     println!("{ta}");
 
     println!("--- Figure 10(b): inferred link-sequence performance by pair class ---");
-    println!("(inferred congestion probability = 1 - exp(-estimate); boxplots as min/q1/med/q3/max)\n");
+    println!(
+        "(inferred congestion probability = 1 - exp(-estimate); boxplots as min/q1/med/q3/max)\n"
+    );
     let mut tb = Table::new(vec![
         "link sequence",
         "pairs",
@@ -68,7 +74,11 @@ fn main() {
             .iter()
             .map(|&l| g.link(l).name.trim_start_matches('l').to_string())
             .collect();
-        let mark = if tau.links().iter().any(|l| out.paper.nonneutral_links.contains(l)) {
+        let mark = if tau
+            .links()
+            .iter()
+            .any(|l| out.paper.nonneutral_links.contains(l))
+        {
             "*"
         } else {
             ""
@@ -94,7 +104,11 @@ fn main() {
             bucket(Some(0)),
             bucket(Some(1)),
             bucket(None),
-            if *nonneutral { "NON-NEUTRAL".into() } else { "neutral".into() },
+            if *nonneutral {
+                "NON-NEUTRAL".into()
+            } else {
+                "neutral".into()
+            },
         ]);
     }
     println!("{tb}");
@@ -102,11 +116,7 @@ fn main() {
     println!("--- §6.4 headline metrics ---");
     println!("identified (after redundancy removal):");
     for s in &out.inference.nonneutral {
-        let names: Vec<String> = s
-            .links()
-            .iter()
-            .map(|&l| g.link(l).name.clone())
-            .collect();
+        let names: Vec<String> = s.links().iter().map(|&l| g.link(l).name.clone()).collect();
         println!("  ⟨{}⟩", names.join(", "));
     }
     println!(
@@ -117,7 +127,10 @@ fn main() {
         "false-positive rate: {:.2} (paper: 0.00)",
         out.quality.false_positive_rate
     );
-    println!("granularity:         {:.2} (paper: 2.7)", out.quality.granularity);
+    println!(
+        "granularity:         {:.2} (paper: 2.7)",
+        out.quality.granularity
+    );
     println!(
         "\nsim: {} segments sent, {} delivered, {} dropped, {} flows completed",
         out.report.segments_sent,
@@ -127,7 +140,10 @@ fn main() {
     );
 
     let ok = out.quality.false_negative_rate == 0.0 && out.quality.false_positive_rate == 0.0;
-    println!("\nheadline (FN = FP = 0): {}", if ok { "REPRODUCED" } else { "NOT reproduced" });
+    println!(
+        "\nheadline (FN = FP = 0): {}",
+        if ok { "REPRODUCED" } else { "NOT reproduced" }
+    );
     if !ok {
         std::process::exit(1);
     }

@@ -27,7 +27,10 @@ fn main() {
         }
     }
 
-    println!("== Figure 11: queue occupancy, topology B, {} s ==\n", p.duration_s);
+    println!(
+        "== Figure 11: queue occupancy, topology B, {} s ==\n",
+        p.duration_s
+    );
     let out = run_topology_b(p);
 
     let render_series = |name: &str, trace: &nni_emu::QueueTrace| {
@@ -46,8 +49,7 @@ fn main() {
         for c in 0..cols {
             let lo = c * per;
             let hi = ((c + 1) * per).min(n);
-            let avg: u64 =
-                trace.bytes[lo..hi].iter().sum::<u64>() / (hi - lo).max(1) as u64;
+            let avg: u64 = trace.bytes[lo..hi].iter().sum::<u64>() / (hi - lo).max(1) as u64;
             let idx = (avg as f64 / max as f64 * (glyphs.len() - 1) as f64).round() as usize;
             line.push(glyphs[idx.min(glyphs.len() - 1)]);
         }
@@ -61,7 +63,12 @@ fn main() {
     render_series("l13 (neutral, near capacity)", &out.trace_l13);
     render_series("l14 (policing)", &out.trace_l14);
 
-    let mut t = Table::new(vec!["link", "mean occupancy [Mb]", "peak [Mb]", "ground truth"]);
+    let mut t = Table::new(vec![
+        "link",
+        "mean occupancy [Mb]",
+        "peak [Mb]",
+        "ground truth",
+    ]);
     for (name, trace, truth) in [
         ("l13", &out.trace_l13, "neutral"),
         ("l14", &out.trace_l14, "POLICING"),

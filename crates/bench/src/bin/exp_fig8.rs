@@ -64,8 +64,16 @@ fn main() {
                 pc[1].clone(),
                 pc[2].clone(),
                 pc[3].clone(),
-                if out.flagged_nonneutral { "NON-NEUTRAL".into() } else { "neutral".into() },
-                if out.correct { "yes".into() } else { "NO".into() },
+                if out.flagged_nonneutral {
+                    "NON-NEUTRAL".into()
+                } else {
+                    "neutral".into()
+                },
+                if out.correct {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
             total += 1;
             correct += out.correct as usize;

@@ -59,7 +59,11 @@ fn main() {
             t.row(vec![
                 format!("{:.0}", thr * 100.0),
                 format!("{:.0}", interval * 1000.0),
-                if neutral.flagged_nonneutral { "NON-NEUTRAL".into() } else { "neutral".into() },
+                if neutral.flagged_nonneutral {
+                    "NON-NEUTRAL".into()
+                } else {
+                    "neutral".into()
+                },
                 if policing.flagged_nonneutral {
                     "NON-NEUTRAL".to_string()
                 } else {

@@ -10,11 +10,14 @@
 
 use nni_bench::Table;
 use nni_core::{
-    evaluate, identify, lemma3_condition, slice_for, theorem1, unsolvable_over_power_set,
-    Classes, Config, EquivalentNetwork, ExactOracle, LinkPerf, NetworkPerf,
+    evaluate, identify, lemma3_condition, slice_for, theorem1, unsolvable_over_power_set, Classes,
+    Config, EquivalentNetwork, ExactOracle, LinkPerf, NetworkPerf,
 };
 use nni_topology::library::{figure1, figure2, figure4, figure5, PaperTopology};
 use nni_topology::LinkSeq;
+
+/// Per-link `(name, class-1 number, class-2 number)` ground-truth deltas.
+type Deltas = Vec<(&'static str, f64, f64)>;
 
 fn truth(t: &PaperTopology, deltas: &[(&str, f64, f64)]) -> (Classes, NetworkPerf) {
     let classes = Classes::new(&t.topology, t.classes.clone()).expect("valid classes");
@@ -35,9 +38,17 @@ fn main() {
         "agrees",
     ]);
 
-    let cases: Vec<(&str, PaperTopology, Vec<(&str, f64, f64)>)> = vec![
-        ("Figure 1 (l1 non-neutral)", figure1(), vec![("l1", 0.0, 0.5)]),
-        ("Figure 2 (l1 non-neutral)", figure2(), vec![("l1", 0.0, 0.5)]),
+    let cases: Vec<(&str, PaperTopology, Deltas)> = vec![
+        (
+            "Figure 1 (l1 non-neutral)",
+            figure1(),
+            vec![("l1", 0.0, 0.5)],
+        ),
+        (
+            "Figure 2 (l1 non-neutral)",
+            figure2(),
+            vec![("l1", 0.0, 0.5)],
+        ),
         (
             "Figure 4 (l1, l2 non-neutral)",
             figure4(),
@@ -70,11 +81,18 @@ fn main() {
     println!("--- Figure 6: slice for τ = ⟨l1⟩ of Figure 4's network ---");
     println!(
         "path pairs sharing exactly ⟨l1⟩: {:?}",
-        s.pairs.iter().map(|(a, b)| format!("{{{a},{b}}}")).collect::<Vec<_>>()
+        s.pairs
+            .iter()
+            .map(|(a, b)| format!("{{{a},{b}}}"))
+            .collect::<Vec<_>>()
     );
     println!("|Θ_τ| = {} pathsets (paper: 7)", s.pathset_count());
     let a = s.routing_matrix();
-    println!("System 4: {} equations over {} logical links\n", a.rows(), a.cols());
+    println!(
+        "System 4: {} equations over {} logical links\n",
+        a.rows(),
+        a.cols()
+    );
 
     // Lemma 3 and the §5 worked example.
     let (classes, perf) = truth(&f4, &[("l1", 0.0, 0.4), ("l2", 0.0, 0.2)]);

@@ -3,8 +3,8 @@
 
 use nni_core::{identify, Classes, Config, InferenceResult};
 use nni_emu::{
-    link_params, measured_routes, policer_at_fraction, shaper_at_fraction, CcKind,
-    Differentiation, RouteId, SimConfig, SimReport, Simulator, SizeDist, TrafficSpec,
+    link_params, measured_routes, policer_at_fraction, shaper_at_fraction, CcKind, Differentiation,
+    RouteId, SimConfig, SimReport, Simulator, SizeDist, TrafficSpec,
 };
 use nni_measure::{MeasuredObservations, NormalizeConfig};
 use nni_topology::library::{topology_a, PaperTopology};
@@ -125,7 +125,10 @@ pub fn run_topology_a(p: ExperimentParams) -> ExperimentOutcome {
             route: RouteId(path.index()),
             class: if is_c2 { 1 } else { 0 },
             cc,
-            size: SizeDist::ParetoMean { mean_bytes: bits / 8.0, shape: 1.5 },
+            size: SizeDist::ParetoMean {
+                mean_bytes: bits / 8.0,
+                shape: 1.5,
+            },
             mean_gap_s: p.mean_gap_s,
             parallel: p.flows_per_path,
         });
@@ -139,7 +142,10 @@ pub fn run_topology_a(p: ExperimentParams) -> ExperimentOutcome {
 
     let obs = MeasuredObservations::new(
         &report.log,
-        NormalizeConfig { loss_threshold: p.loss_threshold, seed: p.seed ^ 0xDEAD },
+        NormalizeConfig {
+            loss_threshold: p.loss_threshold,
+            seed: p.seed ^ 0xDEAD,
+        },
     );
     let inference = identify(g, &obs, Config::clustered());
     let flagged = inference.network_is_nonneutral();
@@ -181,10 +187,23 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
     // flows/path, a Table 1 value); the policing sets work at 20; the
     // shaping-rate sweep needs per-class load between the 40% and 50%
     // lane rates (24 flows/path).
-    let base = ExperimentParams { duration_s, seed, ..ExperimentParams::default() };
-    let heavy = ExperimentParams { flows_per_path: 70, ..base };
-    let policing_load = ExperimentParams { flows_per_path: 20, ..base };
-    let shaping_sweep_load = ExperimentParams { flows_per_path: 24, ..base };
+    let base = ExperimentParams {
+        duration_s,
+        seed,
+        ..ExperimentParams::default()
+    };
+    let heavy = ExperimentParams {
+        flows_per_path: 70,
+        ..base
+    };
+    let policing_load = ExperimentParams {
+        flows_per_path: 20,
+        ..base
+    };
+    let shaping_sweep_load = ExperimentParams {
+        flows_per_path: 24,
+        ..base
+    };
     let mb = 1e6;
     let sizes = [1.0 * mb, 10.0 * mb, 40.0 * mb, 10_000.0 * mb];
     let size_names = ["1", "10", "40", "10000"];
@@ -223,7 +242,14 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
             .iter()
             .zip(rtt_names)
             .map(|(&r, n)| {
-                (n.to_string(), ExperimentParams { rtt_c1_s: 0.05, rtt_c2_s: r, ..heavy })
+                (
+                    n.to_string(),
+                    ExperimentParams {
+                        rtt_c1_s: 0.05,
+                        rtt_c2_s: r,
+                        ..heavy
+                    },
+                )
             })
             .collect(),
     });
@@ -235,11 +261,19 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
         experiments: vec![
             (
                 "CUBIC/CUBIC".into(),
-                ExperimentParams { cc_c1: CcKind::Cubic, cc_c2: CcKind::Cubic, ..heavy },
+                ExperimentParams {
+                    cc_c1: CcKind::Cubic,
+                    cc_c2: CcKind::Cubic,
+                    ..heavy
+                },
             ),
             (
                 "CUBIC/NewReno".into(),
-                ExperimentParams { cc_c1: CcKind::Cubic, cc_c2: CcKind::NewReno, ..heavy },
+                ExperimentParams {
+                    cc_c1: CcKind::Cubic,
+                    cc_c2: CcKind::NewReno,
+                    ..heavy
+                },
             ),
         ],
     });
@@ -290,7 +324,13 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
             .iter()
             .zip(rate_names)
             .map(|(&f, n)| {
-                (n.to_string(), ExperimentParams { mechanism: Mechanism::Policing(f), ..policing_load })
+                (
+                    n.to_string(),
+                    ExperimentParams {
+                        mechanism: Mechanism::Policing(f),
+                        ..policing_load
+                    },
+                )
             })
             .collect(),
     });
@@ -344,7 +384,13 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
             .iter()
             .zip(rate_names)
             .map(|(&f, n)| {
-                (n.to_string(), ExperimentParams { mechanism: Mechanism::Shaping(f), ..shaping_sweep_load })
+                (
+                    n.to_string(),
+                    ExperimentParams {
+                        mechanism: Mechanism::Shaping(f),
+                        ..shaping_sweep_load
+                    },
+                )
             })
             .collect(),
     });

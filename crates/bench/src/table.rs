@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given header.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).

@@ -2,9 +2,8 @@
 
 use nni_core::{evaluate, identify, Config, InferenceResult, Quality};
 use nni_emu::{
-    background_route, link_params, long_flow, measured_routes, policer_at_fraction,
-    short_flow_mix, CcKind, QueueTrace, RouteId, SimConfig, SimReport, Simulator, SizeDist,
-    TrafficSpec,
+    background_route, link_params, long_flow, measured_routes, policer_at_fraction, short_flow_mix,
+    CcKind, QueueTrace, RouteId, SimConfig, SimReport, Simulator, SizeDist, TrafficSpec,
 };
 use nni_measure::{MeasuredObservations, NormalizeConfig};
 use nni_topology::library::{topology_b, PaperTopology};
@@ -129,7 +128,10 @@ pub fn run_topology_b(p: TopologyBParams) -> TopologyBOutcome {
             route: RouteId(path.index()),
             class: 1,
             cc: CcKind::Cubic,
-            size: SizeDist::ParetoMean { mean_bytes: 40e6 / 8.0, shape: 1.5 },
+            size: SizeDist::ParetoMean {
+                mean_bytes: 40e6 / 8.0,
+                shape: 1.5,
+            },
             mean_gap_s: 2.0,
             parallel: 3,
         });
@@ -148,8 +150,12 @@ pub fn run_topology_b(p: TopologyBParams) -> TopologyBOutcome {
         .link_ids()
         .map(|l| {
             [
-                report.link_truth.congestion_probability(l, 0, p.loss_threshold),
-                report.link_truth.congestion_probability(l, 1, p.loss_threshold),
+                report
+                    .link_truth
+                    .congestion_probability(l, 0, p.loss_threshold),
+                report
+                    .link_truth
+                    .congestion_probability(l, 1, p.loss_threshold),
             ]
         })
         .collect();
@@ -157,7 +163,10 @@ pub fn run_topology_b(p: TopologyBParams) -> TopologyBOutcome {
     // Inference.
     let obs = MeasuredObservations::new(
         &report.log,
-        NormalizeConfig { loss_threshold: p.loss_threshold, seed: p.seed ^ 0xBEEF },
+        NormalizeConfig {
+            loss_threshold: p.loss_threshold,
+            seed: p.seed ^ 0xBEEF,
+        },
     );
     let inference = identify(g, &obs, Config::clustered());
 
@@ -180,7 +189,11 @@ pub fn run_topology_b(p: TopologyBParams) -> TopologyBOutcome {
                     } else {
                         None
                     };
-                    TaggedEstimate { pair: e.pair, estimate: e.estimate, pure_class }
+                    TaggedEstimate {
+                        pair: e.pair,
+                        estimate: e.estimate,
+                        pure_class,
+                    }
                 })
                 .collect();
             (v.tau.clone(), tags, v.nonneutral)

@@ -74,7 +74,10 @@ pub struct Config {
 impl Config {
     /// Exact mode with the default tolerance.
     pub fn exact() -> Config {
-        Config { min_pairs: 2, mode: DecisionMode::Exact { tol: 1e-9 } }
+        Config {
+            min_pairs: 2,
+            mode: DecisionMode::Exact { tol: 1e-9 },
+        }
     }
 
     /// Clustered (measurement) mode with the default separation guard and
@@ -183,14 +186,21 @@ pub fn identify(topology: &Topology, obs: &impl Observations, cfg: Config) -> In
                 v.nonneutral = flag;
             }
         }
-        DecisionMode::Clustered { guard, abs_threshold, rel_margin } => {
+        DecisionMode::Clustered {
+            guard,
+            abs_threshold,
+            rel_margin,
+        } => {
             let scores: Vec<f64> = verdicts.iter().map(|v| v.unsolvability).collect();
             let clusters = two_means(&scores, guard);
             for (v, &high) in verdicts.iter_mut().zip(clusters.high.iter()) {
-                let mut mags: Vec<f64> =
-                    v.estimates.iter().map(|e| e.estimate.abs()).collect();
+                let mut mags: Vec<f64> = v.estimates.iter().map(|e| e.estimate.abs()).collect();
                 mags.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
-                let median = if mags.is_empty() { 0.0 } else { mags[mags.len() / 2] };
+                let median = if mags.is_empty() {
+                    0.0
+                } else {
+                    mags[mags.len() / 2]
+                };
                 let floor = abs_threshold.max(rel_margin * median);
                 v.nonneutral = high || v.unsolvability > floor;
             }
@@ -209,7 +219,12 @@ pub fn identify(topology: &Topology, obs: &impl Observations, cfg: Config) -> In
         .collect();
     let nonneutral = remove_redundant(&nonneutral_raw, &neutral);
 
-    InferenceResult { verdicts, nonneutral_raw, nonneutral, neutral }
+    InferenceResult {
+        verdicts,
+        nonneutral_raw,
+        nonneutral,
+        neutral,
+    }
 }
 
 /// Redundancy removal (§5): `τ ∈ Σ_n̄` is redundant iff there exists a set of
@@ -229,9 +244,7 @@ pub fn remove_redundant(nonneutral: &[LinkSeq], neutral: &[LinkSeq]) -> Vec<Link
                 .filter(|t| *t != *tau && t.is_subset_of(tau))
                 .chain(neutral.iter().filter(|t| t.is_subset_of(tau)))
                 .collect();
-            let has_nonneutral = candidates
-                .iter()
-                .any(|t| nonneutral.contains(t));
+            let has_nonneutral = candidates.iter().any(|t| nonneutral.contains(t));
             if !has_nonneutral {
                 return true; // keep: cannot be covered with a non-neutral member
             }
@@ -255,10 +268,7 @@ mod tests {
     use nni_topology::library::{figure4, figure5, topology_b};
     use nni_topology::LinkId;
 
-    fn oracle_for(
-        t: &nni_topology::PaperTopology,
-        perf: &NetworkPerf,
-    ) -> ExactOracle {
+    fn oracle_for(t: &nni_topology::PaperTopology, perf: &NetworkPerf) -> ExactOracle {
         let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
         ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, perf))
     }
@@ -278,10 +288,7 @@ mod tests {
         assert!(r.network_is_nonneutral());
         let mut got = r.nonneutral.clone();
         got.sort();
-        let mut want = vec![
-            LinkSeq::single(l1),
-            LinkSeq::new(vec![l1, l2]),
-        ];
+        let mut want = vec![LinkSeq::single(l1), LinkSeq::new(vec![l1, l2])];
         want.sort();
         assert_eq!(got, want);
         let granularity: f64 = got.iter().map(|s| s.len() as f64).sum::<f64>() / 2.0;
@@ -362,7 +369,7 @@ mod tests {
         let s12 = LinkSeq::new(vec![LinkId(1), LinkId(2)]);
         let s1 = LinkSeq::single(LinkId(1));
         let s2 = LinkSeq::single(LinkId(2));
-        let kept = remove_redundant(&[s12.clone()], &[s1, s2]);
+        let kept = remove_redundant(std::slice::from_ref(&s12), &[s1, s2]);
         assert_eq!(kept, vec![s12]);
     }
 

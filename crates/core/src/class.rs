@@ -142,23 +142,28 @@ mod tests {
     #[test]
     fn uncovered_path_rejected() {
         let t = dumbbell(2, 1);
-        let err =
-            Classes::new(&t.topology, vec![vec![PathId(0)], vec![PathId(2)]]).unwrap_err();
+        let err = Classes::new(&t.topology, vec![vec![PathId(0)], vec![PathId(2)]]).unwrap_err();
         assert_eq!(err, ClassError::Unclassified(PathId(1)));
     }
 
     #[test]
     fn unknown_path_rejected() {
         let t = dumbbell(1, 1);
-        let err = Classes::new(&t.topology, vec![vec![PathId(0), PathId(9)], vec![PathId(1)]])
-            .unwrap_err();
+        let err = Classes::new(
+            &t.topology,
+            vec![vec![PathId(0), PathId(9)], vec![PathId(1)]],
+        )
+        .unwrap_err();
         assert_eq!(err, ClassError::UnknownPath(PathId(9)));
     }
 
     #[test]
     fn empty_partition_rejected() {
         let t = dumbbell(1, 1);
-        assert_eq!(Classes::new(&t.topology, vec![]).unwrap_err(), ClassError::Empty);
+        assert_eq!(
+            Classes::new(&t.topology, vec![]).unwrap_err(),
+            ClassError::Empty
+        );
     }
 
     #[test]

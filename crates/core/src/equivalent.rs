@@ -142,9 +142,9 @@ impl EquivalentNetwork {
     /// Virtual links that are *regulation* links with a non-zero performance
     /// delta — the candidates for Theorem 1's witness.
     pub fn active_regulations(&self) -> impl Iterator<Item = &VirtualLink> {
-        self.links.iter().filter(|v| {
-            matches!(v.role, VirtualRole::Regulation { .. }) && v.perf > 1e-12
-        })
+        self.links
+            .iter()
+            .filter(|v| matches!(v.role, VirtualRole::Regulation { .. }) && v.perf > 1e-12)
     }
 }
 

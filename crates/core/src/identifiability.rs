@@ -116,8 +116,7 @@ mod tests {
     #[test]
     fn lemma3_implies_unsolvable_system4() {
         let (t, classes, perf) = figure4_truth();
-        let oracle =
-            ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
+        let oracle = ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
         let l1 = t.topology.link_by_name("l1").unwrap();
         let s = slice_for(&t.topology, &LinkSeq::single(l1)).unwrap();
         assert!(system4_unsolvable(&t.topology, &s, &oracle, 1e-9));
@@ -130,8 +129,7 @@ mod tests {
         let t = figure4();
         let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
         let perf = NetworkPerf::neutral(&[0.1, 0.2, 0.3, 0.1, 0.05, 0.2], 2);
-        let oracle =
-            ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
+        let oracle = ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
         for s in crate::slice::enumerate_slices(&t.topology) {
             assert!(
                 !system4_unsolvable(&t.topology, &s, &oracle, 1e-9),
@@ -148,8 +146,7 @@ mod tests {
         let l1 = t.topology.link_by_name("l1").unwrap();
         let perf = NetworkPerf::congestion_free(&t.topology, 2)
             .with_link(l1, LinkPerf::per_class(vec![0.0, (2.0_f64).ln()]));
-        let oracle =
-            ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
+        let oracle = ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
         let s = slice_for(&t.topology, &LinkSeq::single(l1)).unwrap();
         assert!(lemma3_condition(&s, &classes, 0));
         assert!(system4_unsolvable(&t.topology, &s, &oracle, 1e-9));

@@ -51,8 +51,7 @@ pub mod routing;
 pub mod slice;
 
 pub use algorithm::{
-    identify, remove_redundant, Config, DecisionMode, InferenceResult, PairEstimate,
-    SliceVerdict,
+    identify, remove_redundant, Config, DecisionMode, InferenceResult, PairEstimate, SliceVerdict,
 };
 pub use class::{ClassError, Classes};
 pub use equivalent::{EquivalentNetwork, VirtualLink, VirtualRole};

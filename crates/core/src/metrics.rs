@@ -68,7 +68,11 @@ pub fn evaluate(
         identified.iter().map(|s| s.len() as f64).sum::<f64>() / identified.len() as f64
     };
 
-    Quality { false_negative_rate, false_positive_rate, granularity }
+    Quality {
+        false_negative_rate,
+        false_positive_rate,
+        granularity,
+    }
 }
 
 #[cfg(test)]

@@ -32,11 +32,7 @@ pub struct ObservabilityReport {
 }
 
 /// Decides observability via the structural condition of Theorem 1.
-pub fn theorem1(
-    topology: &Topology,
-    classes: &Classes,
-    perf: &NetworkPerf,
-) -> ObservabilityReport {
+pub fn theorem1(topology: &Topology, classes: &Classes, perf: &NetworkPerf) -> ObservabilityReport {
     let eq = EquivalentNetwork::build(topology, classes, perf);
     let mut witnesses = Vec::new();
     for v in eq.active_regulations() {
@@ -52,7 +48,10 @@ pub fn theorem1(
             witnesses.push((v.origin, class));
         }
     }
-    ObservabilityReport { observable: !witnesses.is_empty(), witnesses }
+    ObservabilityReport {
+        observable: !witnesses.is_empty(),
+        witnesses,
+    }
 }
 
 /// Brute-force oracle: builds System 3 over the full power set `P*` with the
@@ -99,10 +98,7 @@ mod tests {
     use nni_linalg::rank_default;
     use nni_topology::library::{figure1, figure2, figure4, figure5, PaperTopology};
 
-    fn two_class_truth(
-        t: &PaperTopology,
-        deltas: &[(&str, f64, f64)],
-    ) -> (Classes, NetworkPerf) {
+    fn two_class_truth(t: &PaperTopology, deltas: &[(&str, f64, f64)]) -> (Classes, NetworkPerf) {
         let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
         let mut perf = NetworkPerf::congestion_free(&t.topology, 2);
         for &(name, x1, x2) in deltas {
@@ -121,7 +117,10 @@ mod tests {
         // Witness: l1's regulation of class 2, {p2} ∩ Paths(l1) = {p2} —
         // traversed by p2 alone, but no original link is traversed by p2
         // alone (l1: {p1,p2}, l2: {p1}, l3: {p2,p3}, l4: {p3}).
-        assert_eq!(r.witnesses, vec![(t.topology.link_by_name("l1").unwrap(), 1)]);
+        assert_eq!(
+            r.witnesses,
+            vec![(t.topology.link_by_name("l1").unwrap(), 1)]
+        );
         assert!(unsolvable_over_power_set(&t.topology, &classes, &perf));
     }
 
@@ -138,8 +137,7 @@ mod tests {
     #[test]
     fn figure4_violation_is_observable() {
         let t = figure4();
-        let (classes, perf) =
-            two_class_truth(&t, &[("l1", 0.0, 0.4), ("l2", 0.1, 0.3)]);
+        let (classes, perf) = two_class_truth(&t, &[("l1", 0.0, 0.4), ("l2", 0.1, 0.3)]);
         let r = theorem1(&t.topology, &classes, &perf);
         assert!(r.observable);
         assert!(unsolvable_over_power_set(&t.topology, &classes, &perf));
@@ -158,10 +156,7 @@ mod tests {
     fn neutral_network_never_observable() {
         for t in [figure1(), figure2(), figure4(), figure5()] {
             let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
-            let perf = NetworkPerf::neutral(
-                &vec![0.1; t.topology.link_count()],
-                classes.count(),
-            );
+            let perf = NetworkPerf::neutral(&vec![0.1; t.topology.link_count()], classes.count());
             assert!(!theorem1(&t.topology, &classes, &perf).observable);
             assert!(!unsolvable_over_power_set(&t.topology, &classes, &perf));
         }

@@ -22,7 +22,10 @@ use nni_topology::{LinkId, Topology};
 /// Panics when `p` is outside `(0, 1]` — a zero probability has an infinite
 /// performance number and is rejected rather than silently propagated.
 pub fn perf_from_prob(p: f64) -> f64 {
-    assert!(p > 0.0 && p <= 1.0, "congestion-free probability must be in (0, 1]");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "congestion-free probability must be in (0, 1]"
+    );
     -p.ln()
 }
 
@@ -42,13 +45,18 @@ impl LinkPerf {
     /// A neutral link: the same number for every class.
     pub fn neutral(x: f64, class_count: usize) -> LinkPerf {
         assert!(x >= 0.0, "performance numbers are non-negative");
-        LinkPerf { per_class: vec![x; class_count] }
+        LinkPerf {
+            per_class: vec![x; class_count],
+        }
     }
 
     /// A (possibly) non-neutral link from explicit per-class numbers.
     pub fn per_class(xs: Vec<f64>) -> LinkPerf {
         assert!(!xs.is_empty(), "at least one class required");
-        assert!(xs.iter().all(|&x| x >= 0.0), "performance numbers are non-negative");
+        assert!(
+            xs.iter().all(|&x| x >= 0.0),
+            "performance numbers are non-negative"
+        );
         LinkPerf { per_class: xs }
     }
 
@@ -64,7 +72,9 @@ impl LinkPerf {
 
     /// Whether the link is neutral: identical numbers for all classes (§2.3).
     pub fn is_neutral(&self) -> bool {
-        self.per_class.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12)
+        self.per_class
+            .windows(2)
+            .all(|w| (w[0] - w[1]).abs() < 1e-12)
     }
 
     /// The *top-priority class*: the class with the highest performance,
@@ -91,7 +101,10 @@ impl NetworkPerf {
     /// A fully neutral network where link `l` has performance `xs[l]`.
     pub fn neutral(xs: &[f64], class_count: usize) -> NetworkPerf {
         NetworkPerf {
-            links: xs.iter().map(|&x| LinkPerf::neutral(x, class_count)).collect(),
+            links: xs
+                .iter()
+                .map(|&x| LinkPerf::neutral(x, class_count))
+                .collect(),
             class_count,
         }
     }
@@ -211,8 +224,8 @@ mod tests {
     #[test]
     fn network_overrides() {
         let xs = [0.0, 0.0, 0.0];
-        let net = NetworkPerf::neutral(&xs, 2)
-            .with_link(LinkId(1), LinkPerf::per_class(vec![0.0, 0.69]));
+        let net =
+            NetworkPerf::neutral(&xs, 2).with_link(LinkId(1), LinkPerf::per_class(vec![0.0, 0.69]));
         assert!(net.link(LinkId(0)).is_neutral());
         assert!(!net.link(LinkId(1)).is_neutral());
         assert_eq!(net.nonneutral_links(), vec![LinkId(1)]);

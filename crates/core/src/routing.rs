@@ -68,10 +68,7 @@ mod tests {
     fn pathset_row_is_or_of_singleton_rows() {
         let t = figure1();
         let (p1, p3) = (PathId(0), PathId(2));
-        let single = routing_matrix(
-            &t.topology,
-            &[PathSet::single(p1), PathSet::single(p3)],
-        );
+        let single = routing_matrix(&t.topology, &[PathSet::single(p1), PathSet::single(p3)]);
         let pair = routing_matrix(&t.topology, &[PathSet::pair(p1, p3)]);
         for k in 0..t.topology.link_count() {
             let or = (single[(0, k)] != 0.0 || single[(1, k)] != 0.0) as u8 as f64;

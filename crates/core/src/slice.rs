@@ -44,10 +44,14 @@ impl Slice {
         let mut paths: Vec<PathId> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
         paths.sort();
         paths.dedup();
-        let mut pathsets: Vec<PathSet> =
-            paths.iter().map(|&p| PathSet::single(p)).collect();
+        let mut pathsets: Vec<PathSet> = paths.iter().map(|&p| PathSet::single(p)).collect();
         pathsets.extend(pairs.iter().map(|&(a, b)| PathSet::pair(a, b)));
-        Slice { tau, pairs, paths, pathsets }
+        Slice {
+            tau,
+            pairs,
+            paths,
+            pathsets,
+        }
     }
 
     /// `|Θ_τ|` — Algorithm 1 keeps slices with at least 5 pathsets, which is
@@ -87,7 +91,11 @@ impl Slice {
     /// `self.pathsets`: the unique solution of the pair's 3-equation
     /// sub-system is `x_τ = y_i + y_j − y_{ij}` (Appendix, Equation 14).
     pub fn pair_estimates(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.pathsets.len(), "observation vector misaligned");
+        assert_eq!(
+            y.len(),
+            self.pathsets.len(),
+            "observation vector misaligned"
+        );
         let idx_of = |p: PathId| -> usize {
             self.paths
                 .binary_search(&p)
@@ -141,7 +149,9 @@ pub fn enumerate_slices(topology: &Topology) -> Vec<Slice> {
 
 /// The slice for a specific `τ`, if any path pair shares exactly `τ`.
 pub fn slice_for(topology: &Topology, tau: &LinkSeq) -> Option<Slice> {
-    enumerate_slices(topology).into_iter().find(|s| &s.tau == tau)
+    enumerate_slices(topology)
+        .into_iter()
+        .find(|s| &s.tau == tau)
 }
 
 /// `Paths(τ)` — the normalization group for Algorithm 2 (§6.2): every path
@@ -263,8 +273,7 @@ mod tests {
     fn topology_b_has_rich_slice_population() {
         let t = topology_b();
         let slices = enumerate_slices(&t.topology);
-        let analyzable: Vec<&Slice> =
-            slices.iter().filter(|s| s.pair_count() >= 2).collect();
+        let analyzable: Vec<&Slice> = slices.iter().filter(|s| s.pair_count() >= 2).collect();
         assert!(
             analyzable.len() >= 12,
             "expected a rich population, got {}",

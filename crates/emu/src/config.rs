@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn warmup_interval_count() {
-        let c = SimConfig { warmup_s: 5.0, interval_s: 0.1, ..Default::default() };
+        let c = SimConfig {
+            warmup_s: 5.0,
+            interval_s: 0.1,
+            ..Default::default()
+        };
         assert_eq!(c.warmup_intervals(), 50);
     }
 }

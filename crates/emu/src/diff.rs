@@ -105,12 +105,14 @@ impl DiffRuntime {
     pub fn new(cfg: &Differentiation) -> DiffRuntime {
         match cfg {
             Differentiation::None => DiffRuntime::None,
-            Differentiation::Policing { class, rate_bps, burst_bytes } => {
-                DiffRuntime::Policer {
-                    class: *class,
-                    bucket: TokenBucket::new(*rate_bps, *burst_bytes),
-                }
-            }
+            Differentiation::Policing {
+                class,
+                rate_bps,
+                burst_bytes,
+            } => DiffRuntime::Policer {
+                class: *class,
+                bucket: TokenBucket::new(*rate_bps, *burst_bytes),
+            },
             Differentiation::Shaping { lanes } => DiffRuntime::Shaper {
                 lanes: lanes
                     .iter()
@@ -164,7 +166,10 @@ impl DiffRuntime {
                     let dt = lane.bucket.time_until_available(head.size as u64);
                     Some(now + dt.max(SimTime(1)))
                 };
-                DiffOutcome::Buffered { lane: idx, schedule_release }
+                DiffOutcome::Buffered {
+                    lane: idx,
+                    schedule_release,
+                }
             }
         }
     }
@@ -227,8 +232,14 @@ mod tests {
     #[test]
     fn neutral_passes_everything() {
         let mut d = DiffRuntime::new(&Differentiation::None);
-        assert!(matches!(d.ingress(SimTime::ZERO, pkt(0, 1500, 0)), DiffOutcome::Pass(_)));
-        assert!(matches!(d.ingress(SimTime::ZERO, pkt(1, 1500, 1)), DiffOutcome::Pass(_)));
+        assert!(matches!(
+            d.ingress(SimTime::ZERO, pkt(0, 1500, 0)),
+            DiffOutcome::Pass(_)
+        ));
+        assert!(matches!(
+            d.ingress(SimTime::ZERO, pkt(1, 1500, 1)),
+            DiffOutcome::Pass(_)
+        ));
     }
 
     #[test]
@@ -240,14 +251,26 @@ mod tests {
         });
         // Class 0 always passes.
         for i in 0..10 {
-            assert!(matches!(d.ingress(SimTime::ZERO, pkt(0, 1500, i)), DiffOutcome::Pass(_)));
+            assert!(matches!(
+                d.ingress(SimTime::ZERO, pkt(0, 1500, i)),
+                DiffOutcome::Pass(_)
+            ));
         }
         // Class 1: first packet conforms (full bucket), second is dropped.
-        assert!(matches!(d.ingress(SimTime::ZERO, pkt(1, 1500, 10)), DiffOutcome::Pass(_)));
-        assert!(matches!(d.ingress(SimTime::ZERO, pkt(1, 1500, 11)), DiffOutcome::Drop(_)));
+        assert!(matches!(
+            d.ingress(SimTime::ZERO, pkt(1, 1500, 10)),
+            DiffOutcome::Pass(_)
+        ));
+        assert!(matches!(
+            d.ingress(SimTime::ZERO, pkt(1, 1500, 11)),
+            DiffOutcome::Drop(_)
+        ));
         // After 1.5 s the bucket refills 1500 bytes.
         let later = SimTime::from_secs_f64(1.5);
-        assert!(matches!(d.ingress(later, pkt(1, 1500, 12)), DiffOutcome::Pass(_)));
+        assert!(matches!(
+            d.ingress(later, pkt(1, 1500, 12)),
+            DiffOutcome::Pass(_)
+        ));
     }
 
     #[test]
@@ -261,22 +284,34 @@ mod tests {
             }],
         });
         // First conforms.
-        assert!(matches!(d.ingress(SimTime::ZERO, pkt(1, 1500, 0)), DiffOutcome::Pass(_)));
+        assert!(matches!(
+            d.ingress(SimTime::ZERO, pkt(1, 1500, 0)),
+            DiffOutcome::Pass(_)
+        ));
         // Second buffers with a release scheduled 1.5 s out.
         match d.ingress(SimTime::ZERO, pkt(1, 1500, 1)) {
-            DiffOutcome::Buffered { lane: 0, schedule_release: Some(at) } => {
+            DiffOutcome::Buffered {
+                lane: 0,
+                schedule_release: Some(at),
+            } => {
                 assert!((at.as_secs_f64() - 1.5).abs() < 1e-6);
             }
             other => panic!("expected buffered, got {other:?}"),
         }
         // Third buffers without a new release (one pending).
         match d.ingress(SimTime::ZERO, pkt(1, 1500, 2)) {
-            DiffOutcome::Buffered { schedule_release: None, .. } => {}
+            DiffOutcome::Buffered {
+                schedule_release: None,
+                ..
+            } => {}
             other => panic!("expected buffered w/o release, got {other:?}"),
         }
         assert_eq!(d.buffered_bytes(), 3000);
         // Fourth overflows the 3000-byte buffer.
-        assert!(matches!(d.ingress(SimTime::ZERO, pkt(1, 1500, 3)), DiffOutcome::Drop(_)));
+        assert!(matches!(
+            d.ingress(SimTime::ZERO, pkt(1, 1500, 3)),
+            DiffOutcome::Drop(_)
+        ));
 
         // Release at t = 1.5 s frees exactly one packet; next release queued.
         let (released, next) = d.release(SimTime::from_secs_f64(1.5), 0);
@@ -301,7 +336,10 @@ mod tests {
             }],
         });
         for i in 0..20 {
-            assert!(matches!(d.ingress(SimTime::ZERO, pkt(0, 1500, i)), DiffOutcome::Pass(_)));
+            assert!(matches!(
+                d.ingress(SimTime::ZERO, pkt(0, 1500, i)),
+                DiffOutcome::Pass(_)
+            ));
         }
     }
 }

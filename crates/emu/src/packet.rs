@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn route_holds_links_and_path() {
-        let r = Route { links: vec![LinkId(0), LinkId(2)], path: Some(PathId(1)) };
+        let r = Route {
+            links: vec![LinkId(0), LinkId(2)],
+            path: Some(PathId(1)),
+        };
         assert_eq!(r.links.len(), 2);
         assert_eq!(r.path, Some(PathId(1)));
     }

@@ -36,7 +36,10 @@ pub fn measured_routes(topology: &Topology) -> Vec<Route> {
     topology
         .paths()
         .iter()
-        .map(|p| Route { links: p.links().to_vec(), path: Some(p.id()) })
+        .map(|p| Route {
+            links: p.links().to_vec(),
+            path: Some(p.id()),
+        })
         .collect()
 }
 
@@ -89,7 +92,9 @@ pub fn shaper_at_fraction(
     };
     (
         link,
-        Differentiation::Shaping { lanes: vec![lane(0, 1.0 - fraction), lane(1, fraction)] },
+        Differentiation::Shaping {
+            lanes: vec![lane(0, 1.0 - fraction), lane(1, fraction)],
+        },
     )
 }
 
@@ -102,7 +107,10 @@ mod tests {
     fn link_params_carry_topology_attributes() {
         let t = topology_a(0.05, 0.05);
         let l5 = t.topology.link_by_name("l5").unwrap();
-        let params = link_params(&t.topology, &[policer_at_fraction(&t.topology, l5, 1, 0.2, 0.01)]);
+        let params = link_params(
+            &t.topology,
+            &[policer_at_fraction(&t.topology, l5, 1, 0.2, 0.01)],
+        );
         assert_eq!(params.len(), 9);
         assert_eq!(params[l5.index()].rate_bps, 100e6);
         assert!(matches!(

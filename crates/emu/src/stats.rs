@@ -21,13 +21,20 @@ pub struct LinkTruth {
 impl LinkTruth {
     /// Creates an empty ground-truth recorder.
     pub fn new(n_links: usize, n_classes: usize) -> LinkTruth {
-        LinkTruth { n_links, n_classes, offered: Vec::new(), dropped: Vec::new() }
+        LinkTruth {
+            n_links,
+            n_classes,
+            offered: Vec::new(),
+            dropped: Vec::new(),
+        }
     }
 
     fn ensure(&mut self, t: usize) {
         while self.offered.len() <= t {
-            self.offered.push(vec![vec![0; self.n_classes]; self.n_links]);
-            self.dropped.push(vec![vec![0; self.n_classes]; self.n_links]);
+            self.offered
+                .push(vec![vec![0; self.n_classes]; self.n_links]);
+            self.dropped
+                .push(vec![vec![0; self.n_classes]; self.n_links]);
         }
     }
 

@@ -38,7 +38,11 @@ struct CubicState {
 
 impl CubicState {
     fn new() -> CubicState {
-        CubicState { w_max: 0.0, epoch_start: None, k: 0.0 }
+        CubicState {
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+        }
     }
 
     fn on_loss(&mut self, cwnd: f64) {

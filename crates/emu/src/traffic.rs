@@ -79,7 +79,10 @@ pub fn short_flow_mix(route: RouteId, class: ClassLabel, cc: CcKind) -> Vec<Traf
             route,
             class,
             cc,
-            size: SizeDist::ParetoMean { mean_bytes: mean_bits / 8.0, shape: 1.5 },
+            size: SizeDist::ParetoMean {
+                mean_bytes: mean_bits / 8.0,
+                shape: 1.5,
+            },
             mean_gap_s: 10.0,
             parallel: 1,
         })
@@ -92,7 +95,9 @@ pub fn long_flow(route: RouteId, class: ClassLabel, cc: CcKind) -> TrafficSpec {
         route,
         class,
         cc,
-        size: SizeDist::Fixed { bytes: (10e9 / 8.0) as u64 },
+        size: SizeDist::Fixed {
+            bytes: (10e9 / 8.0) as u64,
+        },
         mean_gap_s: 10.0,
         parallel: 1,
     }
@@ -114,7 +119,10 @@ mod tests {
     #[test]
     fn pareto_sizes_scatter_around_mean() {
         let mut rng = StdRng::seed_from_u64(3);
-        let d = SizeDist::ParetoMean { mean_bytes: 125_000.0, shape: 1.5 };
+        let d = SizeDist::ParetoMean {
+            mean_bytes: 125_000.0,
+            shape: 1.5,
+        };
         let n = 50_000;
         let sum: u64 = (0..n).map(|_| d.sample(&mut rng, 1500)).sum();
         let mean = sum as f64 / n as f64;
@@ -139,7 +147,10 @@ mod tests {
         for _ in 0..100 {
             assert!(spec.sample_gap(&mut rng) >= 0.0);
         }
-        let zero_gap = TrafficSpec { mean_gap_s: 0.0, ..spec };
+        let zero_gap = TrafficSpec {
+            mean_gap_s: 0.0,
+            ..spec
+        };
         assert_eq!(zero_gap.sample_gap(&mut rng), 0.0);
     }
 

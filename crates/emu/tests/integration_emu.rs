@@ -3,14 +3,19 @@
 //! measurement-log alignment.
 
 use nni_emu::{
-    link_params, measured_routes, shaper_at_fraction, CcKind, Differentiation, LinkParams,
-    Route, RouteId, SimConfig, SimReport, Simulator, SizeDist, TrafficSpec,
+    link_params, measured_routes, shaper_at_fraction, CcKind, Differentiation, LinkParams, Route,
+    RouteId, SimConfig, SimReport, Simulator, SizeDist, TrafficSpec,
 };
 use nni_topology::library::topology_a;
 use nni_topology::{LinkId, PathId};
 
 fn quick_cfg(duration: f64, seed: u64) -> SimConfig {
-    SimConfig { duration_s: duration, warmup_s: 1.0, seed, ..SimConfig::default() }
+    SimConfig {
+        duration_s: duration,
+        warmup_s: 1.0,
+        seed,
+        ..SimConfig::default()
+    }
 }
 
 /// One flow per class through a 50/20 shaped bottleneck: the shaped-down
@@ -34,23 +39,26 @@ fn shaper_end_to_end_throttles_one_class() {
             route: RouteId(path.index()),
             class: c2 as u8,
             cc: CcKind::Cubic,
-            size: SizeDist::Fixed { bytes: 1_000_000_000 },
+            size: SizeDist::Fixed {
+                bytes: 1_000_000_000,
+            },
             mean_gap_s: 10.0,
             parallel: 1,
         });
     }
     let report = sim.run();
     let goodput = |p: usize| {
-        (report.log.total_sent(PathId(p)) - report.log.total_lost(PathId(p))) as f64
-            * 1500.0
-            * 8.0
+        (report.log.total_sent(PathId(p)) - report.log.total_lost(PathId(p))) as f64 * 1500.0 * 8.0
             / 30.0
     };
     let c1 = goodput(0) + goodput(1);
     let c2 = goodput(2) + goodput(3);
     // Class 2 shaped to 20 Mb/s, class 1 to 80 Mb/s.
     assert!(c2 < 25e6, "shaped class exceeded its lane: {c2:.0} b/s");
-    assert!(c1 > 40e6, "unshaped class should use its 80 Mb/s lane: {c1:.0} b/s");
+    assert!(
+        c1 > 40e6,
+        "unshaped class should use its 80 Mb/s lane: {c1:.0} b/s"
+    );
 }
 
 /// NewReno and CUBIC both sustain a single bottleneck, and CUBIC (faster
@@ -72,14 +80,18 @@ fn cubic_competitive_with_newreno() {
                 queue_bytes: Some(100_000),
             },
         ];
-        let routes =
-            vec![Route { links: vec![LinkId(0), LinkId(1)], path: Some(PathId(0)) }];
+        let routes = vec![Route {
+            links: vec![LinkId(0), LinkId(1)],
+            path: Some(PathId(0)),
+        }];
         let mut sim = Simulator::new(links, routes, 1, 1, quick_cfg(30.0, 5));
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
             cc,
-            size: SizeDist::Fixed { bytes: 1_000_000_000 },
+            size: SizeDist::Fixed {
+                bytes: 1_000_000_000,
+            },
             mean_gap_s: 10.0,
             parallel: 1,
         });
@@ -88,7 +100,10 @@ fn cubic_competitive_with_newreno() {
     let newreno = run(CcKind::NewReno);
     let cubic = run(CcKind::Cubic);
     let line_rate = (20e6 * 30.0 / (1500.0 * 8.0)) as u64;
-    assert!(newreno > line_rate / 3, "NewReno too slow: {newreno}/{line_rate}");
+    assert!(
+        newreno > line_rate / 3,
+        "NewReno too slow: {newreno}/{line_rate}"
+    );
     assert!(cubic > line_rate / 3, "CUBIC too slow: {cubic}/{line_rate}");
     assert!(
         cubic * 10 >= newreno * 7,
@@ -116,7 +131,9 @@ fn rtt_dependence_of_goodput() {
                 route: RouteId(p),
                 class: 0,
                 cc: CcKind::NewReno,
-                size: SizeDist::Fixed { bytes: 1_000_000_000 },
+                size: SizeDist::Fixed {
+                    bytes: 1_000_000_000,
+                },
                 mean_gap_s: 10.0,
                 parallel: 1,
             });
@@ -141,14 +158,22 @@ fn total_log_sent(report: &SimReport) -> u64 {
 fn measurement_log_alignment() {
     let paper = topology_a(0.05, 0.05);
     let g = &paper.topology;
-    let cfg = SimConfig { duration_s: 10.0, warmup_s: 0.0, seed: 6, ..SimConfig::default() };
+    let cfg = SimConfig {
+        duration_s: 10.0,
+        warmup_s: 0.0,
+        seed: 6,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(link_params(g, &[]), measured_routes(g), 4, 2, cfg);
     for p in 0..4 {
         sim.add_traffic(TrafficSpec {
             route: RouteId(p),
             class: 0,
             cc: CcKind::Cubic,
-            size: SizeDist::ParetoMean { mean_bytes: 500_000.0, shape: 1.5 },
+            size: SizeDist::ParetoMean {
+                mean_bytes: 500_000.0,
+                shape: 1.5,
+            },
             mean_gap_s: 1.0,
             parallel: 2,
         });
@@ -176,18 +201,29 @@ fn shaper_with_large_buffer_delays_not_drops() {
         },
         queue_bytes: None,
     }];
-    let routes = vec![Route { links: vec![LinkId(0)], path: Some(PathId(0)) }];
+    let routes = vec![Route {
+        links: vec![LinkId(0)],
+        path: Some(PathId(0)),
+    }];
     let mut sim = Simulator::new(links, routes, 1, 1, quick_cfg(20.0, 12));
     sim.add_traffic(TrafficSpec {
         route: RouteId(0),
         class: 0,
         cc: CcKind::Cubic,
-        size: SizeDist::Fixed { bytes: 1_000_000_000 },
+        size: SizeDist::Fixed {
+            bytes: 1_000_000_000,
+        },
         mean_gap_s: 10.0,
         parallel: 1,
     });
     let report = sim.run();
-    assert_eq!(report.segments_dropped, 0, "nothing may drop with a huge buffer");
+    assert_eq!(
+        report.segments_dropped, 0,
+        "nothing may drop with a huge buffer"
+    );
     let rate = report.segments_delivered as f64 * 1500.0 * 8.0 / 20.0;
-    assert!(rate < 12e6, "shaper must still enforce ~10 Mb/s, got {rate:.0}");
+    assert!(
+        rate < 12e6,
+        "shaper must still enforce ~10 Mb/s, got {rate:.0}"
+    );
 }

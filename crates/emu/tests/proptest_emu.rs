@@ -1,8 +1,8 @@
 //! Property-based tests for the emulator substrate.
 
 use nni_emu::{
-    CcKind, CongestionControl, Differentiation, LinkParams, Route, RouteId, SimConfig,
-    SimTime, Simulator, SizeDist, TokenBucket, TrafficSpec,
+    CcKind, CongestionControl, Differentiation, LinkParams, Route, RouteId, SimConfig, SimTime,
+    Simulator, SizeDist, TokenBucket, TrafficSpec,
 };
 use nni_topology::{LinkId, PathId};
 use proptest::prelude::*;

@@ -75,7 +75,11 @@ pub fn rref(a: &Matrix, tol: f64) -> Echelon {
     }
 
     let rank = pivot_cols.len();
-    Echelon { matrix: m, pivot_cols, rank }
+    Echelon {
+        matrix: m,
+        pivot_cols,
+        rank,
+    }
 }
 
 /// Rank of `a` with tolerance `tol`.
@@ -125,7 +129,11 @@ mod tests {
     #[test]
     fn rank_detects_dependent_cols() {
         // col2 = col0 + col1
-        let a = m(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0], vec![1.0, 1.0, 2.0]]);
+        let a = m(&[
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 2.0],
+        ]);
         assert_eq!(rank_default(&a), 2);
     }
 
@@ -145,7 +153,11 @@ mod tests {
 
     #[test]
     fn rref_known_echelon() {
-        let a = m(&[vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0], vec![1.0, 1.0, 1.0]]);
+        let a = m(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![1.0, 1.0, 1.0],
+        ]);
         let e = rref(&a, default_tolerance(&a));
         assert_eq!(e.rank, 2);
         assert_eq!(e.pivot_cols, vec![0, 1]);

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -46,7 +50,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -196,7 +204,10 @@ impl Matrix {
     /// `row(dst) += factor * row(src)` in place.
     pub fn add_scaled_row(&mut self, dst: usize, src: usize, factor: f64) {
         assert!(dst != src, "source and destination rows must differ");
-        assert!(dst < self.rows && src < self.rows, "row index out of bounds");
+        assert!(
+            dst < self.rows && src < self.rows,
+            "row index out of bounds"
+        );
         let c = self.cols;
         let (src_off, dst_off) = (src * c, dst * c);
         for j in 0..c {

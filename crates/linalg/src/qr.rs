@@ -80,13 +80,13 @@ impl Qr {
                 continue;
             }
             let mut s = y[j];
-            for i in j + 1..m {
-                s += self.factors[(i, j)] * y[i];
+            for (i, yi) in y.iter().enumerate().take(m).skip(j + 1) {
+                s += self.factors[(i, j)] * yi;
             }
             s *= tau;
             y[j] -= s;
-            for i in j + 1..m {
-                y[i] -= s * self.factors[(i, j)];
+            for (i, yi) in y.iter_mut().enumerate().take(m).skip(j + 1) {
+                *yi -= s * self.factors[(i, j)];
             }
         }
     }
@@ -107,8 +107,8 @@ impl Qr {
         let tol = rmax.max(1.0) * (n.max(m) as f64) * f64::EPSILON;
         for i in (0..k).rev() {
             let mut s = rhs[i];
-            for j in i + 1..n {
-                s -= self.factors[(i, j)] * x[j];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.factors[(i, j)] * xj;
             }
             let d = self.factors[(i, i)];
             x[i] = if d.abs() <= tol { 0.0 } else { s / d };
@@ -141,15 +141,13 @@ pub fn qr_reconstruction_error(a: &Matrix) -> f64 {
     for j in 0..n {
         let mut col = a.col(j);
         qr.apply_qt(&mut col);
-        for i in 0..m.min(n) {
-            let rij = if i <= j { qr.factors[(i, j)] } else { 0.0 };
-            if i <= j || i < m.min(n) {
-                let want = if i <= j { rij } else { 0.0 };
-                err = err.max((col[i] - want).abs());
-            }
+        // Rows up to the triangle must match R; rows below it must be zero.
+        for (i, &ci) in col.iter().enumerate().take(m.min(n)) {
+            let want = if i <= j { qr.factors[(i, j)] } else { 0.0 };
+            err = err.max((ci - want).abs());
         }
-        for i in n.min(m)..m {
-            err = err.max(col[i].abs());
+        for &ci in &col[n.min(m)..] {
+            err = err.max(ci.abs());
         }
     }
     err
@@ -197,7 +195,10 @@ mod tests {
         let r = residual(&a, &x, &y);
         for j in 0..a.cols() {
             let c = a.col(j);
-            assert!(dot(&c, &r).abs() < 1e-9, "residual not orthogonal to col {j}");
+            assert!(
+                dot(&c, &r).abs() < 1e-9,
+                "residual not orthogonal to col {j}"
+            );
         }
     }
 

@@ -54,15 +54,22 @@ pub fn analyze(a: &Matrix, y: &[f64], tol: f64) -> Solvability {
     let e = rref(&aug, tol);
     let n = a.cols();
     // Inconsistent iff some pivot lands in the augmented (last) column.
-    let inconsistent = e.pivot_cols.iter().any(|&c| c == n);
+    let inconsistent = e.pivot_cols.contains(&n);
     if inconsistent {
         let ls = lstsq(a, y);
         let residual = {
-            let r: Vec<f64> =
-                a.matvec(&ls).iter().zip(y).map(|(ax, yy)| ax - yy).collect();
+            let r: Vec<f64> = a
+                .matvec(&ls)
+                .iter()
+                .zip(y)
+                .map(|(ax, yy)| ax - yy)
+                .collect();
             norm2(&r)
         };
-        return Solvability::Inconsistent { residual, least_squares: ls };
+        return Solvability::Inconsistent {
+            residual,
+            least_squares: ls,
+        };
     }
     // Particular solution: pivot variables from RREF, free variables zero.
     let mut solution = vec![0.0; n];
@@ -130,7 +137,10 @@ mod tests {
         // x = 0 and x = 1 simultaneously.
         let a = m(&[vec![1.0], vec![1.0]]);
         match analyze_default(&a, &[0.0, 1.0]) {
-            Solvability::Inconsistent { residual, least_squares } => {
+            Solvability::Inconsistent {
+                residual,
+                least_squares,
+            } => {
                 assert!((least_squares[0] - 0.5).abs() < 1e-9);
                 assert!((residual - (0.5_f64).sqrt()).abs() < 1e-9);
             }
@@ -160,10 +170,7 @@ mod tests {
         // nni-core's observability tests. Here we test the mechanism with a
         // directly inconsistent augmentation: p1 says x1 + x2 = 0 while
         // another vantage claims x1 + x2 = 1.
-        let a2 = m(&[
-            vec![1.0, 1.0, 0.0, 0.0],
-            vec![1.0, 1.0, 0.0, 0.0],
-        ]);
+        let a2 = m(&[vec![1.0, 1.0, 0.0, 0.0], vec![1.0, 1.0, 0.0, 0.0]]);
         assert!(!is_solvable(&a2, &[0.0, 1.0], 1e-9));
     }
 

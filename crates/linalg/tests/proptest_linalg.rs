@@ -1,8 +1,8 @@
 //! Property-based tests for the linear algebra kernel.
 
 use nni_linalg::{
-    analyze, default_tolerance, dot, in_column_space, lstsq, norm2, rank, residual,
-    Matrix, Solvability,
+    analyze, default_tolerance, dot, in_column_space, lstsq, norm2, rank, residual, Matrix,
+    Solvability,
 };
 use proptest::prelude::*;
 

@@ -31,12 +31,7 @@ use nni_topology::PathId;
 /// `remaining_draw / remaining_total`. Runs in `O(marked)` — loss counts are
 /// small, packet counts large, so this is far cheaper than sampling the
 /// packets themselves.
-pub fn hypergeometric<R: Rng + ?Sized>(
-    rng: &mut R,
-    total: u64,
-    marked: u64,
-    draw: u64,
-) -> u64 {
+pub fn hypergeometric<R: Rng + ?Sized>(rng: &mut R, total: u64, marked: u64, draw: u64) -> u64 {
     assert!(marked <= total, "cannot mark more than total");
     assert!(draw <= total, "cannot draw more than total");
     let mut remaining_total = total;
@@ -68,7 +63,10 @@ pub struct NormalizeConfig {
 
 impl Default for NormalizeConfig {
     fn default() -> Self {
-        NormalizeConfig { loss_threshold: 0.01, seed: 0x5eed }
+        NormalizeConfig {
+            loss_threshold: 0.01,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -85,6 +83,9 @@ pub fn group_indicators(
 ) -> Vec<Vec<Option<bool>>> {
     let t_max = log.interval_count();
     let mut out = vec![vec![None; t_max]; group.len()];
+    // `t` is an interval id: it keys the log, the RNG seed, and the output
+    // column, so an index loop is clearer than iterator gymnastics here.
+    #[allow(clippy::needless_range_loop)]
     for t in 0..t_max {
         let m = group.iter().map(|&p| log.sent(t, p)).min().unwrap_or(0);
         if m == 0 {
@@ -127,11 +128,11 @@ pub fn pathset_cf_counts(
     let t_max = indicators.first().map_or(0, Vec::len);
     let mut cf = 0;
     let mut informative = 0;
+    // `t` walks several indicator rows in lockstep; indexing keeps that
+    // symmetric across rows.
+    #[allow(clippy::needless_range_loop)]
     for t in 0..t_max {
-        let states: Option<Vec<bool>> = member_rows
-            .iter()
-            .map(|&r| indicators[r][t])
-            .collect();
+        let states: Option<Vec<bool>> = member_rows.iter().map(|&r| indicators[r][t]).collect();
         if let Some(states) = states {
             informative += 1;
             if states.iter().all(|&s| s) {
@@ -213,7 +214,11 @@ mod tests {
         log.record_lost(0, p0, 500);
         log.record_sent(0, p1, 10);
         let ind = group_indicators(&log, &[p0, p1], NormalizeConfig::default());
-        assert_eq!(ind[0][0], Some(false), "50% loss stays congested after discount");
+        assert_eq!(
+            ind[0][0],
+            Some(false),
+            "50% loss stays congested after discount"
+        );
         assert_eq!(ind[1][0], Some(true));
     }
 

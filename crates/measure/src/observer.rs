@@ -14,18 +14,25 @@ use crate::record::MeasurementLog;
 use nni_core::Observations;
 use nni_topology::{PathId, PathSet};
 
+/// Per-path indicator rows, as produced by [`group_indicators`].
+type IndicatorRows = Vec<Vec<Option<bool>>>;
+
 /// Measured observation source.
 pub struct MeasuredObservations<'a> {
     log: &'a MeasurementLog,
     cfg: NormalizeConfig,
     /// Cache: normalization group -> per-path indicator rows.
-    cache: RefCell<HashMap<Vec<PathId>, Vec<Vec<Option<bool>>>>>,
+    cache: RefCell<HashMap<Vec<PathId>, IndicatorRows>>,
 }
 
 impl<'a> MeasuredObservations<'a> {
     /// Wraps a measurement log.
     pub fn new(log: &'a MeasurementLog, cfg: NormalizeConfig) -> MeasuredObservations<'a> {
-        MeasuredObservations { log, cfg, cache: RefCell::new(HashMap::new()) }
+        MeasuredObservations {
+            log,
+            cfg,
+            cache: RefCell::new(HashMap::new()),
+        }
     }
 
     /// The active configuration.
@@ -33,11 +40,7 @@ impl<'a> MeasuredObservations<'a> {
         self.cfg
     }
 
-    fn with_indicators<R>(
-        &self,
-        group: &[PathId],
-        f: impl FnOnce(&[Vec<Option<bool>>]) -> R,
-    ) -> R {
+    fn with_indicators<R>(&self, group: &[PathId], f: impl FnOnce(&[Vec<Option<bool>>]) -> R) -> R {
         let mut key: Vec<PathId> = group.to_vec();
         key.sort();
         key.dedup();

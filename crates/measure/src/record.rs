@@ -23,7 +23,12 @@ impl MeasurementLog {
     pub fn new(n_paths: usize, interval_s: f64) -> MeasurementLog {
         assert!(interval_s > 0.0, "interval must be positive");
         assert!(n_paths > 0, "need at least one path");
-        MeasurementLog { interval_s, n_paths, sent: Vec::new(), lost: Vec::new() }
+        MeasurementLog {
+            interval_s,
+            n_paths,
+            sent: Vec::new(),
+            lost: Vec::new(),
+        }
     }
 
     /// Measurement interval in seconds.

@@ -12,18 +12,16 @@ use rand::SeedableRng;
 /// Strategy: a random measurement log for `paths` paths over `t` intervals.
 fn log_strategy() -> impl Strategy<Value = MeasurementLog> {
     (2usize..=4, 5usize..=40).prop_flat_map(|(paths, intervals)| {
-        prop::collection::vec((0u64..500, 0.0..0.3f64), paths * intervals).prop_map(
-            move |cells| {
-                let mut log = MeasurementLog::new(paths, 0.1);
-                for (idx, &(sent, loss_frac)) in cells.iter().enumerate() {
-                    let t = idx / paths;
-                    let p = PathId(idx % paths);
-                    log.record_sent(t, p, sent);
-                    log.record_lost(t, p, (sent as f64 * loss_frac) as u64);
-                }
-                log
-            },
-        )
+        prop::collection::vec((0u64..500, 0.0..0.3f64), paths * intervals).prop_map(move |cells| {
+            let mut log = MeasurementLog::new(paths, 0.1);
+            for (idx, &(sent, loss_frac)) in cells.iter().enumerate() {
+                let t = idx / paths;
+                let p = PathId(idx % paths);
+                log.record_sent(t, p, sent);
+                log.record_lost(t, p, (sent as f64 * loss_frac) as u64);
+            }
+            log
+        })
     })
 }
 

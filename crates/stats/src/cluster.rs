@@ -47,14 +47,20 @@ pub struct SeparationGuard {
 
 impl Default for SeparationGuard {
     fn default() -> Self {
-        SeparationGuard { abs_floor: 0.02, rel_factor: 3.0 }
+        SeparationGuard {
+            abs_floor: 0.02,
+            rel_factor: 3.0,
+        }
     }
 }
 
 impl SeparationGuard {
     /// A guard that never collapses (pure 2-means, for testing).
     pub fn off() -> Self {
-        SeparationGuard { abs_floor: 0.0, rel_factor: 0.0 }
+        SeparationGuard {
+            abs_floor: 0.0,
+            rel_factor: 0.0,
+        }
     }
 
     fn permits(&self, low: f64, high: f64) -> bool {
@@ -80,7 +86,9 @@ pub fn two_means(scores: &[f64], guard: SeparationGuard) -> TwoClusters {
     }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        scores[a].partial_cmp(&scores[b]).expect("NaN unsolvability score")
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("NaN unsolvability score")
     });
     let sorted: Vec<f64> = order.iter().map(|&i| scores[i]).collect();
 
@@ -140,7 +148,12 @@ pub fn two_means(scores: &[f64], guard: SeparationGuard) -> TwoClusters {
     for (rank_pos, &orig) in order.iter().enumerate() {
         high[orig] = rank_pos >= best_k;
     }
-    TwoClusters { high, low_centroid, high_centroid, collapsed: false }
+    TwoClusters {
+        high,
+        low_centroid,
+        high_centroid,
+        collapsed: false,
+    }
 }
 
 #[cfg(test)]

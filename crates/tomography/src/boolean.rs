@@ -36,7 +36,11 @@ impl BooleanTomography {
 ///
 /// Returns the blamed links (empty when nothing was congested).
 pub fn explain_snapshot(topology: &Topology, snapshot: &Snapshot) -> Vec<LinkId> {
-    assert_eq!(snapshot.len(), topology.path_count(), "snapshot size mismatch");
+    assert_eq!(
+        snapshot.len(),
+        topology.path_count(),
+        "snapshot size mismatch"
+    );
     let congested: HashSet<PathId> = topology
         .path_ids()
         .filter(|p| snapshot[p.index()])

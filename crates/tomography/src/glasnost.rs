@@ -51,7 +51,11 @@ pub fn detect(
     let c2 = mean(class2);
     let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
     let differentiated = hi - lo > margin && hi > 2.0 * lo;
-    GlasnostVerdict { class1_congestion: c1, class2_congestion: c2, differentiated }
+    GlasnostVerdict {
+        class1_congestion: c1,
+        class2_congestion: c2,
+        differentiated,
+    }
 }
 
 #[cfg(test)]

@@ -20,8 +20,8 @@
 
 pub mod boolean;
 pub mod glasnost;
-pub mod netpolice;
 pub mod loss;
+pub mod netpolice;
 
 pub use boolean::{explain_snapshot, infer as boolean_infer, BooleanTomography, Snapshot};
 pub use glasnost::{detect as glasnost_detect, GlasnostVerdict};

@@ -32,7 +32,11 @@ impl LossTomography {
 /// `pathsets` and `y` must align; using all singletons is the classic
 /// formulation, adding multi-path pathsets tightens the fit.
 pub fn infer(topology: &Topology, pathsets: &[PathSet], y: &[f64]) -> LossTomography {
-    assert_eq!(pathsets.len(), y.len(), "observations must align with pathsets");
+    assert_eq!(
+        pathsets.len(),
+        y.len(),
+        "observations must align with pathsets"
+    );
     let a = routing_matrix(topology, pathsets);
     let x = lstsq(&a, y);
     let r = residual(&a, &x, y);

@@ -44,7 +44,11 @@ pub fn detect(probes: &ProbeMeasurements, margin: f64) -> Vec<LinkVerdict> {
             let min_rate = rates.iter().cloned().fold(f64::INFINITY, f64::min);
             let min_rate = if min_rate.is_finite() { min_rate } else { 0.0 };
             let differentiates = max_rate - min_rate > margin && max_rate > 2.0 * min_rate;
-            LinkVerdict { max_rate, min_rate, differentiates }
+            LinkVerdict {
+                max_rate,
+                min_rate,
+                differentiates,
+            }
         })
         .collect()
 }
@@ -81,21 +85,30 @@ mod tests {
 
     #[test]
     fn symmetric_loss_is_not_differentiation() {
-        let probes = ProbeMeasurements { loss_rate: vec![vec![0.08, 0.085]] };
+        let probes = ProbeMeasurements {
+            loss_rate: vec![vec![0.08, 0.085]],
+        };
         let v = detect(&probes, 0.01);
-        assert!(!v[0].differentiates, "equal heavy loss is congestion, not bias");
+        assert!(
+            !v[0].differentiates,
+            "equal heavy loss is congestion, not bias"
+        );
     }
 
     #[test]
     fn margin_suppresses_noise() {
-        let probes = ProbeMeasurements { loss_rate: vec![vec![0.000, 0.004]] };
+        let probes = ProbeMeasurements {
+            loss_rate: vec![vec![0.000, 0.004]],
+        };
         assert!(!detect(&probes, 0.01)[0].differentiates);
         assert!(detect(&probes, 0.001)[0].differentiates);
     }
 
     #[test]
     fn single_class_never_differentiates() {
-        let probes = ProbeMeasurements { loss_rate: vec![vec![0.3]] };
+        let probes = ProbeMeasurements {
+            loss_rate: vec![vec![0.3]],
+        };
         assert!(!detect(&probes, 0.01)[0].differentiates);
     }
 }

@@ -139,10 +139,7 @@ impl Topology {
 
     /// Looks a link up by its human-readable name.
     pub fn link_by_name(&self, name: &str) -> Option<LinkId> {
-        self.links
-            .iter()
-            .position(|l| l.name == name)
-            .map(LinkId)
+        self.links.iter().position(|l| l.name == name).map(LinkId)
     }
 
     /// `Paths(l)`: ids of all paths that traverse link `l` (§2.3).
@@ -157,8 +154,7 @@ impl Topology {
         }
         let mut out: Vec<PathId> = self.paths_through(seq[0]).to_vec();
         for &l in &seq[1..] {
-            let through: HashSet<PathId> =
-                self.paths_through(l).iter().copied().collect();
+            let through: HashSet<PathId> = self.paths_through(l).iter().copied().collect();
             out.retain(|p| through.contains(p));
         }
         out
@@ -204,13 +200,19 @@ impl TopologyBuilder {
 
     /// Adds an end-host node.
     pub fn host(&mut self, name: &str) -> NodeId {
-        self.nodes.push(Node { kind: NodeKind::Host, name: name.to_string() });
+        self.nodes.push(Node {
+            kind: NodeKind::Host,
+            name: name.to_string(),
+        });
         NodeId(self.nodes.len() - 1)
     }
 
     /// Adds a relay node.
     pub fn relay(&mut self, name: &str) -> NodeId {
-        self.nodes.push(Node { kind: NodeKind::Relay, name: name.to_string() });
+        self.nodes.push(Node {
+            kind: NodeKind::Relay,
+            name: name.to_string(),
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -336,7 +338,10 @@ mod tests {
         let l0 = b.link("l0", h0, r).unwrap();
         let l_bad = b.link("lx", h0, h1).unwrap();
         let err = b.path("p", vec![l0, l_bad]).unwrap_err();
-        assert!(matches!(err, TopologyError::DisconnectedPath { position: 0 }));
+        assert!(matches!(
+            err,
+            TopologyError::DisconnectedPath { position: 0 }
+        ));
     }
 
     #[test]

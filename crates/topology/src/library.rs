@@ -173,11 +173,11 @@ pub fn topology_a(rtt_c1: f64, rtt_c2: f64) -> PaperTopology {
 
     let mut ingress = Vec::new();
     let mut egress = Vec::new();
-    for i in 0..4 {
+    for (i, &src) in sources.iter().enumerate() {
         let rtt = if i < 2 { rtt_c1 } else { rtt_c2 };
         let d = access_delay(rtt).max(0.0005);
         ingress.push(
-            b.link_with(&format!("l{}", i + 1), sources[i], sw1, ACCESS_BPS, d)
+            b.link_with(&format!("l{}", i + 1), src, sw1, ACCESS_BPS, d)
                 .unwrap(),
         );
         egress.push((i, d));
@@ -195,7 +195,10 @@ pub fn topology_a(rtt_c1: f64, rtt_c2: f64) -> PaperTopology {
     }
     for i in 0..4 {
         let p = b
-            .path(&format!("p{}", i + 1), vec![ingress[i], l5, egress_links[i]])
+            .path(
+                &format!("p{}", i + 1),
+                vec![ingress[i], l5, egress_links[i]],
+            )
             .unwrap();
         paths.push(p);
     }
@@ -278,7 +281,9 @@ pub fn topology_b() -> PaperTopology {
 
     // Measured paths. Comments give the class (c1 = short flows,
     // c2 = long/policed flows).
-    let p0 = b.path("p0", vec![l20, l1, l2, l3, l4, l5, l6, l15, l16]).unwrap(); // c1
+    let p0 = b
+        .path("p0", vec![l20, l1, l2, l3, l4, l5, l6, l15, l16])
+        .unwrap(); // c1
     let p1 = b.path("p1", vec![l20, l1, l2, l10, l22]).unwrap(); // c2
     let p2 = b.path("p2", vec![l14, l7, l3, l11, l19]).unwrap(); // c2
     let p3 = b.path("p3", vec![l14, l7, l3, l4, l12, l24]).unwrap(); // c1
@@ -289,7 +294,9 @@ pub fn topology_b() -> PaperTopology {
     let p8 = b.path("p8", vec![l21, l6, l15, l16]).unwrap(); // c1
     let p9 = b.path("p9", vec![l21, l13, l17]).unwrap(); // c2
     let p10 = b.path("p10", vec![l20, l1, l2, l3, l11, l19]).unwrap(); // c1
-    let p11 = b.path("p11", vec![l14, l7, l3, l4, l5, l6, l15, l16]).unwrap(); // c2
+    let p11 = b
+        .path("p11", vec![l14, l7, l3, l4, l5, l6, l15, l16])
+        .unwrap(); // c2
     let p12 = b.path("p12", vec![l23, l8, l4, l12, l24]).unwrap(); // c1
     let p13 = b.path("p13", vec![l18, l9, l5, l13, l17]).unwrap(); // c2
     let p14 = b.path("p14", vec![l20, l1, l2, l3, l4, l12, l24]).unwrap(); // c2
@@ -319,8 +326,12 @@ pub fn dumbbell(n1: usize, n2: usize) -> PaperTopology {
     for i in 0..n {
         let s = b.host(&format!("S{i}"));
         let t = b.host(&format!("D{i}"));
-        let li = b.link_with(&format!("in{i}"), s, sw1, ACCESS_BPS, 0.01).unwrap();
-        let le = b.link_with(&format!("out{i}"), sw2, t, ACCESS_BPS, 0.01).unwrap();
+        let li = b
+            .link_with(&format!("in{i}"), s, sw1, ACCESS_BPS, 0.01)
+            .unwrap();
+        let le = b
+            .link_with(&format!("out{i}"), sw2, t, ACCESS_BPS, 0.01)
+            .unwrap();
         paths.push(b.path(&format!("p{i}"), vec![li, shared, le]).unwrap());
     }
     PaperTopology {
@@ -339,8 +350,14 @@ pub fn parking_lot(segments: usize) -> PaperTopology {
     let relays: Vec<_> = (0..=segments).map(|i| b.relay(&format!("B{i}"))).collect();
     let backbone: Vec<_> = (0..segments)
         .map(|i| {
-            b.link_with(&format!("b{i}"), relays[i], relays[i + 1], BOTTLENECK_BPS, 0.005)
-                .unwrap()
+            b.link_with(
+                &format!("b{i}"),
+                relays[i],
+                relays[i + 1],
+                BOTTLENECK_BPS,
+                0.005,
+            )
+            .unwrap()
         })
         .collect();
     let mut paths = Vec::new();
@@ -363,11 +380,20 @@ pub fn parking_lot(segments: usize) -> PaperTopology {
             .link_with(&format!("ramp_in{i}"), hs, relays[i], ACCESS_BPS, 0.005)
             .unwrap();
         let lout = b
-            .link_with(&format!("ramp_out{i}"), relays[i + 2], ht, ACCESS_BPS, 0.005)
+            .link_with(
+                &format!("ramp_out{i}"),
+                relays[i + 2],
+                ht,
+                ACCESS_BPS,
+                0.005,
+            )
             .unwrap();
         paths.push(
-            b.path(&format!("p{i}"), vec![lin, backbone[i], backbone[i + 1], lout])
-                .unwrap(),
+            b.path(
+                &format!("p{i}"),
+                vec![lin, backbone[i], backbone[i + 1], lout],
+            )
+            .unwrap(),
         );
     }
     let first = backbone[0];

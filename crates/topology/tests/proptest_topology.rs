@@ -1,7 +1,7 @@
 //! Property-based tests for the graph model.
 
 use nni_topology::library::{dumbbell, parking_lot};
-use nni_topology::{LinkId, LinkSeq, PathSet, PathId};
+use nni_topology::{LinkId, LinkSeq, PathId, PathSet};
 use proptest::prelude::*;
 
 fn linkseq_strategy() -> impl Strategy<Value = LinkSeq> {

@@ -10,8 +10,8 @@
 
 use netneutrality::core::{evaluate, identify, Config};
 use netneutrality::emu::{
-    background_route, link_params, long_flow, measured_routes, policer_at_fraction,
-    short_flow_mix, CcKind, RouteId, SimConfig, Simulator, SizeDist, TrafficSpec,
+    background_route, link_params, long_flow, measured_routes, policer_at_fraction, short_flow_mix,
+    CcKind, RouteId, SimConfig, Simulator, SizeDist, TrafficSpec,
 };
 use netneutrality::measure::{MeasuredObservations, NormalizeConfig};
 use netneutrality::topology::library::topology_b;
@@ -34,7 +34,11 @@ fn main() {
         .map(|(&l, b)| policer_at_fraction(g, l, 1, 0.2, b))
         .collect();
 
-    let cfg = SimConfig { duration_s: duration, seed: 7, ..SimConfig::default() };
+    let cfg = SimConfig {
+        duration_s: duration,
+        seed: 7,
+        ..SimConfig::default()
+    };
     let mut routes = measured_routes(g);
     let ln = |n: &str| g.link_by_name(n).unwrap();
     let bg = RouteId(routes.len());
@@ -54,7 +58,10 @@ fn main() {
             route: RouteId(p.index()),
             class: 1,
             cc: CcKind::Cubic,
-            size: SizeDist::ParetoMean { mean_bytes: 40e6 / 8.0, shape: 1.5 },
+            size: SizeDist::ParetoMean {
+                mean_bytes: 40e6 / 8.0,
+                shape: 1.5,
+            },
             mean_gap_s: 2.0,
             parallel: 3,
         });
@@ -76,8 +83,11 @@ fn main() {
 
     println!("\nidentified non-neutral link sequences:");
     for seq in &result.nonneutral {
-        let names: Vec<String> =
-            seq.links().iter().map(|&l| g.link(l).name.clone()).collect();
+        let names: Vec<String> = seq
+            .links()
+            .iter()
+            .map(|&l| g.link(l).name.clone())
+            .collect();
         let domains: Vec<&str> = seq
             .links()
             .iter()
@@ -87,7 +97,11 @@ fn main() {
                 _ => "transit",
             })
             .collect();
-        println!("  ⟨{}⟩  (domains: {})", names.join(", "), domains.join(", "));
+        println!(
+            "  ⟨{}⟩  (domains: {})",
+            names.join(", "),
+            domains.join(", ")
+        );
     }
 
     let q = evaluate(g, &result.nonneutral, &paper.nonneutral_links);
@@ -97,6 +111,9 @@ fn main() {
         100.0 * q.false_positive_rate,
         q.granularity
     );
-    assert_eq!(q.false_positive_rate, 0.0, "no neutral domain may be accused");
+    assert_eq!(
+        q.false_positive_rate, 0.0,
+        "no neutral domain may be accused"
+    );
     println!("\nno falsely accused domains; violations localized across ISP boundaries.");
 }

@@ -50,13 +50,20 @@ fn main() {
             "  slice {}: unsolvability {:.4} -> {}",
             verdict.tau,
             verdict.unsolvability,
-            if verdict.nonneutral { "NON-NEUTRAL" } else { "consistent" }
+            if verdict.nonneutral {
+                "NON-NEUTRAL"
+            } else {
+                "consistent"
+            }
         );
     }
     println!("\nidentified non-neutral link sequences:");
     for seq in &result.nonneutral {
-        let names: Vec<String> =
-            seq.links().iter().map(|&l| g.link(l).name.clone()).collect();
+        let names: Vec<String> = seq
+            .links()
+            .iter()
+            .map(|&l| g.link(l).name.clone())
+            .collect();
         println!("  ⟨{}⟩", names.join(", "));
     }
 

@@ -25,7 +25,11 @@ fn main() {
     let l5 = g.link_by_name("l5").expect("topology A has l5");
     let mechanisms = vec![policer_at_fraction(g, l5, 1, 0.2, 0.01)];
 
-    let cfg = SimConfig { duration_s: 60.0, seed: 2024, ..SimConfig::default() };
+    let cfg = SimConfig {
+        duration_s: 60.0,
+        seed: 2024,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(link_params(g, &mechanisms), measured_routes(g), 4, 2, cfg);
     for path in g.path_ids() {
         let bulk = paper.classes[1].contains(&path);
@@ -33,7 +37,10 @@ fn main() {
             route: RouteId(path.index()),
             class: bulk as u8,
             cc: CcKind::Cubic,
-            size: SizeDist::ParetoMean { mean_bytes: 10e6 / 8.0, shape: 1.5 },
+            size: SizeDist::ParetoMean {
+                mean_bytes: 10e6 / 8.0,
+                shape: 1.5,
+            },
             mean_gap_s: 10.0,
             parallel: 20,
         });
@@ -52,7 +59,11 @@ fn main() {
     println!("\nper-path congestion probability (what end-hosts observe):");
     for path in g.path_ids() {
         let p = report.log.congestion_probability(path, 0.01);
-        let class = if paper.classes[1].contains(&path) { "bulk " } else { "inter" };
+        let class = if paper.classes[1].contains(&path) {
+            "bulk "
+        } else {
+            "inter"
+        };
         println!("  {} [{}]: {:5.1}%", g.path(path).name(), class, 100.0 * p);
     }
 
@@ -63,15 +74,21 @@ fn main() {
     println!("\ninference verdict:");
     if result.network_is_nonneutral() {
         for seq in &result.nonneutral {
-            let names: Vec<String> =
-                seq.links().iter().map(|&l| g.link(l).name.clone()).collect();
+            let names: Vec<String> = seq
+                .links()
+                .iter()
+                .map(|&l| g.link(l).name.clone())
+                .collect();
             println!("  NON-NEUTRAL link sequence: ⟨{}⟩", names.join(", "));
         }
     } else {
         println!("  network appears neutral");
     }
 
-    assert!(result.network_is_nonneutral(), "the throttling must be detected");
+    assert!(
+        result.network_is_nonneutral(),
+        "the throttling must be detected"
+    );
     assert!(
         result.nonneutral.iter().any(|s| s.contains(l5)),
         "the violation must be localized to the shared link"

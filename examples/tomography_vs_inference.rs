@@ -12,12 +12,11 @@
 //! Run with: `cargo run --example tomography_vs_inference`
 
 use netneutrality::core::{
-    identify, Classes, Config, EquivalentNetwork, ExactOracle, LinkPerf, NetworkPerf,
-    Observations,
+    identify, Classes, Config, EquivalentNetwork, ExactOracle, LinkPerf, NetworkPerf, Observations,
 };
+use netneutrality::tomography::{boolean_infer, loss_infer, Snapshot};
 use netneutrality::topology::library::topology_a;
 use netneutrality::topology::{power_set, PathId};
-use netneutrality::tomography::{boolean_infer, loss_infer, Snapshot};
 
 fn main() {
     // Topology A with the shared link l5 congesting class-2 traffic in 30%
@@ -53,7 +52,11 @@ fn main() {
     println!("1. boolean tomography (assumes neutrality):");
     for l in g.link_ids() {
         if boolean.prob(l) > 0.0 {
-            println!("   blames {} in {:.0}% of snapshots", g.link(l).name, 100.0 * boolean.prob(l));
+            println!(
+                "   blames {} in {:.0}% of snapshots",
+                g.link(l).name,
+                100.0 * boolean.prob(l)
+            );
         }
     }
     println!(
@@ -85,7 +88,11 @@ fn main() {
             "   slice {}: unsolvability {:.4} -> {}",
             v.tau,
             v.unsolvability,
-            if v.nonneutral { "NON-NEUTRAL" } else { "consistent" }
+            if v.nonneutral {
+                "NON-NEUTRAL"
+            } else {
+                "consistent"
+            }
         );
     }
     assert!(result.nonneutral.iter().any(|s| s.contains(l5)));

@@ -21,7 +21,11 @@ fn run_dumbbell(policing: Option<f64>, duration_s: f64, seed: u64) -> SimReport 
         Some(frac) => vec![policer_at_fraction(g, l5, 1, frac, 0.01)],
         None => vec![],
     };
-    let cfg = SimConfig { duration_s, seed, ..SimConfig::default() };
+    let cfg = SimConfig {
+        duration_s,
+        seed,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(link_params(g, &mechanisms), measured_routes(g), 4, 2, cfg);
     for path in g.path_ids() {
         let c2 = paper.classes[1].contains(&path);
@@ -29,7 +33,10 @@ fn run_dumbbell(policing: Option<f64>, duration_s: f64, seed: u64) -> SimReport 
             route: RouteId(path.index()),
             class: c2 as u8,
             cc: CcKind::Cubic,
-            size: SizeDist::ParetoMean { mean_bytes: 10e6 / 8.0, shape: 1.5 },
+            size: SizeDist::ParetoMean {
+                mean_bytes: 10e6 / 8.0,
+                shape: 1.5,
+            },
             mean_gap_s: 10.0,
             parallel: 20,
         });
@@ -65,7 +72,10 @@ fn measured_inference_detects_policing_and_clears_neutral() {
     let neutral = run_dumbbell(None, 30.0, 2);
     let obs = MeasuredObservations::new(&neutral.log, NormalizeConfig::default());
     let result = identify(g, &obs, Config::clustered());
-    assert!(!result.network_is_nonneutral(), "neutral network must not be accused");
+    assert!(
+        !result.network_is_nonneutral(),
+        "neutral network must not be accused"
+    );
 }
 
 #[test]
@@ -116,7 +126,10 @@ fn ground_truth_isolates_the_policer() {
     // And within l5, class 2 suffers far more often than class 1.
     let p1 = report.link_truth.congestion_probability(l5, 0, 0.01);
     let p2 = report.link_truth.congestion_probability(l5, 1, 0.01);
-    assert!(p2 > p1 + 0.3, "class skew at the link: c1 {p1:.3} c2 {p2:.3}");
+    assert!(
+        p2 > p1 + 0.3,
+        "class skew at the link: c1 {p1:.3} c2 {p2:.3}"
+    );
 }
 
 #[test]
@@ -128,7 +141,10 @@ fn loss_threshold_sweep_keeps_the_verdict() {
     for thr in [0.01, 0.05, 0.10] {
         let obs = MeasuredObservations::new(
             &report.log,
-            NormalizeConfig { loss_threshold: thr, seed: 77 },
+            NormalizeConfig {
+                loss_threshold: thr,
+                seed: 77,
+            },
         );
         let result = identify(g, &obs, Config::clustered());
         assert!(

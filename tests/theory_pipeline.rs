@@ -4,13 +4,16 @@
 
 use netneutrality::core::{
     evaluate, identify, lemma3_condition, seq_nonneutral, seq_top_class, slice_for,
-    system4_unsolvable, theorem1, unsolvable_over_power_set, Classes, Config,
-    EquivalentNetwork, ExactOracle, LinkPerf, NetworkPerf,
+    system4_unsolvable, theorem1, unsolvable_over_power_set, Classes, Config, EquivalentNetwork,
+    ExactOracle, LinkPerf, NetworkPerf,
 };
 use netneutrality::topology::library::{
     dumbbell, figure1, figure2, figure4, figure5, topology_a, topology_b, PaperTopology,
 };
 use netneutrality::topology::LinkSeq;
+
+/// Per-link `(name, class-1 number, class-2 number)` ground-truth deltas.
+type Deltas = Vec<(&'static str, f64, f64)>;
 
 fn two_class_truth(t: &PaperTopology, deltas: &[(&str, f64, f64)]) -> (Classes, NetworkPerf) {
     let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
@@ -24,7 +27,7 @@ fn two_class_truth(t: &PaperTopology, deltas: &[(&str, f64, f64)]) -> (Classes, 
 
 #[test]
 fn theorem1_matches_brute_force_on_all_paper_figures() {
-    let cases: Vec<(PaperTopology, Vec<(&str, f64, f64)>, bool)> = vec![
+    let cases: Vec<(PaperTopology, Deltas, bool)> = vec![
         (figure1(), vec![("l1", 0.0, 0.5)], true),
         (figure2(), vec![("l1", 0.0, 0.5)], false),
         (figure4(), vec![("l1", 0.0, 0.4), ("l2", 0.0, 0.2)], true),
@@ -72,7 +75,13 @@ fn full_pipeline_on_figure4_matches_section5() {
 
 #[test]
 fn exact_mode_never_accuses_a_neutral_network() {
-    for t in [figure1(), figure4(), topology_a(0.05, 0.05), topology_b(), dumbbell(3, 3)] {
+    for t in [
+        figure1(),
+        figure4(),
+        topology_a(0.05, 0.05),
+        topology_b(),
+        dumbbell(3, 3),
+    ] {
         let classes = Classes::new(&t.topology, t.classes.clone()).unwrap();
         // Arbitrary neutral performance numbers.
         let xs: Vec<f64> = (0..t.topology.link_count())
@@ -128,6 +137,9 @@ fn masked_violation_stays_invisible_end_to_end() {
     let oracle = ExactOracle::new(EquivalentNetwork::build(&t.topology, &classes, &perf));
     for cfg in [Config::exact(), Config::clustered()] {
         let result = identify(&t.topology, &oracle, cfg);
-        assert!(result.nonneutral.is_empty(), "non-observable violation flagged");
+        assert!(
+            result.nonneutral.is_empty(),
+            "non-observable violation flagged"
+        );
     }
 }

@@ -1,0 +1,355 @@
+//! Offline shim for the `criterion` crate: the subset of the 0.5 API this
+//! workspace's benches use.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs batches of
+//! iterations until a wall-clock target is reached and reports the mean
+//! time per iteration to stdout. There is no statistical analysis, no
+//! report directory, and no plotting — this shim exists so `cargo bench`
+//! produces honest comparative numbers with zero dependencies. Passing
+//! `--test` (as `cargo test --benches` does) runs every closure exactly
+//! once, so bench binaries stay cheap in test mode.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Wall-clock budget for the measurement phase.
+    target: Duration,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full timing loop (`cargo bench`).
+    Measure,
+    /// One iteration per closure (`cargo test --benches` passes `--test`).
+    Test,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            *self.result = Some(Sample {
+                mean: Duration::ZERO,
+                iters: 1,
+            });
+            return;
+        }
+        // Warmup: one call, which also calibrates the batch size.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.target && iters < 1_000_000 {
+            let batch = ((self.target.as_nanos() / 10 / first.as_nanos()).clamp(1, 10_000)) as u64;
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += t.elapsed();
+            iters += batch;
+        }
+        *self.result = Some(Sample {
+            mean: elapsed / iters.max(1) as u32,
+            iters,
+        });
+    }
+}
+
+/// Entry point handed to every `criterion_group!` target.
+pub struct Criterion {
+    mode: Mode,
+    target: Duration,
+    /// Substring filters from the CLI (positional args); a benchmark runs
+    /// if it matches *any* of them, like real criterion's single filter.
+    filters: Vec<String>,
+}
+
+/// Libtest/criterion flags that consume the following argument, so their
+/// value must not be mistaken for a positional benchmark-name filter.
+const VALUE_FLAGS: &[&str] = &[
+    "--test-threads",
+    "--skip",
+    "--logfile",
+    "--color",
+    "--format",
+];
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                s if VALUE_FLAGS.contains(&s) => {
+                    // Skip the flag's value (`--flag=value` forms fall
+                    // through to the catch-all arm below instead).
+                    let _ = args.next();
+                }
+                // Any other flag cargo/libtest may pass: accept and ignore.
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion {
+            mode,
+            target: Duration::from_millis(300),
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(mut self, target: Duration) -> Self {
+        self.target = target;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, target: Duration, mut f: F) {
+        if !self.filters.is_empty() && !self.filters.iter().any(|f| id.contains(f.as_str())) {
+            return;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            target,
+            result: &mut result,
+        };
+        f(&mut b);
+        match result {
+            Some(s) if self.mode == Mode::Measure => {
+                println!(
+                    "{id:<50} {:>14} ({} iterations)",
+                    format_duration(s.mean),
+                    s.iters
+                );
+            }
+            Some(_) => println!("{id:<50} ok (test mode)"),
+            None => println!("{id:<50} skipped (no iter call)"),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let target = self.target;
+        self.run_one(id, target, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        // The group inherits the current budget; `BenchmarkGroup::
+        // measurement_time` overrides it for this group only (upstream
+        // scopes the setting the same way).
+        let target = self.target;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            target,
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks (`c.benchmark_group(..)`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    /// This group's measurement budget (scoped: does not leak into later
+    /// groups or `bench_function` calls on the parent `Criterion`).
+    target: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim's timing loop is wall-clock
+    /// bounded, so the sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock measurement budget for this group only.
+    pub fn measurement_time(&mut self, target: Duration) -> &mut Self {
+        self.target = target;
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(&full, self.target, f);
+        self
+    }
+
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(&full, self.target, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's simple
+/// form: `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_sample() {
+        let mut result = None;
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            target: Duration::from_millis(5),
+            result: &mut result,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        let s = result.expect("sample recorded");
+        assert!(s.iters >= 1);
+        assert_eq!(s.iters + 1, count, "warmup runs exactly once extra");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut result = None;
+        let mut b = Bencher {
+            mode: Mode::Test,
+            target: Duration::from_millis(5),
+            result: &mut result,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(result.unwrap().iters, 1);
+    }
+
+    #[test]
+    fn group_measurement_time_is_scoped_to_the_group() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            target: Duration::from_millis(300),
+            filters: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.measurement_time(Duration::from_secs(10));
+            assert_eq!(g.target, Duration::from_secs(10));
+            g.bench_function("noop", |b| b.iter(|| 1));
+        }
+        // The override must not leak back into the parent Criterion.
+        assert_eq!(c.target, Duration::from_millis(300));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(32).id, "32");
+        assert_eq!(BenchmarkId::new("rank", 8).id, "rank/8");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

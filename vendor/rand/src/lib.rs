@@ -1,0 +1,297 @@
+//! Offline shim for the `rand` crate: the subset of the 0.8 API this
+//! workspace uses, backed by a xoshiro256++ generator.
+//!
+//! Semantics mirror `rand 0.8` where they matter to callers: `StdRng` is
+//! seedable via [`SeedableRng::seed_from_u64`] (SplitMix64 seed expansion,
+//! the same scheme `rand` uses for non-crypto seeding) and every generator
+//! is fully deterministic given its seed. The *stream* of values differs
+//! from upstream `StdRng` (which is ChaCha12), which is fine here: all
+//! in-tree consumers treat the RNG as an arbitrary reproducible source.
+
+/// A source of random 32/64-bit values.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over their range).
+    ///
+    /// [`Standard`]: distributions::Standard
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples uniformly from `[low, high)` (or `[low, high]` for `..=`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of seeded generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (matches the scheme
+    /// upstream `rand` documents for this method).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // xoshiro256++ must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xD1B5_4A32_D192_ED03,
+                    0x8CB9_2BA7_2F3D_8DD7,
+                    1,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: uniform `[0, 1)` for floats,
+    /// uniform over the full range for integers, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub mod uniform {
+        use super::super::RngCore;
+        use core::ops::{Range, RangeInclusive};
+
+        /// A range that can be sampled from directly (`rng.gen_range(a..b)`).
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let v = ((rng.next_u64() as u128) % span) as i128;
+                        (self.start as i128 + v) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = self.into_inner();
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let v = ((rng.next_u64() as u128) % span) as i128;
+                        (lo as i128 + v) as $t
+                    }
+                }
+            )*};
+        }
+        impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_float_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                        self.start + (self.end - self.start) * u as $t
+                    }
+                }
+            )*};
+        }
+        impl_float_range!(f32, f64);
+    }
+}
+
+pub use distributions::{Distribution, Standard};
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits} far from 2500");
+    }
+}
