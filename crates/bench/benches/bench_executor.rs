@@ -1,0 +1,44 @@
+//! Criterion bench: serial vs sharded regeneration of a reduced Table 2
+//! sweep — the number the ROADMAP asks for ("run-sharding should cut
+//! Figure 8/10 regeneration wall-clock by ~#cores").
+//!
+//! The workload is the full nine-set Table 2 sweep at a short duration, so
+//! one iteration runs 34 independent experiments. On an N-core machine the
+//! `sharded(N)` row should land near `serial / N` (the acceptance target is
+//! ≥2× on 4 cores); on a single core the two rows must match, which is also
+//! worth seeing in CI output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nni_bench::table2_sets;
+use nni_scenario::{compile_all, Executor, SerialExecutor, ShardedExecutor};
+use std::time::Duration;
+
+/// The reduced sweep: every Table 2 scenario at 3 simulated seconds.
+fn sweep() -> Vec<nni_scenario::Experiment> {
+    let scenarios: Vec<_> = table2_sets(3.0, 42)
+        .into_iter()
+        .flat_map(|s| s.experiments.into_iter().map(|(_, sc)| sc))
+        .collect();
+    compile_all(&scenarios)
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let experiments = sweep();
+    let mut g = c.benchmark_group("table2_sweep_3s");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.bench_function("serial", |b| {
+        b.iter(|| SerialExecutor.execute(&experiments).len())
+    });
+    g.bench_function("sharded(2)", |b| {
+        b.iter(|| ShardedExecutor::new(2).execute(&experiments).len())
+    });
+    let auto = ShardedExecutor::auto();
+    g.bench_function(auto.describe(), |b| {
+        b.iter(|| auto.execute(&experiments).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executors);
+criterion_main!(benches);

@@ -1,74 +1,46 @@
 //! Ablation: **Algorithm 1 vs the related-work baselines** (§1, §8) on the
-//! same topology-A policing experiment.
+//! same topology-A policing experiment — literally the same: every baseline
+//! consumes the identical [`Scenario`](nni_scenario::Scenario) run through
+//! the adapters of `nni_scenario::baselines`.
 //!
-//! * Boolean tomography [22] *assumes neutrality*: it cannot blame the
+//! * Boolean tomography \[22\] *assumes neutrality*: it cannot blame the
 //!   differentiating shared link without implicating clean paths, so it
 //!   blames the victims' private links instead.
-//! * Least-squares loss tomography [7]: its single-number-per-link fit
+//! * Least-squares loss tomography \[7\]: its single-number-per-link fit
 //!   leaves a large residual — the raw material of Lemma 1 — but by itself
 //!   neither localizes nor certifies differentiation.
-//! * A Glasnost-style detector [11] needs the class partition as input and
+//! * A Glasnost-style detector \[11\] needs the class partition as input and
 //!   yields a path-level verdict without localization.
-//! * Algorithm 1 localizes the violation with no class knowledge.
+//! * A NetPolice-style comparator \[31\] localizes — but only given perfect
+//!   interior probe measurements the paper's threat model rules out.
+//! * Algorithm 1 localizes the violation with no class knowledge and no
+//!   interior measurements.
 //!
-//! Usage: `exp_baselines [--duration SECS] [--seed N]`
+//! Usage: `exp_baselines [--duration SECS] [--seed N] [--lenient]`
 
-use nni_bench::{run_topology_a, ExperimentParams, Mechanism, Table};
-use nni_core::Observations;
-use nni_measure::{MeasuredObservations, NormalizeConfig};
-use nni_tomography::{boolean_infer, glasnost_detect, loss_infer, Snapshot};
-use nni_topology::library::topology_a;
-use nni_topology::{PathId, PathSet};
+use nni_bench::{ExpArgs, ExpCaps, ExperimentParams, Mechanism, Table};
+use nni_scenario::baselines;
+use nni_scenario::library::topology_a_scenario;
+use nni_tomography::flagged_links;
 
 fn main() {
-    let mut duration = 60.0;
-    let mut seed = 42u64;
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--duration" => {
-                duration = args[i + 1].parse().expect("--duration SECS");
-                i += 2;
-            }
-            "--seed" => {
-                seed = args[i + 1].parse().expect("--seed N");
-                i += 2;
-            }
-            other => panic!("unknown argument {other}"),
-        }
-    }
-
-    let params = ExperimentParams {
+    let args = ExpArgs::parse(60.0, 42, ExpCaps::single());
+    let scenario = topology_a_scenario(ExperimentParams {
         mechanism: Mechanism::Policing(0.2),
-        duration_s: duration,
-        seed,
+        duration_s: args.duration,
+        seed: args.seed,
         ..ExperimentParams::default()
-    };
-    println!("== Baselines vs Algorithm 1: topology A, policing 20%, {duration} s ==\n");
-    let out = run_topology_a(params);
-    let paper = topology_a(params.rtt_c1_s, params.rtt_c2_s);
-    let g = &paper.topology;
+    });
+    println!(
+        "== Baselines vs Algorithm 1: topology A, policing 20%, {} s ==\n",
+        args.duration
+    );
+    let out = scenario.run();
+    let g = &scenario.topology;
     let l5 = g.link_by_name("l5").unwrap();
 
     // --- Boolean tomography over per-interval congestion snapshots. ---
-    let log = &out.report.log;
-    let snapshots: Vec<Snapshot> = (0..log.interval_count())
-        .filter_map(|t| {
-            let snap: Vec<bool> = g
-                .path_ids()
-                .map(|p| {
-                    let m = log.sent(t, p);
-                    m > 0 && log.lost(t, p) as f64 > params.loss_threshold * m as f64
-                })
-                .collect();
-            // Skip intervals with no information at all.
-            let any_active = g.path_ids().any(|p| log.sent(t, p) > 0);
-            any_active.then_some(snap)
-        })
-        .collect();
-    let boolean = boolean_infer(g, &snapshots);
-
+    let boolean = baselines::boolean(&scenario, &out.report);
     let mut tb = Table::new(vec!["link", "boolean tomography blame [%]", "ground truth"]);
     for l in g.link_ids() {
         tb.row(vec![
@@ -89,25 +61,7 @@ fn main() {
     );
 
     // --- Least-squares loss tomography over singleton + pair pathsets. ---
-    let obs = MeasuredObservations::new(
-        log,
-        NormalizeConfig {
-            loss_threshold: params.loss_threshold,
-            seed: seed ^ 0xDEAD,
-        },
-    );
-    let group: Vec<PathId> = g.path_ids().collect();
-    let mut pathsets: Vec<PathSet> = g.path_ids().map(PathSet::single).collect();
-    for i in 0..4 {
-        for j in i + 1..4 {
-            pathsets.push(PathSet::pair(PathId(i), PathId(j)));
-        }
-    }
-    let y: Vec<f64> = pathsets
-        .iter()
-        .map(|p| obs.pathset_perf(&group, p))
-        .collect();
-    let ls = loss_infer(g, &pathsets, &y);
+    let ls = baselines::loss(&scenario, &out.report);
     println!("--- Least-squares loss tomography (assumes neutrality) ---");
     println!(
         "fit residual: {:.4}  <- large residual = no neutral explanation fits (Lemma 1)",
@@ -119,13 +73,7 @@ fn main() {
     );
 
     // --- Glasnost-style differential detector (knows the classes). ---
-    let verdict = glasnost_detect(
-        log,
-        &paper.classes[0],
-        &paper.classes[1],
-        params.loss_threshold,
-        0.05,
-    );
+    let verdict = baselines::glasnost(&scenario, &out.report, 0.05);
     println!("--- Glasnost-style detector (requires knowing the class partition) ---");
     println!(
         "class-1 congestion {:.1}%, class-2 congestion {:.1}%, differentiated: {}",
@@ -134,6 +82,17 @@ fn main() {
         verdict.differentiated
     );
     println!("(detects the symptom, cannot localize it to a link)\n");
+
+    // --- NetPolice-style per-link comparator (perfect interior probes). ---
+    let np = baselines::netpolice(&scenario, &out.report, 0.01);
+    let np_flagged = flagged_links(&np);
+    let np_names: Vec<String> = np_flagged.iter().map(|&l| g.link(l).name.clone()).collect();
+    println!("--- NetPolice-style comparator (requires perfect interior probes) ---");
+    println!(
+        "links flagged from per-class probe loss rates: [{}]",
+        np_names.join(", ")
+    );
+    println!("(localizes, but only with measurements end users cannot take)\n");
 
     // --- Algorithm 1. ---
     println!("--- Algorithm 1 (this paper) ---");
@@ -155,9 +114,8 @@ fn main() {
     let ok = out.flagged_nonneutral
         && out.inference.nonneutral.iter().any(|s| s.contains(l5))
         && boolean.prob(l5) < 0.01
-        && verdict.differentiated;
+        && verdict.differentiated
+        && np_flagged.contains(&l5);
     println!("\nablation story holds: {}", if ok { "yes" } else { "NO" });
-    if !ok {
-        std::process::exit(1);
-    }
+    args.finish(ok);
 }

@@ -3,29 +3,20 @@
 //! performance split by pair class (10b), and the §6.4 headline metrics
 //! (false negatives, false positives, granularity).
 //!
-//! Usage: `exp_fig10 [--duration SECS] [--seed N]`
+//! Usage: `exp_fig10 [--duration SECS] [--seed N] [--lenient]`
 
-use nni_bench::{run_topology_b, Table, TopologyBParams};
+use nni_bench::{run_topology_b, ExpArgs, ExpCaps, Table, TopologyBParams};
 use nni_core::prob_from_perf;
 use nni_stats::FiveNumber;
 
 fn main() {
-    let mut p = TopologyBParams::default();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--duration" => {
-                p.duration_s = args[i + 1].parse().expect("--duration SECS");
-                i += 2;
-            }
-            "--seed" => {
-                p.seed = args[i + 1].parse().expect("--seed N");
-                i += 2;
-            }
-            other => panic!("unknown argument {other}"),
-        }
-    }
+    let defaults = TopologyBParams::default();
+    let args = ExpArgs::parse(defaults.duration_s, defaults.seed, ExpCaps::single());
+    let p = TopologyBParams {
+        duration_s: args.duration,
+        seed: args.seed,
+        ..defaults
+    };
 
     println!(
         "== Figure 10: topology B, {} s, policing {}%, seed {} ==\n",
@@ -144,7 +135,5 @@ fn main() {
         "\nheadline (FN = FP = 0): {}",
         if ok { "REPRODUCED" } else { "NOT reproduced" }
     );
-    if !ok {
-        std::process::exit(1);
-    }
+    args.finish(ok);
 }

@@ -7,25 +7,16 @@
 //!
 //! Usage: `exp_fig11 [--duration SECS] [--seed N]`
 
-use nni_bench::{run_topology_b, Table, TopologyBParams};
+use nni_bench::{run_topology_b, ExpArgs, ExpCaps, Table, TopologyBParams};
 
 fn main() {
-    let mut p = TopologyBParams::default();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--duration" => {
-                p.duration_s = args[i + 1].parse().expect("--duration SECS");
-                i += 2;
-            }
-            "--seed" => {
-                p.seed = args[i + 1].parse().expect("--seed N");
-                i += 2;
-            }
-            other => panic!("unknown argument {other}"),
-        }
-    }
+    let defaults = TopologyBParams::default();
+    let args = ExpArgs::parse(defaults.duration_s, defaults.seed, ExpCaps::plain());
+    let p = TopologyBParams {
+        duration_s: args.duration,
+        seed: args.seed,
+        ..defaults
+    };
 
     println!(
         "== Figure 11: queue occupancy, topology B, {} s ==\n",

@@ -4,43 +4,52 @@
 //! algorithm's verdict; §6.3's headline claim is that the verdict is correct
 //! in every experiment.
 //!
-//! Usage: `exp_fig8 [--duration SECS] [--seed N] [--set K]`
+//! Experiments are independent, so the whole sweep fans out across worker
+//! threads with `--executor sharded` — results are identical to a serial
+//! run, seed for seed.
+//!
+//! Usage: `exp_fig8 [--duration SECS] [--seed N] [--set K]
+//!                  [--executor serial|sharded] [--workers N] [--lenient]`
 
-use nni_bench::{run_topology_a, table2_sets, Table};
+use std::time::Instant;
+
+use nni_bench::{table2_sets, ExpArgs, ExpCaps, Table};
+use nni_scenario::compile_all;
 
 fn main() {
-    let mut duration = 60.0;
-    let mut seed = 42u64;
-    let mut only_set: Option<usize> = None;
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--duration" => {
-                duration = args[i + 1].parse().expect("--duration SECS");
-                i += 2;
-            }
-            "--seed" => {
-                seed = args[i + 1].parse().expect("--seed N");
-                i += 2;
-            }
-            "--set" => {
-                only_set = Some(args[i + 1].parse().expect("--set K"));
-                i += 2;
-            }
-            other => panic!("unknown argument {other}"),
-        }
-    }
+    let args = ExpArgs::parse(60.0, 42, ExpCaps::sweep());
+    let executor = args.executor();
 
-    println!("== Figure 8 / Table 2: topology A, {duration} s per experiment, seed {seed} ==\n");
+    let sets: Vec<_> = table2_sets(args.duration, args.seed)
+        .into_iter()
+        .enumerate()
+        .filter(|(k, _)| args.set.is_none_or(|s| s == k + 1))
+        .map(|(_, set)| set)
+        .collect();
+
+    println!(
+        "== Figure 8 / Table 2: topology A, {} s per experiment, seed {}, executor {} ==\n",
+        args.duration,
+        args.seed,
+        executor.describe()
+    );
+
+    // Flatten every selected set into one batch, run it through the chosen
+    // executor, then re-slice the (input-ordered) outcomes per set.
+    let scenarios: Vec<_> = sets
+        .iter()
+        .flat_map(|s| s.experiments.iter().map(|(_, sc)| sc.clone()))
+        .collect();
+    let started = Instant::now();
+    let outcomes = executor.execute(&compile_all(&scenarios));
+    let elapsed = started.elapsed();
+
     let mut correct = 0usize;
     let mut total = 0usize;
-    for (k, set) in table2_sets(duration, seed).into_iter().enumerate() {
-        if let Some(s) = only_set {
-            if s != k + 1 {
-                continue;
-            }
-        }
+    let mut remaining = outcomes.as_slice();
+    for set in &sets {
+        let (these, rest) = remaining.split_at(set.experiments.len());
+        remaining = rest;
         println!("--- {} ---", set.name);
         let mut t = Table::new(vec![
             set.axis.clone(),
@@ -51,15 +60,14 @@ fn main() {
             "verdict".into(),
             "correct".into(),
         ]);
-        for (tick, params) in set.experiments {
-            let out = run_topology_a(params);
+        for ((tick, _), out) in set.experiments.iter().zip(these) {
             let pc: Vec<String> = out
                 .path_congestion
                 .iter()
                 .map(|p| format!("{:5.1}", 100.0 * p))
                 .collect();
             t.row(vec![
-                tick,
+                tick.clone(),
                 pc[0].clone(),
                 pc[1].clone(),
                 pc[2].clone(),
@@ -80,8 +88,10 @@ fn main() {
         }
         println!("{t}");
     }
-    println!("verdicts correct: {correct}/{total}");
-    if correct != total {
-        std::process::exit(1);
-    }
+    println!(
+        "verdicts correct: {correct}/{total}  (wall-clock {:.2} s, {})",
+        elapsed.as_secs_f64(),
+        executor.describe()
+    );
+    args.finish(correct == total);
 }

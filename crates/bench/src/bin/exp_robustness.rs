@@ -2,34 +2,52 @@
 //! with all the loss thresholds and measurement intervals stated in Table 1,
 //! and there was no significant change in the results."
 //!
-//! Runs one neutral and one policing experiment on topology A for every
-//! (loss threshold × measurement interval) combination of Table 1 and checks
-//! the verdicts stay put.
+//! Builds one neutral and one policing scenario on topology A for every
+//! (loss threshold × measurement interval) combination of Table 1, runs the
+//! whole batch through the chosen executor, and checks the verdicts stay
+//! put.
 //!
-//! Usage: `exp_robustness [--duration SECS] [--seed N]`
+//! Usage: `exp_robustness [--duration SECS] [--seed N]
+//!                        [--executor serial|sharded] [--workers N]
+//!                        [--lenient]`
 
-use nni_bench::{run_topology_a, ExperimentParams, Mechanism, Table};
+use nni_bench::{ExpArgs, ExpCaps, ExperimentParams, Mechanism, Table};
+use nni_scenario::compile_all;
+use nni_scenario::library::topology_a_scenario;
 
 fn main() {
-    let mut duration = 60.0;
-    let mut seed = 42u64;
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--duration" => {
-                duration = args[i + 1].parse().expect("--duration SECS");
-                i += 2;
-            }
-            "--seed" => {
-                seed = args[i + 1].parse().expect("--seed N");
-                i += 2;
-            }
-            other => panic!("unknown argument {other}"),
+    let args = ExpArgs::parse(60.0, 42, ExpCaps::batch());
+    let executor = args.executor();
+
+    println!(
+        "== §6.5 robustness: thresholds x intervals, topology A, {} s, executor {} ==\n",
+        args.duration,
+        executor.describe()
+    );
+
+    let thresholds = [0.01, 0.05, 0.10];
+    let intervals = [0.1, 0.2, 0.5];
+    // One (neutral, policing) scenario pair per combination, all in one
+    // executor batch.
+    let mut scenarios = Vec::new();
+    for &thr in &thresholds {
+        for &interval in &intervals {
+            let base = ExperimentParams {
+                duration_s: args.duration,
+                seed: args.seed,
+                loss_threshold: thr,
+                interval_s: interval,
+                ..ExperimentParams::default()
+            };
+            scenarios.push(topology_a_scenario(base));
+            scenarios.push(topology_a_scenario(ExperimentParams {
+                mechanism: Mechanism::Policing(0.2),
+                ..base
+            }));
         }
     }
+    let outcomes = executor.execute(&compile_all(&scenarios));
 
-    println!("== §6.5 robustness: thresholds x intervals, topology A, {duration} s ==\n");
     let mut t = Table::new(vec![
         "loss threshold [%]",
         "interval [ms]",
@@ -39,43 +57,32 @@ fn main() {
     ]);
     let mut correct = 0usize;
     let mut total = 0usize;
-    for &thr in &[0.01, 0.05, 0.10] {
-        for &interval in &[0.1, 0.2, 0.5] {
-            let base = ExperimentParams {
-                duration_s: duration,
-                seed,
-                loss_threshold: thr,
-                interval_s: interval,
-                ..ExperimentParams::default()
-            };
-            let neutral = run_topology_a(base);
-            let policing = run_topology_a(ExperimentParams {
-                mechanism: Mechanism::Policing(0.2),
-                ..base
-            });
-            let ok = neutral.correct && policing.correct;
-            total += 1;
-            correct += ok as usize;
-            t.row(vec![
-                format!("{:.0}", thr * 100.0),
-                format!("{:.0}", interval * 1000.0),
-                if neutral.flagged_nonneutral {
-                    "NON-NEUTRAL".into()
-                } else {
-                    "neutral".into()
-                },
-                if policing.flagged_nonneutral {
-                    "NON-NEUTRAL".to_string()
-                } else {
-                    "neutral".to_string()
-                },
-                if ok { "yes".into() } else { "NO".into() },
-            ]);
-        }
+    for (k, pair) in outcomes.chunks(2).enumerate() {
+        let [neutral, policing] = pair else {
+            unreachable!("outcomes come in (neutral, policing) pairs");
+        };
+        let thr = thresholds[k / intervals.len()];
+        let interval = intervals[k % intervals.len()];
+        let ok = neutral.correct && policing.correct;
+        total += 1;
+        correct += ok as usize;
+        t.row(vec![
+            format!("{:.0}", thr * 100.0),
+            format!("{:.0}", interval * 1000.0),
+            if neutral.flagged_nonneutral {
+                "NON-NEUTRAL".into()
+            } else {
+                "neutral".into()
+            },
+            if policing.flagged_nonneutral {
+                "NON-NEUTRAL".to_string()
+            } else {
+                "neutral".to_string()
+            },
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
     }
     println!("{t}");
     println!("combinations correct: {correct}/{total}");
-    if correct != total {
-        std::process::exit(1);
-    }
+    args.finish(correct == total);
 }

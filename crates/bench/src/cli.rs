@@ -1,0 +1,155 @@
+//! Shared argument parsing for the experiment binaries — the one place the
+//! `--duration/--seed/--set/--executor/--workers/--lenient` surface lives,
+//! instead of per-bin copies.
+
+use nni_scenario::{Executor, SerialExecutor, ShardedExecutor};
+
+/// Which optional flags a binary supports. Unsupported flags are rejected
+/// (the historical strictness of every bin), so `exp_fig10 --executor
+/// sharded` fails loudly instead of silently running serially.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExpCaps {
+    /// `--set K` (multi-set sweeps only).
+    pub set: bool,
+    /// `--executor` / `--workers` (executor-batched sweeps only).
+    pub executor: bool,
+    /// `--lenient` (bins with a verdict-gated exit code only).
+    pub lenient: bool,
+}
+
+impl ExpCaps {
+    /// Everything: the full sweep surface (`exp_fig8`).
+    pub fn sweep() -> ExpCaps {
+        ExpCaps {
+            set: true,
+            executor: true,
+            lenient: true,
+        }
+    }
+
+    /// Executor fan-out without `--set` (`exp_robustness`).
+    pub fn batch() -> ExpCaps {
+        ExpCaps {
+            set: false,
+            executor: true,
+            lenient: true,
+        }
+    }
+
+    /// Single-experiment bins with a verdict exit (`exp_fig10`,
+    /// `exp_baselines`).
+    pub fn single() -> ExpCaps {
+        ExpCaps {
+            set: false,
+            executor: false,
+            lenient: true,
+        }
+    }
+
+    /// Only `--duration` / `--seed` (`exp_fig11`).
+    pub fn plain() -> ExpCaps {
+        ExpCaps::default()
+    }
+}
+
+/// Parsed common arguments of an `exp_*` binary.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// `--duration SECS`: simulated seconds per experiment.
+    pub duration: f64,
+    /// `--seed N`: base simulation seed.
+    pub seed: u64,
+    /// `--set K`: restrict a multi-set sweep to set `K` (1-based).
+    pub set: Option<usize>,
+    /// `--lenient`: report verdict mismatches without a nonzero exit (for
+    /// short-duration smoke runs whose verdicts are not calibrated).
+    pub lenient: bool,
+    executor: ExecutorKind,
+    workers: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecutorKind {
+    Serial,
+    Sharded,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, panicking on unknown or unsupported flags
+    /// (the historical behaviour of every bin).
+    pub fn parse(default_duration: f64, default_seed: u64, caps: ExpCaps) -> ExpArgs {
+        let mut out = ExpArgs {
+            duration: default_duration,
+            seed: default_seed,
+            set: None,
+            lenient: false,
+            executor: ExecutorKind::Serial,
+            workers: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let value = |i: usize, usage: &str| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} requires a value: {usage}", args[i]))
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--duration" => {
+                    out.duration = value(i, "--duration SECS")
+                        .parse()
+                        .expect("--duration SECS");
+                    i += 2;
+                }
+                "--seed" => {
+                    out.seed = value(i, "--seed N").parse().expect("--seed N");
+                    i += 2;
+                }
+                "--set" if caps.set => {
+                    out.set = Some(value(i, "--set K").parse().expect("--set K"));
+                    i += 2;
+                }
+                "--executor" if caps.executor => {
+                    out.executor = match value(i, "--executor serial|sharded") {
+                        "serial" => ExecutorKind::Serial,
+                        "sharded" => ExecutorKind::Sharded,
+                        other => panic!("--executor serial|sharded, got {other}"),
+                    };
+                    i += 2;
+                }
+                "--workers" if caps.executor => {
+                    out.workers = Some(value(i, "--workers N").parse().expect("--workers N"));
+                    i += 2;
+                }
+                "--lenient" if caps.lenient => {
+                    out.lenient = true;
+                    i += 1;
+                }
+                other => panic!("unknown or unsupported argument {other}"),
+            }
+        }
+        out
+    }
+
+    /// The executor the flags selected: serial by default; `--executor
+    /// sharded` fans out over `--workers` threads (default: all cores).
+    /// A bare `--workers N` implies the sharded executor — asking for a
+    /// worker count is asking for parallelism.
+    pub fn executor(&self) -> Box<dyn Executor> {
+        match (self.executor, self.workers) {
+            (ExecutorKind::Serial, None) => Box::new(SerialExecutor),
+            (_, Some(n)) => Box::new(ShardedExecutor::new(n)),
+            (ExecutorKind::Sharded, None) => Box::new(ShardedExecutor::auto()),
+        }
+    }
+
+    /// Exits nonzero on a failed acceptance check unless `--lenient`.
+    pub fn finish(&self, ok: bool) {
+        if !ok {
+            if self.lenient {
+                eprintln!("(--lenient: verdict mismatches ignored)");
+            } else {
+                std::process::exit(1);
+            }
+        }
+    }
+}

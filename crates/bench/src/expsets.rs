@@ -1,181 +1,43 @@
-//! Table 2: the nine experiment sets on topology A, and the runner that
-//! executes one experiment end-to-end (emulate → measure → infer).
+//! Table 2: the nine experiment sets on topology A, expressed as
+//! [`Scenario`]s over the `nni-scenario` API.
+//!
+//! The sweep logic lives here; the per-experiment glue (topology wiring,
+//! traffic placement, mechanism placement, ground truth) lives in
+//! [`nni_scenario::library::topology_a_scenario`]. Feed the scenarios of a
+//! set — or the whole flattened Table 2 — to any
+//! [`Executor`](nni_scenario::Executor).
 
-use nni_core::{identify, Classes, Config, InferenceResult};
-use nni_emu::{
-    link_params, measured_routes, policer_at_fraction, shaper_at_fraction, CcKind, Differentiation,
-    RouteId, SimConfig, SimReport, Simulator, SizeDist, TrafficSpec,
-};
-use nni_measure::{MeasuredObservations, NormalizeConfig};
-use nni_topology::library::{topology_a, PaperTopology};
-use nni_topology::PathId;
+use nni_scenario::library::{topology_a_scenario, ExperimentParams, Mechanism};
+use nni_scenario::{ExperimentOutcome, Scenario};
 
-/// What the shared link does (Table 2's "Link l5 behavior").
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Mechanism {
-    /// Plain FIFO.
-    Neutral,
-    /// Policing class 2 at the given fraction of capacity.
-    Policing(f64),
-    /// Shaping class 2 at the fraction, class 1 at one minus it.
-    Shaping(f64),
-}
-
-/// Parameters of one topology-A experiment.
-#[derive(Debug, Clone, Copy)]
-pub struct ExperimentParams {
-    /// Shared-link behaviour.
-    pub mechanism: Mechanism,
-    /// Mean flow size of class-1 paths (bits).
-    pub flow_size_c1_bits: f64,
-    /// Mean flow size of class-2 paths (bits).
-    pub flow_size_c2_bits: f64,
-    /// Propagation RTT of class-1 paths (seconds).
-    pub rtt_c1_s: f64,
-    /// Propagation RTT of class-2 paths (seconds).
-    pub rtt_c2_s: f64,
-    /// Congestion control of class-1 paths.
-    pub cc_c1: CcKind,
-    /// Congestion control of class-2 paths.
-    pub cc_c2: CcKind,
-    /// Parallel flows per path.
-    pub flows_per_path: usize,
-    /// Mean inter-flow gap (seconds).
-    pub mean_gap_s: f64,
-    /// Simulated duration (seconds).
-    pub duration_s: f64,
-    /// Measurement interval (seconds).
-    pub interval_s: f64,
-    /// Loss threshold.
-    pub loss_threshold: f64,
-    /// Seed.
-    pub seed: u64,
-}
-
-impl Default for ExperimentParams {
-    /// Table 1 defaults (durations shortened per DESIGN.md; `--duration`
-    /// restores the paper's 600 s).
-    fn default() -> Self {
-        ExperimentParams {
-            mechanism: Mechanism::Neutral,
-            flow_size_c1_bits: 10e6,
-            flow_size_c2_bits: 10e6,
-            rtt_c1_s: 0.05,
-            rtt_c2_s: 0.05,
-            cc_c1: CcKind::Cubic,
-            cc_c2: CcKind::Cubic,
-            flows_per_path: 20,
-            mean_gap_s: 10.0,
-            duration_s: 120.0,
-            interval_s: 0.1,
-            loss_threshold: 0.01,
-            seed: 42,
-        }
-    }
-}
-
-/// Outcome of one experiment.
-#[derive(Debug)]
-pub struct ExperimentOutcome {
-    /// Per-path congestion probability (Figure 8's bars), path order p1..p4.
-    pub path_congestion: Vec<f64>,
-    /// Algorithm verdict: did it find any non-neutral link sequence?
-    pub flagged_nonneutral: bool,
-    /// The full inference result.
-    pub inference: InferenceResult,
-    /// Whether the verdict matches the mechanism (ground truth).
-    pub correct: bool,
-    /// Raw simulation report.
-    pub report: SimReport,
-}
-
-/// Runs one topology-A experiment end to end.
+/// Runs one topology-A experiment end to end (compile + serial run).
 pub fn run_topology_a(p: ExperimentParams) -> ExperimentOutcome {
-    let paper: PaperTopology = topology_a(p.rtt_c1_s, p.rtt_c2_s);
-    let g = &paper.topology;
-    let l5 = g.link_by_name("l5").expect("topology A has l5");
-
-    let mechanisms: Vec<(nni_topology::LinkId, Differentiation)> = match p.mechanism {
-        Mechanism::Neutral => Vec::new(),
-        Mechanism::Policing(frac) => vec![policer_at_fraction(g, l5, 1, frac, 0.01)],
-        Mechanism::Shaping(frac) => vec![shaper_at_fraction(g, l5, frac)],
-    };
-
-    let cfg = SimConfig {
-        duration_s: p.duration_s,
-        interval_s: p.interval_s,
-        seed: p.seed,
-        ..SimConfig::default()
-    };
-    let mut sim = Simulator::new(
-        link_params(g, &mechanisms),
-        measured_routes(g),
-        g.path_count(),
-        2,
-        cfg,
-    );
-    for path in g.path_ids() {
-        let is_c2 = paper.classes[1].contains(&path);
-        let (bits, cc) = if is_c2 {
-            (p.flow_size_c2_bits, p.cc_c2)
-        } else {
-            (p.flow_size_c1_bits, p.cc_c1)
-        };
-        sim.add_traffic(TrafficSpec {
-            route: RouteId(path.index()),
-            class: if is_c2 { 1 } else { 0 },
-            cc,
-            size: SizeDist::ParetoMean {
-                mean_bytes: bits / 8.0,
-                shape: 1.5,
-            },
-            mean_gap_s: p.mean_gap_s,
-            parallel: p.flows_per_path,
-        });
-    }
-    let report = sim.run();
-
-    let path_congestion: Vec<f64> = g
-        .path_ids()
-        .map(|path| report.log.congestion_probability(path, p.loss_threshold))
-        .collect();
-
-    let obs = MeasuredObservations::new(
-        &report.log,
-        NormalizeConfig {
-            loss_threshold: p.loss_threshold,
-            seed: p.seed ^ 0xDEAD,
-        },
-    );
-    let inference = identify(g, &obs, Config::clustered());
-    let flagged = inference.network_is_nonneutral();
-
-    // Ground truth: the network differentiates unless neutral — with the one
-    // §6.3 exception: a 50/50 shaper throttles both classes identically and
-    // is behaviourally neutral.
-    let truly_nonneutral = match p.mechanism {
-        Mechanism::Neutral => false,
-        Mechanism::Shaping(frac) if (frac - 0.5).abs() < 1e-9 => false,
-        _ => true,
-    };
-
-    ExperimentOutcome {
-        path_congestion,
-        flagged_nonneutral: flagged,
-        correct: flagged == truly_nonneutral,
-        inference,
-        report,
-    }
+    topology_a_scenario(p).run()
 }
 
-/// One experiment set of Table 2: a name and the experiments it sweeps.
+/// One experiment set of Table 2: a name and the scenarios it sweeps.
 pub struct ExperimentSet {
     /// Set number (1–9) and description.
     pub name: String,
     /// The x-axis label of the corresponding Figure 8 panel.
     pub axis: String,
-    /// (x-axis tick label, parameters) per experiment.
-    pub experiments: Vec<(String, ExperimentParams)>,
+    /// (x-axis tick label, scenario) per experiment.
+    pub experiments: Vec<(String, Scenario)>,
+}
+
+fn set(
+    name: &str,
+    axis: &str,
+    experiments: impl IntoIterator<Item = (String, ExperimentParams)>,
+) -> ExperimentSet {
+    ExperimentSet {
+        name: name.into(),
+        axis: axis.into(),
+        experiments: experiments
+            .into_iter()
+            .map(|(tick, p)| (tick, topology_a_scenario(p)))
+            .collect(),
+    }
 }
 
 /// Builds all nine experiment sets of Table 2, scaled to `duration_s` with
@@ -212,16 +74,12 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
     let rates = [0.5, 0.4, 0.3, 0.2];
     let rate_names = ["50", "40", "30", "20"];
 
-    let mut sets = Vec::new();
-
-    // Set 1: neutral, class-1 flows 1 Mb, class-2 flow size varies.
-    sets.push(ExperimentSet {
-        name: "set1 neutral: vary class-2 mean flow size".into(),
-        axis: "Mean flow size for class 2 [Mb]".into(),
-        experiments: sizes
-            .iter()
-            .zip(size_names)
-            .map(|(&s, n)| {
+    vec![
+        // Set 1: neutral, class-1 flows 1 Mb, class-2 flow size varies.
+        set(
+            "set1 neutral: vary class-2 mean flow size",
+            "Mean flow size for class 2 [Mb]",
+            sizes.iter().zip(size_names).map(|(&s, n)| {
                 (
                     n.to_string(),
                     ExperimentParams {
@@ -230,18 +88,13 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
                         ..heavy
                     },
                 )
-            })
-            .collect(),
-    });
-
-    // Set 2: neutral, class-2 RTT varies.
-    sets.push(ExperimentSet {
-        name: "set2 neutral: vary class-2 RTT".into(),
-        axis: "RTT for class 2 [ms]".into(),
-        experiments: rtts
-            .iter()
-            .zip(rtt_names)
-            .map(|(&r, n)| {
+            }),
+        ),
+        // Set 2: neutral, class-2 RTT varies.
+        set(
+            "set2 neutral: vary class-2 RTT",
+            "RTT for class 2 [ms]",
+            rtts.iter().zip(rtt_names).map(|(&r, n)| {
                 (
                     n.to_string(),
                     ExperimentParams {
@@ -250,42 +103,32 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
                         ..heavy
                     },
                 )
-            })
-            .collect(),
-    });
-
-    // Set 3: neutral, class-2 congestion control varies.
-    sets.push(ExperimentSet {
-        name: "set3 neutral: vary class-2 congestion control".into(),
-        axis: "TCP congestion control alg. for class 2".into(),
-        experiments: vec![
-            (
-                "CUBIC/CUBIC".into(),
-                ExperimentParams {
-                    cc_c1: CcKind::Cubic,
-                    cc_c2: CcKind::Cubic,
-                    ..heavy
-                },
-            ),
-            (
-                "CUBIC/NewReno".into(),
-                ExperimentParams {
-                    cc_c1: CcKind::Cubic,
-                    cc_c2: CcKind::NewReno,
-                    ..heavy
-                },
-            ),
-        ],
-    });
-
-    // Sets 4–6: policing.
-    sets.push(ExperimentSet {
-        name: "set4 policing: vary mean flow size (both classes)".into(),
-        axis: "Mean flow size [Mb]".into(),
-        experiments: sizes
-            .iter()
-            .zip(size_names)
-            .map(|(&s, n)| {
+            }),
+        ),
+        // Set 3: neutral, class-2 congestion control varies.
+        set(
+            "set3 neutral: vary class-2 congestion control",
+            "TCP congestion control alg. for class 2",
+            [
+                ("CUBIC/CUBIC", nni_emu::CcKind::Cubic),
+                ("CUBIC/NewReno", nni_emu::CcKind::NewReno),
+            ]
+            .map(|(tick, cc2)| {
+                (
+                    tick.to_string(),
+                    ExperimentParams {
+                        cc_c1: nni_emu::CcKind::Cubic,
+                        cc_c2: cc2,
+                        ..heavy
+                    },
+                )
+            }),
+        ),
+        // Sets 4–6: policing.
+        set(
+            "set4 policing: vary mean flow size (both classes)",
+            "Mean flow size [Mb]",
+            sizes.iter().zip(size_names).map(|(&s, n)| {
                 (
                     n.to_string(),
                     ExperimentParams {
@@ -295,16 +138,12 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
                         ..policing_load
                     },
                 )
-            })
-            .collect(),
-    });
-    sets.push(ExperimentSet {
-        name: "set5 policing: vary RTT (both classes)".into(),
-        axis: "RTT [ms]".into(),
-        experiments: rtts
-            .iter()
-            .zip(rtt_names)
-            .map(|(&r, n)| {
+            }),
+        ),
+        set(
+            "set5 policing: vary RTT (both classes)",
+            "RTT [ms]",
+            rtts.iter().zip(rtt_names).map(|(&r, n)| {
                 (
                     n.to_string(),
                     ExperimentParams {
@@ -314,16 +153,12 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
                         ..policing_load
                     },
                 )
-            })
-            .collect(),
-    });
-    sets.push(ExperimentSet {
-        name: "set6 policing: vary policing rate".into(),
-        axis: "Policing rate [%]".into(),
-        experiments: rates
-            .iter()
-            .zip(rate_names)
-            .map(|(&f, n)| {
+            }),
+        ),
+        set(
+            "set6 policing: vary policing rate",
+            "Policing rate [%]",
+            rates.iter().zip(rate_names).map(|(&f, n)| {
                 (
                     n.to_string(),
                     ExperimentParams {
@@ -331,18 +166,13 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
                         ..policing_load
                     },
                 )
-            })
-            .collect(),
-    });
-
-    // Sets 7–9: shaping.
-    sets.push(ExperimentSet {
-        name: "set7 shaping: vary mean flow size (both classes)".into(),
-        axis: "Mean flow size [Mb]".into(),
-        experiments: sizes
-            .iter()
-            .zip(size_names)
-            .map(|(&s, n)| {
+            }),
+        ),
+        // Sets 7–9: shaping.
+        set(
+            "set7 shaping: vary mean flow size (both classes)",
+            "Mean flow size [Mb]",
+            sizes.iter().zip(size_names).map(|(&s, n)| {
                 (
                     n.to_string(),
                     ExperimentParams {
@@ -355,16 +185,12 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
                         ..heavy
                     },
                 )
-            })
-            .collect(),
-    });
-    sets.push(ExperimentSet {
-        name: "set8 shaping: vary RTT (both classes)".into(),
-        axis: "RTT [ms]".into(),
-        experiments: rtts
-            .iter()
-            .zip(rtt_names)
-            .map(|(&r, n)| {
+            }),
+        ),
+        set(
+            "set8 shaping: vary RTT (both classes)",
+            "RTT [ms]",
+            rtts.iter().zip(rtt_names).map(|(&r, n)| {
                 (
                     n.to_string(),
                     ExperimentParams {
@@ -374,16 +200,12 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
                         ..heavy
                     },
                 )
-            })
-            .collect(),
-    });
-    sets.push(ExperimentSet {
-        name: "set9 shaping: vary shaping rate".into(),
-        axis: "Shaping rate [%]".into(),
-        experiments: rates
-            .iter()
-            .zip(rate_names)
-            .map(|(&f, n)| {
+            }),
+        ),
+        set(
+            "set9 shaping: vary shaping rate",
+            "Shaping rate [%]",
+            rates.iter().zip(rate_names).map(|(&f, n)| {
                 (
                     n.to_string(),
                     ExperimentParams {
@@ -391,19 +213,40 @@ pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
                         ..shaping_sweep_load
                     },
                 )
-            })
-            .collect(),
-    });
-
-    sets
+            }),
+        ),
+    ]
 }
 
-/// Ground-truth classes of topology A as a [`Classes`] value (for reporting).
-pub fn topology_a_classes(paper: &PaperTopology) -> Classes {
-    Classes::new(&paper.topology, paper.classes.clone()).expect("valid partition")
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// The PathIds of topology A in class order (p1, p2 | p3, p4).
-pub fn topology_a_paths() -> [PathId; 4] {
-    [PathId(0), PathId(1), PathId(2), PathId(3)]
+    #[test]
+    fn table2_has_nine_sets_of_valid_scenarios() {
+        let sets = table2_sets(30.0, 1);
+        assert_eq!(sets.len(), 9);
+        let total: usize = sets.iter().map(|s| s.experiments.len()).sum();
+        assert_eq!(total, 4 + 4 + 2 + 4 + 4 + 4 + 4 + 4 + 4);
+        for s in &sets {
+            for (_, scenario) in &s.experiments {
+                assert_eq!(scenario.path_traffic.len(), 4);
+                assert_eq!(scenario.measurement.duration_s, 30.0);
+                assert_eq!(scenario.measurement.seed, 1);
+            }
+        }
+        // Neutral sets carry no mechanism; policing/shaping sets carry one.
+        assert!(sets[0]
+            .experiments
+            .iter()
+            .all(|(_, s)| s.differentiation.is_empty()));
+        assert!(sets[5]
+            .experiments
+            .iter()
+            .all(|(_, s)| s.differentiation.len() == 1));
+        // The 50% shaping experiment is behaviourally neutral.
+        let (tick, half) = &sets[8].experiments[0];
+        assert_eq!(tick, "50");
+        assert!(!half.expectation.expect_flagged);
+    }
 }

@@ -2,6 +2,9 @@
 //!
 //! Experiment regenerators for every table and figure of the paper's
 //! evaluation (§6), plus shared harness code for the Criterion benches.
+//! Everything runs on the `nni-scenario` API: the sweeps here produce
+//! [`Scenario`](nni_scenario::Scenario)s, and any
+//! [`Executor`](nni_scenario::Executor) — serial or sharded — runs them.
 //!
 //! Binaries (`cargo run -p nni-bench --release --bin <name>`):
 //!
@@ -12,14 +15,24 @@
 //! | `exp_fig11` | Figure 11: queue occupancy of neutral `l13` vs policing `l14` |
 //! | `exp_theory` | Figures 1–6: observability / identifiability worked examples |
 //! | `exp_robustness` | §6.5 sweep: loss thresholds × measurement intervals |
-//! | `exp_baselines` | Ablation: Algorithm 1 vs boolean/loss tomography vs Glasnost |
+//! | `exp_baselines` | Ablation: Algorithm 1 vs boolean/loss tomography vs Glasnost vs NetPolice |
+//!
+//! The sweep binaries accept `--executor serial|sharded` and `--workers N`;
+//! sharded runs are guaranteed to produce results identical to serial runs,
+//! seed for seed (see `nni_scenario::executor`).
 
+pub mod cli;
 pub mod expsets;
 pub mod table;
 pub mod topob;
 
-pub use expsets::{
-    run_topology_a, table2_sets, ExperimentOutcome, ExperimentParams, ExperimentSet, Mechanism,
+pub use cli::{ExpArgs, ExpCaps};
+pub use expsets::{run_topology_a, table2_sets, ExperimentSet};
+// Re-exported so harness code keeps one import path for the experiment
+// surface; the types live in `nni-scenario`.
+pub use nni_scenario::library::{
+    topology_a_classes, topology_a_paths, ExperimentParams, Mechanism,
 };
+pub use nni_scenario::ExperimentOutcome;
 pub use table::Table;
 pub use topob::{run_topology_b, TopologyBOutcome, TopologyBParams};

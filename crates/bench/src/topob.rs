@@ -1,40 +1,18 @@
-//! The topology B experiment (§6.4, Figures 9–11, Table 3).
+//! The topology B experiment (§6.4, Figures 9–11, Table 3), on the
+//! [`Scenario`] API.
+//!
+//! The network wiring, traffic, and policer placement live in
+//! [`nni_scenario::library::topology_b_scenario`]; this module derives the
+//! figure-specific views (per-link per-class congestion, class-tagged pair
+//! estimates, queue traces) from the generic [`ExperimentOutcome`].
 
-use nni_core::{evaluate, identify, Config, InferenceResult, Quality};
-use nni_emu::{
-    background_route, link_params, long_flow, measured_routes, policer_at_fraction, short_flow_mix,
-    CcKind, QueueTrace, RouteId, SimConfig, SimReport, Simulator, SizeDist, TrafficSpec,
-};
-use nni_measure::{MeasuredObservations, NormalizeConfig};
-use nni_topology::library::{topology_b, PaperTopology};
-use nni_topology::{LinkId, PathId};
-
-/// Parameters of the topology B experiment.
-#[derive(Debug, Clone, Copy)]
-pub struct TopologyBParams {
-    /// Simulated duration (seconds).
-    pub duration_s: f64,
-    /// Policing rate as a fraction of link capacity (l5, l14, l20).
-    pub policing_fraction: f64,
-    /// Loss threshold.
-    pub loss_threshold: f64,
-    /// Measurement interval (seconds).
-    pub interval_s: f64,
-    /// Seed.
-    pub seed: u64,
-}
-
-impl Default for TopologyBParams {
-    fn default() -> Self {
-        TopologyBParams {
-            duration_s: 300.0,
-            policing_fraction: 0.2,
-            loss_threshold: 0.01,
-            interval_s: 0.1,
-            seed: 7,
-        }
-    }
-}
+use nni_core::{InferenceResult, Quality};
+use nni_emu::QueueTrace;
+use nni_scenario::library::topology_b_scenario;
+pub use nni_scenario::library::TopologyBParams;
+use nni_scenario::{ExperimentOutcome, Scenario};
+use nni_topology::library::PaperTopology;
+use nni_topology::PathId;
 
 /// Per-pair estimate annotated with the pair's class membership (the basis
 /// of Figure 10(b)'s paired boxplots).
@@ -66,114 +44,44 @@ pub struct TopologyBOutcome {
     /// See `trace_l13`.
     pub trace_l14: QueueTrace,
     /// Raw simulation report.
-    pub report: SimReport,
+    pub report: nni_emu::SimReport,
 }
 
 /// Runs the topology B experiment end to end.
 pub fn run_topology_b(p: TopologyBParams) -> TopologyBOutcome {
-    let paper = topology_b();
-    let g = &paper.topology;
+    let scenario = topology_b_scenario(p);
+    let outcome = scenario.run();
+    derive_outcome(&scenario, outcome)
+}
 
-    // Policers on l5, l14, l20 targeting the long-flow class (label 1).
-    // Bursts differ per device (as they would across real vendors), which
-    // also desynchronises the policers' token cycles — identically
-    // configured policers otherwise lock their loss episodes together and
-    // violate the link-independence assumption (§2.2, assumption #2).
-    let bursts = [0.025, 0.03, 0.035];
-    let mechanisms: Vec<_> = paper
-        .nonneutral_links
-        .iter()
-        .zip(bursts)
-        .map(|(&l, burst)| policer_at_fraction(g, l, 1, p.policing_fraction, burst))
-        .collect();
-
-    let cfg = SimConfig {
-        duration_s: p.duration_s,
-        interval_s: p.interval_s,
-        seed: p.seed,
-        ..SimConfig::default()
+/// Derives the Figure 10/11 views from a generic topology-B outcome. Works
+/// for any scenario over the topology-B graph (e.g. the library's
+/// dual-policer variant).
+pub fn derive_outcome(scenario: &Scenario, out: ExperimentOutcome) -> TopologyBOutcome {
+    let paper = PaperTopology {
+        topology: scenario.topology.clone(),
+        classes: scenario.classes.clone(),
+        nonneutral_links: scenario.expectation.nonneutral_links.clone(),
     };
-
-    // Routes: the 15 measured paths plus white-host background routes
-    // (unmeasured, Table 3's "mix of short and long flows").
-    let mut routes = measured_routes(g);
-    let ln = |name: &str| g.link_by_name(name).expect("known link");
-    let bg_routes = [
-        vec![ln("l21"), ln("l13"), ln("l17")], // drives neutral l13 near capacity
-        vec![ln("l21"), ln("l6"), ln("l15"), ln("l16")],
-        vec![ln("l23"), ln("l8"), ln("l11"), ln("l19")],
-    ];
-    let mut bg_ids = Vec::new();
-    for r in bg_routes {
-        bg_ids.push(RouteId(routes.len()));
-        routes.push(background_route(r));
-    }
-
-    let mut sim = Simulator::new(link_params(g, &mechanisms), routes, g.path_count(), 2, cfg);
-
-    // Table 3 traffic. Dark gray (class c1): 1 Mb + 10 Mb + 40 Mb parallel
-    // flows; light gray (class c2): one 10 Gb flow; white: both mixes.
-    for &path in &paper.classes[0] {
-        for spec in short_flow_mix(RouteId(path.index()), 0, CcKind::Cubic) {
-            sim.add_traffic(spec);
-        }
-    }
-    for &path in &paper.classes[1] {
-        sim.add_traffic(long_flow(RouteId(path.index()), 1, CcKind::Cubic));
-        // Long-flow hosts also cycle medium transfers (the BitTorrent-like
-        // churn of §1's motivation): each restart slow-starts into the
-        // policers, producing the episodic loss bursts that make
-        // co-occurrence across same-class paths observable.
-        sim.add_traffic(TrafficSpec {
-            route: RouteId(path.index()),
-            class: 1,
-            cc: CcKind::Cubic,
-            size: SizeDist::ParetoMean {
-                mean_bytes: 40e6 / 8.0,
-                shape: 1.5,
-            },
-            mean_gap_s: 2.0,
-            parallel: 3,
-        });
-    }
-    for &bg in &bg_ids {
-        for spec in short_flow_mix(bg, 0, CcKind::Cubic) {
-            sim.add_traffic(spec);
-        }
-        sim.add_traffic(long_flow(bg, 1, CcKind::Cubic));
-    }
-
-    let report = sim.run();
+    let g = &paper.topology;
+    let thr = scenario.measurement.loss_threshold;
 
     // Figure 10(a): ground-truth congestion probability per link per class.
     let link_congestion: Vec<[f64; 2]> = g
         .link_ids()
         .map(|l| {
             [
-                report
-                    .link_truth
-                    .congestion_probability(l, 0, p.loss_threshold),
-                report
-                    .link_truth
-                    .congestion_probability(l, 1, p.loss_threshold),
+                out.report.link_truth.congestion_probability(l, 0, thr),
+                out.report.link_truth.congestion_probability(l, 1, thr),
             ]
         })
         .collect();
 
-    // Inference.
-    let obs = MeasuredObservations::new(
-        &report.log,
-        NormalizeConfig {
-            loss_threshold: p.loss_threshold,
-            seed: p.seed ^ 0xBEEF,
-        },
-    );
-    let inference = identify(g, &obs, Config::clustered());
-
     // Figure 10(b): tag each slice's per-pair estimates by pair class.
     let c1 = &paper.classes[0];
     let c2 = &paper.classes[1];
-    let tagged_estimates: Vec<_> = inference
+    let tagged_estimates: Vec<_> = out
+        .inference
         .verdicts
         .iter()
         .map(|v| {
@@ -200,19 +108,15 @@ pub fn run_topology_b(p: TopologyBParams) -> TopologyBOutcome {
         })
         .collect();
 
-    let quality = evaluate(g, &inference.nonneutral, &paper.nonneutral_links);
-
-    let trace_of = |l: LinkId| report.queue_traces[l.index()].clone();
-    let (l13, l14) = (ln("l13"), ln("l14"));
-
+    let trace_of = |name: &str| out.report.queue_traces[paper.link_named(name).index()].clone();
     TopologyBOutcome {
         link_congestion,
         tagged_estimates,
-        quality,
-        trace_l13: trace_of(l13),
-        trace_l14: trace_of(l14),
-        inference,
-        report,
+        quality: out.quality,
+        trace_l13: trace_of("l13"),
+        trace_l14: trace_of("l14"),
+        inference: out.inference,
+        report: out.report,
         paper,
     }
 }

@@ -101,7 +101,7 @@ impl Default for Config {
 }
 
 /// Per-pair estimate of `x_τ` (used for reporting, e.g. Figure 10(b)).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairEstimate {
     /// The path pair.
     pub pair: (PathId, PathId),
@@ -110,7 +110,7 @@ pub struct PairEstimate {
 }
 
 /// The analysis of one slice.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SliceVerdict {
     /// The candidate link sequence.
     pub tau: LinkSeq,
@@ -123,7 +123,7 @@ pub struct SliceVerdict {
 }
 
 /// Output of Algorithm 1 (+ redundancy removal).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceResult {
     /// All analyzed slices with their verdicts (deterministic order).
     pub verdicts: Vec<SliceVerdict>,

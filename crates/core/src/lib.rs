@@ -14,7 +14,7 @@
 //! | §2.3 generalized routing matrix, System 3 | [`routing`] |
 //! | §3.2 equivalent neutral network `G⁺` | [`equivalent`] |
 //! | §3.3 Theorem 1 (observability) | [`observability`] |
-//! | §4.1 network slices, System 4 | [`slice`] |
+//! | §4.1 network slices, System 4 | [`slice`](mod@slice) |
 //! | §4.2 Lemmas 2–3 (identifiability) | [`identifiability`] |
 //! | §5 Algorithm 1 + redundancy removal | [`algorithm`] |
 //! | §5 FN / FP / granularity metrics | [`metrics`] |

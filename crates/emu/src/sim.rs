@@ -88,6 +88,8 @@ pub struct Simulator {
     queue: EventQueue,
     now: SimTime,
     rng: StdRng,
+    /// Reused across shaper-release events so each release does not allocate.
+    release_scratch: Vec<Packet>,
     // Statistics.
     log: MeasurementLog,
     truth: LinkTruth,
@@ -151,6 +153,7 @@ impl Simulator {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(cfg.seed),
+            release_scratch: Vec::new(),
             log: MeasurementLog::new(n_paths.max(1), cfg.interval_s),
             truth: LinkTruth::new(n_links, n_classes),
             traces: vec![QueueTrace::default(); n_links],
@@ -286,10 +289,15 @@ impl Simulator {
     }
 
     fn on_shaper_release(&mut self, link_id: LinkId, lane: usize) {
-        let (released, next) = self.links[link_id.index()].diff.release(self.now, lane);
-        for pkt in released {
+        let mut released = std::mem::take(&mut self.release_scratch);
+        released.clear();
+        let next = self.links[link_id.index()]
+            .diff
+            .release(self.now, lane, &mut released);
+        for pkt in released.drain(..) {
             self.enqueue_main(link_id, pkt);
         }
+        self.release_scratch = released;
         if let Some(at) = next {
             self.queue.push(at, Event::ShaperRelease(link_id, lane));
         }

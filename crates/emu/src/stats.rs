@@ -9,7 +9,7 @@ use nni_topology::LinkId;
 /// Ground-truth per-link, per-class, per-interval packet accounting —
 /// "directly measured by the network; our algorithm does not use them in any
 /// way" (§6.4).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkTruth {
     n_links: usize,
     n_classes: usize,
@@ -112,6 +112,21 @@ impl LinkTruth {
             .collect()
     }
 
+    /// Total packets of one class offered to a link (the denominator of a
+    /// NetPolice-style per-class probe loss rate).
+    pub fn class_offered(&self, link: LinkId, class: ClassLabel) -> u64 {
+        (0..self.offered.len())
+            .map(|t| self.offered[t][link.index()][class as usize])
+            .sum()
+    }
+
+    /// Total packets of one class dropped at a link.
+    pub fn class_dropped(&self, link: LinkId, class: ClassLabel) -> u64 {
+        (0..self.dropped.len())
+            .map(|t| self.dropped[t][link.index()][class as usize])
+            .sum()
+    }
+
     /// Total packets offered to a link across classes.
     pub fn total_offered(&self, link: LinkId) -> u64 {
         (0..self.offered.len())
@@ -128,7 +143,7 @@ impl LinkTruth {
 }
 
 /// Queue-occupancy time series of one link (Figure 11).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueueTrace {
     /// Sample timestamps (seconds).
     pub times_s: Vec<f64>,
@@ -158,7 +173,7 @@ impl QueueTrace {
 }
 
 /// Everything a simulation run produces.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Measured-path packet log (the only thing inference sees).
     pub log: MeasurementLog,
@@ -207,6 +222,9 @@ mod tests {
         assert_eq!(t.congestion_probability(LinkId(1), 1, 0.01), 0.0);
         assert_eq!(t.total_offered(LinkId(0)), 200);
         assert_eq!(t.total_dropped(LinkId(0)), 5);
+        assert_eq!(t.class_offered(LinkId(0), 1), 200);
+        assert_eq!(t.class_dropped(LinkId(0), 1), 5);
+        assert_eq!(t.class_offered(LinkId(0), 0), 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use nni_topology::PathId;
 
 /// Raw measurement log: packets sent and lost per interval per path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasurementLog {
     interval_s: f64,
     n_paths: usize,

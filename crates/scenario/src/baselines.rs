@@ -1,0 +1,173 @@
+//! Routing the related-work baselines through the same [`Scenario`].
+//!
+//! Each adapter derives a baseline's *input* from the scenario plus the
+//! experiment's [`SimReport`], so Algorithm 1, boolean tomography,
+//! least-squares loss tomography, Glasnost, and NetPolice all consume the
+//! identical run — the apples-to-apples comparison §8 calls for:
+//!
+//! * boolean / loss tomography see the measured path log (and assume
+//!   neutrality);
+//! * Glasnost additionally gets the class partition (which it would know —
+//!   it crafts the flow types itself);
+//! * NetPolice gets per-link per-class probe loss rates, stood in by the
+//!   emulator's ground truth (its best case: perfect interior probes).
+
+use nni_emu::SimReport;
+use nni_measure::{MeasuredObservations, NormalizeConfig};
+use nni_tomography::{
+    boolean_infer, glasnost_detect, loss_infer, netpolice_detect, BooleanTomography,
+    GlasnostVerdict, LinkVerdict, LossTomography, ProbeMeasurements, Snapshot,
+};
+use nni_topology::{PathId, PathSet};
+
+use crate::spec::Scenario;
+
+/// Per-interval congestion snapshots over the measured paths (the input
+/// boolean tomography explains).
+pub fn snapshots(scenario: &Scenario, report: &SimReport) -> Vec<Snapshot> {
+    let g = &scenario.topology;
+    let log = &report.log;
+    let thr = scenario.measurement.loss_threshold;
+    (0..log.interval_count())
+        .filter_map(|t| {
+            let snap: Vec<bool> = g
+                .path_ids()
+                .map(|p| {
+                    let m = log.sent(t, p);
+                    m > 0 && log.lost(t, p) as f64 > thr * m as f64
+                })
+                .collect();
+            // Skip intervals with no information at all.
+            let any_active = g.path_ids().any(|p| log.sent(t, p) > 0);
+            any_active.then_some(snap)
+        })
+        .collect()
+}
+
+/// Boolean tomography \[22\] over the scenario's congestion snapshots.
+pub fn boolean(scenario: &Scenario, report: &SimReport) -> BooleanTomography {
+    boolean_infer(&scenario.topology, &snapshots(scenario, report))
+}
+
+/// Least-squares loss tomography \[7\] over singleton and pair pathsets of
+/// every measured path, using the scenario's own normalization config.
+pub fn loss(scenario: &Scenario, report: &SimReport) -> LossTomography {
+    let g = &scenario.topology;
+    let m = &scenario.measurement;
+    let obs = MeasuredObservations::new(
+        &report.log,
+        NormalizeConfig {
+            loss_threshold: m.loss_threshold,
+            seed: m.seed ^ m.normalize_salt,
+        },
+    );
+    let group: Vec<PathId> = g.path_ids().collect();
+    let mut pathsets: Vec<PathSet> = g.path_ids().map(PathSet::single).collect();
+    for i in 0..group.len() {
+        for j in i + 1..group.len() {
+            pathsets.push(PathSet::pair(group[i], group[j]));
+        }
+    }
+    let y: Vec<f64> = pathsets
+        .iter()
+        .map(|p| {
+            use nni_core::Observations;
+            obs.pathset_perf(&group, p)
+        })
+        .collect();
+    loss_infer(g, &pathsets, &y)
+}
+
+/// A Glasnost-style differential detector \[11\] fed the scenario's first two
+/// classes (the partition Glasnost knows by construction).
+pub fn glasnost(scenario: &Scenario, report: &SimReport, margin: f64) -> GlasnostVerdict {
+    let empty: &[PathId] = &[];
+    let class1 = scenario.classes.first().map_or(empty, Vec::as_slice);
+    let class2 = scenario.classes.get(1).map_or(empty, Vec::as_slice);
+    glasnost_detect(
+        &report.log,
+        class1,
+        class2,
+        scenario.measurement.loss_threshold,
+        margin,
+    )
+}
+
+/// A NetPolice-style per-link comparator \[31\] fed perfect interior probes:
+/// the emulator's per-link per-class ground-truth loss rates.
+pub fn netpolice(scenario: &Scenario, report: &SimReport, margin: f64) -> Vec<LinkVerdict> {
+    let n_classes = scenario.class_label_count();
+    let loss_rate: Vec<Vec<f64>> = scenario
+        .topology
+        .link_ids()
+        .map(|l| {
+            (0..n_classes)
+                .map(|c| {
+                    let offered = report.link_truth.class_offered(l, c as u8);
+                    if offered == 0 {
+                        0.0
+                    } else {
+                        report.link_truth.class_dropped(l, c as u8) as f64 / offered as f64
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    netpolice_detect(&ProbeMeasurements { loss_rate }, margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{topology_a_scenario, ExperimentParams, Mechanism};
+    use nni_tomography::flagged_links;
+
+    fn short_policing_run() -> (Scenario, SimReport) {
+        let s = topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Policing(0.2),
+            duration_s: 25.0,
+            seed: 11,
+            ..ExperimentParams::default()
+        });
+        let report = s.run().report;
+        (s, report)
+    }
+
+    #[test]
+    fn baselines_consume_the_same_run() {
+        let (s, report) = short_policing_run();
+        let l5 = s.topology.link_by_name("l5").unwrap();
+
+        // Boolean tomography assumes neutrality and exonerates the culprit.
+        let b = boolean(&s, &report);
+        assert!(
+            b.prob(l5) < 0.05,
+            "boolean tomography should exonerate l5, got {}",
+            b.prob(l5)
+        );
+
+        // The least-squares fit leaves a residual (Lemma 1's raw material).
+        let ls = loss(&s, &report);
+        assert!(ls.residual_norm > 0.0);
+
+        // Glasnost (knowing the classes) sees the differentiation.
+        let g = glasnost(&s, &report, 0.05);
+        assert!(g.differentiated);
+        assert!(g.class2_congestion > g.class1_congestion);
+
+        // NetPolice with perfect probes localizes the policer.
+        let np = netpolice(&s, &report, 0.01);
+        assert!(
+            flagged_links(&np).contains(&l5),
+            "netpolice with perfect probes must flag l5"
+        );
+    }
+
+    #[test]
+    fn snapshots_cover_active_intervals_only() {
+        let (s, report) = short_policing_run();
+        let snaps = snapshots(&s, &report);
+        assert!(!snaps.is_empty());
+        assert!(snaps.iter().all(|s| s.len() == 4));
+    }
+}

@@ -1,0 +1,147 @@
+//! Experiment executors: run a batch of independent experiments serially or
+//! sharded across threads.
+//!
+//! Independent experiment runs are embarrassingly parallel — each one owns
+//! its simulator, RNG, and logs, and [`Experiment::run`] is a pure function
+//! of the scenario. The [`ShardedExecutor`] therefore guarantees the same
+//! results as [`SerialExecutor`], in the same order, for any worker count:
+//! outcomes are written into per-index slots, never into a shared
+//! accumulator, so scheduling order cannot leak into the output.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::experiment::{Experiment, ExperimentOutcome};
+use crate::spec::Scenario;
+
+/// Runs batches of compiled experiments.
+pub trait Executor {
+    /// Runs every experiment and returns outcomes in input order.
+    fn execute(&self, experiments: &[Experiment]) -> Vec<ExperimentOutcome>;
+
+    /// Human-readable description for reports (`"serial"`, `"sharded(8)"`).
+    fn describe(&self) -> String;
+}
+
+/// Runs experiments one after another on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn execute(&self, experiments: &[Experiment]) -> Vec<ExperimentOutcome> {
+        experiments.iter().map(Experiment::run).collect()
+    }
+
+    fn describe(&self) -> String {
+        "serial".into()
+    }
+}
+
+/// Fans independent experiment runs across `workers` scoped threads.
+///
+/// Work is claimed from an atomic counter (no pre-partitioning, so a few
+/// slow experiments cannot strand an idle worker) and each outcome lands in
+/// its input-index slot — result order is deterministic and identical to
+/// [`SerialExecutor`]'s, seed for seed.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedExecutor {
+    workers: usize,
+}
+
+impl ShardedExecutor {
+    /// An executor with an explicit worker count (at least one).
+    pub fn new(workers: usize) -> ShardedExecutor {
+        ShardedExecutor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> ShardedExecutor {
+        ShardedExecutor::new(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Executor for ShardedExecutor {
+    fn execute(&self, experiments: &[Experiment]) -> Vec<ExperimentOutcome> {
+        let n = experiments.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return SerialExecutor.execute(experiments);
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ExperimentOutcome>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = experiments[i].run();
+                    *slots[i].lock().expect("unpoisoned slot") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("unpoisoned slot")
+                    .expect("every index was claimed exactly once")
+            })
+            .collect()
+    }
+
+    fn describe(&self) -> String {
+        format!("sharded({})", self.workers)
+    }
+}
+
+/// Compiles every scenario, preserving order.
+pub fn compile_all(scenarios: &[Scenario]) -> Vec<Experiment> {
+    scenarios.iter().map(Scenario::compile).collect()
+}
+
+/// The (seed × scenario) fan-out: one compiled experiment per seed, in seed
+/// order — feed the result to any [`Executor`].
+pub fn seed_sweep(scenario: &Scenario, seeds: &[u64]) -> Vec<Experiment> {
+    seeds
+        .iter()
+        .map(|&seed| scenario.with_seed(seed).compile())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executors_handle_empty_batches() {
+        assert!(SerialExecutor.execute(&[]).is_empty());
+        assert!(ShardedExecutor::new(4).execute(&[]).is_empty());
+    }
+
+    #[test]
+    fn worker_count_floors_at_one() {
+        assert_eq!(ShardedExecutor::new(0).workers(), 1);
+        assert!(ShardedExecutor::auto().workers() >= 1);
+    }
+
+    #[test]
+    fn describe_names_the_strategy() {
+        assert_eq!(SerialExecutor.describe(), "serial");
+        assert_eq!(ShardedExecutor::new(3).describe(), "sharded(3)");
+    }
+}

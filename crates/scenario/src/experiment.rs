@@ -1,0 +1,193 @@
+//! The runnable half of the API: [`Experiment`] and [`ExperimentOutcome`].
+//!
+//! An experiment is a compiled scenario: simulator link parameters and the
+//! route table are materialized once, so repeated runs (and executor workers)
+//! share the same pre-resolved inputs. `run` is a pure function of the
+//! scenario — identical scenarios produce bit-identical outcomes on any
+//! executor, which is what makes run-sharding safe.
+
+use nni_core::{evaluate, identify, Quality};
+use nni_emu::{
+    background_route, link_params, measured_routes, LinkParams, Route, RouteId, SimConfig,
+    SimReport, Simulator, TrafficSpec,
+};
+use nni_measure::{MeasuredObservations, NormalizeConfig};
+
+use crate::spec::{Scenario, TrafficProfile};
+
+/// A compiled, runnable scenario.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    scenario: Scenario,
+    links: Vec<LinkParams>,
+    routes: Vec<Route>,
+    traffic: Vec<TrafficSpec>,
+}
+
+impl Experiment {
+    /// Compiles a scenario (also available as [`Scenario::compile`]).
+    pub fn new(scenario: Scenario) -> Experiment {
+        let g = &scenario.topology;
+        let links = link_params(g, &scenario.differentiation);
+        let mut routes = measured_routes(g);
+        let mut traffic: Vec<TrafficSpec> = scenario
+            .path_traffic
+            .iter()
+            .map(|&(path, profile)| spec_for(RouteId(path.index()), &profile))
+            .collect();
+        for bg in &scenario.background {
+            let route = RouteId(routes.len());
+            routes.push(background_route(bg.links.clone()));
+            traffic.extend(bg.profiles.iter().map(|p| spec_for(route, p)));
+        }
+        Experiment {
+            scenario,
+            links,
+            routes,
+            traffic,
+        }
+    }
+
+    /// The scenario this experiment was compiled from.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the experiment end to end: emulate → measure → infer → score.
+    ///
+    /// Takes `&self` so executors can run the same compiled experiment from
+    /// several workers; every invocation is deterministic in the scenario.
+    pub fn run(&self) -> ExperimentOutcome {
+        let s = &self.scenario;
+        let g = &s.topology;
+        let m = &s.measurement;
+        let mut cfg = SimConfig {
+            duration_s: m.duration_s,
+            interval_s: m.interval_s,
+            seed: m.seed,
+            ..SimConfig::default()
+        };
+        if let Some(warmup_s) = m.warmup_s {
+            cfg.warmup_s = warmup_s;
+        }
+        let mut sim = Simulator::new(
+            self.links.clone(),
+            self.routes.clone(),
+            g.path_count(),
+            s.class_label_count(),
+            cfg,
+        );
+        for spec in &self.traffic {
+            sim.add_traffic(spec.clone());
+        }
+        let report = sim.run();
+
+        let path_congestion: Vec<f64> = g
+            .path_ids()
+            .map(|path| report.log.congestion_probability(path, m.loss_threshold))
+            .collect();
+
+        let obs = MeasuredObservations::new(
+            &report.log,
+            NormalizeConfig {
+                loss_threshold: m.loss_threshold,
+                seed: m.seed ^ m.normalize_salt,
+            },
+        );
+        let inference = identify(g, &obs, s.inference);
+        let flagged_nonneutral = inference.network_is_nonneutral();
+        let quality = evaluate(g, &inference.nonneutral, &s.expectation.nonneutral_links);
+
+        ExperimentOutcome {
+            path_congestion,
+            flagged_nonneutral,
+            correct: flagged_nonneutral == s.expectation.expect_flagged,
+            quality,
+            inference,
+            report,
+        }
+    }
+}
+
+fn spec_for(route: RouteId, p: &TrafficProfile) -> TrafficSpec {
+    TrafficSpec {
+        route,
+        class: p.class,
+        cc: p.cc,
+        size: p.size,
+        mean_gap_s: p.mean_gap_s,
+        parallel: p.parallel,
+    }
+}
+
+/// Everything one experiment run produces. `PartialEq` compares every field
+/// bit for bit — the executor-equivalence guarantee is checked with plain
+/// `==`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOutcome {
+    /// Per-measured-path congestion probability, in path order (the bars of
+    /// a Figure 8 panel).
+    pub path_congestion: Vec<f64>,
+    /// Algorithm 1's verdict: any non-neutral link sequence found?
+    pub flagged_nonneutral: bool,
+    /// Whether the verdict matches the scenario's expectation.
+    pub correct: bool,
+    /// FN / FP / granularity against the expectation's non-neutral links.
+    pub quality: Quality,
+    /// The full inference result.
+    pub inference: nni_core::InferenceResult,
+    /// Raw simulation report (log, ground truth, queue traces, counters).
+    pub report: SimReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Expectation, TrafficProfile};
+    use nni_emu::{policer_at_fraction, CcKind};
+    use nni_topology::library::topology_a;
+
+    fn policing_scenario(seed: u64) -> Scenario {
+        let paper = topology_a(0.05, 0.05);
+        let l5 = paper.topology.link_by_name("l5").unwrap();
+        let mech = policer_at_fraction(&paper.topology, l5, 1, 0.2, 0.01);
+        let mut b = Scenario::builder("policing", paper.topology.clone())
+            .classes(paper.classes.clone())
+            .differentiate(mech.0, mech.1)
+            .duration_s(20.0)
+            .seed(seed)
+            .expect(Expectation::nonneutral(vec![l5]));
+        for p in paper.topology.path_ids() {
+            let class = u8::from(paper.classes[1].contains(&p));
+            b = b.path_traffic(
+                p,
+                TrafficProfile::pareto_bits(class, CcKind::Cubic, 10e6, 10.0, 8),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_is_deterministic_in_the_scenario() {
+        let s = policing_scenario(5);
+        let a = s.compile().run();
+        let b = s.compile().run();
+        assert_eq!(a, b, "same scenario must produce bit-identical outcomes");
+        let c = s.with_seed(6).run();
+        assert_ne!(
+            a.report.segments_sent, c.report.segments_sent,
+            "different seed must change the traffic"
+        );
+    }
+
+    #[test]
+    fn outcome_covers_all_measured_paths() {
+        let out = policing_scenario(5).run();
+        assert_eq!(out.path_congestion.len(), 4);
+        assert!(out.report.segments_sent > 0);
+        // The policed class congests more than the protected one.
+        let c1 = (out.path_congestion[0] + out.path_congestion[1]) / 2.0;
+        let c2 = (out.path_congestion[2] + out.path_congestion[3]) / 2.0;
+        assert!(c2 > c1, "policed paths must congest more: {c1} vs {c2}");
+    }
+}

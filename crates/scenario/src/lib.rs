@@ -1,0 +1,50 @@
+//! # nni-scenario
+//!
+//! The topology-agnostic experiment layer: declare *what* to run —
+//! any topology, any class partition, differentiation on any set of links,
+//! per-path and background traffic, the measurement window — as a
+//! [`Scenario`], compile it into a runnable [`Experiment`], and execute
+//! batches through an [`Executor`].
+//!
+//! * [`spec`] — [`Scenario`], [`ScenarioBuilder`], validation.
+//! * [`experiment`] — the compiled [`Experiment`] and its
+//!   [`ExperimentOutcome`] (emulate → measure → infer → score).
+//! * [`executor`] — [`SerialExecutor`] and [`ShardedExecutor`]: independent
+//!   runs fan out across scoped threads with deterministic, input-order
+//!   results. Identical scenarios produce bit-identical outcomes on either
+//!   executor.
+//! * [`library`] — ready-made scenarios: the paper's topology A (Table 2)
+//!   and topology B (§6.4) setups plus variants beyond Table 2
+//!   (dual-policer topology B, asymmetric-RTT neutral control, multi-lane
+//!   shaping on two links).
+//! * [`baselines`] — adapters that feed the *same* scenario and run to the
+//!   related-work baselines (boolean/loss tomography, Glasnost, NetPolice).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nni_scenario::{library, Executor, ShardedExecutor, seed_sweep};
+//!
+//! // A Table 2 policing experiment on topology A …
+//! let scenario = library::topology_a_scenario(library::ExperimentParams {
+//!     mechanism: library::Mechanism::Policing(0.2),
+//!     duration_s: 15.0,
+//!     ..library::ExperimentParams::default()
+//! });
+//! // … fanned over seeds across worker threads, results in seed order.
+//! let outcomes = ShardedExecutor::new(2).execute(&seed_sweep(&scenario, &[1, 2]));
+//! assert_eq!(outcomes.len(), 2);
+//! ```
+
+pub mod baselines;
+pub mod executor;
+pub mod experiment;
+pub mod library;
+pub mod spec;
+
+pub use executor::{compile_all, seed_sweep, Executor, SerialExecutor, ShardedExecutor};
+pub use experiment::{Experiment, ExperimentOutcome};
+pub use spec::{
+    BackgroundTraffic, Expectation, MeasurementConfig, Scenario, ScenarioBuilder, ScenarioError,
+    TrafficProfile, DEFAULT_NORMALIZE_SALT,
+};

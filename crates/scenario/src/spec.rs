@@ -1,0 +1,530 @@
+//! The declarative half of the API: [`Scenario`] and its builder.
+//!
+//! A scenario is a complete, topology-agnostic description of one
+//! experiment: a topology, a class partition, any number of per-link
+//! differentiation placements, per-path (and background) traffic, the
+//! measurement window, and the inference configuration. Building a scenario
+//! validates every cross-reference once, so a compiled [`Experiment`]
+//! (see [`crate::experiment`]) can run without further checking.
+//!
+//! [`Experiment`]: crate::Experiment
+
+use nni_core::Config;
+use nni_emu::{CcKind, ClassLabel, Differentiation, SizeDist};
+use nni_topology::{LinkId, PathId, Topology};
+
+use crate::experiment::Experiment;
+
+/// Default salt XORed into the simulation seed to derive the normalization
+/// (Algorithm 2) seed, so the emulator and the measurement post-processing
+/// never consume the same random stream.
+pub const DEFAULT_NORMALIZE_SALT: u64 = 0xDEAD;
+
+/// Measurement / simulation window of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurementConfig {
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Measurement interval in seconds (Table 1: 100 ms).
+    pub interval_s: f64,
+    /// Loss threshold for the congestion-free indicator.
+    pub loss_threshold: f64,
+    /// Warm-up prefix dropped from the log; `None` uses the emulator default.
+    pub warmup_s: Option<f64>,
+    /// Simulation seed (traffic sampling and start jitter).
+    pub seed: u64,
+    /// Salt XORed with `seed` to seed Algorithm 2's normalization draw.
+    pub normalize_salt: u64,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        MeasurementConfig {
+            duration_s: 60.0,
+            interval_s: 0.1,
+            loss_threshold: 0.01,
+            warmup_s: None,
+            seed: 42,
+            normalize_salt: DEFAULT_NORMALIZE_SALT,
+        }
+    }
+}
+
+/// One traffic source: `parallel` endless flow slots with a size
+/// distribution and an exponential idle gap, stamped with a class label.
+///
+/// The label is what differentiation mechanisms match on; it usually — but
+/// not necessarily — mirrors the path's performance class (background hosts
+/// may emit several labels on the same route).
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficProfile {
+    /// Class label stamped on every packet.
+    pub class: ClassLabel,
+    /// Congestion-control algorithm.
+    pub cc: CcKind,
+    /// Flow-size distribution.
+    pub size: SizeDist,
+    /// Mean inter-flow idle time in seconds.
+    pub mean_gap_s: f64,
+    /// Number of parallel flow slots.
+    pub parallel: usize,
+}
+
+impl TrafficProfile {
+    /// Pareto-sized flows (shape 1.5, the scenarios' default) with the given
+    /// mean size in bits.
+    pub fn pareto_bits(
+        class: ClassLabel,
+        cc: CcKind,
+        mean_bits: f64,
+        mean_gap_s: f64,
+        parallel: usize,
+    ) -> TrafficProfile {
+        TrafficProfile {
+            class,
+            cc,
+            size: SizeDist::ParetoMean {
+                mean_bytes: mean_bits / 8.0,
+                shape: 1.5,
+            },
+            mean_gap_s,
+            parallel,
+        }
+    }
+
+    /// A persistent fixed-size transfer (e.g. Table 3's 10 Gb flows).
+    pub fn persistent_bits(class: ClassLabel, cc: CcKind, bits: f64) -> TrafficProfile {
+        TrafficProfile {
+            class,
+            cc,
+            size: SizeDist::Fixed {
+                bytes: (bits / 8.0) as u64,
+            },
+            mean_gap_s: 10.0,
+            parallel: 1,
+        }
+    }
+}
+
+/// An unmeasured background source: loads the network over an explicit link
+/// route without appearing in the measurement log.
+#[derive(Debug, Clone)]
+pub struct BackgroundTraffic {
+    /// The links the background route traverses, in order.
+    pub links: Vec<LinkId>,
+    /// The traffic emitted on that route.
+    pub profiles: Vec<TrafficProfile>,
+}
+
+/// Ground truth the outcome is scored against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expectation {
+    /// Links that actually differentiate (for FN/FP/granularity).
+    pub nonneutral_links: Vec<LinkId>,
+    /// Whether Algorithm 1 *should* flag the network. Usually
+    /// `!nonneutral_links.is_empty()`, but a behaviourally neutral mechanism
+    /// (the §6.3 50/50 shaper) carries mechanisms yet expects no flag.
+    pub expect_flagged: bool,
+}
+
+impl Expectation {
+    /// A neutral network: nothing to find.
+    pub fn neutral() -> Expectation {
+        Expectation {
+            nonneutral_links: Vec::new(),
+            expect_flagged: false,
+        }
+    }
+
+    /// A network whose listed links differentiate observably.
+    pub fn nonneutral(links: Vec<LinkId>) -> Expectation {
+        Expectation {
+            expect_flagged: !links.is_empty(),
+            nonneutral_links: links,
+        }
+    }
+}
+
+/// Why a scenario failed to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A class partition member is not a path of the topology.
+    UnknownPath(PathId),
+    /// A path appears in more than one class.
+    OverlappingClasses(PathId),
+    /// A differentiation placement or route references an unknown link.
+    UnknownLink(LinkId),
+    /// Two differentiation mechanisms were placed on the same link.
+    DuplicateDifferentiation(LinkId),
+    /// A background route has no links.
+    EmptyBackgroundRoute,
+    /// The scenario has no traffic at all.
+    NoTraffic,
+    /// A non-positive duration or interval.
+    BadWindow,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownPath(p) => write!(f, "unknown path {p}"),
+            ScenarioError::OverlappingClasses(p) => {
+                write!(f, "path {p} appears in more than one class")
+            }
+            ScenarioError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            ScenarioError::DuplicateDifferentiation(l) => {
+                write!(f, "two differentiation mechanisms on link {l}")
+            }
+            ScenarioError::EmptyBackgroundRoute => write!(f, "background route has no links"),
+            ScenarioError::NoTraffic => write!(f, "scenario has no traffic sources"),
+            ScenarioError::BadWindow => write!(f, "duration and interval must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A validated, self-contained experiment description. Construct through
+/// [`Scenario::builder`]; run through [`Scenario::compile`] /
+/// [`Scenario::run`] or an [`Executor`](crate::Executor).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name (reports, progress output).
+    pub name: String,
+    /// The network under test.
+    pub topology: Topology,
+    /// Performance-class partition of the measured paths.
+    pub classes: Vec<Vec<PathId>>,
+    /// Per-link differentiation placements — any number of links.
+    pub differentiation: Vec<(LinkId, Differentiation)>,
+    /// Traffic on measured paths.
+    pub path_traffic: Vec<(PathId, TrafficProfile)>,
+    /// Unmeasured background traffic.
+    pub background: Vec<BackgroundTraffic>,
+    /// Measurement window and seed.
+    pub measurement: MeasurementConfig,
+    /// Algorithm 1 configuration.
+    pub inference: Config,
+    /// Ground truth.
+    pub expectation: Expectation,
+}
+
+impl Scenario {
+    /// Starts a builder over a topology.
+    pub fn builder(name: impl Into<String>, topology: Topology) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: name.into(),
+                topology,
+                classes: Vec::new(),
+                differentiation: Vec::new(),
+                path_traffic: Vec::new(),
+                background: Vec::new(),
+                measurement: MeasurementConfig::default(),
+                inference: Config::clustered(),
+                expectation: Expectation::neutral(),
+            },
+        }
+    }
+
+    /// The number of class labels the simulator must account for: at least
+    /// two, and enough for every partition class, traffic label, and
+    /// mechanism target.
+    pub fn class_label_count(&self) -> usize {
+        let mut n = self.classes.len().max(2);
+        let mut see = |label: ClassLabel| n = n.max(label as usize + 1);
+        for (_, profile) in &self.path_traffic {
+            see(profile.class);
+        }
+        for bg in &self.background {
+            for profile in &bg.profiles {
+                see(profile.class);
+            }
+        }
+        for (_, diff) in &self.differentiation {
+            match diff {
+                Differentiation::None => {}
+                Differentiation::Policing { class, .. } => see(*class),
+                Differentiation::Shaping { lanes } => {
+                    for lane in lanes {
+                        see(lane.class);
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// The class index of a measured path, if it is classified.
+    pub fn class_of(&self, p: PathId) -> Option<usize> {
+        self.classes.iter().position(|c| c.contains(&p))
+    }
+
+    /// Same scenario, different simulation seed — the unit of a seed sweep.
+    pub fn with_seed(&self, seed: u64) -> Scenario {
+        let mut s = self.clone();
+        s.measurement.seed = seed;
+        s
+    }
+
+    /// Compiles into a runnable [`Experiment`].
+    pub fn compile(&self) -> Experiment {
+        Experiment::new(self.clone())
+    }
+
+    /// Convenience: compile and run serially.
+    pub fn run(&self) -> crate::ExperimentOutcome {
+        self.compile().run()
+    }
+}
+
+/// Builder for [`Scenario`]; validation happens once, in [`build`].
+///
+/// [`build`]: ScenarioBuilder::build
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the performance-class partition (`classes[n]` lists class
+    /// `c_{n+1}`'s member paths).
+    pub fn classes(mut self, classes: Vec<Vec<PathId>>) -> Self {
+        self.scenario.classes = classes;
+        self
+    }
+
+    /// Places a differentiation mechanism on a link. Repeatable — multi-link
+    /// differentiation is first-class, not a special case.
+    pub fn differentiate(mut self, link: LinkId, mechanism: Differentiation) -> Self {
+        self.scenario.differentiation.push((link, mechanism));
+        self
+    }
+
+    /// Places pre-assembled `(link, mechanism)` pairs (the shape the
+    /// `nni_emu::scenario` convenience constructors produce).
+    pub fn differentiate_all(
+        mut self,
+        mechanisms: impl IntoIterator<Item = (LinkId, Differentiation)>,
+    ) -> Self {
+        self.scenario.differentiation.extend(mechanisms);
+        self
+    }
+
+    /// Adds a traffic source on a measured path. Repeatable; a path may
+    /// carry several profiles (e.g. a short-flow mix plus a long flow).
+    pub fn path_traffic(mut self, path: PathId, profile: TrafficProfile) -> Self {
+        self.scenario.path_traffic.push((path, profile));
+        self
+    }
+
+    /// Adds unmeasured background traffic over an explicit link route.
+    pub fn background_traffic(mut self, links: Vec<LinkId>, profiles: Vec<TrafficProfile>) -> Self {
+        self.scenario
+            .background
+            .push(BackgroundTraffic { links, profiles });
+        self
+    }
+
+    /// Sets the measurement window/seed wholesale.
+    pub fn measurement(mut self, m: MeasurementConfig) -> Self {
+        self.scenario.measurement = m;
+        self
+    }
+
+    /// Sets the simulated duration.
+    pub fn duration_s(mut self, duration_s: f64) -> Self {
+        self.scenario.measurement.duration_s = duration_s;
+        self
+    }
+
+    /// Sets the measurement interval.
+    pub fn interval_s(mut self, interval_s: f64) -> Self {
+        self.scenario.measurement.interval_s = interval_s;
+        self
+    }
+
+    /// Sets the loss threshold.
+    pub fn loss_threshold(mut self, loss_threshold: f64) -> Self {
+        self.scenario.measurement.loss_threshold = loss_threshold;
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.measurement.seed = seed;
+        self
+    }
+
+    /// Sets the normalization seed salt (see
+    /// [`DEFAULT_NORMALIZE_SALT`]).
+    pub fn measurement_salt(mut self, salt: u64) -> Self {
+        self.scenario.measurement.normalize_salt = salt;
+        self
+    }
+
+    /// Sets the Algorithm 1 configuration.
+    pub fn inference(mut self, cfg: Config) -> Self {
+        self.scenario.inference = cfg;
+        self
+    }
+
+    /// Sets the ground-truth expectation.
+    pub fn expect(mut self, expectation: Expectation) -> Self {
+        self.scenario.expectation = expectation;
+        self
+    }
+
+    /// Validates every cross-reference and returns the scenario.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let s = self.scenario;
+        let g = &s.topology;
+        let m = &s.measurement;
+        if !(m.duration_s > 0.0 && m.interval_s > 0.0) {
+            return Err(ScenarioError::BadWindow);
+        }
+        let mut seen = vec![false; g.path_count()];
+        for class in &s.classes {
+            for &p in class {
+                if p.index() >= g.path_count() {
+                    return Err(ScenarioError::UnknownPath(p));
+                }
+                if seen[p.index()] {
+                    return Err(ScenarioError::OverlappingClasses(p));
+                }
+                seen[p.index()] = true;
+            }
+        }
+        let mut mechanised = vec![false; g.link_count()];
+        for &(l, _) in &s.differentiation {
+            if l.index() >= g.link_count() {
+                return Err(ScenarioError::UnknownLink(l));
+            }
+            if mechanised[l.index()] {
+                return Err(ScenarioError::DuplicateDifferentiation(l));
+            }
+            mechanised[l.index()] = true;
+        }
+        for &(p, _) in &s.path_traffic {
+            if p.index() >= g.path_count() {
+                return Err(ScenarioError::UnknownPath(p));
+            }
+        }
+        for bg in &s.background {
+            if bg.links.is_empty() {
+                return Err(ScenarioError::EmptyBackgroundRoute);
+            }
+            for &l in &bg.links {
+                if l.index() >= g.link_count() {
+                    return Err(ScenarioError::UnknownLink(l));
+                }
+            }
+        }
+        for &l in &s.expectation.nonneutral_links {
+            if l.index() >= g.link_count() {
+                return Err(ScenarioError::UnknownLink(l));
+            }
+        }
+        let has_traffic =
+            !s.path_traffic.is_empty() || s.background.iter().any(|bg| !bg.profiles.is_empty());
+        if !has_traffic {
+            return Err(ScenarioError::NoTraffic);
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nni_emu::policer_at_fraction;
+    use nni_topology::library::topology_a;
+
+    fn profile() -> TrafficProfile {
+        TrafficProfile::pareto_bits(0, CcKind::Cubic, 10e6, 10.0, 4)
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let paper = topology_a(0.05, 0.05);
+        let l5 = paper.topology.link_by_name("l5").unwrap();
+        let mech = policer_at_fraction(&paper.topology, l5, 1, 0.2, 0.01);
+        let mut b = Scenario::builder("t", paper.topology.clone())
+            .classes(paper.classes.clone())
+            .differentiate(mech.0, mech.1)
+            .expect(Expectation::nonneutral(vec![l5]));
+        for p in paper.topology.path_ids() {
+            b = b.path_traffic(p, profile());
+        }
+        let s = b.build().expect("valid scenario");
+        assert_eq!(s.path_traffic.len(), 4);
+        assert_eq!(s.class_label_count(), 2);
+        assert!(s.expectation.expect_flagged);
+        assert_eq!(s.class_of(PathId(0)), Some(0));
+        assert_eq!(s.class_of(PathId(2)), Some(1));
+    }
+
+    #[test]
+    fn rejects_duplicate_mechanism_on_one_link() {
+        let paper = topology_a(0.05, 0.05);
+        let l5 = paper.topology.link_by_name("l5").unwrap();
+        let m1 = policer_at_fraction(&paper.topology, l5, 1, 0.2, 0.01);
+        let m2 = policer_at_fraction(&paper.topology, l5, 0, 0.3, 0.01);
+        let err = Scenario::builder("t", paper.topology.clone())
+            .differentiate(m1.0, m1.1)
+            .differentiate(m2.0, m2.1)
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::DuplicateDifferentiation(l5));
+    }
+
+    #[test]
+    fn rejects_unknown_references_and_empty_traffic() {
+        let paper = topology_a(0.05, 0.05);
+        let err = Scenario::builder("t", paper.topology.clone())
+            .path_traffic(PathId(99), profile())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownPath(PathId(99)));
+
+        let err = Scenario::builder("t", paper.topology.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::NoTraffic);
+
+        let err = Scenario::builder("t", paper.topology.clone())
+            .classes(vec![vec![PathId(0)], vec![PathId(0)]])
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::OverlappingClasses(PathId(0)));
+    }
+
+    #[test]
+    fn class_label_count_covers_mechanism_targets() {
+        let paper = topology_a(0.05, 0.05);
+        let l5 = paper.topology.link_by_name("l5").unwrap();
+        let mech = policer_at_fraction(&paper.topology, l5, 3, 0.2, 0.01);
+        let s = Scenario::builder("t", paper.topology.clone())
+            .differentiate(mech.0, mech.1)
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap();
+        assert_eq!(s.class_label_count(), 4);
+    }
+
+    #[test]
+    fn with_seed_only_touches_the_seed() {
+        let paper = topology_a(0.05, 0.05);
+        let s = Scenario::builder("t", paper.topology.clone())
+            .path_traffic(PathId(0), profile())
+            .seed(7)
+            .build()
+            .unwrap();
+        let t = s.with_seed(8);
+        assert_eq!(t.measurement.seed, 8);
+        assert_eq!(t.measurement.duration_s, s.measurement.duration_s);
+        assert_eq!(t.name, s.name);
+    }
+}

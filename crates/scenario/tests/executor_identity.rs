@@ -1,0 +1,54 @@
+//! The executor-equivalence guarantee: for the same seeds, the sharded
+//! executor produces `ExperimentOutcome`s bit-identical to the serial
+//! executor's, in the same order, for any worker count.
+
+use nni_scenario::library::{topology_a_scenario, ExperimentParams, Mechanism};
+use nni_scenario::{seed_sweep, Executor, SerialExecutor, ShardedExecutor};
+
+#[test]
+fn sharded_outcomes_are_bit_identical_to_serial() {
+    // A mixed batch: (2 scenarios × 2 seeds) of short topology-A runs.
+    let policing = topology_a_scenario(ExperimentParams {
+        mechanism: Mechanism::Policing(0.2),
+        duration_s: 6.0,
+        ..ExperimentParams::default()
+    });
+    let neutral = topology_a_scenario(ExperimentParams {
+        duration_s: 6.0,
+        ..ExperimentParams::default()
+    });
+    let mut experiments = seed_sweep(&policing, &[1, 2]);
+    experiments.extend(seed_sweep(&neutral, &[1, 2]));
+
+    let serial = SerialExecutor.execute(&experiments);
+    assert_eq!(serial.len(), 4);
+
+    // More workers than experiments is legal; oversubscription must not
+    // change results or order either.
+    for workers in [2, 8] {
+        let sharded = ShardedExecutor::new(workers).execute(&experiments);
+        assert_eq!(
+            serial, sharded,
+            "sharded({workers}) outcomes must be bit-identical to serial, in input order"
+        );
+    }
+}
+
+#[test]
+fn seed_sweep_orders_by_seed_not_by_completion() {
+    let scenario = topology_a_scenario(ExperimentParams {
+        duration_s: 6.0,
+        ..ExperimentParams::default()
+    });
+    let seeds = [9u64, 3, 7];
+    let experiments = seed_sweep(&scenario, &seeds);
+    for (exp, &seed) in experiments.iter().zip(&seeds) {
+        assert_eq!(exp.scenario().measurement.seed, seed);
+    }
+    // Each seed's outcome lands at its seed's index even when a worker pool
+    // finishes them out of order.
+    let outcomes = ShardedExecutor::new(3).execute(&experiments);
+    for (out, exp) in outcomes.iter().zip(&experiments) {
+        assert_eq!(out, &exp.run(), "slot must hold its own seed's outcome");
+    }
+}

@@ -1,0 +1,70 @@
+//! Fast smoke test over the ready-made scenario library: every scenario
+//! builds, compiles, and runs end to end at a short duration, producing a
+//! structurally sound outcome. Verdict calibration is exercised by the
+//! full-length `exp_*` binaries, not here.
+
+use nni_scenario::library::{
+    asymmetric_rtt_neutral, dual_link_shaping, dual_policer_topology_b, topology_a_scenario,
+    topology_b_scenario, ExperimentParams, Mechanism, TopologyBParams,
+};
+use nni_scenario::{compile_all, Executor, Scenario, ShardedExecutor};
+
+fn short_b() -> TopologyBParams {
+    TopologyBParams {
+        duration_s: 6.0,
+        ..TopologyBParams::default()
+    }
+}
+
+fn library_scenarios() -> Vec<Scenario> {
+    vec![
+        topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Shaping(0.2),
+            duration_s: 6.0,
+            ..ExperimentParams::default()
+        }),
+        topology_b_scenario(short_b()),
+        dual_policer_topology_b(short_b()),
+        asymmetric_rtt_neutral(6.0, 3),
+        dual_link_shaping(short_b()),
+    ]
+}
+
+#[test]
+fn every_library_scenario_runs_end_to_end() {
+    let scenarios = library_scenarios();
+    // One sharded batch smokes the executor path at the same time.
+    let outcomes = ShardedExecutor::new(2).execute(&compile_all(&scenarios));
+    assert_eq!(outcomes.len(), scenarios.len());
+    for (scenario, out) in scenarios.iter().zip(&outcomes) {
+        assert_eq!(
+            out.path_congestion.len(),
+            scenario.topology.path_count(),
+            "{}: per-path congestion must cover every measured path",
+            scenario.name
+        );
+        assert!(
+            out.report.segments_sent > 0,
+            "{}: traffic must flow",
+            scenario.name
+        );
+        assert!(
+            out.report.segments_delivered > 0,
+            "{}: packets must arrive",
+            scenario.name
+        );
+        assert_eq!(
+            out.report.queue_traces.len(),
+            scenario.topology.link_count(),
+            "{}: every link gets a queue trace",
+            scenario.name
+        );
+    }
+    // The differentiating variants actually exercise their mechanisms:
+    // packets are dropped or delayed beyond what the neutral control sees.
+    let shaped = &outcomes[4];
+    assert!(
+        shaped.report.segments_dropped > 0,
+        "dual-link shaping at 20% must drop under Table 3 load"
+    );
+}

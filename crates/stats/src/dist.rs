@@ -4,7 +4,7 @@
 //! flows with the transfer size following a Pareto distribution; when a TCP
 //! flow ends, a new one starts after an idle time that is governed by an
 //! exponential distribution."* (citing the Crovella–Bestavros self-similarity
-//! evidence [9]).
+//! evidence \[9\]).
 //!
 //! Both samplers use inverse-transform sampling over a caller-supplied RNG so
 //! every experiment is reproducible from its seed.

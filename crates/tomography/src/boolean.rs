@@ -1,4 +1,4 @@
-//! Boolean network tomography (Nguyen–Thiran [22], Duffield [13]).
+//! Boolean network tomography (Nguyen–Thiran \[22\], Duffield \[13\]).
 //!
 //! The classic *congested-link location* problem: given per-interval path
 //! congestion snapshots, explain each snapshot by a smallest set of congested

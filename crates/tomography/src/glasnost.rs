@@ -1,4 +1,4 @@
-//! A Glasnost-style differential detector (Dischinger et al. [11]).
+//! A Glasnost-style differential detector (Dischinger et al. \[11\]).
 //!
 //! Glasnost detects per-*path* differentiation by comparing the performance
 //! of two flow types exchanged between the same pair of end-hosts. Cast into

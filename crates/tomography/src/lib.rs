@@ -4,17 +4,17 @@
 //! benches to demonstrate *why* neutrality inference has to turn tomography
 //! on its head:
 //!
-//! * [`boolean`] — Nguyen–Thiran-style boolean tomography [22]: explains
+//! * [`boolean`] — Nguyen–Thiran-style boolean tomography \[22\]: explains
 //!   each congestion snapshot with a smallest set of congested links.
 //!   Assumes neutrality; under differentiation it exonerates the culprit
 //!   link and blames innocent ones.
-//! * [`loss`] — classic least-squares loss tomography [7, 8]: fits one
+//! * [`loss`] — classic least-squares loss tomography \[7, 8\]: fits one
 //!   performance number per link. Under differentiation the fit's residual
 //!   explodes — which is exactly the unsolvability signal Lemma 1 turns
 //!   into a detector.
-//! * [`glasnost`] — a Glasnost-style differential detector [11]: knows the
+//! * [`glasnost`] — a Glasnost-style differential detector \[11\]: knows the
 //!   class partition, detects per-path differentiation, cannot localize.
-//! * [`netpolice`] — a NetPolice-style per-link probe comparator [31]:
+//! * [`netpolice`] — a NetPolice-style per-link probe comparator \[31\]:
 //!   localizes, but only given direct interior measurements that real
 //!   networks may treat differently from user traffic.
 

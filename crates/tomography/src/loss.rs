@@ -1,4 +1,4 @@
-//! Least-squares loss tomography (Caceres et al. [7] lineage).
+//! Least-squares loss tomography (Caceres et al. \[7\] lineage).
 //!
 //! Solves `y = A({singletons}) · x` for per-link performance numbers in the
 //! least-squares sense, with negative estimates clipped to zero. Like all of

@@ -1,4 +1,4 @@
-//! A NetPolice-style baseline (Zhang, Mao, Zhang [31]).
+//! A NetPolice-style baseline (Zhang, Mao, Zhang \[31\]).
 //!
 //! NetPolice detects ISP-level differentiation by *directly measuring* the
 //! loss rate an ISP inflicts on different traffic using traceroute-like

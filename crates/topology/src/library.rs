@@ -40,6 +40,19 @@ impl PaperTopology {
             .position(|c| c.contains(&p))
             .expect("every measured path belongs to a class")
     }
+
+    /// Convenience: the id of a named link (panics when absent). Scenario
+    /// builders reference library links by their paper names.
+    pub fn link_named(&self, name: &str) -> LinkId {
+        self.topology
+            .link_by_name(name)
+            .unwrap_or_else(|| panic!("topology has no link named {name}"))
+    }
+
+    /// Convenience: ids of several named links, in the given order.
+    pub fn links_named(&self, names: &[&str]) -> Vec<LinkId> {
+        names.iter().map(|n| self.link_named(n)).collect()
+    }
 }
 
 /// Figure 1: observable violation. `l1` treats `{p2}` worse than `{p1, p3}`.
@@ -549,6 +562,21 @@ mod tests {
             assert!(pure >= 1, "policer {pol} lacks a pure class-2 pair");
             assert!(mixed >= 1, "policer {pol} lacks a mixed pair");
         }
+    }
+
+    #[test]
+    fn named_link_lookup() {
+        let t = topology_b();
+        assert_eq!(t.topology.link(t.link_named("l13")).name, "l13");
+        let ids = t.links_named(&["l5", "l14", "l20"]);
+        assert_eq!(ids, t.nonneutral_links);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link named")]
+    fn named_link_lookup_panics_on_unknown() {
+        let t = figure1();
+        t.link_named("l99");
     }
 
     #[test]

@@ -1,80 +1,93 @@
-//! Quickstart: detect and localize a neutrality violation in three steps.
+//! Quickstart: declare a scenario, run it, read the verdict.
 //!
-//! 1. Describe the network (here: the paper's Figure 5 star).
-//! 2. Provide observations — here the exact ground-truth oracle; in practice
-//!    you would collect end-to-end measurements (see the other examples).
-//! 3. Run Algorithm 1 and read the identified non-neutral link sequences.
+//! 1. Describe the experiment as a [`Scenario`]: a topology, a class
+//!    partition, differentiation on any set of links, per-path traffic.
+//! 2. Run it — serially, or fanned over seeds/worker threads with a
+//!    [`ShardedExecutor`] (results are identical either way, seed for
+//!    seed).
+//! 3. Read the outcome: Algorithm 1's verdict, the localized non-neutral
+//!    link sequences, and the quality score against ground truth.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
-use netneutrality::core::{
-    evaluate, identify, theorem1, Classes, Config, EquivalentNetwork, ExactOracle, LinkPerf,
-    NetworkPerf,
+use netneutrality::emu::policer_at_fraction;
+use netneutrality::scenario::{
+    seed_sweep, Executor, Expectation, Scenario, ShardedExecutor, TrafficProfile,
 };
-use netneutrality::topology::library::figure5;
+use netneutrality::topology::library::topology_a;
 
 fn main() {
-    // Step 1: the network. Figure 5 of the paper — three paths fan out of a
-    // shared link l1; the network serves {p1} as the top class and throttles
-    // {p2, p3}.
-    let paper = figure5();
-    let g = &paper.topology;
-    let classes = Classes::new(g, paper.classes.clone()).expect("valid class partition");
-    let l1 = g.link_by_name("l1").expect("figure 5 has l1");
+    // Step 1: the scenario. The paper's Figure 7 dumbbell — four paths
+    // through a shared 100 Mb/s link l5, classes {p1, p2} and {p3, p4} —
+    // with l5 policing class 2 down to 20% of capacity.
+    let paper = topology_a(0.05, 0.05);
+    let l5 = paper.link_named("l5");
+    let (link, policer) = policer_at_fraction(&paper.topology, l5, 1, 0.2, 0.01);
 
-    // Ground truth: l1 congests class-2 traffic with probability 0.5
-    // (performance number -ln 0.5) and never congests class 1.
-    let perf = NetworkPerf::congestion_free(g, 2)
-        .with_link(l1, LinkPerf::per_class(vec![0.0, (2.0_f64).ln()]));
-
-    // Theorem 1 says this violation is observable from the outside.
-    let report = theorem1(g, &classes, &perf);
-    println!("Theorem 1: violation observable = {}", report.observable);
-    for (link, class) in &report.witnesses {
-        println!(
-            "  witness: regulation of class c{} at link {}",
-            class + 1,
-            g.link(*link).name
+    let mut builder = Scenario::builder("quickstart policing", paper.topology.clone())
+        .classes(paper.classes.clone())
+        .differentiate(link, policer) // repeatable: any number of links
+        .duration_s(30.0)
+        .seed(2)
+        .expect(Expectation::nonneutral(vec![l5]));
+    for path in paper.topology.path_ids() {
+        let class = u8::from(paper.classes[1].contains(&path));
+        builder = builder.path_traffic(
+            path,
+            TrafficProfile::pareto_bits(class, netneutrality::emu::CcKind::Cubic, 10e6, 10.0, 20),
         );
     }
+    let scenario = builder.build().expect("valid scenario");
 
-    // Step 2: observations. The exact oracle computes every pathset's
-    // performance number from the equivalent neutral network.
-    let oracle = ExactOracle::new(EquivalentNetwork::build(g, &classes, &perf));
+    // Step 2: run. Independent runs are embarrassingly parallel — fan the
+    // seed sweep across worker threads; outcomes come back in seed order.
+    let executor = ShardedExecutor::auto();
+    println!(
+        "running {} seeds of '{}' on the {} executor …",
+        2,
+        scenario.name,
+        executor.describe()
+    );
+    let outcomes = executor.execute(&seed_sweep(&scenario, &[2, 3]));
 
-    // Step 3: Algorithm 1.
-    let result = identify(g, &oracle, Config::exact());
-    println!("\nAlgorithm 1:");
-    for verdict in &result.verdicts {
+    // Step 3: read the verdicts.
+    for (outcome, seed) in outcomes.iter().zip([2, 3]) {
+        println!("\n--- seed {seed} ---");
         println!(
-            "  slice {}: unsolvability {:.4} -> {}",
-            verdict.tau,
-            verdict.unsolvability,
-            if verdict.nonneutral {
+            "per-path congestion probability: {:?}",
+            outcome
+                .path_congestion
+                .iter()
+                .map(|p| format!("{:.1}%", 100.0 * p))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "verdict: {}",
+            if outcome.flagged_nonneutral {
                 "NON-NEUTRAL"
             } else {
-                "consistent"
+                "neutral"
             }
         );
+        for seq in &outcome.inference.nonneutral {
+            let names: Vec<String> = seq
+                .links()
+                .iter()
+                .map(|&l| paper.topology.link(l).name.clone())
+                .collect();
+            println!(
+                "identified non-neutral link sequence: ⟨{}⟩",
+                names.join(", ")
+            );
+        }
+        println!(
+            "quality vs ground truth: FN {:.0}%, FP {:.0}%, granularity {:.1}",
+            100.0 * outcome.quality.false_negative_rate,
+            100.0 * outcome.quality.false_positive_rate,
+            outcome.quality.granularity
+        );
+        assert!(outcome.flagged_nonneutral && outcome.correct);
+        assert!(outcome.inference.nonneutral.iter().any(|s| s.contains(l5)));
     }
-    println!("\nidentified non-neutral link sequences:");
-    for seq in &result.nonneutral {
-        let names: Vec<String> = seq
-            .links()
-            .iter()
-            .map(|&l| g.link(l).name.clone())
-            .collect();
-        println!("  ⟨{}⟩", names.join(", "));
-    }
-
-    let quality = evaluate(g, &result.nonneutral, &[l1]);
-    println!(
-        "\nquality vs ground truth: FN {:.0}%, FP {:.0}%, granularity {:.1}",
-        100.0 * quality.false_negative_rate,
-        100.0 * quality.false_positive_rate,
-        quality.granularity
-    );
-    assert!(result.network_is_nonneutral());
-    assert!(result.nonneutral[0].contains(l1));
-    println!("\nthe shared link l1 was correctly identified — quickstart done.");
+    println!("\nthe policing link l5 was correctly identified in every seed — quickstart done.");
 }

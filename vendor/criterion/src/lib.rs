@@ -2,12 +2,14 @@
 //! workspace's benches use.
 //!
 //! Measurement model: each benchmark warms up briefly, then runs batches of
-//! iterations until a wall-clock target is reached and reports the mean
-//! time per iteration to stdout. There is no statistical analysis, no
-//! report directory, and no plotting — this shim exists so `cargo bench`
-//! produces honest comparative numbers with zero dependencies. Passing
-//! `--test` (as `cargo test --benches` does) runs every closure exactly
-//! once, so bench binaries stay cheap in test mode.
+//! iterations until a wall-clock target is reached and reports the mean,
+//! median, and p95 time per iteration to stdout (median/p95 are taken over
+//! the per-batch means, so they reject scheduler outliers between batches,
+//! not within one). There is no further statistical analysis, no report
+//! directory, and no plotting — this shim exists so `cargo bench` produces
+//! honest comparative numbers with zero dependencies. Passing `--test` (as
+//! `cargo test --benches` does) runs every closure exactly once, so bench
+//! binaries stay cheap in test mode.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -76,20 +78,49 @@ enum Mode {
     Test,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Sample {
     mean: Duration,
+    median: Duration,
+    p95: Duration,
     iters: u64,
+}
+
+impl Sample {
+    fn from_batches(elapsed: Duration, iters: u64, mut batch_means: Vec<Duration>) -> Sample {
+        batch_means.sort_unstable();
+        Sample {
+            mean: elapsed / iters.max(1) as u32,
+            median: percentile(&batch_means, 0.50),
+            p95: percentile(&batch_means, 0.95),
+            iters,
+        }
+    }
+
+    fn test_mode() -> Sample {
+        Sample {
+            mean: Duration::ZERO,
+            median: Duration::ZERO,
+            p95: Duration::ZERO,
+            iters: 1,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl Bencher<'_> {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if self.mode == Mode::Test {
             black_box(f());
-            *self.result = Some(Sample {
-                mean: Duration::ZERO,
-                iters: 1,
-            });
+            *self.result = Some(Sample::test_mode());
             return;
         }
         // Warmup: one call, which also calibrates the batch size.
@@ -99,19 +130,19 @@ impl Bencher<'_> {
 
         let mut iters: u64 = 0;
         let mut elapsed = Duration::ZERO;
+        let mut batch_means = Vec::new();
         while elapsed < self.target && iters < 1_000_000 {
             let batch = ((self.target.as_nanos() / 10 / first.as_nanos()).clamp(1, 10_000)) as u64;
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(f());
             }
-            elapsed += t.elapsed();
+            let batch_elapsed = t.elapsed();
+            batch_means.push(batch_elapsed / batch as u32);
+            elapsed += batch_elapsed;
             iters += batch;
         }
-        *self.result = Some(Sample {
-            mean: elapsed / iters.max(1) as u32,
-            iters,
-        });
+        *self.result = Some(Sample::from_batches(elapsed, iters, batch_means));
     }
 }
 
@@ -181,8 +212,10 @@ impl Criterion {
         match result {
             Some(s) if self.mode == Mode::Measure => {
                 println!(
-                    "{id:<50} {:>14} ({} iterations)",
+                    "{id:<50} mean {:>11}  median {:>11}  p95 {:>11} ({} iterations)",
                     format_duration(s.mean),
+                    format_duration(s.median),
+                    format_duration(s.p95),
                     s.iters
                 );
             }
@@ -308,6 +341,33 @@ mod tests {
         let s = result.expect("sample recorded");
         assert!(s.iters >= 1);
         assert_eq!(s.iters + 1, count, "warmup runs exactly once extra");
+        // The order statistics come from the same batches the mean does.
+        assert!(s.median <= s.p95, "median cannot exceed p95");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let sorted: Vec<Duration> = (1..=10).map(ms).collect();
+        assert_eq!(percentile(&sorted, 0.50), ms(5));
+        assert_eq!(percentile(&sorted, 0.95), ms(10));
+        assert_eq!(percentile(&sorted, 1.0), ms(10));
+        assert_eq!(percentile(&sorted[..1], 0.95), ms(1));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn sample_statistics_over_batches() {
+        let ms = |n: u64| Duration::from_millis(n);
+        // Nine 1 ms batches and one 100 ms outlier: the mean moves, the
+        // median and p95 bracket it from below and above.
+        let mut batches: Vec<Duration> = vec![ms(1); 9];
+        batches.push(ms(100));
+        let s = Sample::from_batches(ms(109), 109, batches);
+        assert_eq!(s.median, ms(1));
+        assert_eq!(s.p95, ms(100));
+        assert_eq!(s.mean, ms(1));
+        assert_eq!(s.iters, 109);
     }
 
     #[test]

@@ -7,12 +7,12 @@
 //!   index; the RNG seed is derived deterministically from the test name, so
 //!   every failure reproduces exactly under `cargo test`.
 //! * **No persistence / no env knobs.** `PROPTEST_CASES` etc. are ignored;
-//!   the case count comes from [`ProptestConfig`] alone.
+//!   the case count comes from [`ProptestConfig`](test_runner::ProptestConfig) alone.
 //!
-//! The [`Strategy`] trait here is generation-only (`generate`), not the
+//! The [`Strategy`](strategy::Strategy) trait here is generation-only (`generate`), not the
 //! upstream `ValueTree` machinery, but the combinator surface
 //! (`prop_map`, `prop_flat_map`, `prop_filter`, ranges, tuples,
-//! [`collection::vec`], [`bool::ANY`], [`sample::select`], [`Just`]) matches
+//! [`collection::vec`], [`bool::ANY`], [`sample::select`], [`Just`](strategy::Just)) matches
 //! upstream closely enough that in-tree tests compile unchanged.
 
 pub mod test_runner {
@@ -354,7 +354,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use core::ops::{Range, RangeInclusive};
 
-    /// Acceptable size arguments for [`vec`]: an exact length or a range.
+    /// Acceptable size arguments for [`vec`](fn@vec): an exact length or a range.
     pub trait IntoSizeRange {
         /// Returns `(min, max)`, both inclusive.
         fn bounds(&self) -> (usize, usize);
