@@ -1,10 +1,11 @@
 //! Criterion bench: emulator event throughput (the substrate cost of every
 //! Figure 8 / 10 / 11 regeneration).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nni_bench::{run_topology_a, ExperimentParams, Mechanism};
 use nni_emu::{
-    link_params, measured_routes, CcKind, RouteId, SimConfig, Simulator, SizeDist, TrafficSpec,
+    link_params, measured_routes, CalendarEventQueue, CcKind, Event, HeapEventQueue, RouteId,
+    SimConfig, SimTime, Simulator, SizeDist, TrafficSpec,
 };
 use nni_topology::library::topology_a;
 
@@ -20,7 +21,7 @@ fn bench_dumbbell_second(c: &mut Criterion) {
                 ..SimConfig::default()
             };
             let mut sim = Simulator::new(link_params(g, &[]), measured_routes(g), 4, 2, cfg);
-            for p in 0..4usize {
+            for p in 0..4u32 {
                 sim.add_traffic(TrafficSpec {
                     route: RouteId(p),
                     class: (p >= 2) as u8,
@@ -52,5 +53,62 @@ fn bench_full_experiment(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dumbbell_second, bench_full_experiment);
+/// Synthetic event-queue churn mimicking the simulator's mix: most pushes
+/// land within ~1 ms of `now` (tx completions, same-time arrivals), a tail
+/// lands ~200 ms out (RTO timers), and pops interleave 1:1 with pushes.
+fn queue_churn<Q>(
+    mut push: impl FnMut(&mut Q, SimTime, Event),
+    mut pop: impl FnMut(&mut Q) -> Option<(SimTime, Event)>,
+    q: &mut Q,
+) -> u64 {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let mut rand = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    // Preload a pending set comparable to a loaded dumbbell's.
+    for i in 0..4096u32 {
+        push(q, SimTime(rand() % 1_000_000), Event::FlowStart { slot: i });
+    }
+    let mut popped = 0u64;
+    for _ in 0..200_000u32 {
+        let (now, _) = pop(q).expect("queue stays loaded");
+        popped += 1;
+        let delta = if rand() % 16 == 0 {
+            200_000_000 // an RTO-scale timer
+        } else {
+            rand() % 1_000_000 // tx/arrival scale
+        };
+        push(q, SimTime(now.0 + delta), Event::Sample);
+    }
+    popped
+}
+
+fn bench_event_queues(c: &mut Criterion) {
+    // Heap vs calendar on the same churn: the numbers that decided the
+    // `EventQueue` default (see `nni_emu::event` docs).
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("heap_churn_200k", |b| {
+        b.iter(|| {
+            let mut q = HeapEventQueue::new();
+            black_box(queue_churn(|q, t, e| q.push(t, e), |q| q.pop(), &mut q))
+        })
+    });
+    g.bench_function("calendar_churn_200k", |b| {
+        b.iter(|| {
+            let mut q = CalendarEventQueue::new();
+            black_box(queue_churn(|q, t, e| q.push(t, e), |q| q.pop(), &mut q))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dumbbell_second,
+    bench_full_experiment,
+    bench_event_queues
+);
 criterion_main!(benches);

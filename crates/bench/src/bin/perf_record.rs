@@ -1,0 +1,202 @@
+//! Records the repo's perf trajectory: runs the emulator- and
+//! executor-dominated workloads (the same ones `bench_emulator` /
+//! `bench_executor` measure) and appends one JSON entry with per-bench
+//! mean/median/p95 to `BENCH_emulator.json`.
+//!
+//! The committed file carries one entry per milestone commit, so `git log
+//! -p BENCH_emulator.json` *is* the performance history; CI additionally
+//! runs `--smoke` on every push and uploads the result as an artifact.
+//!
+//! ```text
+//! perf_record [--smoke] [--label <name>] [--out <path>] [--fresh]
+//!   --smoke   few iterations per bench (CI-friendly, minutes -> seconds)
+//!   --label   entry label (default "local")
+//!   --out     trajectory file (default BENCH_emulator.json)
+//!   --fresh   start a new file instead of appending
+//! ```
+
+use nni_bench::{run_topology_a, table2_sets, ExperimentParams, Mechanism};
+use nni_emu::{
+    link_params, measured_routes, CcKind, RouteId, SimConfig, Simulator, SizeDist, TrafficSpec,
+};
+use nni_scenario::{compile_all, Executor, SerialExecutor};
+use nni_topology::library::topology_a;
+use std::time::{Duration, Instant};
+
+struct BenchResult {
+    name: &'static str,
+    mean: Duration,
+    median: Duration,
+    p95: Duration,
+    iters: usize,
+}
+
+/// Times `iters + 1` runs of `f`, discards the first as warm-up, and
+/// reports nearest-rank order statistics over the rest (mirroring the
+/// criterion shim's rejection policy at the whole-run granularity).
+fn measure<T>(name: &'static str, iters: usize, mut f: impl FnMut() -> T) -> BenchResult {
+    let mut samples = Vec::with_capacity(iters + 1);
+    for _ in 0..iters + 1 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.remove(0); // warm-up
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    samples.sort_unstable();
+    let rank =
+        |q: f64| samples[((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1];
+    BenchResult {
+        name,
+        mean,
+        median: rank(0.50),
+        p95: rank(0.95),
+        iters: samples.len(),
+    }
+}
+
+fn emulator_workload() -> u64 {
+    // One simulated second of a loaded dumbbell (bench_emulator's
+    // `emulator/topology_a_1s`).
+    let paper = topology_a(0.05, 0.05);
+    let g = &paper.topology;
+    let cfg = SimConfig {
+        duration_s: 1.0,
+        warmup_s: 0.0,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(link_params(g, &[]), measured_routes(g), 4, 2, cfg);
+    for p in 0..4u32 {
+        sim.add_traffic(TrafficSpec {
+            route: RouteId(p),
+            class: (p >= 2) as u8,
+            cc: CcKind::Cubic,
+            size: SizeDist::Fixed { bytes: 100_000_000 },
+            mean_gap_s: 10.0,
+            parallel: 4,
+        });
+    }
+    sim.run().segments_sent
+}
+
+fn fig8_workload() -> bool {
+    run_topology_a(ExperimentParams {
+        mechanism: Mechanism::Policing(0.2),
+        duration_s: 10.0,
+        ..ExperimentParams::default()
+    })
+    .flagged_nonneutral
+}
+
+fn sweep_workload(experiments: &[nni_scenario::Experiment]) -> usize {
+    SerialExecutor.execute(experiments).len()
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_entry(label: &str, mode: &str, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("  {\n");
+    out.push_str(&format!("    \"label\": \"{}\",\n", json_escape(label)));
+    out.push_str(&format!("    \"mode\": \"{mode}\",\n"));
+    out.push_str("    \"benches\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      \"{}\": {{\"mean_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}, \"iters\": {}}}{comma}\n",
+            r.name,
+            r.mean.as_nanos(),
+            r.median.as_nanos(),
+            r.p95.as_nanos(),
+            r.iters
+        ));
+    }
+    out.push_str("    }\n  }");
+    out
+}
+
+/// Appends `entry` to the JSON array in `path` (creating the file if
+/// needed). The file format is exactly what this function emits, so the
+/// textual append is safe.
+fn append_entry(path: &str, entry: &str, fresh: bool) -> std::io::Result<()> {
+    let existing = if fresh {
+        None
+    } else {
+        std::fs::read_to_string(path).ok()
+    };
+    let content = match existing {
+        Some(text) => {
+            let trimmed = text.trim_end();
+            let Some(body) = trimmed.strip_suffix(']') else {
+                return Err(std::io::Error::other(format!(
+                    "{path} is not a JSON array; use --fresh to overwrite"
+                )));
+            };
+            format!("{},\n{entry}\n]\n", body.trim_end())
+        }
+        None => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, content)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut fresh = false;
+    let mut label = String::from("local");
+    let mut out = String::from("BENCH_emulator.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--fresh" => fresh = true,
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out = args.next().expect("--out needs a value"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_record [--smoke] [--label <name>] [--out <path>] [--fresh]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+    let (emu_iters, fig8_iters, sweep_iters) = if smoke { (5, 3, 2) } else { (20, 10, 8) };
+
+    eprintln!("perf_record: measuring ({mode} mode) ...");
+    let sweep: Vec<_> = table2_sets(3.0, 42)
+        .into_iter()
+        .flat_map(|s| s.experiments.into_iter().map(|(_, sc)| sc))
+        .collect();
+    let sweep = compile_all(&sweep);
+
+    let results = vec![
+        measure("emulator/topology_a_1s", emu_iters, emulator_workload),
+        measure("experiment/fig8_policing_10s", fig8_iters, fig8_workload),
+        measure("executor/table2_sweep_3s_serial", sweep_iters, || {
+            sweep_workload(&sweep)
+        }),
+    ];
+    for r in &results {
+        eprintln!(
+            "  {:<35} mean {:>10.3?}  median {:>10.3?}  p95 {:>10.3?} ({} iters)",
+            r.name, r.mean, r.median, r.p95, r.iters
+        );
+    }
+    let entry = json_entry(&label, mode, &results);
+    if let Err(e) = append_entry(&out, &entry, fresh) {
+        eprintln!("perf_record: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("perf_record: appended entry \"{label}\" to {out}");
+}

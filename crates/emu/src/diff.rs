@@ -119,7 +119,9 @@ impl DiffRuntime {
                     .map(|l| LaneRuntime {
                         class: l.class,
                         bucket: TokenBucket::new(l.rate_bps, l.burst_bytes),
-                        queue: VecDeque::new(),
+                        // Pre-size to the lane buffer's full-MSS packet
+                        // count so a saturated lane never reallocates.
+                        queue: VecDeque::with_capacity((l.buffer_bytes / 1500 + 2) as usize),
                         queued_bytes: 0,
                         buffer_bytes: l.buffer_bytes,
                         release_pending: false,
@@ -218,7 +220,7 @@ mod tests {
     use super::*;
     use crate::packet::{FlowId, RouteId};
 
-    fn pkt(class: ClassLabel, size: u32, id: u64) -> Packet {
+    fn pkt(class: ClassLabel, size: u32, id: u32) -> Packet {
         Packet {
             id,
             flow: FlowId(0),
@@ -354,7 +356,7 @@ mod tests {
             d.ingress(SimTime::ZERO, pkt(1, 1000, 1)),
             DiffOutcome::Pass(_)
         ));
-        for id in 0..3u64 {
+        for id in 0..3u32 {
             assert!(matches!(
                 d.ingress(SimTime::ZERO, pkt(0, 1000, 10 + id)),
                 DiffOutcome::Buffered { lane: 0, .. }
@@ -368,7 +370,7 @@ mod tests {
         // 1000-byte burst admits one packet per release, so FIFO order is
         // observable across successive releases. The scratch buffer is
         // appended to, never cleared, by release().
-        let mut drain = |lane: usize| -> Vec<u64> {
+        let mut drain = |lane: usize| -> Vec<u32> {
             let mut out = Vec::new();
             let mut at = SimTime::from_secs_f64(60.0);
             while let Some(next) = d.release(at, lane, &mut out) {

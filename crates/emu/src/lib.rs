@@ -27,19 +27,23 @@ pub mod event;
 pub mod packet;
 pub mod scenario;
 pub mod sim;
+pub mod slab;
 pub mod stats;
 pub mod tcp;
 pub mod time;
 pub mod traffic;
+pub mod window;
 
 pub use bucket::TokenBucket;
 pub use config::SimConfig;
 pub use diff::{Differentiation, ShapeLaneConfig};
+pub use event::{CalendarEventQueue, Event, EventQueue, HeapEventQueue};
 pub use packet::{ClassLabel, FlowId, Packet, Route, RouteId};
 pub use scenario::{
     background_route, link_params, measured_routes, policer_at_fraction, shaper_at_fraction,
 };
 pub use sim::{LinkParams, Simulator};
+pub use slab::{PacketHandle, PacketSlab};
 pub use stats::{LinkTruth, QueueTrace, SimReport};
 pub use tcp::{CcKind, CongestionControl, RttEstimator};
 pub use time::SimTime;

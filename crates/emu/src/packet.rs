@@ -1,4 +1,12 @@
 //! Packets and routes.
+//!
+//! [`Packet`] is deliberately small (32 bytes, `Copy`): the simulator moves
+//! packets through link queues and shaper lanes by value, and while a packet
+//! is in flight between events it lives in the
+//! [`PacketSlab`](crate::slab::PacketSlab) — so packet size is a first-order
+//! term in the event loop's memory traffic. Identifiers are `u32` (4 billion
+//! flows / routes / segments per flow is far beyond any run this repo
+//! performs) and the hop index is `u16`.
 
 use crate::time::SimTime;
 use nni_topology::{LinkId, PathId};
@@ -10,7 +18,15 @@ pub type ClassLabel = u8;
 
 /// Identifier of a route (measured path or background route).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct RouteId(pub usize);
+pub struct RouteId(pub u32);
+
+impl RouteId {
+    /// The route's index into the simulator's route table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// A forwarding route through the network.
 #[derive(Debug, Clone)]
@@ -24,27 +40,35 @@ pub struct Route {
 
 /// Identifier of a flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct FlowId(pub usize);
+pub struct FlowId(pub u32);
 
-/// A data packet in flight.
-#[derive(Debug, Clone)]
+impl FlowId {
+    /// The flow's index into the simulator's flow table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A data packet in flight. 32 bytes, `Copy` — see the module docs.
+#[derive(Debug, Clone, Copy)]
 pub struct Packet {
+    /// Time the segment was (re)transmitted by the sender.
+    pub sent_at: SimTime,
     /// Globally unique packet id (diagnostics).
-    pub id: u64,
-    /// Owning flow.
-    pub flow: FlowId,
+    pub id: u32,
     /// TCP sequence number in segments (0-based).
-    pub seq: u64,
+    pub seq: u32,
     /// Size in bytes (MSS for full segments).
     pub size: u32,
-    /// Traffic class label.
-    pub class: ClassLabel,
+    /// Owning flow.
+    pub flow: FlowId,
     /// Route being traversed.
     pub route: RouteId,
     /// Index of the *next* link to enter (0 = first hop).
-    pub hop: usize,
-    /// Time the segment was (re)transmitted by the sender.
-    pub sent_at: SimTime,
+    pub hop: u16,
+    /// Traffic class label.
+    pub class: ClassLabel,
     /// Whether this is a retransmission (Karn's rule: no RTT sample).
     pub retx: bool,
 }
@@ -78,5 +102,13 @@ mod tests {
         };
         assert_eq!(p.seq, 42);
         assert!(!p.retx);
+        assert_eq!(p.flow.index(), 3);
+        assert_eq!(p.route.index(), 0);
+    }
+
+    #[test]
+    fn packet_stays_compact() {
+        // The event loop's memory traffic scales with this; keep it small.
+        assert!(std::mem::size_of::<Packet>() <= 32);
     }
 }

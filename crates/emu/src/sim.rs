@@ -12,8 +12,27 @@
 //!
 //! ACKs return after the route's reverse propagation delay without queueing
 //! (the measured quantity is forward loss; see DESIGN.md substitutions).
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! # Hot-path data layout (PR 3)
+//!
+//! The inner loop is built around three packed structures, rewritten for
+//! speed with results asserted bit-identical seed-for-seed (the golden
+//! identity test in `nni-scenario` gates any change here):
+//!
+//! * **Packet slab** — packets in flight between events live in a
+//!   [`PacketSlab`]; event-queue entries carry a 4-byte handle instead of an
+//!   inlined packet ([`crate::event`] has the full design).
+//! * **O(1) flow state** — per-flow send times and the receiver's
+//!   out-of-order set are ring/bitmap windows ([`crate::window`]), replacing
+//!   `BTreeMap`/`BTreeSet` whose every cumulative ACK did an allocating
+//!   `split_off`.
+//! * **Interval cache** — the current measurement-interval index is tracked
+//!   incrementally (simulation time is monotone) instead of a float division
+//!   per recorded packet; the cached boundary is computed to agree exactly
+//!   with the float division it replaces.
+//!
+//! End-of-run invariant: after the event loop drains, every slab handle has
+//! been freed (`live() == 0`) — leaked or double-freed handles panic.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,12 +41,14 @@ use crate::config::SimConfig;
 use crate::diff::{DiffOutcome, DiffRuntime, Differentiation};
 use crate::event::{Event, EventQueue};
 use crate::packet::{ClassLabel, FlowId, Packet, Route, RouteId};
+use crate::slab::{PacketHandle, PacketSlab};
 use crate::stats::{LinkTruth, QueueTrace, SimReport};
 #[cfg(test)]
 use crate::tcp::CcKind;
 use crate::tcp::{CongestionControl, RttEstimator};
 use crate::time::{tx_time, SimTime};
 use crate::traffic::TrafficSpec;
+use crate::window::{OooWindow, SendTimes};
 use nni_measure::MeasurementLog;
 use nni_topology::LinkId;
 
@@ -64,12 +85,12 @@ struct FlowSim {
     snd_nxt: u64,
     dup_acks: u32,
     recover: u64,
-    send_times: BTreeMap<u64, (SimTime, bool)>,
-    rto_generation: u64,
+    send_times: SendTimes,
+    rto_generation: u32,
     done: bool,
     slot: Option<usize>,
     rcv_nxt: u64,
-    ooo: BTreeSet<u64>,
+    ooo: OooWindow,
 }
 
 struct Slot {
@@ -86,10 +107,17 @@ pub struct Simulator {
     flows: Vec<FlowSim>,
     slots: Vec<Slot>,
     queue: EventQueue,
+    slab: PacketSlab,
     now: SimTime,
+    /// Simulation end (`cfg.duration_s`): nothing is scheduled past it.
+    end: SimTime,
     rng: StdRng,
     /// Reused across shaper-release events so each release does not allocate.
     release_scratch: Vec<Packet>,
+    /// Measurement interval containing `now` (monotone, cached).
+    cur_interval: usize,
+    /// First timestamp belonging to the *next* measurement interval.
+    cur_interval_end: SimTime,
     // Statistics.
     log: MeasurementLog,
     truth: LinkTruth,
@@ -98,6 +126,23 @@ pub struct Simulator {
     segments_sent: u64,
     segments_delivered: u64,
     segments_dropped: u64,
+}
+
+/// Smallest nanosecond timestamp whose measurement-interval index —
+/// computed with the same float division as [`Simulator::interval_at`] — is
+/// at least `i`. A float guess plus an exact ULP walk, so the incremental
+/// interval cache can never disagree with the division it replaces.
+fn interval_boundary_ns(interval_s: f64, i: u64) -> u64 {
+    let idx = |ns: u64| ((ns as f64 / 1e9) / interval_s).floor();
+    let target = i as f64;
+    let mut g = (target * interval_s * 1e9).round() as u64;
+    while g > 0 && idx(g - 1) >= target {
+        g -= 1;
+    }
+    while idx(g) < target {
+        g += 1;
+    }
+    g
 }
 
 impl Simulator {
@@ -126,14 +171,22 @@ impl Simulator {
         let n_links = links.len();
         let link_sims: Vec<LinkSim> = links
             .into_iter()
-            .map(|p| LinkSim {
-                rate_bps: p.rate_bps,
-                delay: SimTime::from_secs_f64(p.delay_s),
-                qcap_bytes: p.queue_bytes.unwrap_or_else(|| cfg.queue_bytes(p.rate_bps)),
-                queue: std::collections::VecDeque::new(),
-                qbytes: 0,
-                busy: false,
-                diff: DiffRuntime::new(&p.diff),
+            .map(|p| {
+                let qcap_bytes = p.queue_bytes.unwrap_or_else(|| cfg.queue_bytes(p.rate_bps));
+                LinkSim {
+                    rate_bps: p.rate_bps,
+                    delay: SimTime::from_secs_f64(p.delay_s),
+                    qcap_bytes,
+                    // Pre-size to the drop-tail capacity: the queue can
+                    // never hold more than this many full-MSS packets, so
+                    // it never reallocates mid-run.
+                    queue: std::collections::VecDeque::with_capacity(
+                        (qcap_bytes / cfg.mss.max(1) as u64 + 2) as usize,
+                    ),
+                    qbytes: 0,
+                    busy: false,
+                    diff: DiffRuntime::new(&p.diff),
+                }
             })
             .collect();
         let reverse_delay = routes
@@ -151,9 +204,13 @@ impl Simulator {
             flows: Vec::new(),
             slots: Vec::new(),
             queue: EventQueue::new(),
+            slab: PacketSlab::with_capacity(1024),
             now: SimTime::ZERO,
+            end: SimTime::from_secs_f64(cfg.duration_s),
             rng: StdRng::seed_from_u64(cfg.seed),
             release_scratch: Vec::new(),
+            cur_interval: 0,
+            cur_interval_end: SimTime(interval_boundary_ns(cfg.interval_s, 1)),
             log: MeasurementLog::new(n_paths.max(1), cfg.interval_s),
             truth: LinkTruth::new(n_links, n_classes),
             traces: vec![QueueTrace::default(); n_links],
@@ -173,26 +230,38 @@ impl Simulator {
             let slot = self.slots.len();
             self.slots.push(Slot { spec: spec.clone() });
             let jitter = SimTime::from_secs_f64(self.rng.gen::<f64>() * 0.2);
-            self.queue.push(jitter, Event::FlowStart { slot });
+            self.queue
+                .push(jitter, Event::FlowStart { slot: slot as u32 });
         }
     }
 
     /// Runs the simulation to `cfg.duration_s` and returns the report
     /// (warm-up intervals already dropped).
     pub fn run(mut self) -> SimReport {
-        let end = SimTime::from_secs_f64(self.cfg.duration_s);
-        self.queue.push(
-            SimTime::from_secs_f64(self.cfg.sample_period_s),
-            Event::Sample,
-        );
+        let end = self.end;
+        let first_sample = SimTime::from_secs_f64(self.cfg.sample_period_s);
+        if first_sample <= end {
+            self.queue.push(first_sample, Event::Sample);
+        }
         while let Some((at, ev)) = self.queue.pop() {
             if at > end {
+                self.discard(ev);
                 break;
             }
             debug_assert!(at >= self.now, "event time regressed");
             self.now = at;
             self.dispatch(ev);
         }
+        // Drain events scheduled past the end so every in-flight packet's
+        // slab handle is returned, then assert the no-leak invariant.
+        while let Some((_, ev)) = self.queue.pop() {
+            self.discard(ev);
+        }
+        assert_eq!(
+            self.slab.live(),
+            0,
+            "packet slab leaked handles at end of run"
+        );
         let warmup = self.cfg.warmup_intervals();
         self.log.drop_warmup(warmup);
         self.truth.drop_warmup(warmup);
@@ -207,18 +276,45 @@ impl Simulator {
         }
     }
 
-    fn interval(&self, t: SimTime) -> usize {
+    /// Frees the slab slot of an event that will never be dispatched.
+    fn discard(&mut self, ev: Event) {
+        if let Event::Arrive(h) = ev {
+            self.slab.remove(h);
+        }
+    }
+
+    /// Measurement interval containing an arbitrary timestamp (float
+    /// division — used for past times, e.g. a dropped packet's send time).
+    fn interval_at(&self, t: SimTime) -> usize {
         (t.as_secs_f64() / self.cfg.interval_s).floor() as usize
+    }
+
+    /// Measurement interval containing `now` — the cached hot path.
+    /// Simulation time is monotone, so the cache only ever steps forward,
+    /// and the precomputed boundary agrees exactly with [`Self::interval_at`].
+    #[inline]
+    fn interval_now(&mut self) -> usize {
+        while self.now >= self.cur_interval_end {
+            self.cur_interval += 1;
+            self.cur_interval_end = SimTime(interval_boundary_ns(
+                self.cfg.interval_s,
+                self.cur_interval as u64 + 1,
+            ));
+        }
+        debug_assert_eq!(self.cur_interval, self.interval_at(self.now));
+        self.cur_interval
     }
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::Arrive(pkt) => self.on_arrive(pkt),
-            Event::TxComplete(link) => self.on_tx_complete(link),
-            Event::ShaperRelease(link, lane) => self.on_shaper_release(link, lane),
-            Event::Ack { flow, ackno } => self.on_ack(flow, ackno),
+            Event::Arrive(h) => self.on_arrive(h),
+            Event::TxComplete(link) => self.on_tx_complete(LinkId(link as usize)),
+            Event::ShaperRelease { link, lane } => {
+                self.on_shaper_release(LinkId(link as usize), lane as usize)
+            }
+            Event::Ack { flow, ackno } => self.on_ack(flow, ackno as u64),
             Event::Rto { flow, generation } => self.on_rto(flow, generation),
-            Event::FlowStart { slot } => self.on_flow_start(slot),
+            Event::FlowStart { slot } => self.on_flow_start(slot as usize),
             Event::Sample => self.on_sample(),
         }
     }
@@ -227,9 +323,10 @@ impl Simulator {
     // Network plane
     // ------------------------------------------------------------------
 
-    fn on_arrive(&mut self, pkt: Packet) {
-        let link_id = self.routes[pkt.route.0].links[pkt.hop];
-        let t = self.interval(self.now);
+    fn on_arrive(&mut self, h: PacketHandle) {
+        let pkt = self.slab.remove(h);
+        let link_id = self.routes[pkt.route.index()].links[pkt.hop as usize];
+        let t = self.interval_now();
         self.truth.record_offered(t, link_id, pkt.class);
         let outcome = self.links[link_id.index()].diff.ingress(self.now, pkt);
         match outcome {
@@ -240,7 +337,13 @@ impl Simulator {
                 schedule_release,
             } => {
                 if let Some(at) = schedule_release {
-                    self.queue.push(at, Event::ShaperRelease(link_id, lane));
+                    self.queue.push(
+                        at,
+                        Event::ShaperRelease {
+                            link: link_id.index() as u32,
+                            lane: lane as u32,
+                        },
+                    );
                 }
             }
         }
@@ -265,7 +368,8 @@ impl Simulator {
         link.busy = true;
         let head_size = link.queue.front().expect("non-empty").size as u64;
         let done_at = self.now + tx_time(head_size, link.rate_bps);
-        self.queue.push(done_at, Event::TxComplete(link_id));
+        self.queue
+            .push(done_at, Event::TxComplete(link_id.index() as u32));
     }
 
     fn on_tx_complete(&mut self, link_id: LinkId) {
@@ -279,8 +383,9 @@ impl Simulator {
         }
         pkt.hop += 1;
         let arrive_at = self.now + delay;
-        if pkt.hop < self.routes[pkt.route.0].links.len() {
-            self.queue.push(arrive_at, Event::Arrive(pkt));
+        if (pkt.hop as usize) < self.routes[pkt.route.index()].links.len() {
+            let h = self.slab.insert(pkt);
+            self.queue.push(arrive_at, Event::Arrive(h));
         } else {
             // Destination host: receiver logic runs on "arrival"; we inline
             // it by scheduling delivery through the ACK path.
@@ -299,39 +404,51 @@ impl Simulator {
         }
         self.release_scratch = released;
         if let Some(at) = next {
-            self.queue.push(at, Event::ShaperRelease(link_id, lane));
+            self.queue.push(
+                at,
+                Event::ShaperRelease {
+                    link: link_id.index() as u32,
+                    lane: lane as u32,
+                },
+            );
         }
     }
 
     fn drop_packet(&mut self, link_id: LinkId, pkt: Packet) {
         self.segments_dropped += 1;
-        let t = self.interval(self.now);
+        // The truth recorder uses the (cached) current interval; the
+        // measured loss is attributed to the interval the segment was
+        // *sent* in, which lies in the past and needs the full division.
+        let t = self.interval_now();
         self.truth.record_dropped(t, link_id, pkt.class);
-        if let Some(path) = self.routes[pkt.route.0].path {
-            self.log.record_lost(self.interval(pkt.sent_at), path, 1);
+        if let Some(path) = self.routes[pkt.route.index()].path {
+            self.log.record_lost(self.interval_at(pkt.sent_at), path, 1);
         }
     }
 
     fn deliver(&mut self, pkt: Packet, arrive_at: SimTime) {
         self.segments_delivered += 1;
-        let flow = &mut self.flows[pkt.flow.0];
-        if pkt.seq == flow.rcv_nxt {
+        let flow = &mut self.flows[pkt.flow.index()];
+        let seq = pkt.seq as u64;
+        if seq == flow.rcv_nxt {
             flow.rcv_nxt += 1;
-            while flow.ooo.remove(&flow.rcv_nxt) {
+            while flow.ooo.remove(flow.rcv_nxt) {
                 flow.rcv_nxt += 1;
             }
-        } else if pkt.seq > flow.rcv_nxt {
-            flow.ooo.insert(pkt.seq);
+            flow.ooo.compact(flow.rcv_nxt);
+        } else if seq > flow.rcv_nxt {
+            flow.ooo.insert(seq);
         }
         // Every data segment elicits one cumulative ACK, which reaches the
         // sender after the reverse propagation delay.
         let ackno = flow.rcv_nxt;
-        let back_at = arrive_at + self.reverse_delay[pkt.route.0];
+        debug_assert!(ackno <= u32::MAX as u64, "ackno exceeds u32 event field");
+        let back_at = arrive_at + self.reverse_delay[pkt.route.index()];
         self.queue.push(
             back_at,
             Event::Ack {
                 flow: pkt.flow,
-                ackno,
+                ackno: ackno as u32,
             },
         );
     }
@@ -343,7 +460,10 @@ impl Simulator {
             self.traces[i].push(t, occupancy);
         }
         let next = self.now + SimTime::from_secs_f64(self.cfg.sample_period_s);
-        self.queue.push(next, Event::Sample);
+        // Samples past the end would never be dispatched — don't queue them.
+        if next <= self.end {
+            self.queue.push(next, Event::Sample);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -354,7 +474,11 @@ impl Simulator {
         let spec = self.slots[slot].spec.clone();
         let size_bytes = spec.size.sample(&mut self.rng, self.cfg.mss);
         let size_segments = size_bytes.div_ceil(self.cfg.mss as u64).max(1);
-        let flow_id = FlowId(self.flows.len());
+        assert!(
+            size_segments <= u32::MAX as u64,
+            "flow of {size_segments} segments overflows the u32 sequence space"
+        );
+        let flow_id = FlowId(self.flows.len() as u32);
         self.flows.push(FlowSim {
             route: spec.route,
             class: spec.class,
@@ -365,12 +489,12 @@ impl Simulator {
             snd_nxt: 0,
             dup_acks: 0,
             recover: 0,
-            send_times: BTreeMap::new(),
+            send_times: SendTimes::new(),
             rto_generation: 0,
             done: false,
             slot: Some(slot),
             rcv_nxt: 0,
-            ooo: BTreeSet::new(),
+            ooo: OooWindow::new(),
         });
         self.flow_try_send(flow_id);
         self.arm_rto(flow_id);
@@ -379,7 +503,7 @@ impl Simulator {
     /// Sends as many new segments as the congestion window allows.
     fn flow_try_send(&mut self, f: FlowId) {
         loop {
-            let flow = &self.flows[f.0];
+            let flow = &self.flows[f.index()];
             if flow.done {
                 return;
             }
@@ -388,7 +512,7 @@ impl Simulator {
                 return;
             }
             let seq = flow.snd_nxt;
-            self.flows[f.0].snd_nxt += 1;
+            self.flows[f.index()].snd_nxt += 1;
             self.transmit(f, seq, false);
         }
     }
@@ -396,30 +520,31 @@ impl Simulator {
     fn transmit(&mut self, f: FlowId, seq: u64, retx: bool) {
         self.segments_sent += 1;
         let (route, class) = {
-            let flow = &self.flows[f.0];
+            let flow = &self.flows[f.index()];
             (flow.route, flow.class)
         };
-        if let Some(path) = self.routes[route.0].path {
-            let t = self.interval(self.now);
+        if let Some(path) = self.routes[route.index()].path {
+            let t = self.interval_now();
             self.log.record_sent(t, path, 1);
         }
         let pkt = Packet {
-            id: self.segments_sent,
-            flow: f,
-            seq,
+            sent_at: self.now,
+            id: self.segments_sent as u32,
+            seq: seq as u32,
             size: self.cfg.mss,
-            class,
+            flow: f,
             route,
             hop: 0,
-            sent_at: self.now,
+            class,
             retx,
         };
-        self.flows[f.0].send_times.insert(seq, (self.now, retx));
-        self.queue.push(self.now, Event::Arrive(pkt));
+        self.flows[f.index()].send_times.record(seq, self.now, retx);
+        let h = self.slab.insert(pkt);
+        self.queue.push(self.now, Event::Arrive(h));
     }
 
     fn arm_rto(&mut self, f: FlowId) {
-        let flow = &mut self.flows[f.0];
+        let flow = &mut self.flows[f.index()];
         flow.rto_generation += 1;
         let generation = flow.rto_generation;
         let at = self.now + SimTime::from_secs_f64(flow.rtt.rto());
@@ -434,7 +559,7 @@ impl Simulator {
 
     fn on_ack(&mut self, f: FlowId, ackno: u64) {
         let now = self.now;
-        let flow = &mut self.flows[f.0];
+        let flow = &mut self.flows[f.index()];
         if flow.done {
             return;
         }
@@ -442,13 +567,13 @@ impl Simulator {
             let newly = ackno - flow.snd_una;
             // RTT sample from the most recently acked, never-retransmitted
             // segment (Karn's rule).
-            if let Some(&(sent_at, retx)) = flow.send_times.get(&(ackno - 1)) {
+            if let Some((sent_at, retx)) = flow.send_times.get(ackno - 1) {
                 if !retx {
                     flow.rtt.on_sample((now - sent_at).as_secs_f64());
                 }
             }
-            // Discard timing state for acked segments.
-            flow.send_times = flow.send_times.split_off(&ackno);
+            // Discard timing state for acked segments — O(newly acked).
+            flow.send_times.advance_to(ackno);
             flow.snd_una = ackno;
             flow.dup_acks = 0;
             if flow.cc.in_recovery() {
@@ -467,11 +592,11 @@ impl Simulator {
                 flow.cc.on_new_ack(newly, now, srtt);
             }
             self.after_ack(f);
-        } else if ackno == self.flows[f.0].snd_una
-            && self.flows[f.0].snd_nxt > self.flows[f.0].snd_una
+        } else if ackno == self.flows[f.index()].snd_una
+            && self.flows[f.index()].snd_nxt > self.flows[f.index()].snd_una
         {
             // Duplicate ACK with outstanding data.
-            let flow = &mut self.flows[f.0];
+            let flow = &mut self.flows[f.index()];
             flow.dup_acks += 1;
             if flow.cc.in_recovery() {
                 flow.cc.on_dupack_in_recovery();
@@ -491,18 +616,18 @@ impl Simulator {
     /// sending whatever the window now allows.
     fn after_ack(&mut self, f: FlowId) {
         let done = {
-            let flow = &self.flows[f.0];
+            let flow = &self.flows[f.index()];
             flow.snd_una >= flow.size_segments
         };
         if done {
-            let flow = &mut self.flows[f.0];
+            let flow = &mut self.flows[f.index()];
             flow.done = true;
             flow.rto_generation += 1; // cancel pending timers
             self.completed_flows += 1;
             if let Some(slot) = flow.slot {
                 let gap = self.slots[slot].spec.sample_gap(&mut self.rng);
                 let at = self.now + SimTime::from_secs_f64(gap);
-                self.queue.push(at, Event::FlowStart { slot });
+                self.queue.push(at, Event::FlowStart { slot: slot as u32 });
             }
             return;
         }
@@ -510,8 +635,8 @@ impl Simulator {
         self.flow_try_send(f);
     }
 
-    fn on_rto(&mut self, f: FlowId, generation: u64) {
-        let flow = &mut self.flows[f.0];
+    fn on_rto(&mut self, f: FlowId, generation: u32) {
+        let flow = &mut self.flows[f.index()];
         if flow.done || generation != flow.rto_generation {
             return; // stale timer
         }
@@ -579,6 +704,20 @@ mod tests {
             duration_s: duration,
             warmup_s: 0.0,
             ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn interval_boundaries_agree_with_float_division() {
+        // The cached boundary must match the float division exactly, even
+        // for awkward interval widths with no exact binary representation.
+        for &interval_s in &[0.1, 0.05, 0.25, 0.13, 1.0 / 3.0, 0.7, 2.0] {
+            let idx = |ns: u64| ((ns as f64 / 1e9) / interval_s).floor() as u64;
+            for i in 1..200u64 {
+                let b = interval_boundary_ns(interval_s, i);
+                assert!(idx(b) >= i, "boundary too early: {interval_s} {i}");
+                assert!(idx(b - 1) < i, "boundary too late: {interval_s} {i}");
+            }
         }
     }
 
@@ -789,7 +928,7 @@ mod tests {
             },
         ];
         let mut sim = Simulator::new(links, routes, 2, 2, quick_cfg(30.0));
-        for (route, class) in [(0usize, 0u8), (1, 1)] {
+        for (route, class) in [(0u32, 0u8), (1, 1)] {
             sim.add_traffic(TrafficSpec {
                 route: RouteId(route),
                 class,

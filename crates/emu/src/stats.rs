@@ -61,6 +61,21 @@ impl LinkTruth {
         self.n_classes
     }
 
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.n_links
+    }
+
+    /// Packets of `class` offered to `link` during interval `t`.
+    pub fn offered_at(&self, t: usize, link: LinkId, class: ClassLabel) -> u64 {
+        self.offered[t][link.index()][class as usize]
+    }
+
+    /// Packets of `class` dropped at `link` during interval `t`.
+    pub fn dropped_at(&self, t: usize, link: LinkId, class: ClassLabel) -> u64 {
+        self.dropped[t][link.index()][class as usize]
+    }
+
     /// Drops the first `k` intervals (aligned with the measurement warm-up).
     pub fn drop_warmup(&mut self, k: usize) {
         let k = k.min(self.offered.len());

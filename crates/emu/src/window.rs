@@ -1,0 +1,299 @@
+//! O(1) per-flow transport-state windows.
+//!
+//! Two data structures replace the `BTreeMap` / `BTreeSet` the flow driver
+//! used before PR 3 — both are *exact* drop-in equivalents (the
+//! cross-implementation identity test in `nni-scenario` holds them to
+//! bit-identical `SimReport`s), they just exploit that TCP state is dense
+//! over a contiguous, forward-moving sequence window:
+//!
+//! * [`SendTimes`] — per-segment `(send time, was-retransmission)` used for
+//!   Karn-rule RTT sampling. The old `BTreeMap<u64, (SimTime, bool)>` did an
+//!   allocating `split_off` on **every** cumulative ACK; this is a
+//!   seq-offset-indexed ring (`VecDeque`) where a cumulative ACK pops spent
+//!   entries off the front.
+//! * [`OooWindow`] — the receiver's out-of-order set. The old
+//!   `BTreeSet<u64>` becomes a bitmap over 64-bit words starting at the
+//!   receive head.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Send-time window of one flow: `(send time, retx)` for every segment in
+/// `[base, base + len)`, where `base` tracks the lowest unacknowledged
+/// sequence number.
+///
+/// Matches the old `BTreeMap` semantics exactly, including the odd corners:
+/// * Entries for sequence numbers the flow re-walks after a timeout
+///   (go-back-N pulls `snd_nxt` back below `snd_una` when late ACKs arrive)
+///   are ignored — the map stored them below `snd_una` where no lookup ever
+///   reached before the next cumulative ACK discarded them.
+/// * Entries above `snd_una` survive a timeout untouched, so a late ACK for
+///   a pre-timeout transmission still finds its (possibly stale) send time.
+#[derive(Debug, Default)]
+pub struct SendTimes {
+    base: u64,
+    ring: VecDeque<(SimTime, bool)>,
+}
+
+impl SendTimes {
+    /// Empty window starting at sequence number 0.
+    pub fn new() -> SendTimes {
+        SendTimes::default()
+    }
+
+    /// Records that `seq` was sent at `at` (`retx`: retransmission). Sends
+    /// are sequential, so `seq` is either below `base` (ignored, see type
+    /// docs), inside the window (overwrite), or exactly one past the end.
+    pub fn record(&mut self, seq: u64, at: SimTime, retx: bool) {
+        let Some(idx) = seq.checked_sub(self.base) else {
+            return; // below the window: unreachable by any lookup
+        };
+        let idx = idx as usize;
+        match idx.cmp(&self.ring.len()) {
+            std::cmp::Ordering::Less => self.ring[idx] = (at, retx),
+            std::cmp::Ordering::Equal => self.ring.push_back((at, retx)),
+            std::cmp::Ordering::Greater => {
+                unreachable!("send-time window gap: seq {seq} beyond base {}", self.base)
+            }
+        }
+    }
+
+    /// The send record of `seq`, if it is inside the window.
+    pub fn get(&self, seq: u64) -> Option<(SimTime, bool)> {
+        let idx = seq.checked_sub(self.base)?;
+        self.ring.get(idx as usize).copied()
+    }
+
+    /// A cumulative ACK for everything below `ackno`: discards spent
+    /// entries and advances the window base. O(newly acked), allocation
+    /// free — this is the `on_ack` hot path.
+    pub fn advance_to(&mut self, ackno: u64) {
+        if ackno <= self.base {
+            return;
+        }
+        let n = ((ackno - self.base) as usize).min(self.ring.len());
+        self.ring.drain(..n);
+        self.base = ackno;
+    }
+
+    /// Number of tracked segments (tests).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the window tracks no segments.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+/// The receiver's out-of-order window: a bitmap over segments above the
+/// receive head. Bit `seq` lives in word `seq / 64 - first_word`, so the
+/// window slides in whole words as the head advances.
+#[derive(Debug, Default)]
+pub struct OooWindow {
+    /// Absolute index (in 64-segment words) of `bits[0]`.
+    first_word: u64,
+    bits: VecDeque<u64>,
+}
+
+impl OooWindow {
+    /// Empty window.
+    pub fn new() -> OooWindow {
+        OooWindow::default()
+    }
+
+    /// Marks `seq` as received out of order.
+    pub fn insert(&mut self, seq: u64) {
+        let word = seq / 64;
+        debug_assert!(word >= self.first_word, "insert below the window");
+        let idx = (word - self.first_word) as usize;
+        if idx >= self.bits.len() {
+            self.bits.resize(idx + 1, 0);
+        }
+        self.bits[idx] |= 1 << (seq % 64);
+    }
+
+    /// Clears and reports whether `seq` was buffered — the receive head's
+    /// catch-up loop (`while ooo.remove(rcv_nxt) { rcv_nxt += 1 }`).
+    pub fn remove(&mut self, seq: u64) -> bool {
+        let word = seq / 64;
+        let Some(idx) = word.checked_sub(self.first_word) else {
+            return false;
+        };
+        let Some(w) = self.bits.get_mut(idx as usize) else {
+            return false;
+        };
+        let mask = 1u64 << (seq % 64);
+        let was = *w & mask != 0;
+        *w &= !mask;
+        was
+    }
+
+    /// Slides the window forward: drops leading words fully below
+    /// `rcv_nxt`. All their bits are already clear — the head only advances
+    /// through received (hence removed) segments.
+    pub fn compact(&mut self, rcv_nxt: u64) {
+        let head_word = rcv_nxt / 64;
+        while self.first_word < head_word {
+            match self.bits.pop_front() {
+                Some(w) => {
+                    debug_assert_eq!(w, 0, "window slid past set bits");
+                    self.first_word += 1;
+                }
+                None => {
+                    self.first_word = head_word;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of buffered segments (tests).
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[test]
+    fn send_times_record_get_advance() {
+        let mut s = SendTimes::new();
+        for seq in 0..5 {
+            s.record(seq, SimTime(seq * 10), false);
+        }
+        assert_eq!(s.get(3), Some((SimTime(30), false)));
+        s.advance_to(3);
+        assert_eq!(s.get(2), None);
+        assert_eq!(s.get(3), Some((SimTime(30), false)));
+        assert_eq!(s.len(), 2);
+        // Retransmission overwrites in place.
+        s.record(3, SimTime(99), true);
+        assert_eq!(s.get(3), Some((SimTime(99), true)));
+    }
+
+    #[test]
+    fn send_times_ignores_below_base_like_the_btreemap_did() {
+        let mut s = SendTimes::new();
+        for seq in 0..10 {
+            s.record(seq, SimTime(seq), false);
+        }
+        s.advance_to(10);
+        // Post-timeout go-back-N re-walk below the acked base: ignored.
+        s.record(4, SimTime(400), true);
+        assert_eq!(s.get(4), None);
+        assert!(s.is_empty());
+        // The walk reaches the base again: normal appends resume.
+        s.record(10, SimTime(500), true);
+        assert_eq!(s.get(10), Some((SimTime(500), true)));
+    }
+
+    /// Differential test against the exact BTreeMap code the simulator used
+    /// before PR 3, driven by a synthetic sender that timeouts and re-walks.
+    #[test]
+    fn send_times_matches_btreemap_reference() {
+        let mut ring = SendTimes::new();
+        let mut map: BTreeMap<u64, (SimTime, bool)> = BTreeMap::new();
+        let mut una = 0u64;
+        let mut nxt = 0u64;
+        let mut max_sent = 0u64;
+        let mut t = 0u64;
+        // Deterministic pseudo-random walk (splitmix-ish).
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut rand = move || {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+            x ^= x >> 27;
+            x
+        };
+        for _ in 0..3000 {
+            t += 1;
+            match rand() % 10 {
+                // Send the next segment (possibly a below-base re-walk
+                // after an ACK overtook a timeout-reset `nxt`).
+                0..=5 => {
+                    let retx = nxt < max_sent;
+                    ring.record(nxt, SimTime(t), retx);
+                    map.insert(nxt, (SimTime(t), retx));
+                    nxt += 1;
+                    max_sent = max_sent.max(nxt);
+                }
+                // Cumulative ACK somewhere in (una, max_sent].
+                6..=8 => {
+                    if max_sent > una {
+                        let ackno = una + 1 + rand() % (max_sent - una);
+                        let karn_ring = ring.get(ackno - 1);
+                        let karn_map = map.get(&(ackno - 1)).copied();
+                        assert_eq!(karn_ring, karn_map, "karn lookup at {ackno}");
+                        map = map.split_off(&ackno);
+                        ring.advance_to(ackno);
+                        una = ackno;
+                    }
+                }
+                // Timeout: go-back-N restarts the walk at the base.
+                _ => {
+                    if nxt > una {
+                        nxt = una;
+                    }
+                }
+            }
+            assert_eq!(ring.len(), map.range(una..).count(), "live entries");
+        }
+    }
+
+    #[test]
+    fn ooo_window_insert_remove_compact() {
+        let mut w = OooWindow::new();
+        w.insert(5);
+        w.insert(130);
+        assert_eq!(w.count(), 2);
+        assert!(w.remove(5));
+        assert!(!w.remove(5));
+        assert!(!w.remove(6));
+        w.compact(128);
+        assert!(w.remove(130), "compact must keep bits at/above the head");
+        assert_eq!(w.count(), 0);
+    }
+
+    /// Differential test against the BTreeSet reference under a receiver's
+    /// actual access pattern.
+    #[test]
+    fn ooo_window_matches_btreeset_reference() {
+        let mut w = OooWindow::new();
+        let mut set: BTreeSet<u64> = BTreeSet::new();
+        let mut rcv_nxt = 0u64;
+        let mut x = 42u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..5000 {
+            // A segment arrives somewhere in [rcv_nxt, rcv_nxt + 40).
+            let seq = rcv_nxt + rand() % 40;
+            if seq == rcv_nxt {
+                rcv_nxt += 1;
+                loop {
+                    let a = w.remove(rcv_nxt);
+                    let b = set.remove(&rcv_nxt);
+                    assert_eq!(a, b, "catch-up at {rcv_nxt}");
+                    if !a {
+                        break;
+                    }
+                    rcv_nxt += 1;
+                }
+                w.compact(rcv_nxt);
+            } else if seq > rcv_nxt {
+                w.insert(seq);
+                set.insert(seq);
+            }
+            assert_eq!(w.count(), set.len());
+        }
+        assert!(rcv_nxt > 100, "walk must actually advance");
+    }
+}

@@ -31,12 +31,12 @@ fn shaper_end_to_end_throttles_one_class() {
         measured_routes(g),
         4,
         2,
-        quick_cfg(30.0, 11),
+        quick_cfg(20.0, 11),
     );
     for path in g.path_ids() {
         let c2 = paper.classes[1].contains(&path);
         sim.add_traffic(TrafficSpec {
-            route: RouteId(path.index()),
+            route: RouteId(path.index() as u32),
             class: c2 as u8,
             cc: CcKind::Cubic,
             size: SizeDist::Fixed {
@@ -49,7 +49,7 @@ fn shaper_end_to_end_throttles_one_class() {
     let report = sim.run();
     let goodput = |p: usize| {
         (report.log.total_sent(PathId(p)) - report.log.total_lost(PathId(p))) as f64 * 1500.0 * 8.0
-            / 30.0
+            / 20.0
     };
     let c1 = goodput(0) + goodput(1);
     let c2 = goodput(2) + goodput(3);
@@ -84,7 +84,7 @@ fn cubic_competitive_with_newreno() {
             links: vec![LinkId(0), LinkId(1)],
             path: Some(PathId(0)),
         }];
-        let mut sim = Simulator::new(links, routes, 1, 1, quick_cfg(30.0, 5));
+        let mut sim = Simulator::new(links, routes, 1, 1, quick_cfg(20.0, 5));
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
@@ -99,7 +99,7 @@ fn cubic_competitive_with_newreno() {
     };
     let newreno = run(CcKind::NewReno);
     let cubic = run(CcKind::Cubic);
-    let line_rate = (20e6 * 30.0 / (1500.0 * 8.0)) as u64;
+    let line_rate = (20e6 * 20.0 / (1500.0 * 8.0)) as u64;
     assert!(
         newreno > line_rate / 3,
         "NewReno too slow: {newreno}/{line_rate}"
@@ -123,7 +123,7 @@ fn rtt_dependence_of_goodput() {
             measured_routes(g),
             4,
             2,
-            quick_cfg(20.0, 3),
+            quick_cfg(15.0, 3),
         );
         // Two persistent flows congest the bottleneck.
         for p in 0..2 {

@@ -33,10 +33,10 @@ impl Experiment {
         let mut traffic: Vec<TrafficSpec> = scenario
             .path_traffic
             .iter()
-            .map(|&(path, profile)| spec_for(RouteId(path.index()), &profile))
+            .map(|&(path, profile)| spec_for(RouteId(path.index() as u32), &profile))
             .collect();
         for bg in &scenario.background {
-            let route = RouteId(routes.len());
+            let route = RouteId(routes.len() as u32);
             routes.push(background_route(bg.links.clone()));
             traffic.extend(bg.profiles.iter().map(|p| spec_for(route, p)));
         }
@@ -53,13 +53,11 @@ impl Experiment {
         &self.scenario
     }
 
-    /// Runs the experiment end to end: emulate → measure → infer → score.
-    ///
-    /// Takes `&self` so executors can run the same compiled experiment from
-    /// several workers; every invocation is deterministic in the scenario.
-    pub fn run(&self) -> ExperimentOutcome {
+    /// Runs only the emulation half: the packet-level simulation, without
+    /// measurement post-processing or inference. Deterministic in the
+    /// scenario — the basis of the cross-implementation identity tests.
+    pub fn simulate(&self) -> SimReport {
         let s = &self.scenario;
-        let g = &s.topology;
         let m = &s.measurement;
         let mut cfg = SimConfig {
             duration_s: m.duration_s,
@@ -73,14 +71,25 @@ impl Experiment {
         let mut sim = Simulator::new(
             self.links.clone(),
             self.routes.clone(),
-            g.path_count(),
+            s.topology.path_count(),
             s.class_label_count(),
             cfg,
         );
         for spec in &self.traffic {
             sim.add_traffic(spec.clone());
         }
-        let report = sim.run();
+        sim.run()
+    }
+
+    /// Runs the experiment end to end: emulate → measure → infer → score.
+    ///
+    /// Takes `&self` so executors can run the same compiled experiment from
+    /// several workers; every invocation is deterministic in the scenario.
+    pub fn run(&self) -> ExperimentOutcome {
+        let s = &self.scenario;
+        let g = &s.topology;
+        let m = &s.measurement;
+        let report = self.simulate();
 
         let path_congestion: Vec<f64> = g
             .path_ids()

@@ -1,0 +1,195 @@
+//! Cross-implementation identity test: the emulator rewrite (slab-backed
+//! packets, compact event queue, O(1) flow state — PR 3) must leave every
+//! `SimReport` bit-for-bit identical, seed for seed.
+//!
+//! The `GOLDEN` fingerprints below were captured by running every scenario
+//! of `nni_scenario::library` on the pre-rewrite emulator (BTreeMap flow
+//! state, `BinaryHeap<Event::Arrive(Packet)>` event queue) at three seeds.
+//! The fingerprint folds **every** field of the report — the per-interval
+//! measurement log, the per-link/per-class ground truth, the queue traces
+//! (f64 bit patterns), and the global counters — through FNV-1a, so it is
+//! exactly as strict as `PartialEq` on `SimReport`.
+//!
+//! If an intentional behaviour change ever invalidates these values, rerun
+//! with `NNI_PRINT_FINGERPRINTS=1` and paste the printed table — but for a
+//! pure performance PR, a mismatch here means the optimisation changed
+//! simulation behaviour and must be fixed, not re-golded.
+
+use nni_emu::SimReport;
+use nni_scenario::library::{
+    asymmetric_rtt_neutral, dual_link_shaping, dual_policer_topology_b, topology_a_scenario,
+    topology_b_scenario, ExperimentParams, Mechanism, TopologyBParams,
+};
+use nni_scenario::Scenario;
+use nni_topology::{LinkId, PathId};
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+
+/// FNV-1a over a stream of u64 words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.word(x.to_bits());
+    }
+}
+
+/// Folds every field of a `SimReport` into one u64 — as strict as
+/// `PartialEq` on the full report.
+fn fingerprint(report: &SimReport) -> u64 {
+    let mut h = Fnv::new();
+    // Global counters.
+    h.word(report.completed_flows as u64);
+    h.word(report.segments_sent);
+    h.word(report.segments_delivered);
+    h.word(report.segments_dropped);
+    // Measurement log: every (interval, path) cell.
+    let log = &report.log;
+    h.f64(log.interval_s());
+    h.word(log.path_count() as u64);
+    h.word(log.interval_count() as u64);
+    for t in 0..log.interval_count() {
+        for p in 0..log.path_count() {
+            h.word(log.sent(t, PathId(p)));
+            h.word(log.lost(t, PathId(p)));
+        }
+    }
+    // Ground truth: every (interval, link, class) cell.
+    let truth = &report.link_truth;
+    h.word(truth.link_count() as u64);
+    h.word(truth.class_count() as u64);
+    h.word(truth.interval_count() as u64);
+    for t in 0..truth.interval_count() {
+        for l in 0..truth.link_count() {
+            for c in 0..truth.class_count() {
+                h.word(truth.offered_at(t, LinkId(l), c as u8));
+                h.word(truth.dropped_at(t, LinkId(l), c as u8));
+            }
+        }
+    }
+    // Queue traces: every sample, f64 bit patterns included.
+    h.word(report.queue_traces.len() as u64);
+    for trace in &report.queue_traces {
+        h.word(trace.times_s.len() as u64);
+        for &t in &trace.times_s {
+            h.f64(t);
+        }
+        for &b in &trace.bytes {
+            h.word(b);
+        }
+    }
+    h.0
+}
+
+fn short_b() -> TopologyBParams {
+    TopologyBParams {
+        duration_s: 5.0,
+        ..TopologyBParams::default()
+    }
+}
+
+/// Every scenario family in the library, at identity-test durations.
+fn library() -> Vec<Scenario> {
+    let mut scenarios = vec![
+        topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Neutral,
+            duration_s: 6.0,
+            ..ExperimentParams::default()
+        }),
+        topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Policing(0.2),
+            duration_s: 6.0,
+            ..ExperimentParams::default()
+        }),
+        topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Shaping(0.3),
+            duration_s: 6.0,
+            ..ExperimentParams::default()
+        }),
+        topology_b_scenario(short_b()),
+        dual_policer_topology_b(short_b()),
+        asymmetric_rtt_neutral(6.0, 42),
+        dual_link_shaping(short_b()),
+    ];
+    // A short warm-up keeps several post-warmup intervals in the
+    // fingerprinted log (the default 5 s would drop nearly everything).
+    for s in &mut scenarios {
+        s.measurement.warmup_s = Some(1.0);
+    }
+    scenarios
+}
+
+/// `(scenario index, seed index) -> fingerprint` captured on the
+/// pre-rewrite emulator. Scenario order matches `library()`, seed order
+/// matches `SEEDS`.
+const GOLDEN: [[u64; 3]; 7] = [
+    [0x4075257e61dba9c9, 0xf57aea5e7bff61d5, 0x51739f6eb8d8822c],
+    [0x03f646de65b6c71c, 0x26fe2473458c8545, 0x6cbace9da1cfb086],
+    [0x67a3910a39924641, 0x4685ac7b786d4f16, 0x5564b1131dcd08b3],
+    [0x7dc6c60496acb66f, 0xbab9d3f23d52824d, 0x8a0d968860ed09dc],
+    [0xb449c5797eb514c1, 0x75d17f7d65f4c138, 0xe322c6f49d73d35d],
+    [0x23b3f9a6b9ec4f3c, 0xc684fc5994e2976d, 0xad828cb9391948a8],
+    [0xdaad1023d83cd49e, 0xc49dbabfa4b07339, 0x6a65096b8d297f28],
+];
+
+#[test]
+fn sim_reports_match_pre_rewrite_golden_fingerprints() {
+    let scenarios = library();
+    let mut current = Vec::new();
+    for s in &scenarios {
+        let mut row = Vec::new();
+        for &seed in &SEEDS {
+            row.push(fingerprint(&s.with_seed(seed).compile().simulate()));
+        }
+        current.push(row);
+    }
+    if std::env::var("NNI_PRINT_FINGERPRINTS").is_ok() {
+        println!("const GOLDEN: [[u64; 3]; {}] = [", scenarios.len());
+        for row in &current {
+            println!(
+                "    [{}],",
+                row.iter()
+                    .map(|f| format!("{f:#018x}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        println!("];");
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        for (j, &seed) in SEEDS.iter().enumerate() {
+            assert_eq!(
+                current[i][j], GOLDEN[i][j],
+                "SimReport diverged from the pre-rewrite emulator: \
+                 scenario `{}` seed {seed}",
+                s.name
+            );
+        }
+    }
+}
+
+/// Identity must also hold between two runs of the *same* build — a cheap
+/// canary separating "rewrite changed behaviour" from "emulator is
+/// nondeterministic" when the golden test fails.
+#[test]
+fn fingerprints_are_deterministic_within_build() {
+    let s = topology_a_scenario(ExperimentParams {
+        mechanism: Mechanism::Policing(0.3),
+        duration_s: 5.0,
+        ..ExperimentParams::default()
+    });
+    let a = fingerprint(&s.with_seed(9).compile().simulate());
+    let b = fingerprint(&s.with_seed(9).compile().simulate());
+    assert_eq!(a, b);
+}

@@ -41,21 +41,21 @@ fn main() {
     };
     let mut routes = measured_routes(g);
     let ln = |n: &str| g.link_by_name(n).unwrap();
-    let bg = RouteId(routes.len());
+    let bg = RouteId(routes.len() as u32);
     routes.push(background_route(vec![ln("l21"), ln("l13"), ln("l17")]));
     let mut sim = Simulator::new(link_params(g, &mechanisms), routes, g.path_count(), 2, cfg);
 
     // Short-flow customers (class 1), long-flow customers (class 2, policed),
     // plus unmeasured background load on the neutral l13.
     for &p in &paper.classes[0] {
-        for spec in short_flow_mix(RouteId(p.index()), 0, CcKind::Cubic) {
+        for spec in short_flow_mix(RouteId(p.index() as u32), 0, CcKind::Cubic) {
             sim.add_traffic(spec);
         }
     }
     for &p in &paper.classes[1] {
-        sim.add_traffic(long_flow(RouteId(p.index()), 1, CcKind::Cubic));
+        sim.add_traffic(long_flow(RouteId(p.index() as u32), 1, CcKind::Cubic));
         sim.add_traffic(TrafficSpec {
-            route: RouteId(p.index()),
+            route: RouteId(p.index() as u32),
             class: 1,
             cc: CcKind::Cubic,
             size: SizeDist::ParetoMean {

@@ -34,7 +34,7 @@ fn main() {
     for path in g.path_ids() {
         let bulk = paper.classes[1].contains(&path);
         sim.add_traffic(TrafficSpec {
-            route: RouteId(path.index()),
+            route: RouteId(path.index() as u32),
             class: bulk as u8,
             cc: CcKind::Cubic,
             size: SizeDist::ParetoMean {

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the measured pipeline
 //! (emulation → measurement → Algorithm 2 → Algorithm 1).
 //!
-//! These are short (10–30 s simulated) versions of the §6.3 experiments —
+//! These are short (10–20 s simulated) versions of the §6.3 experiments —
 //! the full-length regenerations live in `nni-bench`'s binaries.
 
 use netneutrality::core::{identify, Config, Observations};
@@ -30,7 +30,7 @@ fn run_dumbbell(policing: Option<f64>, duration_s: f64, seed: u64) -> SimReport 
     for path in g.path_ids() {
         let c2 = paper.classes[1].contains(&path);
         sim.add_traffic(TrafficSpec {
-            route: RouteId(path.index()),
+            route: RouteId(path.index() as u32),
             class: c2 as u8,
             cc: CcKind::Cubic,
             size: SizeDist::ParetoMean {
@@ -46,7 +46,7 @@ fn run_dumbbell(policing: Option<f64>, duration_s: f64, seed: u64) -> SimReport 
 
 #[test]
 fn policing_produces_class_skewed_congestion() {
-    let report = run_dumbbell(Some(0.2), 30.0, 1);
+    let report = run_dumbbell(Some(0.2), 20.0, 1);
     let c1 = report.log.congestion_probability(PathId(0), 0.01)
         + report.log.congestion_probability(PathId(1), 0.01);
     let c2 = report.log.congestion_probability(PathId(2), 0.01)
@@ -63,13 +63,13 @@ fn measured_inference_detects_policing_and_clears_neutral() {
     let g = &paper.topology;
     let l5 = g.link_by_name("l5").unwrap();
 
-    let policed = run_dumbbell(Some(0.2), 30.0, 2);
+    let policed = run_dumbbell(Some(0.2), 20.0, 2);
     let obs = MeasuredObservations::new(&policed.log, NormalizeConfig::default());
     let result = identify(g, &obs, Config::clustered());
     assert!(result.network_is_nonneutral(), "policing must be detected");
     assert!(result.nonneutral.iter().any(|s| s.contains(l5)));
 
-    let neutral = run_dumbbell(None, 30.0, 2);
+    let neutral = run_dumbbell(None, 20.0, 2);
     let obs = MeasuredObservations::new(&neutral.log, NormalizeConfig::default());
     let result = identify(g, &obs, Config::clustered());
     assert!(
@@ -82,7 +82,7 @@ fn measured_inference_detects_policing_and_clears_neutral() {
 fn throttled_paths_congest_jointly() {
     // §3.3's giveaway: the two policed paths are congestion-free together —
     // y({p3,p4}) is close to y({p3}), far from y({p3}) + y({p4}).
-    let report = run_dumbbell(Some(0.2), 30.0, 3);
+    let report = run_dumbbell(Some(0.2), 20.0, 3);
     let obs = MeasuredObservations::new(&report.log, NormalizeConfig::default());
     let group: Vec<PathId> = (0..4).map(PathId).collect();
     let y3 = obs.pathset_perf(&group, &PathSet::single(PathId(2)));
@@ -98,8 +98,8 @@ fn throttled_paths_congest_jointly() {
 
 #[test]
 fn emulation_is_deterministic_end_to_end() {
-    let a = run_dumbbell(Some(0.3), 15.0, 9);
-    let b = run_dumbbell(Some(0.3), 15.0, 9);
+    let a = run_dumbbell(Some(0.3), 10.0, 9);
+    let b = run_dumbbell(Some(0.3), 10.0, 9);
     assert_eq!(a.segments_sent, b.segments_sent);
     assert_eq!(a.segments_dropped, b.segments_dropped);
     for p in 0..4 {
@@ -113,7 +113,7 @@ fn ground_truth_isolates_the_policer() {
     let paper = topology_a(0.05, 0.05);
     let g = &paper.topology;
     let l5 = g.link_by_name("l5").unwrap();
-    let report = run_dumbbell(Some(0.2), 30.0, 4);
+    let report = run_dumbbell(Some(0.2), 20.0, 4);
     // Only the shared link drops packets: access links are 1 Gb/s.
     for l in g.link_ids() {
         let dropped = report.link_truth.total_dropped(l);
@@ -137,6 +137,8 @@ fn loss_threshold_sweep_keeps_the_verdict() {
     // §6.5: thresholds from Table 1 must not flip the verdict.
     let paper = topology_a(0.05, 0.05);
     let g = &paper.topology;
+    // 30 s (not the 20 s the other tests use): at the loosest threshold
+    // (10%) the verdict needs the larger interval count to be stable.
     let report = run_dumbbell(Some(0.2), 30.0, 5);
     for thr in [0.01, 0.05, 0.10] {
         let obs = MeasuredObservations::new(

@@ -1,11 +1,14 @@
 //! Offline shim for the `criterion` crate: the subset of the 0.5 API this
 //! workspace's benches use.
 //!
-//! Measurement model: each benchmark warms up briefly, then runs batches of
-//! iterations until a wall-clock target is reached and reports the mean,
-//! median, and p95 time per iteration to stdout (median/p95 are taken over
-//! the per-batch means, so they reject scheduler outliers between batches,
-//! not within one). There is no further statistical analysis, no report
+//! Measurement model: each benchmark runs one unmeasured calibration call,
+//! then batches of iterations until a wall-clock target is reached. The
+//! reported mean, median, and p95 per iteration are order statistics over
+//! the per-batch means with two rejection steps applied first: the first
+//! measured batch is discarded as warm-up (caches, frequency scaling), and
+//! the single fastest and slowest batches are trimmed as outliers when
+//! enough batches remain (so a scheduler hiccup cannot masquerade as a
+//! regression). There is no further statistical analysis, no report
 //! directory, and no plotting — this shim exists so `cargo bench` produces
 //! honest comparative numbers with zero dependencies. Passing `--test` (as
 //! `cargo test --benches` does) runs every closure exactly once, so bench
@@ -86,14 +89,33 @@ struct Sample {
     iters: u64,
 }
 
+/// Minimum batch count at which the top/bottom outlier batches are trimmed
+/// (below this, trimming would eat too large a fraction of the data).
+const MIN_BATCHES_FOR_TRIM: usize = 5;
+
 impl Sample {
-    fn from_batches(elapsed: Duration, iters: u64, mut batch_means: Vec<Duration>) -> Sample {
+    /// Order statistics over per-batch means, after warm-up discard and
+    /// outlier trimming (see the crate docs). `batch_iters` is the number
+    /// of iterations every batch ran; `iters` reports only iterations that
+    /// contributed to the statistics.
+    fn from_batches(mut batch_means: Vec<Duration>, batch_iters: u64) -> Sample {
+        // Discard the first measured batch as warm-up when others exist.
+        if batch_means.len() > 1 {
+            batch_means.remove(0);
+        }
         batch_means.sort_unstable();
+        // Trim the single slowest and fastest batch as outliers.
+        if batch_means.len() >= MIN_BATCHES_FOR_TRIM {
+            batch_means.pop();
+            batch_means.remove(0);
+        }
+        let n = batch_means.len().max(1) as u32;
+        let total: Duration = batch_means.iter().sum();
         Sample {
-            mean: elapsed / iters.max(1) as u32,
+            mean: total / n,
             median: percentile(&batch_means, 0.50),
             p95: percentile(&batch_means, 0.95),
-            iters,
+            iters: batch_means.len() as u64 * batch_iters,
         }
     }
 
@@ -123,16 +145,16 @@ impl Bencher<'_> {
             *self.result = Some(Sample::test_mode());
             return;
         }
-        // Warmup: one call, which also calibrates the batch size.
+        // One unmeasured call calibrates the batch size.
         let t0 = Instant::now();
         black_box(f());
         let first = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = ((self.target.as_nanos() / 10 / first.as_nanos()).clamp(1, 10_000)) as u64;
 
         let mut iters: u64 = 0;
         let mut elapsed = Duration::ZERO;
         let mut batch_means = Vec::new();
         while elapsed < self.target && iters < 1_000_000 {
-            let batch = ((self.target.as_nanos() / 10 / first.as_nanos()).clamp(1, 10_000)) as u64;
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(f());
@@ -142,7 +164,7 @@ impl Bencher<'_> {
             elapsed += batch_elapsed;
             iters += batch;
         }
-        *self.result = Some(Sample::from_batches(elapsed, iters, batch_means));
+        *self.result = Some(Sample::from_batches(batch_means, batch));
     }
 }
 
@@ -340,7 +362,10 @@ mod tests {
         b.iter(|| count += 1);
         let s = result.expect("sample recorded");
         assert!(s.iters >= 1);
-        assert_eq!(s.iters + 1, count, "warmup runs exactly once extra");
+        assert!(
+            count > s.iters,
+            "calibration, warm-up, and trimmed batches run but are not counted"
+        );
         // The order statistics come from the same batches the mean does.
         assert!(s.median <= s.p95, "median cannot exceed p95");
     }
@@ -359,15 +384,52 @@ mod tests {
     #[test]
     fn sample_statistics_over_batches() {
         let ms = |n: u64| Duration::from_millis(n);
-        // Nine 1 ms batches and one 100 ms outlier: the mean moves, the
-        // median and p95 bracket it from below and above.
-        let mut batches: Vec<Duration> = vec![ms(1); 9];
+        // A slow warm-up batch, eight 2 ms batches, and a 100 ms scheduler
+        // outlier: warm-up discard drops the 50, trimming drops the 100 and
+        // one of the 2s — every statistic lands on 2 ms.
+        let mut batches = vec![ms(50)];
+        batches.extend(vec![ms(2); 8]);
         batches.push(ms(100));
-        let s = Sample::from_batches(ms(109), 109, batches);
-        assert_eq!(s.median, ms(1));
-        assert_eq!(s.p95, ms(100));
-        assert_eq!(s.mean, ms(1));
-        assert_eq!(s.iters, 109);
+        let s = Sample::from_batches(batches, 10);
+        assert_eq!(s.mean, ms(2));
+        assert_eq!(s.median, ms(2));
+        assert_eq!(s.p95, ms(2));
+        // 10 batches - warmup - 2 trimmed = 7 counted, 10 iters each.
+        assert_eq!(s.iters, 70);
+    }
+
+    #[test]
+    fn warmup_batch_is_discarded() {
+        let ms = |n: u64| Duration::from_millis(n);
+        // Below the trim threshold: only the warm-up discard applies, so a
+        // slow first batch cannot drag the mean.
+        let s = Sample::from_batches(vec![ms(90), ms(3), ms(5)], 1);
+        assert_eq!(s.mean, ms(4));
+        assert_eq!(s.median, ms(3));
+        assert_eq!(s.p95, ms(5));
+        assert_eq!(s.iters, 2);
+    }
+
+    #[test]
+    fn outliers_trimmed_from_both_ends() {
+        let ms = |n: u64| Duration::from_millis(n);
+        // After warm-up discard: [1, 10, 10, 10, 10, 200] -> trim the 1 and
+        // the 200 -> all tens.
+        let batches = vec![ms(7), ms(1), ms(10), ms(10), ms(200), ms(10), ms(10)];
+        let s = Sample::from_batches(batches, 2);
+        assert_eq!(s.mean, ms(10));
+        assert_eq!(s.median, ms(10));
+        assert_eq!(s.p95, ms(10));
+        assert_eq!(s.iters, 8);
+    }
+
+    #[test]
+    fn single_batch_survives_untrimmed() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let s = Sample::from_batches(vec![ms(4)], 3);
+        assert_eq!(s.mean, ms(4));
+        assert_eq!(s.median, ms(4));
+        assert_eq!(s.iters, 3);
     }
 
     #[test]
