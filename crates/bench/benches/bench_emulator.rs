@@ -25,7 +25,7 @@ fn bench_dumbbell_second(c: &mut Criterion) {
                 sim.add_traffic(TrafficSpec {
                     route: RouteId(p),
                     class: (p >= 2) as u8,
-                    cc: CcKind::Cubic,
+                    cc: CcKind::Cubic.into(),
                     size: SizeDist::Fixed { bytes: 100_000_000 },
                     mean_gap_s: 10.0,
                     parallel: 4,

@@ -10,16 +10,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nni_bench::table2_sets;
-use nni_scenario::{compile_all, Executor, SerialExecutor, ShardedExecutor};
+use nni_scenario::{Executor, SerialExecutor, ShardedExecutor};
 use std::time::Duration;
 
 /// The reduced sweep: every Table 2 scenario at 3 simulated seconds.
 fn sweep() -> Vec<nni_scenario::Experiment> {
-    let scenarios: Vec<_> = table2_sets(3.0, 42)
-        .into_iter()
-        .flat_map(|s| s.experiments.into_iter().map(|(_, sc)| sc))
-        .collect();
-    compile_all(&scenarios)
+    table2_sets(3.0, 42)
+        .iter()
+        .flat_map(|s| s.compile())
+        .collect()
 }
 
 fn bench_executors(c: &mut Criterion) {

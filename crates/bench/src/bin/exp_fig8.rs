@@ -14,7 +14,7 @@
 use std::time::Instant;
 
 use nni_bench::{table2_sets, ExpArgs, ExpCaps, Table};
-use nni_scenario::compile_all;
+use nni_scenario::run_sets;
 
 fn main() {
     let args = ExpArgs::parse(60.0, 42, ExpCaps::sweep());
@@ -34,22 +34,15 @@ fn main() {
         executor.describe()
     );
 
-    // Flatten every selected set into one batch, run it through the chosen
-    // executor, then re-slice the (input-ordered) outcomes per set.
-    let scenarios: Vec<_> = sets
-        .iter()
-        .flat_map(|s| s.experiments.iter().map(|(_, sc)| sc.clone()))
-        .collect();
+    // Every selected set runs as one flattened executor batch; `run_sets`
+    // re-slices the (input-ordered, tick-labelled) outcomes per set.
     let started = Instant::now();
-    let outcomes = executor.execute(&compile_all(&scenarios));
+    let per_set = run_sets(&sets, executor.as_ref());
     let elapsed = started.elapsed();
 
     let mut correct = 0usize;
     let mut total = 0usize;
-    let mut remaining = outcomes.as_slice();
-    for set in &sets {
-        let (these, rest) = remaining.split_at(set.experiments.len());
-        remaining = rest;
+    for (set, outcomes) in sets.iter().zip(&per_set) {
         println!("--- {} ---", set.name);
         let mut t = Table::new(vec![
             set.axis.clone(),
@@ -60,14 +53,15 @@ fn main() {
             "verdict".into(),
             "correct".into(),
         ]);
-        for ((tick, _), out) in set.experiments.iter().zip(these) {
+        for member in outcomes {
+            let out = &member.outcome;
             let pc: Vec<String> = out
                 .path_congestion
                 .iter()
                 .map(|p| format!("{:5.1}", 100.0 * p))
                 .collect();
             t.row(vec![
-                tick.clone(),
+                member.tick.clone(),
                 pc[0].clone(),
                 pc[1].clone(),
                 pc[2].clone(),

@@ -1,0 +1,112 @@
+//! Runs the scenario library's beyond-Table-2 sweep sets: the topology-B
+//! policer-rate sweep, a mixed-CC fleet comparison on the topology-A
+//! policing setup, and a seed fan-out of the mixed-CC neutral control —
+//! each a first-class [`SweepSet`] executed as one batch.
+//!
+//! The acceptance check mirrors `exp_fig8`: every member's verdict must
+//! match its scenario's expectation (skip with `--lenient` for
+//! short-duration smoke runs).
+//!
+//! Usage: `exp_sweeps [--duration SECS] [--seed N]
+//!                    [--executor serial|sharded] [--workers N] [--lenient]`
+
+use std::time::Instant;
+
+use nni_bench::{ExpArgs, ExpCaps, Table};
+use nni_emu::{CcFleet, CcKind};
+use nni_scenario::library::{
+    mixed_cc_neutral_control, policer_rate_sweep_topology_b, topology_a_scenario, ExperimentParams,
+    Mechanism, TopologyBParams,
+};
+use nni_scenario::{run_sets, SweepSet};
+
+fn main() {
+    let args = ExpArgs::parse(60.0, 42, ExpCaps::batch());
+    let executor = args.executor();
+
+    let policing_base = topology_a_scenario(ExperimentParams {
+        mechanism: Mechanism::Policing(0.2),
+        duration_s: args.duration,
+        seed: args.seed,
+        ..ExperimentParams::default()
+    });
+    let sets = vec![
+        policer_rate_sweep_topology_b(TopologyBParams {
+            duration_s: args.duration,
+            seed: args.seed,
+            ..TopologyBParams::default()
+        }),
+        SweepSet::over_cc_fleets(
+            "topology-a policing 20%: CC fleet mix",
+            &policing_base,
+            [
+                ("all CUBIC".to_string(), CcFleet::Uniform(CcKind::Cubic)),
+                (
+                    "3:1 CUBIC/NewReno".to_string(),
+                    CcFleet::fleet(&[(CcKind::Cubic, 3), (CcKind::NewReno, 1)]),
+                ),
+                ("all NewReno".to_string(), CcFleet::Uniform(CcKind::NewReno)),
+            ],
+        ),
+        SweepSet::over_seeds(
+            "topology-a mixed-cc neutral control: seeds",
+            &mixed_cc_neutral_control(args.duration, args.seed),
+            &[args.seed, args.seed + 1, args.seed + 2],
+        ),
+    ];
+
+    println!(
+        "== Library sweep sets: {} s per experiment, seed {}, executor {} ==\n",
+        args.duration,
+        args.seed,
+        executor.describe()
+    );
+
+    let started = Instant::now();
+    let per_set = run_sets(&sets, executor.as_ref());
+    let elapsed = started.elapsed();
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (set, outcomes) in sets.iter().zip(&per_set) {
+        println!("--- {} ---", set.name);
+        let mut t = Table::new(vec![
+            set.axis.clone(),
+            "verdict".into(),
+            "correct".into(),
+            "drop rate [%]".into(),
+        ]);
+        for member in outcomes {
+            let out = &member.outcome;
+            let report = &out.report;
+            let drop_pct = if report.segments_sent > 0 {
+                100.0 * report.segments_dropped as f64 / report.segments_sent as f64
+            } else {
+                0.0
+            };
+            t.row(vec![
+                member.tick.clone(),
+                if out.flagged_nonneutral {
+                    "NON-NEUTRAL".into()
+                } else {
+                    "neutral".into()
+                },
+                if out.correct {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+                format!("{drop_pct:.2}"),
+            ]);
+            total += 1;
+            correct += out.correct as usize;
+        }
+        println!("{t}");
+    }
+    println!(
+        "verdicts correct: {correct}/{total}  (wall-clock {:.2} s, {})",
+        elapsed.as_secs_f64(),
+        executor.describe()
+    );
+    args.finish(correct == total);
+}

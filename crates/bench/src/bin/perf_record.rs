@@ -19,7 +19,7 @@ use nni_bench::{run_topology_a, table2_sets, ExperimentParams, Mechanism};
 use nni_emu::{
     link_params, measured_routes, CcKind, RouteId, SimConfig, Simulator, SizeDist, TrafficSpec,
 };
-use nni_scenario::{compile_all, Executor, SerialExecutor};
+use nni_scenario::{Executor, SerialExecutor};
 use nni_topology::library::topology_a;
 use std::time::{Duration, Instant};
 
@@ -70,7 +70,7 @@ fn emulator_workload() -> u64 {
         sim.add_traffic(TrafficSpec {
             route: RouteId(p),
             class: (p >= 2) as u8,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::Fixed { bytes: 100_000_000 },
             mean_gap_s: 10.0,
             parallel: 4,
@@ -175,10 +175,9 @@ fn main() {
 
     eprintln!("perf_record: measuring ({mode} mode) ...");
     let sweep: Vec<_> = table2_sets(3.0, 42)
-        .into_iter()
-        .flat_map(|s| s.experiments.into_iter().map(|(_, sc)| sc))
+        .iter()
+        .flat_map(|s| s.compile())
         .collect();
-    let sweep = compile_all(&sweep);
 
     let results = vec![
         measure("emulator/topology_a_1s", emu_iters, emulator_workload),

@@ -1,48 +1,37 @@
 //! Table 2: the nine experiment sets on topology A, expressed as
-//! [`Scenario`]s over the `nni-scenario` API.
+//! [`SweepSet`]s over the `nni-scenario` API.
 //!
-//! The sweep logic lives here; the per-experiment glue (topology wiring,
+//! Each set is one [`SweepSet`]; the per-experiment glue (topology wiring,
 //! traffic placement, mechanism placement, ground truth) lives in
-//! [`nni_scenario::library::topology_a_scenario`]. Feed the scenarios of a
-//! set — or the whole flattened Table 2 — to any
-//! [`Executor`](nni_scenario::Executor).
+//! [`nni_scenario::library::topology_a_scenario`]. Run one set with
+//! [`SweepSet::run`], or the whole Table 2 as a single executor batch with
+//! [`nni_scenario::run_sets`].
 
 use nni_scenario::library::{topology_a_scenario, ExperimentParams, Mechanism};
-use nni_scenario::{ExperimentOutcome, Scenario};
+use nni_scenario::{ExperimentOutcome, SweepSet};
 
 /// Runs one topology-A experiment end to end (compile + serial run).
 pub fn run_topology_a(p: ExperimentParams) -> ExperimentOutcome {
     topology_a_scenario(p).run()
 }
 
-/// One experiment set of Table 2: a name and the scenarios it sweeps.
-pub struct ExperimentSet {
-    /// Set number (1–9) and description.
-    pub name: String,
-    /// The x-axis label of the corresponding Figure 8 panel.
-    pub axis: String,
-    /// (x-axis tick label, scenario) per experiment.
-    pub experiments: Vec<(String, Scenario)>,
-}
-
 fn set(
     name: &str,
     axis: &str,
     experiments: impl IntoIterator<Item = (String, ExperimentParams)>,
-) -> ExperimentSet {
-    ExperimentSet {
-        name: name.into(),
-        axis: axis.into(),
-        experiments: experiments
+) -> SweepSet {
+    SweepSet::from_points(
+        name,
+        axis,
+        experiments
             .into_iter()
-            .map(|(tick, p)| (tick, topology_a_scenario(p)))
-            .collect(),
-    }
+            .map(|(tick, p)| (tick, topology_a_scenario(p))),
+    )
 }
 
 /// Builds all nine experiment sets of Table 2, scaled to `duration_s` with
 /// the given base seed.
-pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<ExperimentSet> {
+pub fn table2_sets(duration_s: f64, seed: u64) -> Vec<SweepSet> {
     // Per-set parallel-flow counts (DESIGN.md substitution: the paper's
     // exact load levels are unrecoverable; each mechanism needs its
     // observable regime). Sets 1-3 and 7-8 need high aggregation (70
@@ -226,27 +215,31 @@ mod tests {
     fn table2_has_nine_sets_of_valid_scenarios() {
         let sets = table2_sets(30.0, 1);
         assert_eq!(sets.len(), 9);
-        let total: usize = sets.iter().map(|s| s.experiments.len()).sum();
+        let total: usize = sets.iter().map(|s| s.len()).sum();
         assert_eq!(total, 4 + 4 + 2 + 4 + 4 + 4 + 4 + 4 + 4);
         for s in &sets {
-            for (_, scenario) in &s.experiments {
+            for scenario in s.scenarios() {
                 assert_eq!(scenario.path_traffic.len(), 4);
                 assert_eq!(scenario.measurement.duration_s, 30.0);
                 assert_eq!(scenario.measurement.seed, 1);
             }
         }
         // Neutral sets carry no mechanism; policing/shaping sets carry one.
-        assert!(sets[0]
-            .experiments
+        assert!(sets[0].scenarios().all(|s| s.differentiation.is_empty()));
+        assert!(sets[5].scenarios().all(|s| s.differentiation.len() == 1));
+        // The default 20% policing regime keeps its policer meaningfully
+        // loaded (the 30–50% members of the rate sweep intentionally sit
+        // above sustained demand and clip slow-start bursts only, so the
+        // demand audit applies to the sweep's terminal member alone).
+        let twenty = sets[5]
+            .members()
             .iter()
-            .all(|(_, s)| s.differentiation.is_empty()));
-        assert!(sets[5]
-            .experiments
-            .iter()
-            .all(|(_, s)| s.differentiation.len() == 1));
+            .find(|m| m.tick == "20")
+            .expect("set 6 sweeps down to 20%");
+        nni_scenario::assert_demand_exceeds_policed_rate(&twenty.scenario);
         // The 50% shaping experiment is behaviourally neutral.
-        let (tick, half) = &sets[8].experiments[0];
-        assert_eq!(tick, "50");
-        assert!(!half.expectation.expect_flagged);
+        let half = &sets[8].members()[0];
+        assert_eq!(half.tick, "50");
+        assert!(!half.scenario.expectation.expect_flagged);
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! Experiment regenerators for every table and figure of the paper's
 //! evaluation (§6), plus shared harness code for the Criterion benches.
-//! Everything runs on the `nni-scenario` API: the sweeps here produce
-//! [`Scenario`](nni_scenario::Scenario)s, and any
-//! [`Executor`](nni_scenario::Executor) — serial or sharded — runs them.
+//! Everything runs on the `nni-scenario` API: the sweeps here are
+//! [`SweepSet`]s, and any
+//! [`Executor`](nni_scenario::Executor) — serial or sharded — runs them
+//! (whole sweeps batch through [`nni_scenario::run_sets`] in one call).
 //!
 //! Binaries (`cargo run -p nni-bench --release --bin <name>`):
 //!
@@ -16,6 +17,7 @@
 //! | `exp_theory` | Figures 1–6: observability / identifiability worked examples |
 //! | `exp_robustness` | §6.5 sweep: loss thresholds × measurement intervals |
 //! | `exp_baselines` | Ablation: Algorithm 1 vs boolean/loss tomography vs Glasnost vs NetPolice |
+//! | `exp_sweeps` | Beyond-Table-2 sweep sets: topology-B policer-rate sweep, CC-fleet mix, mixed-CC neutral seeds |
 //!
 //! The sweep binaries accept `--executor serial|sharded` and `--workers N`;
 //! sharded runs are guaranteed to produce results identical to serial runs,
@@ -27,12 +29,12 @@ pub mod table;
 pub mod topob;
 
 pub use cli::{ExpArgs, ExpCaps};
-pub use expsets::{run_topology_a, table2_sets, ExperimentSet};
+pub use expsets::{run_topology_a, table2_sets};
 // Re-exported so harness code keeps one import path for the experiment
 // surface; the types live in `nni-scenario`.
 pub use nni_scenario::library::{
     topology_a_classes, topology_a_paths, ExperimentParams, Mechanism,
 };
-pub use nni_scenario::ExperimentOutcome;
+pub use nni_scenario::{ExperimentOutcome, SweepSet};
 pub use table::Table;
 pub use topob::{run_topology_b, TopologyBOutcome, TopologyBParams};

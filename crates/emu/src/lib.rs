@@ -40,11 +40,14 @@ pub use diff::{Differentiation, ShapeLaneConfig};
 pub use event::{CalendarEventQueue, Event, EventQueue, HeapEventQueue};
 pub use packet::{ClassLabel, FlowId, Packet, Route, RouteId};
 pub use scenario::{
-    background_route, link_params, measured_routes, policer_at_fraction, shaper_at_fraction,
+    background_route, link_params, measured_routes, policed_demand, policer_at_fraction,
+    shaper_at_fraction, PolicedDemand,
 };
 pub use sim::{LinkParams, Simulator};
 pub use slab::{PacketHandle, PacketSlab};
 pub use stats::{LinkTruth, QueueTrace, SimReport};
 pub use tcp::{CcKind, CongestionControl, RttEstimator};
 pub use time::SimTime;
-pub use traffic::{long_flow, short_flow_mix, SizeDist, TrafficSpec};
+pub use traffic::{
+    long_flow, mean_flow_bits, short_flow_mix, sustained_demand_bps, CcFleet, SizeDist, TrafficSpec,
+};

@@ -1,8 +1,11 @@
-//! Bridging `nni-topology` graphs into simulator inputs.
+//! Bridging `nni-topology` graphs into simulator inputs, plus the
+//! policed-demand audit every policer experiment should run against its
+//! traffic model (see [`policed_demand`]).
 
 use crate::diff::Differentiation;
-use crate::packet::Route;
+use crate::packet::{ClassLabel, Route};
 use crate::sim::LinkParams;
+use crate::traffic::{sustained_demand_bps, TrafficSpec};
 use nni_topology::{LinkId, Topology};
 
 /// Builds the per-link simulator parameters from a topology, applying the
@@ -98,9 +101,84 @@ pub fn shaper_at_fraction(
     )
 }
 
+/// How one policer's token rate compares to the traffic that feeds it.
+///
+/// Produced by [`policed_demand`]; the numbers encode the PR 1 seed-test
+/// lesson — a policer experiment is only meaningful when the targeted class
+/// *demands* more than the token rate, from more than one flow slot (a
+/// single policed flow can collapse into an RTO crawl below the rate and
+/// never trip the bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicedDemand {
+    /// The policed link.
+    pub link: LinkId,
+    /// The targeted class.
+    pub class: ClassLabel,
+    /// The policer's token rate (bits per second).
+    pub rate_bps: f64,
+    /// Conservative lower bound on the targeted class's sustained demand
+    /// through the link (sum of [`sustained_demand_bps`] over feeding
+    /// sources).
+    pub demand_bps: f64,
+    /// Total parallel flow slots of the targeted class crossing the link.
+    pub feeding_slots: usize,
+}
+
+/// Audits every policer in `links` against the traffic that crosses it: for
+/// each [`Differentiation::Policing`] stage, sums the targeted class's
+/// sustained demand and parallel flow slots over all routes traversing the
+/// link. `nni-scenario`'s `assert_demand_exceeds_policed_rate` asserts on
+/// this report at the scenario level; raw-simulator tests use it directly.
+pub fn policed_demand(
+    links: &[LinkParams],
+    routes: &[Route],
+    specs: &[TrafficSpec],
+) -> Vec<PolicedDemand> {
+    links
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| match l.diff {
+            Differentiation::Policing {
+                class, rate_bps, ..
+            } => {
+                let link = LinkId(i);
+                let mut demand_bps = 0.0;
+                let mut feeding_slots = 0;
+                for spec in specs {
+                    let route = &routes[spec.route.index()];
+                    if spec.class != class || !route.links.contains(&link) {
+                        continue;
+                    }
+                    // The transfer rate is bounded by the slowest link of
+                    // the route (the policer's own token rate is demand we
+                    // are measuring, not a bound on it).
+                    let line_rate = route
+                        .links
+                        .iter()
+                        .map(|&l| links[l.index()].rate_bps)
+                        .fold(f64::INFINITY, f64::min);
+                    demand_bps += sustained_demand_bps(spec, line_rate);
+                    feeding_slots += spec.parallel;
+                }
+                Some(PolicedDemand {
+                    link,
+                    class,
+                    rate_bps,
+                    demand_bps,
+                    feeding_slots,
+                })
+            }
+            _ => None,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::RouteId;
+    use crate::tcp::CcKind;
+    use crate::traffic::SizeDist;
     use nni_topology::library::topology_a;
 
     #[test]
@@ -142,6 +220,59 @@ mod tests {
             }
             _ => panic!("expected policer"),
         }
+    }
+
+    #[test]
+    fn policed_demand_sums_targeted_class_only() {
+        let links = vec![
+            LinkParams {
+                rate_bps: 100e6,
+                delay_s: 0.001,
+                diff: Differentiation::None,
+                queue_bytes: None,
+            },
+            LinkParams {
+                rate_bps: 50e6,
+                delay_s: 0.001,
+                diff: Differentiation::Policing {
+                    class: 1,
+                    rate_bps: 5e6,
+                    burst_bytes: 15_000.0,
+                },
+                queue_bytes: None,
+            },
+        ];
+        let routes = vec![
+            Route {
+                links: vec![LinkId(0), LinkId(1)],
+                path: None,
+            },
+            Route {
+                links: vec![LinkId(0)],
+                path: None,
+            },
+        ];
+        let spec = |route: u32, class: u8, parallel: usize| TrafficSpec {
+            route: RouteId(route),
+            class,
+            cc: CcKind::Cubic.into(),
+            size: SizeDist::Fixed { bytes: 1_250_000 }, // 10 Mb
+            mean_gap_s: 1.0,
+            parallel,
+        };
+        let specs = vec![
+            spec(0, 1, 4), // targeted: crosses the policer, class 1
+            spec(0, 0, 8), // wrong class
+            spec(1, 1, 8), // right class, does not cross the policer
+        ];
+        let audit = policed_demand(&links, &routes, &specs);
+        assert_eq!(audit.len(), 1);
+        let d = &audit[0];
+        assert_eq!((d.link, d.class), (LinkId(1), 1));
+        assert_eq!(d.feeding_slots, 4);
+        // Cycle = 1 s gap + 10 Mb / 50 Mb/s = 1.2 s -> 8.33 Mb/s per slot.
+        assert!((d.demand_bps - 4.0 * 10e6 / 1.2).abs() < 1.0);
+        assert!(d.demand_bps > d.rate_bps);
     }
 
     #[test]

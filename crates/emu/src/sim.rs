@@ -43,9 +43,7 @@ use crate::event::{Event, EventQueue};
 use crate::packet::{ClassLabel, FlowId, Packet, Route, RouteId};
 use crate::slab::{PacketHandle, PacketSlab};
 use crate::stats::{LinkTruth, QueueTrace, SimReport};
-#[cfg(test)]
-use crate::tcp::CcKind;
-use crate::tcp::{CongestionControl, RttEstimator};
+use crate::tcp::{CcKind, CongestionControl, RttEstimator};
 use crate::time::{tx_time, SimTime};
 use crate::traffic::TrafficSpec;
 use crate::window::{OooWindow, SendTimes};
@@ -95,6 +93,9 @@ struct FlowSim {
 
 struct Slot {
     spec: TrafficSpec,
+    /// This slot's congestion control, resolved from the spec's
+    /// [`CcFleet`](crate::traffic::CcFleet) at registration time.
+    cc: CcKind,
 }
 
 /// The simulator. Build with [`Simulator::new`], add traffic with
@@ -224,11 +225,19 @@ impl Simulator {
 
     /// Registers a traffic source: `spec.parallel` independent slots, each
     /// starting its first flow after a small random jitter (avoids start-up
-    /// synchronisation).
+    /// synchronisation). Slot `k` of the source runs `spec.cc.kind_for(k)`,
+    /// so a mixed fleet interleaves its algorithms across the slots.
     pub fn add_traffic(&mut self, spec: TrafficSpec) {
-        for _ in 0..spec.parallel {
+        assert!(
+            !spec.cc.is_empty(),
+            "traffic source has an empty congestion-control fleet"
+        );
+        for k in 0..spec.parallel {
             let slot = self.slots.len();
-            self.slots.push(Slot { spec: spec.clone() });
+            self.slots.push(Slot {
+                cc: spec.cc.kind_for(k),
+                spec: spec.clone(),
+            });
             let jitter = SimTime::from_secs_f64(self.rng.gen::<f64>() * 0.2);
             self.queue
                 .push(jitter, Event::FlowStart { slot: slot as u32 });
@@ -471,6 +480,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn on_flow_start(&mut self, slot: usize) {
+        let cc = self.slots[slot].cc;
         let spec = self.slots[slot].spec.clone();
         let size_bytes = spec.size.sample(&mut self.rng, self.cfg.mss);
         let size_segments = size_bytes.div_ceil(self.cfg.mss as u64).max(1);
@@ -483,7 +493,7 @@ impl Simulator {
             route: spec.route,
             class: spec.class,
             size_segments,
-            cc: CongestionControl::new(spec.cc),
+            cc: CongestionControl::new(cc),
             rtt: RttEstimator::new(self.cfg.min_rto_s),
             snd_una: 0,
             snd_nxt: 0,
@@ -731,7 +741,7 @@ mod tests {
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc: CcKind::NewReno,
+            cc: CcKind::NewReno.into(),
             size: SizeDist::Fixed { bytes: 1_500_000 }, // 1000 segments
             mean_gap_s: 1000.0,                         // effectively one flow
             parallel: 1,
@@ -754,7 +764,7 @@ mod tests {
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc: CcKind::NewReno,
+            cc: CcKind::NewReno.into(),
             size: SizeDist::Fixed { bytes: 3_000_000 }, // 2000 segments
             mean_gap_s: 1000.0,
             parallel: 1,
@@ -777,7 +787,7 @@ mod tests {
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::ParetoMean {
                 mean_bytes: 200_000.0,
                 shape: 1.5,
@@ -803,7 +813,7 @@ mod tests {
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::Fixed {
                 bytes: 1_000_000_000,
             },
@@ -837,7 +847,7 @@ mod tests {
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc: CcKind::NewReno,
+            cc: CcKind::NewReno.into(),
             size: SizeDist::Fixed {
                 bytes: 1_000_000_000,
             },
@@ -873,7 +883,7 @@ mod tests {
             sim.add_traffic(TrafficSpec {
                 route: RouteId(0),
                 class: 0,
-                cc: CcKind::Cubic,
+                cc: CcKind::Cubic.into(),
                 size: SizeDist::ParetoMean {
                     mean_bytes: 100_000.0,
                     shape: 1.5,
@@ -927,18 +937,35 @@ mod tests {
                 path: Some(PathId(1)),
             },
         ];
-        let mut sim = Simulator::new(links, routes, 2, 2, quick_cfg(30.0));
-        for (route, class) in [(0u32, 0u8), (1, 1)] {
-            sim.add_traffic(TrafficSpec {
+        let specs: Vec<TrafficSpec> = [(0u32, 0u8), (1, 1)]
+            .map(|(route, class)| TrafficSpec {
                 route: RouteId(route),
                 class,
-                cc: CcKind::Cubic,
+                cc: CcKind::Cubic.into(),
                 size: SizeDist::Fixed {
                     bytes: 1_000_000_000,
                 },
                 mean_gap_s: 10.0,
                 parallel: 4,
-            });
+            })
+            .into();
+        // The PR 1 lesson, structurally enforced: the targeted class must
+        // demand well over the token rate from several parallel slots, or
+        // this test silently stops exercising the policer.
+        for d in crate::scenario::policed_demand(&links, &routes, &specs) {
+            assert!(
+                d.demand_bps > 2.0 * d.rate_bps && d.feeding_slots >= 2,
+                "traffic model starves the policer on {}: demand {:.0} b/s \
+                 vs rate {:.0} b/s from {} slots",
+                d.link,
+                d.demand_bps,
+                d.rate_bps,
+                d.feeding_slots
+            );
+        }
+        let mut sim = Simulator::new(links, routes, 2, 2, quick_cfg(30.0));
+        for spec in specs {
+            sim.add_traffic(spec);
         }
         let report = sim.run();
         let thr = 0.01;
@@ -970,7 +997,7 @@ mod tests {
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc: CcKind::NewReno,
+            cc: CcKind::NewReno.into(),
             size: SizeDist::Fixed {
                 bytes: 1_000_000_000,
             },

@@ -41,6 +41,73 @@ impl SizeDist {
     }
 }
 
+/// Congestion-control assignment across a source's parallel flow slots.
+///
+/// A *fleet* assigns each slot its own algorithm, so one source can model
+/// heterogeneous end-hosts (e.g. three CUBIC downloads contending with one
+/// NewReno upload on the same route). Slot `i` of a [`TrafficSpec`] runs
+/// [`CcFleet::kind_for`]`(i)`; a [`Uniform`](CcFleet::Uniform) fleet
+/// reproduces the historical single-`CcKind` behaviour exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcFleet {
+    /// Every slot runs the same algorithm.
+    Uniform(CcKind),
+    /// Slot `i` runs `kinds[i % kinds.len()]` — the list cycles when a spec
+    /// has more parallel slots than fleet entries.
+    Mixed(Vec<CcKind>),
+}
+
+impl CcFleet {
+    /// A fleet from `(algorithm, count)` groups, e.g.
+    /// `CcFleet::fleet(&[(CcKind::Cubic, 3), (CcKind::NewReno, 1)])` —
+    /// three CUBIC slots followed by one NewReno slot.
+    pub fn fleet(groups: &[(CcKind, usize)]) -> CcFleet {
+        let kinds: Vec<CcKind> = groups
+            .iter()
+            .flat_map(|&(cc, n)| std::iter::repeat_n(cc, n))
+            .collect();
+        match kinds.as_slice() {
+            [only] => CcFleet::Uniform(*only),
+            _ => CcFleet::Mixed(kinds),
+        }
+    }
+
+    /// The algorithm slot `i` runs.
+    ///
+    /// # Panics
+    /// Panics on an empty [`Mixed`](CcFleet::Mixed) fleet — scenario
+    /// validation rejects those before they reach the simulator.
+    pub fn kind_for(&self, slot: usize) -> CcKind {
+        match self {
+            CcFleet::Uniform(cc) => *cc,
+            CcFleet::Mixed(kinds) => {
+                assert!(!kinds.is_empty(), "empty congestion-control fleet");
+                kinds[slot % kinds.len()]
+            }
+        }
+    }
+
+    /// Whether the fleet assigns no algorithm at all (`Mixed(vec![])`) —
+    /// the invalid state scenario validation reports as a typed error.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, CcFleet::Mixed(kinds) if kinds.is_empty())
+    }
+
+    /// Whether more than one distinct algorithm appears.
+    pub fn is_mixed(&self) -> bool {
+        match self {
+            CcFleet::Uniform(_) => false,
+            CcFleet::Mixed(kinds) => kinds.windows(2).any(|w| w[0] != w[1]),
+        }
+    }
+}
+
+impl From<CcKind> for CcFleet {
+    fn from(cc: CcKind) -> CcFleet {
+        CcFleet::Uniform(cc)
+    }
+}
+
 /// One traffic source: `parallel` independent slots on a route, each running
 /// an endless start-transfer/idle cycle.
 #[derive(Debug, Clone)]
@@ -49,8 +116,9 @@ pub struct TrafficSpec {
     pub route: RouteId,
     /// Class label stamped on every packet (what differentiators match on).
     pub class: ClassLabel,
-    /// Congestion-control algorithm.
-    pub cc: CcKind,
+    /// Congestion-control assignment across the parallel slots (a plain
+    /// [`CcKind`] converts into a uniform fleet).
+    pub cc: CcFleet,
     /// Flow-size distribution.
     pub size: SizeDist,
     /// Mean inter-flow idle time in seconds (Table 1: 10 s).
@@ -78,7 +146,7 @@ pub fn short_flow_mix(route: RouteId, class: ClassLabel, cc: CcKind) -> Vec<Traf
         .map(|&mean_bits| TrafficSpec {
             route,
             class,
-            cc,
+            cc: cc.into(),
             size: SizeDist::ParetoMean {
                 mean_bytes: mean_bits / 8.0,
                 shape: 1.5,
@@ -94,13 +162,40 @@ pub fn long_flow(route: RouteId, class: ClassLabel, cc: CcKind) -> TrafficSpec {
     TrafficSpec {
         route,
         class,
-        cc,
+        cc: cc.into(),
         size: SizeDist::Fixed {
             bytes: (10e9 / 8.0) as u64,
         },
         mean_gap_s: 10.0,
         parallel: 1,
     }
+}
+
+/// Mean flow size of a spec in bits (the Pareto mean, or the fixed size).
+pub fn mean_flow_bits(size: &SizeDist) -> f64 {
+    match size {
+        SizeDist::ParetoMean { mean_bytes, .. } => mean_bytes * 8.0,
+        SizeDist::Fixed { bytes } => *bytes as f64 * 8.0,
+    }
+}
+
+/// Conservative lower bound on the sustained demand (bits/s) one traffic
+/// source offers, given the line rate bounding its transfers.
+///
+/// Each of the `parallel` slots cycles through "transfer a mean-sized flow,
+/// idle for the mean gap"; at best the transfer runs at `line_rate_bps`, so
+/// a slot's long-run offered rate is at least
+/// `mean_bits / (mean_gap_s + mean_bits / line_rate_bps)`. Loss recovery
+/// only lengthens transfers without reducing the backlog the source wants to
+/// push, so this is the right yardstick for "does this traffic *demand* more
+/// than a policer's token rate".
+pub fn sustained_demand_bps(spec: &TrafficSpec, line_rate_bps: f64) -> f64 {
+    let bits = mean_flow_bits(&spec.size);
+    if bits <= 0.0 || line_rate_bps <= 0.0 {
+        return 0.0;
+    }
+    let cycle_s = spec.mean_gap_s.max(0.0) + bits / line_rate_bps;
+    spec.parallel as f64 * bits / cycle_s
 }
 
 #[cfg(test)]
@@ -139,7 +234,7 @@ mod tests {
         let spec = TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::Fixed { bytes: 1500 },
             mean_gap_s: 10.0,
             parallel: 1,
@@ -164,5 +259,62 @@ mod tests {
             SizeDist::Fixed { bytes } => assert_eq!(bytes, 1_250_000_000),
             _ => panic!("long flow must be fixed size"),
         }
+    }
+
+    #[test]
+    fn fleet_groups_expand_and_cycle() {
+        let fleet = CcFleet::fleet(&[(CcKind::Cubic, 3), (CcKind::NewReno, 1)]);
+        assert!(fleet.is_mixed());
+        assert!(!fleet.is_empty());
+        let kinds: Vec<CcKind> = (0..8).map(|i| fleet.kind_for(i)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CcKind::Cubic,
+                CcKind::Cubic,
+                CcKind::Cubic,
+                CcKind::NewReno,
+                // The fleet cycles past its length.
+                CcKind::Cubic,
+                CcKind::Cubic,
+                CcKind::Cubic,
+                CcKind::NewReno,
+            ]
+        );
+    }
+
+    #[test]
+    fn uniform_fleets_are_not_mixed() {
+        let single = CcFleet::fleet(&[(CcKind::NewReno, 1)]);
+        assert_eq!(single, CcFleet::Uniform(CcKind::NewReno));
+        let same = CcFleet::fleet(&[(CcKind::Cubic, 2), (CcKind::Cubic, 1)]);
+        assert!(!same.is_mixed(), "one algorithm repeated is not mixed");
+        let from: CcFleet = CcKind::Cubic.into();
+        assert_eq!(from.kind_for(5), CcKind::Cubic);
+        assert!(CcFleet::Mixed(Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty congestion-control fleet")]
+    fn empty_fleet_panics_on_assignment() {
+        CcFleet::Mixed(Vec::new()).kind_for(0);
+    }
+
+    #[test]
+    fn sustained_demand_lower_bound() {
+        let spec = TrafficSpec {
+            route: RouteId(0),
+            class: 0,
+            cc: CcKind::Cubic.into(),
+            size: SizeDist::Fixed { bytes: 1_250_000 }, // 10 Mb
+            mean_gap_s: 9.0,
+            parallel: 4,
+        };
+        // Cycle = 9 s gap + 10 Mb / 10 Mb/s = 10 s -> 1 Mb/s per slot.
+        let d = sustained_demand_bps(&spec, 10e6);
+        assert!((d - 4e6).abs() < 1.0, "demand {d} != 4 Mb/s");
+        // A faster line shortens the transfer and raises demand.
+        assert!(sustained_demand_bps(&spec, 100e6) > d);
+        assert_eq!(sustained_demand_bps(&spec, 0.0), 0.0);
     }
 }

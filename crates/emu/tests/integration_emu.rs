@@ -3,8 +3,8 @@
 //! measurement-log alignment.
 
 use nni_emu::{
-    link_params, measured_routes, shaper_at_fraction, CcKind, Differentiation, LinkParams, Route,
-    RouteId, SimConfig, SimReport, Simulator, SizeDist, TrafficSpec,
+    link_params, measured_routes, shaper_at_fraction, CcFleet, CcKind, Differentiation, LinkParams,
+    Route, RouteId, SimConfig, SimReport, Simulator, SizeDist, TrafficSpec,
 };
 use nni_topology::library::topology_a;
 use nni_topology::{LinkId, PathId};
@@ -38,7 +38,7 @@ fn shaper_end_to_end_throttles_one_class() {
         sim.add_traffic(TrafficSpec {
             route: RouteId(path.index() as u32),
             class: c2 as u8,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::Fixed {
                 bytes: 1_000_000_000,
             },
@@ -88,7 +88,7 @@ fn cubic_competitive_with_newreno() {
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc,
+            cc: cc.into(),
             size: SizeDist::Fixed {
                 bytes: 1_000_000_000,
             },
@@ -111,6 +111,56 @@ fn cubic_competitive_with_newreno() {
     );
 }
 
+/// A mixed-CC fleet really assigns different algorithms to the slots: the
+/// fleet run is deterministic, and swapping half the fleet from CUBIC to
+/// NewReno changes the contention outcome relative to a uniform fleet.
+#[test]
+fn mixed_fleet_assigns_per_slot_algorithms() {
+    let run = |cc: CcFleet| -> (u64, u64) {
+        let links = vec![
+            LinkParams {
+                rate_bps: 1e9,
+                delay_s: 0.005,
+                diff: Differentiation::None,
+                queue_bytes: None,
+            },
+            LinkParams {
+                rate_bps: 20e6,
+                delay_s: 0.02,
+                diff: Differentiation::None,
+                queue_bytes: Some(100_000),
+            },
+        ];
+        let routes = vec![Route {
+            links: vec![LinkId(0), LinkId(1)],
+            path: Some(PathId(0)),
+        }];
+        let mut sim = Simulator::new(links, routes, 1, 1, quick_cfg(20.0, 9));
+        sim.add_traffic(TrafficSpec {
+            route: RouteId(0),
+            class: 0,
+            cc,
+            size: SizeDist::Fixed {
+                bytes: 1_000_000_000,
+            },
+            mean_gap_s: 10.0,
+            parallel: 4,
+        });
+        let report = sim.run();
+        (report.segments_delivered, report.segments_dropped)
+    };
+    let uniform = run(CcKind::Cubic.into());
+    let fleet = CcFleet::fleet(&[(CcKind::Cubic, 2), (CcKind::NewReno, 2)]);
+    let mixed = run(fleet.clone());
+    assert_eq!(mixed, run(fleet), "mixed fleets must stay deterministic");
+    assert_ne!(
+        uniform, mixed,
+        "half-NewReno fleet must contend differently from all-CUBIC"
+    );
+    // The bottleneck still carries real traffic either way.
+    assert!(mixed.0 > 1000, "mixed fleet moved {} segments", mixed.0);
+}
+
 /// Longer RTT lowers single-flow goodput on a loss-bound path (the classic
 /// TCP throughput relation) — the dynamics behind experiment sets 2/5/8.
 #[test]
@@ -130,7 +180,7 @@ fn rtt_dependence_of_goodput() {
             sim.add_traffic(TrafficSpec {
                 route: RouteId(p),
                 class: 0,
-                cc: CcKind::NewReno,
+                cc: CcKind::NewReno.into(),
                 size: SizeDist::Fixed {
                     bytes: 1_000_000_000,
                 },
@@ -169,7 +219,7 @@ fn measurement_log_alignment() {
         sim.add_traffic(TrafficSpec {
             route: RouteId(p),
             class: 0,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::ParetoMean {
                 mean_bytes: 500_000.0,
                 shape: 1.5,
@@ -209,7 +259,7 @@ fn shaper_with_large_buffer_delays_not_drops() {
     sim.add_traffic(TrafficSpec {
         route: RouteId(0),
         class: 0,
-        cc: CcKind::Cubic,
+        cc: CcKind::Cubic.into(),
         size: SizeDist::Fixed {
             bytes: 1_000_000_000,
         },

@@ -104,7 +104,7 @@ proptest! {
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::ParetoMean { mean_bytes: mean_mb * 125_000.0, shape: 1.5 },
             mean_gap_s: 0.5,
             parallel,
@@ -143,7 +143,7 @@ proptest! {
             sim.add_traffic(TrafficSpec {
                 route: RouteId(0),
                 class: 0,
-                cc: CcKind::NewReno,
+                cc: CcKind::NewReno.into(),
                 size: SizeDist::ParetoMean { mean_bytes: 300_000.0, shape: 1.4 },
                 mean_gap_s: 0.2,
                 parallel: 2,
@@ -256,7 +256,7 @@ proptest! {
         sim.add_traffic(TrafficSpec {
             route: RouteId(0),
             class: 0,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::ParetoMean { mean_bytes: 400_000.0, shape: 1.5 },
             mean_gap_s: 0.3,
             parallel: 2,
@@ -296,7 +296,7 @@ proptest! {
             sim.add_traffic(TrafficSpec {
                 route: RouteId(r),
                 class,
-                cc: CcKind::Cubic,
+                cc: CcKind::Cubic.into(),
                 size: SizeDist::Fixed { bytes: 50_000_000 },
                 mean_gap_s: 1.0,
                 parallel: 1,

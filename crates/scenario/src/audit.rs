@@ -1,0 +1,121 @@
+//! Structural audits of a scenario's traffic model.
+//!
+//! The PR 1 seed-test lesson, made executable: `policer_hits_only_target
+//! _class` originally drove a 5 Mb/s policer with a *single* CUBIC flow,
+//! which settles into an RTO crawl below the token rate and rarely trips
+//! the policer at all. Every policer scenario test should therefore assert
+//! [`assert_demand_exceeds_policed_rate`] before trusting its verdicts, so
+//! a future traffic-model change cannot silently starve the policer again.
+
+use nni_emu::{policed_demand, PolicedDemand};
+
+use crate::spec::Scenario;
+
+/// Demand must exceed the token rate by at least this factor for the
+/// policer to be meaningfully exercised (a bare `>` leaves no headroom for
+/// TCP inefficiency under loss).
+pub const DEMAND_MARGIN: f64 = 1.5;
+
+/// Audits every policer of a scenario against the traffic that feeds it —
+/// the scenario-level view of [`nni_emu::policed_demand`], computed on the
+/// compiled link/route/traffic tables.
+pub fn policed_demand_report(scenario: &Scenario) -> Vec<PolicedDemand> {
+    let exp = scenario.compile();
+    policed_demand(exp.links(), exp.routes(), exp.traffic())
+}
+
+/// Asserts the two halves of the PR 1 lesson for every policer in the
+/// scenario:
+///
+/// 1. the targeted class's sustained demand through the policed link is at
+///    least [`DEMAND_MARGIN`] × the token rate, and
+/// 2. at least two parallel flow slots feed the policer (a single policed
+///    flow can collapse into an RTO crawl below the rate and never trip
+///    the bucket).
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the starved link when either condition
+/// fails. Scenarios without policers pass vacuously.
+pub fn assert_demand_exceeds_policed_rate(scenario: &Scenario) {
+    for d in policed_demand_report(scenario) {
+        assert!(
+            d.demand_bps >= DEMAND_MARGIN * d.rate_bps,
+            "scenario `{}`: class {} demand {:.0} b/s does not exceed \
+             {DEMAND_MARGIN}x the {:.0} b/s token rate on {} — the policer \
+             would be starved, not exercised",
+            scenario.name,
+            d.class,
+            d.demand_bps,
+            d.rate_bps,
+            d.link,
+        );
+        assert!(
+            d.feeding_slots >= 2,
+            "scenario `{}`: only {} flow slot(s) of class {} feed the \
+             policer on {} — a single policed flow can RTO-crawl below the \
+             token rate (the PR 1 seed-test lesson)",
+            scenario.name,
+            d.feeding_slots,
+            d.class,
+            d.link,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{topology_a_scenario, ExperimentParams, Mechanism};
+
+    #[test]
+    fn library_policing_scenario_passes_the_audit() {
+        let s = topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Policing(0.2),
+            ..ExperimentParams::default()
+        });
+        let report = policed_demand_report(&s);
+        assert_eq!(report.len(), 1);
+        assert_demand_exceeds_policed_rate(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "would be starved")]
+    fn starved_policer_fails_the_audit() {
+        // One tiny, rarely-sending source cannot press a 20 Mb/s policer.
+        let mut s = topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Policing(0.2),
+            ..ExperimentParams::default()
+        });
+        for (_, profile) in &mut s.path_traffic {
+            profile.parallel = 2;
+            profile.mean_gap_s = 1000.0;
+        }
+        assert_demand_exceeds_policed_rate(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "RTO-crawl")]
+    fn single_flow_fails_the_audit() {
+        let mut s = topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Policing(0.2),
+            flow_size_c1_bits: 10e9,
+            flow_size_c2_bits: 10e9,
+            ..ExperimentParams::default()
+        });
+        // One persistent flow per class-2 path: plenty of demand, but a
+        // lone flow per the whole policed class is the PR 1 failure mode.
+        s.path_traffic.retain(|(p, _)| p.index() != 3);
+        for (_, profile) in &mut s.path_traffic {
+            profile.parallel = 1;
+        }
+        assert_demand_exceeds_policed_rate(&s);
+    }
+
+    #[test]
+    fn neutral_scenarios_pass_vacuously() {
+        let s = topology_a_scenario(ExperimentParams::default());
+        assert!(policed_demand_report(&s).is_empty());
+        assert_demand_exceeds_policed_rate(&s);
+    }
+}

@@ -28,12 +28,20 @@ impl Experiment {
     /// Compiles a scenario (also available as [`Scenario::compile`]).
     pub fn new(scenario: Scenario) -> Experiment {
         let g = &scenario.topology;
-        let links = link_params(g, &scenario.differentiation);
+        let mut links = link_params(g, &scenario.differentiation);
+        // Per-link queue overrides replace the BDP-derived default; the
+        // simulation MSS is fixed by `SimConfig::default()` (see
+        // [`Experiment::simulate`]), so packet-denominated overrides resolve
+        // here, once.
+        let mss = SimConfig::default().mss;
+        for &(l, q) in &scenario.queue_overrides {
+            links[l.index()].queue_bytes = Some(q.resolve_bytes(mss));
+        }
         let mut routes = measured_routes(g);
         let mut traffic: Vec<TrafficSpec> = scenario
             .path_traffic
             .iter()
-            .map(|&(path, profile)| spec_for(RouteId(path.index() as u32), &profile))
+            .map(|(path, profile)| spec_for(RouteId(path.index() as u32), profile))
             .collect();
         for bg in &scenario.background {
             let route = RouteId(routes.len() as u32);
@@ -51,6 +59,24 @@ impl Experiment {
     /// The scenario this experiment was compiled from.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The materialized per-link simulator parameters (queue overrides
+    /// already applied).
+    pub fn links(&self) -> &[LinkParams] {
+        &self.links
+    }
+
+    /// The materialized route table: one measured route per topology path,
+    /// then one route per background source.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// The materialized traffic sources, in path order then background
+    /// order.
+    pub fn traffic(&self) -> &[TrafficSpec] {
+        &self.traffic
     }
 
     /// Runs only the emulation half: the packet-level simulation, without
@@ -122,7 +148,7 @@ fn spec_for(route: RouteId, p: &TrafficProfile) -> TrafficSpec {
     TrafficSpec {
         route,
         class: p.class,
-        cc: p.cc,
+        cc: p.cc.clone(),
         size: p.size,
         mean_gap_s: p.mean_gap_s,
         parallel: p.parallel,

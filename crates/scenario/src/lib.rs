@@ -6,17 +6,25 @@
 //! [`Scenario`], compile it into a runnable [`Experiment`], and execute
 //! batches through an [`Executor`].
 //!
-//! * [`spec`] — [`Scenario`], [`ScenarioBuilder`], validation.
+//! * [`spec`] — [`Scenario`], [`ScenarioBuilder`], validation (including
+//!   mixed congestion-control fleets and per-link [`QueueOverride`]s).
 //! * [`experiment`] — the compiled [`Experiment`] and its
 //!   [`ExperimentOutcome`] (emulate → measure → infer → score).
 //! * [`executor`] — [`SerialExecutor`] and [`ShardedExecutor`]: independent
 //!   runs fan out across scoped threads with deterministic, input-order
 //!   results. Identical scenarios produce bit-identical outcomes on either
 //!   executor.
+//! * [`sweep`] — [`SweepSet`]: a named experiment family over one axis
+//!   (seeds, policer rates, differentiation placements, CC fleets) that
+//!   compiles into a batch and runs through any executor with one call.
 //! * [`library`] — ready-made scenarios: the paper's topology A (Table 2)
 //!   and topology B (§6.4) setups plus variants beyond Table 2
-//!   (dual-policer topology B, asymmetric-RTT neutral control, multi-lane
-//!   shaping on two links).
+//!   (dual policers, asymmetric-RTT and mixed-CC neutral controls,
+//!   buffer-depth variants, a policer-rate sweep).
+//! * [`generate`] — [`ScenarioGen`]: seeded random-but-valid scenarios
+//!   across every axis, powering the randomized invariant suite.
+//! * [`audit`] — structural traffic-model audits
+//!   ([`assert_demand_exceeds_policed_rate`]).
 //! * [`baselines`] — adapters that feed the *same* scenario and run to the
 //!   related-work baselines (boolean/loss tomography, Glasnost, NetPolice).
 //!
@@ -35,16 +43,37 @@
 //! let outcomes = ShardedExecutor::new(2).execute(&seed_sweep(&scenario, &[1, 2]));
 //! assert_eq!(outcomes.len(), 2);
 //! ```
+//!
+//! Sweeps are first-class: the same fan-out as a [`SweepSet`] keeps the
+//! tick labels attached to the outcomes.
+//!
+//! ```
+//! use nni_scenario::{library, SweepSet, SerialExecutor};
+//!
+//! let scenario = library::topology_a_scenario(library::ExperimentParams {
+//!     duration_s: 4.0,
+//!     ..library::ExperimentParams::default()
+//! });
+//! let set = SweepSet::over_seeds("seed sweep", &scenario, &[1, 2]);
+//! let outcomes = set.run(&SerialExecutor);
+//! assert_eq!(outcomes[1].tick, "seed 2");
+//! ```
 
+pub mod audit;
 pub mod baselines;
 pub mod executor;
 pub mod experiment;
+pub mod generate;
 pub mod library;
 pub mod spec;
+pub mod sweep;
 
+pub use audit::{assert_demand_exceeds_policed_rate, policed_demand_report, DEMAND_MARGIN};
 pub use executor::{compile_all, seed_sweep, Executor, SerialExecutor, ShardedExecutor};
 pub use experiment::{Experiment, ExperimentOutcome};
+pub use generate::{GenConfig, ScenarioGen};
 pub use spec::{
-    BackgroundTraffic, Expectation, MeasurementConfig, Scenario, ScenarioBuilder, ScenarioError,
-    TrafficProfile, DEFAULT_NORMALIZE_SALT,
+    BackgroundTraffic, Expectation, MeasurementConfig, QueueOverride, Scenario, ScenarioBuilder,
+    ScenarioError, TrafficProfile, DEFAULT_NORMALIZE_SALT,
 };
+pub use sweep::{run_sets, SweepMember, SweepOutcome, SweepSet};

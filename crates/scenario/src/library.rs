@@ -6,11 +6,12 @@
 //! inference method (Algorithm 1 and the tomography baselines of
 //! [`crate::baselines`]) consumes identical inputs.
 
-use nni_emu::{policer_at_fraction, shaper_at_fraction, CcKind};
+use nni_emu::{policer_at_fraction, shaper_at_fraction, CcFleet, CcKind};
 use nni_topology::library::{topology_a, topology_b, PaperTopology};
 use nni_topology::PathId;
 
-use crate::spec::{Expectation, Scenario, ScenarioBuilder, TrafficProfile};
+use crate::spec::{Expectation, QueueOverride, Scenario, ScenarioBuilder, TrafficProfile};
+use crate::sweep::SweepSet;
 
 /// What the shared link of topology A does (Table 2's "Link l5 behavior").
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -216,7 +217,7 @@ fn topology_b_base(name: &str, p: TopologyBParams, paper: &PaperTopology) -> Sce
 fn profile_of(spec: &nni_emu::TrafficSpec) -> TrafficProfile {
     TrafficProfile {
         class: spec.class,
-        cc: spec.cc,
+        cc: spec.cc.clone(),
         size: spec.size,
         mean_gap_s: spec.mean_gap_s,
         parallel: spec.parallel,
@@ -313,6 +314,105 @@ pub fn dual_link_shaping(p: TopologyBParams) -> Scenario {
         .expect("library scenario is valid")
 }
 
+/// Beyond Table 2 #4 — **mixed-CC policer contention**: topology A with the
+/// 20%-of-capacity policer on `l5`, but every path runs a heterogeneous
+/// 3:1 CUBIC/NewReno fleet instead of a single algorithm. The policed class
+/// must still stand out even though the *fleet mix* skews per-flow
+/// aggressiveness within each class.
+pub fn mixed_cc_policer_contention(duration_s: f64, seed: u64) -> Scenario {
+    let fleet = CcFleet::fleet(&[(CcKind::Cubic, 3), (CcKind::NewReno, 1)]);
+    let mut s = topology_a_scenario(ExperimentParams {
+        mechanism: Mechanism::Policing(0.2),
+        flows_per_path: 20,
+        duration_s,
+        seed,
+        ..ExperimentParams::default()
+    });
+    for (_, profile) in &mut s.path_traffic {
+        profile.cc = fleet.clone();
+    }
+    s.name = "topology-a mixed-cc policer contention".into();
+    s
+}
+
+/// Beyond Table 2 #5 — **mixed-CC neutral control**: topology A with no
+/// mechanism, every path running a 1:1 CUBIC/NewReno fleet under heavy
+/// aggregation. NewReno's slower window regrowth loses to CUBIC within
+/// every class; a sound detector must still answer "neutral" because the
+/// skew is CC-induced, not class-induced.
+pub fn mixed_cc_neutral_control(duration_s: f64, seed: u64) -> Scenario {
+    let fleet = CcFleet::fleet(&[(CcKind::Cubic, 1), (CcKind::NewReno, 1)]);
+    let mut s = topology_a_scenario(ExperimentParams {
+        flows_per_path: 70,
+        duration_s,
+        seed,
+        ..ExperimentParams::default()
+    });
+    for (_, profile) in &mut s.path_traffic {
+        profile.cc = fleet.clone();
+    }
+    s.name = "topology-a mixed-cc neutral control".into();
+    s
+}
+
+/// Beyond Table 2 #6 — **shallow-buffer neutral control**: topology A with
+/// no mechanism but the shared link's queue cut from one BDP (2.5 MB) to 30
+/// full-MSS packets. The shallow buffer congests both classes much earlier;
+/// the detector must read that as congestion, not differentiation.
+pub fn shallow_buffer_neutral_control(duration_s: f64, seed: u64) -> Scenario {
+    let mut s = topology_a_scenario(ExperimentParams {
+        flows_per_path: 40,
+        duration_s,
+        seed,
+        ..ExperimentParams::default()
+    });
+    let l5 = s.topology.link_by_name("l5").expect("topology A has l5");
+    s.queue_overrides.push((l5, QueueOverride::Packets(30)));
+    s.name = "topology-a shallow-buffer neutral control".into();
+    s
+}
+
+/// Beyond Table 2 #7 — **deep-buffer policing**: the Table 2 policing setup
+/// with the shared link's queue quadrupled to 10 MB. The deep FIFO absorbs
+/// congestion losses, so nearly every remaining loss signal comes from the
+/// policer itself — the cleanest version of the policing signature.
+pub fn deep_buffer_policing(duration_s: f64, seed: u64) -> Scenario {
+    let mut s = topology_a_scenario(ExperimentParams {
+        mechanism: Mechanism::Policing(0.2),
+        flows_per_path: 20,
+        duration_s,
+        seed,
+        ..ExperimentParams::default()
+    });
+    let l5 = s.topology.link_by_name("l5").expect("topology A has l5");
+    s.queue_overrides
+        .push((l5, QueueOverride::Bytes(10_000_000)));
+    s.name = "topology-a deep-buffer policing".into();
+    s
+}
+
+/// Beyond Table 2 #8 — **policer-rate sweep on topology B**: the §6.4
+/// network with a single policer on the tier-2 ingress `l14`, swept over
+/// three token rates (15%, 25%, 35% of capacity) as one [`SweepSet`]. The
+/// Table 3 traffic and white-host background are identical across members,
+/// so the sweep isolates the rate axis.
+pub fn policer_rate_sweep_topology_b(p: TopologyBParams) -> SweepSet {
+    let paper = topology_b();
+    let l14 = paper.link_named("l14");
+    let base = topology_b_base("topology-b policer-rate sweep", p, &paper)
+        .expect(Expectation::neutral())
+        .build()
+        .expect("library scenario is valid");
+    SweepSet::over_policer_rates(
+        "topology-b policer-rate sweep (l14)",
+        &base,
+        l14,
+        1,
+        0.03,
+        &[0.15, 0.25, 0.35],
+    )
+}
+
 /// Ground-truth class partition of topology A as a [`nni_core::Classes`]
 /// value (for reporting).
 pub fn topology_a_classes(paper: &PaperTopology) -> nni_core::Classes {
@@ -368,6 +468,7 @@ mod tests {
         let dual = dual_policer_topology_b(p);
         assert_eq!(dual.differentiation.len(), 2);
         assert_eq!(dual.expectation.nonneutral_links.len(), 2);
+        crate::audit::assert_demand_exceeds_policed_rate(&dual);
 
         let shaped = dual_link_shaping(p);
         assert_eq!(shaped.differentiation.len(), 2);
@@ -375,5 +476,70 @@ mod tests {
         let asym = asymmetric_rtt_neutral(30.0, 1);
         assert!(asym.differentiation.is_empty());
         assert!(!asym.expectation.expect_flagged);
+    }
+
+    #[test]
+    fn topology_b_policers_are_not_starved() {
+        crate::audit::assert_demand_exceeds_policed_rate(&topology_b_scenario(
+            TopologyBParams::default(),
+        ));
+    }
+
+    #[test]
+    fn mixed_cc_scenarios_carry_heterogeneous_fleets() {
+        let contention = mixed_cc_policer_contention(10.0, 1);
+        assert_eq!(contention.differentiation.len(), 1);
+        assert!(contention.expectation.expect_flagged);
+        assert!(contention.path_traffic.iter().all(|(_, p)| p.cc.is_mixed()));
+        // The PR 1 lesson applies to every new policer scenario.
+        crate::audit::assert_demand_exceeds_policed_rate(&contention);
+
+        let control = mixed_cc_neutral_control(10.0, 1);
+        assert!(control.differentiation.is_empty());
+        assert!(!control.expectation.expect_flagged);
+        assert!(control.path_traffic.iter().all(|(_, p)| p.cc.is_mixed()));
+    }
+
+    #[test]
+    fn buffer_variant_scenarios_override_the_shared_queue() {
+        let shallow = shallow_buffer_neutral_control(10.0, 1);
+        let l5 = shallow.topology.link_by_name("l5").unwrap();
+        assert_eq!(
+            shallow.queue_overrides,
+            vec![(l5, QueueOverride::Packets(30))]
+        );
+        assert!(!shallow.expectation.expect_flagged);
+        // The override reaches the compiled link table.
+        let exp = shallow.compile();
+        assert_eq!(exp.links()[l5.index()].queue_bytes, Some(30 * 1500));
+
+        let deep = deep_buffer_policing(10.0, 1);
+        assert_eq!(
+            deep.queue_overrides,
+            vec![(l5, QueueOverride::Bytes(10_000_000))]
+        );
+        assert!(deep.expectation.expect_flagged);
+        crate::audit::assert_demand_exceeds_policed_rate(&deep);
+    }
+
+    #[test]
+    fn policer_rate_sweep_isolates_the_rate_axis() {
+        let sweep = policer_rate_sweep_topology_b(TopologyBParams::default());
+        assert_eq!(sweep.len(), 3);
+        let mut last_rate = 0.0;
+        for member in sweep.members() {
+            let s = &member.scenario;
+            assert_eq!(s.differentiation.len(), 1, "single policer per member");
+            let l14 = s.topology.link_by_name("l14").unwrap();
+            assert_eq!(s.differentiation[0].0, l14);
+            assert_eq!(s.expectation.nonneutral_links, vec![l14]);
+            let rate = match s.differentiation[0].1 {
+                nni_emu::Differentiation::Policing { rate_bps, .. } => rate_bps,
+                _ => panic!("expected a policer"),
+            };
+            assert!(rate > last_rate, "rates must ascend");
+            last_rate = rate;
+            crate::audit::assert_demand_exceeds_policed_rate(s);
+        }
     }
 }

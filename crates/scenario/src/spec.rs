@@ -10,7 +10,7 @@
 //! [`Experiment`]: crate::Experiment
 
 use nni_core::Config;
-use nni_emu::{CcKind, ClassLabel, Differentiation, SizeDist};
+use nni_emu::{CcFleet, CcKind, ClassLabel, Differentiation, SizeDist};
 use nni_topology::{LinkId, PathId, Topology};
 
 use crate::experiment::Experiment;
@@ -56,12 +56,26 @@ impl Default for MeasurementConfig {
 /// The label is what differentiation mechanisms match on; it usually — but
 /// not necessarily — mirrors the path's performance class (background hosts
 /// may emit several labels on the same route).
-#[derive(Debug, Clone, Copy)]
+///
+/// Slot `k` runs `cc.kind_for(k)`, so one profile can model a heterogeneous
+/// *fleet* of end-hosts:
+///
+/// ```
+/// use nni_scenario::TrafficProfile;
+/// use nni_emu::{CcFleet, CcKind};
+///
+/// // Three CUBIC downloads contending with one NewReno upload.
+/// let profile = TrafficProfile::pareto_bits(1, CcKind::Cubic, 10e6, 10.0, 4)
+///     .with_fleet(CcFleet::fleet(&[(CcKind::Cubic, 3), (CcKind::NewReno, 1)]));
+/// assert!(profile.cc.is_mixed());
+/// ```
+#[derive(Debug, Clone)]
 pub struct TrafficProfile {
     /// Class label stamped on every packet.
     pub class: ClassLabel,
-    /// Congestion-control algorithm.
-    pub cc: CcKind,
+    /// Congestion-control assignment across the parallel slots (a plain
+    /// [`CcKind`] converts into a uniform fleet).
+    pub cc: CcFleet,
     /// Flow-size distribution.
     pub size: SizeDist,
     /// Mean inter-flow idle time in seconds.
@@ -82,7 +96,7 @@ impl TrafficProfile {
     ) -> TrafficProfile {
         TrafficProfile {
             class,
-            cc,
+            cc: cc.into(),
             size: SizeDist::ParetoMean {
                 mean_bytes: mean_bits / 8.0,
                 shape: 1.5,
@@ -96,12 +110,57 @@ impl TrafficProfile {
     pub fn persistent_bits(class: ClassLabel, cc: CcKind, bits: f64) -> TrafficProfile {
         TrafficProfile {
             class,
-            cc,
+            cc: cc.into(),
             size: SizeDist::Fixed {
                 bytes: (bits / 8.0) as u64,
             },
             mean_gap_s: 10.0,
             parallel: 1,
+        }
+    }
+
+    /// Same profile with a different congestion-control fleet — the
+    /// one-liner for turning any constructor's output heterogeneous.
+    pub fn with_fleet(mut self, fleet: CcFleet) -> TrafficProfile {
+        self.cc = fleet;
+        self
+    }
+}
+
+/// A per-link override of the drop-tail queue capacity, replacing the
+/// BDP-derived default of `SimConfig::queue_bytes` on that link only.
+///
+/// ```
+/// use nni_scenario::QueueOverride;
+///
+/// // 30 kB of buffer, or the same thing in full-MSS packets:
+/// assert_eq!(QueueOverride::Bytes(30_000).resolve_bytes(1500), 30_000);
+/// assert_eq!(QueueOverride::Packets(20).resolve_bytes(1500), 30_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOverride {
+    /// Queue capacity in bytes.
+    Bytes(u64),
+    /// Queue capacity in full-MSS packets (resolved against the simulation
+    /// MSS at compile time).
+    Packets(u32),
+}
+
+impl QueueOverride {
+    /// The capacity in bytes, given the simulation MSS.
+    pub fn resolve_bytes(&self, mss: u32) -> u64 {
+        match self {
+            QueueOverride::Bytes(b) => *b,
+            QueueOverride::Packets(n) => *n as u64 * mss as u64,
+        }
+    }
+
+    /// Whether the override describes a zero-capacity queue (invalid: the
+    /// link could never transmit).
+    pub fn is_zero(&self) -> bool {
+        match self {
+            QueueOverride::Bytes(b) => *b == 0,
+            QueueOverride::Packets(n) => *n == 0,
         }
     }
 }
@@ -162,6 +221,19 @@ pub enum ScenarioError {
     NoTraffic,
     /// A non-positive duration or interval.
     BadWindow,
+    /// A traffic profile carries an empty congestion-control fleet.
+    EmptyCcFleet,
+    /// A policer (or shaper lane) with a non-positive token rate on a link.
+    ZeroRatePolicer(LinkId),
+    /// Two shaper lanes on one link target the same class — the mechanism
+    /// could not decide which lane a packet belongs to.
+    OverlappingLanes(LinkId),
+    /// A shaper was configured with no lanes at all.
+    EmptyShaper(LinkId),
+    /// A queue override that describes a zero-capacity queue.
+    BadQueueOverride(LinkId),
+    /// Two queue overrides on the same link.
+    DuplicateQueueOverride(LinkId),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -178,6 +250,22 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::EmptyBackgroundRoute => write!(f, "background route has no links"),
             ScenarioError::NoTraffic => write!(f, "scenario has no traffic sources"),
             ScenarioError::BadWindow => write!(f, "duration and interval must be positive"),
+            ScenarioError::EmptyCcFleet => {
+                write!(f, "traffic profile has an empty congestion-control fleet")
+            }
+            ScenarioError::ZeroRatePolicer(l) => {
+                write!(f, "non-positive token rate on link {l}")
+            }
+            ScenarioError::OverlappingLanes(l) => {
+                write!(f, "two shaper lanes target the same class on link {l}")
+            }
+            ScenarioError::EmptyShaper(l) => write!(f, "shaper with no lanes on link {l}"),
+            ScenarioError::BadQueueOverride(l) => {
+                write!(f, "zero-capacity queue override on link {l}")
+            }
+            ScenarioError::DuplicateQueueOverride(l) => {
+                write!(f, "two queue overrides on link {l}")
+            }
         }
     }
 }
@@ -201,6 +289,9 @@ pub struct Scenario {
     pub path_traffic: Vec<(PathId, TrafficProfile)>,
     /// Unmeasured background traffic.
     pub background: Vec<BackgroundTraffic>,
+    /// Per-link queue-capacity overrides (links not listed keep the
+    /// BDP-derived default).
+    pub queue_overrides: Vec<(LinkId, QueueOverride)>,
     /// Measurement window and seed.
     pub measurement: MeasurementConfig,
     /// Algorithm 1 configuration.
@@ -220,6 +311,7 @@ impl Scenario {
                 differentiation: Vec::new(),
                 path_traffic: Vec::new(),
                 background: Vec::new(),
+                queue_overrides: Vec::new(),
                 measurement: MeasurementConfig::default(),
                 inference: Config::clustered(),
                 expectation: Expectation::neutral(),
@@ -287,6 +379,26 @@ pub struct ScenarioBuilder {
 }
 
 impl ScenarioBuilder {
+    /// Wraps an existing scenario so it can be edited and *re-validated* —
+    /// the entry point for mutation-style tests and programmatic sweeps that
+    /// tweak raw [`Scenario`] fields:
+    ///
+    /// ```
+    /// use nni_scenario::{Scenario, ScenarioBuilder, ScenarioError};
+    /// use nni_scenario::library::{topology_a_scenario, ExperimentParams};
+    /// use nni_emu::CcFleet;
+    ///
+    /// let mut s = topology_a_scenario(ExperimentParams::default());
+    /// s.path_traffic[0].1.cc = CcFleet::Mixed(Vec::new()); // invalid edit
+    /// assert_eq!(
+    ///     ScenarioBuilder::of(s).build().unwrap_err(),
+    ///     ScenarioError::EmptyCcFleet,
+    /// );
+    /// ```
+    pub fn of(scenario: Scenario) -> ScenarioBuilder {
+        ScenarioBuilder { scenario }
+    }
+
     /// Sets the performance-class partition (`classes[n]` lists class
     /// `c_{n+1}`'s member paths).
     pub fn classes(mut self, classes: Vec<Vec<PathId>>) -> Self {
@@ -324,6 +436,18 @@ impl ScenarioBuilder {
             .background
             .push(BackgroundTraffic { links, profiles });
         self
+    }
+
+    /// Overrides one link's drop-tail queue capacity. Repeatable (one
+    /// override per link); links not listed keep the BDP-derived default.
+    pub fn queue_override(mut self, link: LinkId, queue: QueueOverride) -> Self {
+        self.scenario.queue_overrides.push((link, queue));
+        self
+    }
+
+    /// Convenience: a byte-sized queue override.
+    pub fn queue_bytes(self, link: LinkId, bytes: u64) -> Self {
+        self.queue_override(link, QueueOverride::Bytes(bytes))
     }
 
     /// Sets the measurement window/seed wholesale.
@@ -396,7 +520,8 @@ impl ScenarioBuilder {
             }
         }
         let mut mechanised = vec![false; g.link_count()];
-        for &(l, _) in &s.differentiation {
+        for (l, diff) in &s.differentiation {
+            let l = *l;
             if l.index() >= g.link_count() {
                 return Err(ScenarioError::UnknownLink(l));
             }
@@ -404,10 +529,36 @@ impl ScenarioBuilder {
                 return Err(ScenarioError::DuplicateDifferentiation(l));
             }
             mechanised[l.index()] = true;
+            match diff {
+                Differentiation::None => {}
+                Differentiation::Policing { rate_bps, .. } => {
+                    if rate_bps.is_nan() || *rate_bps <= 0.0 {
+                        return Err(ScenarioError::ZeroRatePolicer(l));
+                    }
+                }
+                Differentiation::Shaping { lanes } => {
+                    if lanes.is_empty() {
+                        return Err(ScenarioError::EmptyShaper(l));
+                    }
+                    let mut lane_classes: Vec<ClassLabel> = Vec::with_capacity(lanes.len());
+                    for lane in lanes {
+                        if lane.rate_bps.is_nan() || lane.rate_bps <= 0.0 {
+                            return Err(ScenarioError::ZeroRatePolicer(l));
+                        }
+                        if lane_classes.contains(&lane.class) {
+                            return Err(ScenarioError::OverlappingLanes(l));
+                        }
+                        lane_classes.push(lane.class);
+                    }
+                }
+            }
         }
-        for &(p, _) in &s.path_traffic {
+        for (p, profile) in &s.path_traffic {
             if p.index() >= g.path_count() {
-                return Err(ScenarioError::UnknownPath(p));
+                return Err(ScenarioError::UnknownPath(*p));
+            }
+            if profile.cc.is_empty() {
+                return Err(ScenarioError::EmptyCcFleet);
             }
         }
         for bg in &s.background {
@@ -418,6 +569,24 @@ impl ScenarioBuilder {
                 if l.index() >= g.link_count() {
                     return Err(ScenarioError::UnknownLink(l));
                 }
+            }
+            for profile in &bg.profiles {
+                if profile.cc.is_empty() {
+                    return Err(ScenarioError::EmptyCcFleet);
+                }
+            }
+        }
+        let mut overridden = vec![false; g.link_count()];
+        for &(l, q) in &s.queue_overrides {
+            if l.index() >= g.link_count() {
+                return Err(ScenarioError::UnknownLink(l));
+            }
+            if overridden[l.index()] {
+                return Err(ScenarioError::DuplicateQueueOverride(l));
+            }
+            overridden[l.index()] = true;
+            if q.is_zero() {
+                return Err(ScenarioError::BadQueueOverride(l));
             }
         }
         for &l in &s.expectation.nonneutral_links {
@@ -512,6 +681,109 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(s.class_label_count(), 4);
+    }
+
+    #[test]
+    fn rejects_invalid_fleets_rates_lanes_and_overrides() {
+        let paper = topology_a(0.05, 0.05);
+        let l5 = paper.topology.link_by_name("l5").unwrap();
+
+        // Empty CC fleet (path and background traffic alike).
+        let empty = profile().with_fleet(CcFleet::Mixed(Vec::new()));
+        let err = Scenario::builder("t", paper.topology.clone())
+            .path_traffic(PathId(0), empty.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::EmptyCcFleet);
+        let err = Scenario::builder("t", paper.topology.clone())
+            .background_traffic(vec![l5], vec![empty])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::EmptyCcFleet);
+
+        // Zero-rate policer.
+        let err = Scenario::builder("t", paper.topology.clone())
+            .differentiate(
+                l5,
+                Differentiation::Policing {
+                    class: 1,
+                    rate_bps: 0.0,
+                    burst_bytes: 3000.0,
+                },
+            )
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::ZeroRatePolicer(l5));
+
+        // Overlapping shaper lanes (two lanes, same class).
+        let lane = |class: u8| nni_emu::ShapeLaneConfig {
+            class,
+            rate_bps: 10e6,
+            burst_bytes: 3000.0,
+            buffer_bytes: 15_000,
+        };
+        let err = Scenario::builder("t", paper.topology.clone())
+            .differentiate(
+                l5,
+                Differentiation::Shaping {
+                    lanes: vec![lane(1), lane(1)],
+                },
+            )
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::OverlappingLanes(l5));
+
+        // A shaper needs at least one lane.
+        let err = Scenario::builder("t", paper.topology.clone())
+            .differentiate(l5, Differentiation::Shaping { lanes: Vec::new() })
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::EmptyShaper(l5));
+
+        // Queue overrides: zero capacity, duplicates, unknown links.
+        let err = Scenario::builder("t", paper.topology.clone())
+            .queue_bytes(l5, 0)
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::BadQueueOverride(l5));
+        let err = Scenario::builder("t", paper.topology.clone())
+            .queue_bytes(l5, 10_000)
+            .queue_override(l5, QueueOverride::Packets(5))
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::DuplicateQueueOverride(l5));
+        let bogus = nni_topology::LinkId(99);
+        let err = Scenario::builder("t", paper.topology.clone())
+            .queue_bytes(bogus, 10_000)
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownLink(bogus));
+    }
+
+    #[test]
+    fn builder_of_revalidates_an_edited_scenario() {
+        let paper = topology_a(0.05, 0.05);
+        let mut s = Scenario::builder("t", paper.topology.clone())
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap();
+        // A valid edit re-validates Ok …
+        s.measurement.seed = 99;
+        let s = ScenarioBuilder::of(s).build().expect("still valid");
+        assert_eq!(s.measurement.seed, 99);
+        // … an invalid one surfaces as the typed error.
+        let mut broken = s.clone();
+        broken.path_traffic[0].1.cc = CcFleet::Mixed(Vec::new());
+        assert_eq!(
+            ScenarioBuilder::of(broken).build().unwrap_err(),
+            ScenarioError::EmptyCcFleet
+        );
     }
 
     #[test]

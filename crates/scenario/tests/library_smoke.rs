@@ -4,10 +4,12 @@
 //! full-length `exp_*` binaries, not here.
 
 use nni_scenario::library::{
-    asymmetric_rtt_neutral, dual_link_shaping, dual_policer_topology_b, topology_a_scenario,
-    topology_b_scenario, ExperimentParams, Mechanism, TopologyBParams,
+    asymmetric_rtt_neutral, deep_buffer_policing, dual_link_shaping, dual_policer_topology_b,
+    mixed_cc_neutral_control, mixed_cc_policer_contention, policer_rate_sweep_topology_b,
+    shallow_buffer_neutral_control, topology_a_scenario, topology_b_scenario, ExperimentParams,
+    Mechanism, TopologyBParams,
 };
-use nni_scenario::{compile_all, Executor, Scenario, ShardedExecutor};
+use nni_scenario::{compile_all, Executor, Scenario, SerialExecutor, ShardedExecutor};
 
 fn short_b() -> TopologyBParams {
     TopologyBParams {
@@ -27,6 +29,10 @@ fn library_scenarios() -> Vec<Scenario> {
         dual_policer_topology_b(short_b()),
         asymmetric_rtt_neutral(6.0, 3),
         dual_link_shaping(short_b()),
+        mixed_cc_policer_contention(6.0, 3),
+        mixed_cc_neutral_control(6.0, 3),
+        shallow_buffer_neutral_control(6.0, 3),
+        deep_buffer_policing(6.0, 3),
     ]
 }
 
@@ -67,4 +73,44 @@ fn every_library_scenario_runs_end_to_end() {
         shaped.report.segments_dropped > 0,
         "dual-link shaping at 20% must drop under Table 3 load"
     );
+    // The shallow-buffer override bites: with the shared queue cut from
+    // 2.5 MB to 30 packets, the same load drops far more than it would
+    // with the default buffer (which this duration barely overflows).
+    let shallow = &outcomes[7];
+    assert!(
+        shallow.report.segments_dropped > 0,
+        "a 30-packet shared buffer must overflow under 40 flows/path"
+    );
+}
+
+#[test]
+fn policer_rate_sweep_smokes_end_to_end() {
+    // The library's multi-rate sweep runs as one batch; higher token rates
+    // police the long-flow class less.
+    let sweep = policer_rate_sweep_topology_b(short_b());
+    let outcomes = sweep.run(&SerialExecutor);
+    assert_eq!(outcomes.len(), 3);
+    for member in &outcomes {
+        assert!(
+            member.outcome.report.segments_dropped > 0,
+            "{}: the policed network must drop",
+            member.tick
+        );
+    }
+    // Every member's policer bites its *targeted* class on l14. (Drop
+    // counts are deliberately not compared across rates: TCP adapts, so a
+    // harsher policer can collapse its flows into offering less and drop
+    // fewer packets in absolute terms.)
+    let l14 = sweep.members()[0]
+        .scenario
+        .topology
+        .link_by_name("l14")
+        .unwrap();
+    for member in &outcomes {
+        assert!(
+            member.outcome.report.link_truth.class_dropped(l14, 1) > 0,
+            "{}: the policer must drop targeted-class packets",
+            member.tick
+        );
+    }
 }

@@ -1,0 +1,142 @@
+//! Property tests of scenario validation: every spec [`ScenarioGen`] emits
+//! re-validates `Ok` through [`ScenarioBuilder::build`], and targeted
+//! *invalid* mutations surface as the expected typed [`ScenarioError`] —
+//! never as a panic.
+
+use proptest::prelude::*;
+
+use nni_emu::{CcFleet, Differentiation, ShapeLaneConfig};
+use nni_scenario::{
+    QueueOverride, Scenario, ScenarioBuilder, ScenarioError, ScenarioGen, TrafficProfile,
+};
+use nni_topology::{LinkId, PathId};
+
+/// A link of the scenario's topology that carries no differentiation and no
+/// queue override yet — mutations target it so the *mutated* field is what
+/// validation trips over, not a duplicate.
+fn free_link(s: &Scenario) -> LinkId {
+    (0..s.topology.link_count())
+        .map(LinkId)
+        .find(|l| {
+            s.differentiation.iter().all(|&(d, _)| d != *l)
+                && s.queue_overrides.iter().all(|&(q, _)| q != *l)
+        })
+        .expect("every generated topology has a spare link")
+}
+
+fn lane(class: u8) -> ShapeLaneConfig {
+    ShapeLaneConfig {
+        class,
+        rate_bps: 10e6,
+        burst_bytes: 3000.0,
+        buffer_bytes: 15_000,
+    }
+}
+
+/// Applies the `kind`-th invalid mutation and returns the error
+/// [`ScenarioBuilder::build`] must report for it.
+fn mutate(mut s: Scenario, kind: usize) -> (Scenario, ScenarioError) {
+    match kind {
+        // Empty congestion-control fleet on a measured path.
+        0 => {
+            s.path_traffic[0].1.cc = CcFleet::Mixed(Vec::new());
+            (s, ScenarioError::EmptyCcFleet)
+        }
+        // Zero-rate policer.
+        1 => {
+            let l = free_link(&s);
+            s.differentiation.push((
+                l,
+                Differentiation::Policing {
+                    class: 1,
+                    rate_bps: 0.0,
+                    burst_bytes: 3000.0,
+                },
+            ));
+            (s, ScenarioError::ZeroRatePolicer(l))
+        }
+        // Two shaper lanes targeting the same class.
+        2 => {
+            let l = free_link(&s);
+            s.differentiation.push((
+                l,
+                Differentiation::Shaping {
+                    lanes: vec![lane(0), lane(0)],
+                },
+            ));
+            (s, ScenarioError::OverlappingLanes(l))
+        }
+        // A shaper with no lanes.
+        3 => {
+            let l = free_link(&s);
+            s.differentiation
+                .push((l, Differentiation::Shaping { lanes: Vec::new() }));
+            (s, ScenarioError::EmptyShaper(l))
+        }
+        // Zero-capacity queue override.
+        4 => {
+            let l = free_link(&s);
+            s.queue_overrides.push((l, QueueOverride::Packets(0)));
+            (s, ScenarioError::BadQueueOverride(l))
+        }
+        // Duplicate queue override on one link.
+        5 => {
+            let l = free_link(&s);
+            s.queue_overrides.push((l, QueueOverride::Bytes(30_000)));
+            s.queue_overrides.push((l, QueueOverride::Packets(20)));
+            (s, ScenarioError::DuplicateQueueOverride(l))
+        }
+        // Background route over a link the topology does not have.
+        6 => {
+            let bogus = LinkId(s.topology.link_count() + 17);
+            s.background.push(nni_scenario::BackgroundTraffic {
+                links: vec![bogus],
+                profiles: Vec::new(),
+            });
+            (s, ScenarioError::UnknownLink(bogus))
+        }
+        // A path listed in two classes.
+        7 => {
+            let p = PathId(0);
+            s.classes = vec![vec![p], vec![p]];
+            (s, ScenarioError::OverlappingClasses(p))
+        }
+        // Traffic on a path the topology does not have.
+        8 => {
+            let bogus = PathId(s.topology.path_count() + 3);
+            s.path_traffic.push((
+                bogus,
+                TrafficProfile::pareto_bits(0, nni_emu::CcKind::Cubic, 1e6, 1.0, 1),
+            ));
+            (s, ScenarioError::UnknownPath(bogus))
+        }
+        // A non-positive measurement window.
+        _ => {
+            s.measurement.interval_s = 0.0;
+            (s, ScenarioError::BadWindow)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_specs_rebuild_ok(seed in 0u64..1_000_000) {
+        let s = ScenarioGen::new(seed).scenario();
+        let rebuilt = ScenarioBuilder::of(s).build();
+        prop_assert!(rebuilt.is_ok(), "generated spec must re-validate: {rebuilt:?}");
+    }
+
+    #[test]
+    fn invalid_mutations_yield_the_expected_typed_error(
+        seed in 0u64..1_000_000,
+        kind in 0usize..10,
+    ) {
+        let s = ScenarioGen::new(seed).scenario();
+        let (mutated, expected) = mutate(s, kind);
+        // Never a panic: build returns the precise typed error.
+        let got = ScenarioBuilder::of(mutated).build().unwrap_err();
+        prop_assert_eq!(got, expected, "mutation kind {}", kind);
+    }
+}

@@ -17,8 +17,10 @@
 
 use nni_emu::SimReport;
 use nni_scenario::library::{
-    asymmetric_rtt_neutral, dual_link_shaping, dual_policer_topology_b, topology_a_scenario,
-    topology_b_scenario, ExperimentParams, Mechanism, TopologyBParams,
+    asymmetric_rtt_neutral, deep_buffer_policing, dual_link_shaping, dual_policer_topology_b,
+    mixed_cc_neutral_control, mixed_cc_policer_contention, policer_rate_sweep_topology_b,
+    shallow_buffer_neutral_control, topology_a_scenario, topology_b_scenario, ExperimentParams,
+    Mechanism, TopologyBParams,
 };
 use nni_scenario::Scenario;
 use nni_topology::{LinkId, PathId};
@@ -100,7 +102,16 @@ fn short_b() -> TopologyBParams {
 }
 
 /// Every scenario family in the library, at identity-test durations.
+///
+/// Rows 0–6 are the PR 3 set, pinned on the **pre-rewrite** emulator; rows
+/// 7–13 cover the PR 4 additions (mixed-CC fleets, queue overrides, the
+/// topology-B policer-rate sweep), pinned on the emulator that shipped
+/// them — so heterogeneous traffic stays fingerprint-gated too.
 fn library() -> Vec<Scenario> {
+    let sweep = policer_rate_sweep_topology_b(TopologyBParams {
+        duration_s: 4.0,
+        ..TopologyBParams::default()
+    });
     let mut scenarios = vec![
         topology_a_scenario(ExperimentParams {
             mechanism: Mechanism::Neutral,
@@ -121,7 +132,13 @@ fn library() -> Vec<Scenario> {
         dual_policer_topology_b(short_b()),
         asymmetric_rtt_neutral(6.0, 42),
         dual_link_shaping(short_b()),
+        // PR 4 additions: heterogeneous fleets and queue overrides.
+        mixed_cc_policer_contention(6.0, 42),
+        mixed_cc_neutral_control(6.0, 42),
+        shallow_buffer_neutral_control(6.0, 42),
+        deep_buffer_policing(6.0, 42),
     ];
+    scenarios.extend(sweep.scenarios().cloned());
     // A short warm-up keeps several post-warmup intervals in the
     // fingerprinted log (the default 5 s would drop nearly everything).
     for s in &mut scenarios {
@@ -130,10 +147,10 @@ fn library() -> Vec<Scenario> {
     scenarios
 }
 
-/// `(scenario index, seed index) -> fingerprint` captured on the
-/// pre-rewrite emulator. Scenario order matches `library()`, seed order
-/// matches `SEEDS`.
-const GOLDEN: [[u64; 3]; 7] = [
+/// `(scenario index, seed index) -> fingerprint`. Scenario order matches
+/// `library()`, seed order matches `SEEDS`; rows 0–6 were captured on the
+/// pre-rewrite (PR 2) emulator and must never change.
+const GOLDEN: [[u64; 3]; 14] = [
     [0x4075257e61dba9c9, 0xf57aea5e7bff61d5, 0x51739f6eb8d8822c],
     [0x03f646de65b6c71c, 0x26fe2473458c8545, 0x6cbace9da1cfb086],
     [0x67a3910a39924641, 0x4685ac7b786d4f16, 0x5564b1131dcd08b3],
@@ -141,6 +158,13 @@ const GOLDEN: [[u64; 3]; 7] = [
     [0xb449c5797eb514c1, 0x75d17f7d65f4c138, 0xe322c6f49d73d35d],
     [0x23b3f9a6b9ec4f3c, 0xc684fc5994e2976d, 0xad828cb9391948a8],
     [0xdaad1023d83cd49e, 0xc49dbabfa4b07339, 0x6a65096b8d297f28],
+    [0xd275b0661417d584, 0x11e0cc1caaca6a00, 0x329d6fcb03b23a96],
+    [0xc1e4ece911d7eac9, 0x9e47adcbbf12d22f, 0x5443d9c0ecb39624],
+    [0x4f442c45cfebab5c, 0x34e9624d9e61b60c, 0x2e4def233c362dc2],
+    [0xee42220663610134, 0x8c404c1434e814b6, 0x477b648be5837c49],
+    [0x0bc28a32dd8e6663, 0x09d9701f7519bfb7, 0x208e5ce6b2c13d51],
+    [0xeac4ff6d84fc3d61, 0xda1423c08ad46cda, 0x32d19d3a3144c6a6],
+    [0x885d95caed232f72, 0x7c0e46bf2b753a67, 0x5c45bd721be38e07],
 ];
 
 #[test]

@@ -57,7 +57,7 @@ fn main() {
         sim.add_traffic(TrafficSpec {
             route: RouteId(p.index() as u32),
             class: 1,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::ParetoMean {
                 mean_bytes: 40e6 / 8.0,
                 shape: 1.5,

@@ -36,7 +36,7 @@ fn main() {
         sim.add_traffic(TrafficSpec {
             route: RouteId(path.index() as u32),
             class: bulk as u8,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::ParetoMean {
                 mean_bytes: 10e6 / 8.0,
                 shape: 1.5,

@@ -32,7 +32,7 @@ fn run_dumbbell(policing: Option<f64>, duration_s: f64, seed: u64) -> SimReport 
         sim.add_traffic(TrafficSpec {
             route: RouteId(path.index() as u32),
             class: c2 as u8,
-            cc: CcKind::Cubic,
+            cc: CcKind::Cubic.into(),
             size: SizeDist::ParetoMean {
                 mean_bytes: 10e6 / 8.0,
                 shape: 1.5,
