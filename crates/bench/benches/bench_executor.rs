@@ -1,16 +1,23 @@
 //! Criterion bench: serial vs sharded regeneration of a reduced Table 2
 //! sweep — the number the ROADMAP asks for ("run-sharding should cut
-//! Figure 8/10 regeneration wall-clock by ~#cores").
+//! Figure 8/10 regeneration wall-clock by ~#cores") — plus the
+//! measurement-cache payoff: a decision-threshold sweep through
+//! `reinfer_sets` (one simulation per distinct scenario) against naively
+//! re-simulating every member.
 //!
-//! The workload is the full nine-set Table 2 sweep at a short duration, so
+//! The Table 2 workload is the full nine-set sweep at a short duration, so
 //! one iteration runs 34 independent experiments. On an N-core machine the
 //! `sharded(N)` row should land near `serial / N` (the acceptance target is
 //! ≥2× on 4 cores); on a single core the two rows must match, which is also
-//! worth seeing in CI output.
+//! worth seeing in CI output. The threshold-sweep pair quantifies the
+//! O(sims × configs) → O(sims + configs) redesign: expect the cached row
+//! well above 3× below the naive one.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nni_bench::table2_sets;
-use nni_scenario::{Executor, SerialExecutor, ShardedExecutor};
+use nni_bench::{table2_sets, ExperimentParams, Mechanism};
+use nni_scenario::{
+    reinfer_sets, run_sets, Executor, MeasurementCache, SerialExecutor, ShardedExecutor, SweepSet,
+};
 use std::time::Duration;
 
 /// The reduced sweep: every Table 2 scenario at 3 simulated seconds.
@@ -39,5 +46,55 @@ fn bench_executors(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_executors);
+/// Five distinct bases × ten decision thresholds = 50 members, 5 distinct
+/// measurements.
+fn threshold_sets() -> Vec<SweepSet> {
+    let thresholds = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.15, 0.20];
+    let mk = |mechanism, seed| {
+        nni_scenario::library::topology_a_scenario(ExperimentParams {
+            mechanism,
+            duration_s: 3.0,
+            seed,
+            ..ExperimentParams::default()
+        })
+    };
+    [
+        mk(Mechanism::Neutral, 1),
+        mk(Mechanism::Policing(0.2), 1),
+        mk(Mechanism::Policing(0.3), 2),
+        mk(Mechanism::Shaping(0.3), 1),
+        mk(Mechanism::Neutral, 2),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, b)| SweepSet::decision_thresholds(format!("thr/{i}"), b, &thresholds))
+    .collect()
+}
+
+fn bench_reinfer(c: &mut Criterion) {
+    let sets = threshold_sets();
+    let mut g = c.benchmark_group("threshold_sweep_5x10_3s");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    // Naive: every member re-simulates (50 simulations per iteration).
+    g.bench_function("naive_resimulate", |b| {
+        b.iter(|| run_sets(&sets, &SerialExecutor).len())
+    });
+    // Seam: 5 simulations + 50 inferences (fresh cache per iteration).
+    g.bench_function("cached_reinfer", |b| {
+        b.iter(|| {
+            let cache = MeasurementCache::new();
+            reinfer_sets(&sets, &SerialExecutor, &cache).len()
+        })
+    });
+    // Warm cache: pure inference fan-out (zero simulations per iteration).
+    let warm = MeasurementCache::new();
+    reinfer_sets(&sets, &SerialExecutor, &warm);
+    g.bench_function("warm_cache_reinfer", |b| {
+        b.iter(|| reinfer_sets(&sets, &SerialExecutor, &warm).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executors, bench_reinfer);
 criterion_main!(benches);

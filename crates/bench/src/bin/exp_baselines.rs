@@ -1,7 +1,8 @@
 //! Ablation: **Algorithm 1 vs the related-work baselines** (§1, §8) on the
 //! same topology-A policing experiment — literally the same: every baseline
-//! consumes the identical [`Scenario`](nni_scenario::Scenario) run through
-//! the adapters of `nni_scenario::baselines`.
+//! consumes the identical [`MeasurementSet`](nni_scenario::MeasurementSet)
+//! through the adapters of `nni_scenario::baselines` (NetPolice alone also
+//! reads the raw report — its probes see inside the network).
 //!
 //! * Boolean tomography \[22\] *assumes neutrality*: it cannot blame the
 //!   differentiating shared link without implicating clean paths, so it
@@ -35,12 +36,18 @@ fn main() {
         "== Baselines vs Algorithm 1: topology A, policing 20%, {} s ==\n",
         args.duration
     );
-    let out = scenario.run();
+    // One acquisition feeds everything: the fused outcome (for Algorithm 1
+    // and NetPolice's ground-truth probes) and the measurement set the
+    // other baselines consume.
+    let exp = scenario.compile();
+    let out = exp.run();
+    let set = exp.package(out.report.log.clone());
+    let icfg = nni_scenario::InferenceConfig::of(&scenario);
     let g = &scenario.topology;
     let l5 = g.link_by_name("l5").unwrap();
 
     // --- Boolean tomography over per-interval congestion snapshots. ---
-    let boolean = baselines::boolean(&scenario, &out.report);
+    let boolean = baselines::boolean(&set, &icfg);
     let mut tb = Table::new(vec!["link", "boolean tomography blame [%]", "ground truth"]);
     for l in g.link_ids() {
         tb.row(vec![
@@ -61,7 +68,7 @@ fn main() {
     );
 
     // --- Least-squares loss tomography over singleton + pair pathsets. ---
-    let ls = baselines::loss(&scenario, &out.report);
+    let ls = baselines::loss(&set, &icfg);
     println!("--- Least-squares loss tomography (assumes neutrality) ---");
     println!(
         "fit residual: {:.4}  <- large residual = no neutral explanation fits (Lemma 1)",
@@ -73,7 +80,7 @@ fn main() {
     );
 
     // --- Glasnost-style differential detector (knows the classes). ---
-    let verdict = baselines::glasnost(&scenario, &out.report, 0.05);
+    let verdict = baselines::glasnost(&set, &icfg, 0.05);
     println!("--- Glasnost-style detector (requires knowing the class partition) ---");
     println!(
         "class-1 congestion {:.1}%, class-2 congestion {:.1}%, differentiated: {}",

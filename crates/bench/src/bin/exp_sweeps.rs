@@ -1,7 +1,10 @@
 //! Runs the scenario library's beyond-Table-2 sweep sets: the topology-B
 //! policer-rate sweep, a mixed-CC fleet comparison on the topology-A
 //! policing setup, and a seed fan-out of the mixed-CC neutral control —
-//! each a first-class [`SweepSet`] executed as one batch.
+//! each a first-class [`SweepSet`] executed as one batch. A final
+//! **inference-axis** sweep fans ten decision thresholds over the policing
+//! base through [`SweepSet::run_reinfer`]: one simulation, ten inferences
+//! (the sim-count saving is printed).
 //!
 //! The acceptance check mirrors `exp_fig8`: every member's verdict must
 //! match its scenario's expectation (skip with `--lenient` for
@@ -18,7 +21,7 @@ use nni_scenario::library::{
     mixed_cc_neutral_control, policer_rate_sweep_topology_b, topology_a_scenario, ExperimentParams,
     Mechanism, TopologyBParams,
 };
-use nni_scenario::{run_sets, SweepSet};
+use nni_scenario::{run_sets, MeasurementCache, SweepSet};
 
 fn main() {
     let args = ExpArgs::parse(60.0, 42, ExpCaps::batch());
@@ -103,6 +106,54 @@ fn main() {
         }
         println!("{t}");
     }
+    // Inference-axis sweep over the policing base: N thresholds, one
+    // simulation, served through the measurement cache.
+    let thresholds = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.15, 0.20];
+    let thr_set = SweepSet::decision_thresholds(
+        "topology-a policing 20%: decision thresholds (re-inference)",
+        &policing_base,
+        &thresholds,
+    );
+    let cache = MeasurementCache::new();
+    let sims_before = nni_scenario::simulation_count();
+    let started = Instant::now();
+    let reinferred = thr_set.run_reinfer(executor.as_ref(), &cache);
+    let reinfer_elapsed = started.elapsed();
+    let sims = nni_scenario::simulation_count() - sims_before;
+
+    println!("--- {} ---", thr_set.name);
+    let mut t = Table::new(vec![
+        thr_set.axis.clone(),
+        "verdict".into(),
+        "correct".into(),
+    ]);
+    for member in &reinferred {
+        let out = &member.outcome;
+        t.row(vec![
+            member.tick.clone(),
+            if out.flagged_nonneutral {
+                "NON-NEUTRAL".into()
+            } else {
+                "neutral".into()
+            },
+            if out.correct {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+        total += 1;
+        correct += out.correct as usize;
+    }
+    println!("{t}");
+    println!(
+        "re-inference: {} configs from {sims} simulation(s) in {:.2} s \
+         (naive fused path would have run {})\n",
+        reinferred.len(),
+        reinfer_elapsed.as_secs_f64(),
+        reinferred.len()
+    );
+
     println!(
         "verdicts correct: {correct}/{total}  (wall-clock {:.2} s, {})",
         elapsed.as_secs_f64(),

@@ -19,7 +19,7 @@ use nni_bench::{run_topology_a, table2_sets, ExperimentParams, Mechanism};
 use nni_emu::{
     link_params, measured_routes, CcKind, RouteId, SimConfig, Simulator, SizeDist, TrafficSpec,
 };
-use nni_scenario::{Executor, SerialExecutor};
+use nni_scenario::{reinfer_sets, Executor, MeasurementCache, SerialExecutor, SweepSet};
 use nni_topology::library::topology_a;
 use std::time::{Duration, Instant};
 
@@ -90,6 +90,38 @@ fn fig8_workload() -> bool {
 
 fn sweep_workload(experiments: &[nni_scenario::Experiment]) -> usize {
     SerialExecutor.execute(experiments).len()
+}
+
+/// The re-inference sweep: 5 distinct scenarios × 10 decision thresholds
+/// through the measurement-set seam (5 simulations + 50 inferences per
+/// iteration; a fresh cache each time, so the measurement captures the full
+/// acquire-then-fan-out cost).
+fn reinfer_sets_for_workload() -> Vec<SweepSet> {
+    let thresholds = [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.15, 0.20];
+    let mk = |mechanism, seed| {
+        nni_scenario::library::topology_a_scenario(ExperimentParams {
+            mechanism,
+            duration_s: 3.0,
+            seed,
+            ..ExperimentParams::default()
+        })
+    };
+    [
+        mk(Mechanism::Neutral, 1),
+        mk(Mechanism::Policing(0.2), 1),
+        mk(Mechanism::Policing(0.3), 2),
+        mk(Mechanism::Shaping(0.3), 1),
+        mk(Mechanism::Neutral, 2),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, b)| SweepSet::decision_thresholds(format!("thr/{i}"), b, &thresholds))
+    .collect()
+}
+
+fn reinfer_workload(sets: &[SweepSet]) -> usize {
+    let cache = MeasurementCache::new();
+    reinfer_sets(sets, &SerialExecutor, &cache).len()
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -171,19 +203,24 @@ fn main() {
         }
     }
     let mode = if smoke { "smoke" } else { "full" };
-    let (emu_iters, fig8_iters, sweep_iters) = if smoke { (5, 3, 2) } else { (20, 10, 8) };
+    let (emu_iters, fig8_iters, sweep_iters, reinfer_iters) =
+        if smoke { (5, 3, 2, 3) } else { (20, 10, 8, 10) };
 
     eprintln!("perf_record: measuring ({mode} mode) ...");
     let sweep: Vec<_> = table2_sets(3.0, 42)
         .iter()
         .flat_map(|s| s.compile())
         .collect();
+    let reinfer = reinfer_sets_for_workload();
 
     let results = vec![
         measure("emulator/topology_a_1s", emu_iters, emulator_workload),
         measure("experiment/fig8_policing_10s", fig8_iters, fig8_workload),
         measure("executor/table2_sweep_3s_serial", sweep_iters, || {
             sweep_workload(&sweep)
+        }),
+        measure("reinfer/threshold_sweep_5x10_3s", reinfer_iters, || {
+            reinfer_workload(&reinfer)
         }),
     ];
     for r in &results {

@@ -17,7 +17,8 @@
 //! | `exp_theory` | Figures 1–6: observability / identifiability worked examples |
 //! | `exp_robustness` | §6.5 sweep: loss thresholds × measurement intervals |
 //! | `exp_baselines` | Ablation: Algorithm 1 vs boolean/loss tomography vs Glasnost vs NetPolice |
-//! | `exp_sweeps` | Beyond-Table-2 sweep sets: topology-B policer-rate sweep, CC-fleet mix, mixed-CC neutral seeds |
+//! | `exp_sweeps` | Beyond-Table-2 sweep sets: topology-B policer-rate sweep, CC-fleet mix, mixed-CC neutral seeds, a cached decision-threshold re-inference sweep |
+//! | `exp_corpus` | Record / replay / re-infer on-disk measurement corpora (the `MeasurementSet` seam as a CLI) |
 //!
 //! The sweep binaries accept `--executor serial|sharded` and `--workers N`;
 //! sharded runs are guaranteed to produce results identical to serial runs,

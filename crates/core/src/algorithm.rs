@@ -140,6 +140,40 @@ impl InferenceResult {
     pub fn network_is_nonneutral(&self) -> bool {
         !self.nonneutral.is_empty()
     }
+
+    /// FNV-1a over every field — slice verdicts (estimates and scores as
+    /// f64 bit patterns) and all three sequence lists. Exactly as strict as
+    /// `PartialEq`: two results compare equal iff they fingerprint equal
+    /// (up to hash collisions). The golden-corpus gate pins these values
+    /// across codec versions.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fnv::Fnv::new();
+        let seq = |h: &mut crate::fnv::Fnv, s: &LinkSeq| {
+            h.word(s.len() as u64);
+            for &l in s.links() {
+                h.word(l.index() as u64);
+            }
+        };
+        h.word(self.verdicts.len() as u64);
+        for v in &self.verdicts {
+            seq(&mut h, &v.tau);
+            h.word(v.estimates.len() as u64);
+            for e in &v.estimates {
+                h.word(e.pair.0.index() as u64);
+                h.word(e.pair.1.index() as u64);
+                h.f64(e.estimate);
+            }
+            h.f64(v.unsolvability);
+            h.word(v.nonneutral as u64);
+        }
+        for list in [&self.nonneutral_raw, &self.nonneutral, &self.neutral] {
+            h.word(list.len() as u64);
+            for s in list {
+                seq(&mut h, s);
+            }
+        }
+        h.0
+    }
 }
 
 /// Runs Algorithm 1 against an observation source.

@@ -1,0 +1,81 @@
+//! FNV-1a — the repo's one fingerprinting primitive.
+//!
+//! Golden tests across the workspace (SimReport identity, measurement-set
+//! corpora, inference replays) all pin FNV-1a values; a single shared
+//! implementation keeps a constant typo in one place from silently
+//! diverging the fingerprint families. `nni-measure` re-exports this type.
+
+/// Incremental FNV-1a over a stream of bytes, u64 words, and strings.
+#[derive(Debug, Clone)]
+pub struct Fnv(pub u64);
+
+impl Fnv {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one byte (the canonical FNV-1a step).
+    #[inline]
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    /// Folds one u64 as its 8 little-endian bytes.
+    pub fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.byte(byte);
+        }
+    }
+
+    /// Folds an `f64` as its bit pattern (bit-exact, NaN-safe).
+    pub fn f64(&mut self, x: f64) {
+        self.word(x.to_bits());
+    }
+
+    /// Folds a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.word(s.len() as u64);
+        for byte in s.bytes() {
+            self.byte(byte);
+        }
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // FNV-1a of the empty input is the offset basis; "a" and "foobar"
+        // are the classic published vectors.
+        assert_eq!(Fnv::new().0, 0xcbf29ce484222325);
+        let mut h = Fnv::new();
+        h.byte(b'a');
+        assert_eq!(h.0, 0xaf63dc4c8601ec8c);
+        let mut h = Fnv::new();
+        for b in b"foobar" {
+            h.byte(*b);
+        }
+        assert_eq!(h.0, 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn word_is_le_byte_fold() {
+        let mut a = Fnv::new();
+        a.word(0x0102_0304_0506_0708);
+        let mut b = Fnv::new();
+        for byte in [0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01] {
+            b.byte(byte);
+        }
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -42,6 +42,7 @@
 pub mod algorithm;
 pub mod class;
 pub mod equivalent;
+pub mod fnv;
 pub mod identifiability;
 pub mod metrics;
 pub mod obs;
@@ -55,6 +56,7 @@ pub use algorithm::{
 };
 pub use class::{ClassError, Classes};
 pub use equivalent::{EquivalentNetwork, VirtualLink, VirtualRole};
+pub use fnv::Fnv;
 pub use identifiability::{lemma3_condition, seq_nonneutral, seq_top_class, system4_unsolvable};
 pub use metrics::{evaluate, Quality};
 pub use obs::{ExactOracle, Observations};

@@ -110,6 +110,11 @@ impl Ord for Entry {
 /// the measurements behind the calendar default).
 pub type EventQueue = CalendarEventQueue;
 
+/// Short label of the default queue implementation — part of the build
+/// fingerprint stamped into measurement-set provenance
+/// ([`crate::build_fingerprint`]).
+pub const DEFAULT_QUEUE_KIND: &str = "calendar-queue";
+
 /// Deterministic earliest-first event queue over a binary heap.
 #[derive(Default)]
 pub struct HeapEventQueue {

@@ -34,6 +34,20 @@ pub mod time;
 pub mod traffic;
 pub mod window;
 
+/// Build fingerprint of this emulator, stamped into every
+/// `MeasurementSet`'s provenance (`nni-measure`): the crate version plus the
+/// behaviour-relevant implementation choices. Two corpora recorded with the
+/// same fingerprint and the same `(scenario fingerprint, seed)` key must
+/// hold bit-identical measurements — the cross-version audit the on-disk
+/// corpus format exists for.
+pub fn build_fingerprint() -> String {
+    format!(
+        "nni-emu {} ({})",
+        env!("CARGO_PKG_VERSION"),
+        event::DEFAULT_QUEUE_KIND,
+    )
+}
+
 pub use bucket::TokenBucket;
 pub use config::SimConfig;
 pub use diff::{Differentiation, ShapeLaneConfig};

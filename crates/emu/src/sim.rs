@@ -47,6 +47,11 @@ use crate::tcp::{CcKind, CongestionControl, RttEstimator};
 use crate::time::{tx_time, SimTime};
 use crate::traffic::TrafficSpec;
 use crate::window::{OooWindow, SendTimes};
+// The interval binning rule and its ULP-walked boundary inversion are shared
+// with `MeasurementLog::interval_of` — one rule, one place
+// (`nni_measure::interval`), so a boundary timestamp can never bin
+// differently in the emulator and the log.
+use nni_measure::interval::{interval_boundary_ns, interval_index};
 use nni_measure::MeasurementLog;
 use nni_topology::LinkId;
 
@@ -127,23 +132,6 @@ pub struct Simulator {
     segments_sent: u64,
     segments_delivered: u64,
     segments_dropped: u64,
-}
-
-/// Smallest nanosecond timestamp whose measurement-interval index —
-/// computed with the same float division as [`Simulator::interval_at`] — is
-/// at least `i`. A float guess plus an exact ULP walk, so the incremental
-/// interval cache can never disagree with the division it replaces.
-fn interval_boundary_ns(interval_s: f64, i: u64) -> u64 {
-    let idx = |ns: u64| ((ns as f64 / 1e9) / interval_s).floor();
-    let target = i as f64;
-    let mut g = (target * interval_s * 1e9).round() as u64;
-    while g > 0 && idx(g - 1) >= target {
-        g -= 1;
-    }
-    while idx(g) < target {
-        g += 1;
-    }
-    g
 }
 
 impl Simulator {
@@ -295,7 +283,7 @@ impl Simulator {
     /// Measurement interval containing an arbitrary timestamp (float
     /// division — used for past times, e.g. a dropped packet's send time).
     fn interval_at(&self, t: SimTime) -> usize {
-        (t.as_secs_f64() / self.cfg.interval_s).floor() as usize
+        interval_index(t.as_secs_f64(), self.cfg.interval_s)
     }
 
     /// Measurement interval containing `now` — the cached hot path.

@@ -1,0 +1,535 @@
+//! Hand-rolled binary codec for [`MeasurementSet`] — the on-disk corpus
+//! format. No serde: the dependency tree is offline-vendored, so the format
+//! is written out longhand and pinned by exhaustive round-trip tests plus a
+//! committed golden corpus in CI.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! magic     7 bytes  b"NNIMSET"
+//! version   u8       1
+//! sections  each:  tag u8, payload length u64 LE, payload bytes
+//!   tag 1  PROVENANCE  scenario str, fingerprint u64, seed u64, build str
+//!   tag 2  TOPOLOGY    nodes (kind u8, name str)…,
+//!                      links (src vu, dst vu, capacity f64, delay f64, name str)…,
+//!                      paths (name str, link ids vu…)…
+//!   tag 3  CLASSES     per class: member path ids vu…
+//!   tag 4  LOG         interval_s f64, n_paths vu, n_intervals vu,
+//!                      per interval per path: sent vu, lost vu
+//! trailer   tag 0xFF, then FNV-1a u64 LE over every preceding byte
+//! ```
+//!
+//! Primitives: `u64`/`f64` little-endian (`f64` as its bit pattern, so
+//! round trips are bit-identical); `vu` is LEB128 (7 bits per byte, high
+//! bit = continue) — measurement counts are small, so logs compress well;
+//! strings are `vu` length + UTF-8 bytes. All counts are length prefixes:
+//! a reader can skip any section wholesale, and a truncated file fails
+//! loudly with [`CodecError::UnexpectedEof`] instead of misparsing.
+//!
+//! Sections must appear in tag order exactly once each; the version byte is
+//! the compatibility gate (a future v2 bumps it and keeps this decoder).
+
+use crate::dataset::{Fnv, MeasurementSet, Provenance};
+use crate::record::MeasurementLog;
+use nni_topology::{NodeKind, PathId, TopologyBuilder, TopologyError};
+
+/// Magic prefix of every encoded set.
+pub const MAGIC: &[u8; 7] = b"NNIMSET";
+
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+const TAG_PROVENANCE: u8 = 1;
+const TAG_TOPOLOGY: u8 = 2;
+const TAG_CLASSES: u8 = 3;
+const TAG_LOG: u8 = 4;
+const TAG_END: u8 = 0xFF;
+
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended mid-value.
+    UnexpectedEof,
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The version byte is newer than this decoder.
+    UnsupportedVersion(u8),
+    /// A string payload is not UTF-8.
+    BadUtf8,
+    /// A value failed a structural check (context in the message).
+    BadValue(&'static str),
+    /// An unknown or out-of-order section tag.
+    BadSection(u8),
+    /// Bytes remain after the trailer.
+    TrailingBytes,
+    /// The trailing checksum does not match the content.
+    ChecksumMismatch,
+    /// The decoded topology failed re-validation.
+    Topology(TopologyError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            CodecError::BadMagic => write!(f, "not a measurement-set stream (bad magic)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::BadUtf8 => write!(f, "string payload is not UTF-8"),
+            CodecError::BadValue(what) => write!(f, "invalid value: {what}"),
+            CodecError::BadSection(tag) => write!(f, "unknown or out-of-order section tag {tag}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after the end marker"),
+            CodecError::ChecksumMismatch => write!(f, "checksum mismatch (corrupted stream)"),
+            CodecError::Topology(e) => write!(f, "decoded topology failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<TopologyError> for CodecError {
+    fn from(e: TopologyError) -> CodecError {
+        CodecError::Topology(e)
+    }
+}
+
+// ---------------------------------------------------------------- writing
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn vu(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.vu(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a section: tag, payload length, payload.
+    fn section(&mut self, tag: u8, payload: impl FnOnce(&mut Writer)) {
+        let mut w = Writer { buf: Vec::new() };
+        payload(&mut w);
+        self.u8(tag);
+        self.u64(w.buf.len() as u64);
+        self.buf.extend_from_slice(&w.buf);
+    }
+}
+
+/// Encodes a measurement set into the versioned binary format.
+pub fn encode(set: &MeasurementSet) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(VERSION);
+    w.section(TAG_PROVENANCE, |w| {
+        w.str(&set.provenance.scenario);
+        w.u64(set.provenance.scenario_fingerprint);
+        w.u64(set.provenance.seed);
+        w.str(&set.provenance.build);
+    });
+    w.section(TAG_TOPOLOGY, |w| {
+        let g = &set.topology;
+        w.vu(g.nodes().len() as u64);
+        for n in g.nodes() {
+            w.u8(matches!(n.kind, NodeKind::Relay) as u8);
+            w.str(&n.name);
+        }
+        w.vu(g.link_count() as u64);
+        for l in g.links() {
+            w.vu(l.src.index() as u64);
+            w.vu(l.dst.index() as u64);
+            w.f64(l.capacity_bps);
+            w.f64(l.delay_s);
+            w.str(&l.name);
+        }
+        w.vu(g.path_count() as u64);
+        for p in g.paths() {
+            w.str(p.name());
+            w.vu(p.len() as u64);
+            for l in p.links() {
+                w.vu(l.index() as u64);
+            }
+        }
+    });
+    w.section(TAG_CLASSES, |w| {
+        w.vu(set.classes.len() as u64);
+        for class in &set.classes {
+            w.vu(class.len() as u64);
+            for p in class {
+                w.vu(p.index() as u64);
+            }
+        }
+    });
+    w.section(TAG_LOG, |w| {
+        let log = &set.log;
+        w.f64(log.interval_s());
+        w.vu(log.path_count() as u64);
+        w.vu(log.interval_count() as u64);
+        for t in 0..log.interval_count() {
+            for p in 0..log.path_count() {
+                w.vu(log.sent(t, PathId(p)));
+                w.vu(log.lost(t, PathId(p)));
+            }
+        }
+    });
+    w.u8(TAG_END);
+    let mut h = Fnv::new();
+    for &b in &w.buf {
+        h.byte(b);
+    }
+    let checksum = h.0;
+    w.u64(checksum);
+    w.buf
+}
+
+// ---------------------------------------------------------------- reading
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn vu(&mut self) -> Result<u64, CodecError> {
+        let mut out: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            out |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+        }
+        Err(CodecError::BadValue("varint longer than 64 bits"))
+    }
+
+    fn len(&mut self) -> Result<usize, CodecError> {
+        let v = self.vu()?;
+        // A length can never exceed the remaining bytes — reject early so a
+        // corrupted count fails with a clear error instead of an OOM.
+        if v > (self.buf.len() - self.pos) as u64 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(v as usize)
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+/// Decodes a measurement set, verifying the checksum and re-validating the
+/// topology through [`TopologyBuilder`].
+pub fn decode(bytes: &[u8]) -> Result<MeasurementSet, CodecError> {
+    let provenance = decode_prefix(bytes)?;
+    let mut r = Reader {
+        buf: bytes,
+        pos: provenance.1,
+    };
+
+    // TOPOLOGY.
+    expect_section(&mut r, TAG_TOPOLOGY)?;
+    let mut b = TopologyBuilder::new();
+    let n_nodes = r.len()?;
+    for _ in 0..n_nodes {
+        let kind = r.u8()?;
+        let name = r.str()?;
+        match kind {
+            0 => b.host(&name),
+            1 => b.relay(&name),
+            _ => return Err(CodecError::BadValue("node kind")),
+        };
+    }
+    let n_links = r.len()?;
+    for _ in 0..n_links {
+        let src = r.vu()? as usize;
+        let dst = r.vu()? as usize;
+        let capacity = r.f64()?;
+        let delay = r.f64()?;
+        let name = r.str()?;
+        b.link_with(
+            &name,
+            nni_topology::NodeId(src),
+            nni_topology::NodeId(dst),
+            capacity,
+            delay,
+        )?;
+    }
+    let n_paths = r.len()?;
+    for _ in 0..n_paths {
+        let name = r.str()?;
+        let n = r.len()?;
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            links.push(nni_topology::LinkId(r.vu()? as usize));
+        }
+        b.path(&name, links)?;
+    }
+    let topology = b.build();
+
+    // CLASSES.
+    expect_section(&mut r, TAG_CLASSES)?;
+    let n_classes = r.len()?;
+    let mut classes = Vec::with_capacity(n_classes);
+    for _ in 0..n_classes {
+        let n = r.len()?;
+        let mut class = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = r.vu()? as usize;
+            if p >= topology.path_count() {
+                return Err(CodecError::BadValue("class member path id"));
+            }
+            class.push(PathId(p));
+        }
+        classes.push(class);
+    }
+
+    // LOG.
+    expect_section(&mut r, TAG_LOG)?;
+    let interval_s = r.f64()?;
+    if interval_s.is_nan() || interval_s <= 0.0 {
+        return Err(CodecError::BadValue("non-positive interval"));
+    }
+    let n_paths = r.len()?;
+    if n_paths == 0 {
+        return Err(CodecError::BadValue("log with zero paths"));
+    }
+    // Structural consistency across sections: inference indexes the log by
+    // the topology's path ids, so a width mismatch must be a decode error,
+    // not a later panic. (The checksum only detects corruption — a
+    // self-consistent but inconsistent stream passes it.)
+    if n_paths != topology.path_count() {
+        return Err(CodecError::BadValue("log path count != topology paths"));
+    }
+    let n_intervals = r.len()?;
+    let mut log = MeasurementLog::new(n_paths, interval_s);
+    for t in 0..n_intervals {
+        for p in 0..n_paths {
+            let sent = r.vu()?;
+            let lost = r.vu()?;
+            // Zero-count records still materialize the interval, so
+            // trailing all-idle intervals survive the round trip.
+            log.record_sent(t, PathId(p), sent);
+            log.record_lost(t, PathId(p), lost);
+        }
+    }
+
+    // Trailer: end marker, then the checksum over everything before it.
+    if r.u8()? != TAG_END {
+        return Err(CodecError::BadValue("missing end marker"));
+    }
+    let mut h = Fnv::new();
+    for &byte in &bytes[..r.pos] {
+        h.byte(byte);
+    }
+    let expect = h.0;
+    if r.u64()? != expect {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes);
+    }
+
+    Ok(MeasurementSet {
+        topology,
+        classes,
+        log,
+        provenance: provenance.0,
+    })
+}
+
+/// Decodes only the header and provenance section — how a corpus lists its
+/// entries' [`SetKey`](crate::SetKey)s without paying for full decodes.
+/// Returns the provenance and the stream offset of the next section.
+pub fn decode_prefix(bytes: &[u8]) -> Result<(Provenance, usize), CodecError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    expect_section(&mut r, TAG_PROVENANCE)?;
+    let scenario = r.str()?;
+    let scenario_fingerprint = r.u64()?;
+    let seed = r.u64()?;
+    let build = r.str()?;
+    Ok((
+        Provenance {
+            scenario,
+            scenario_fingerprint,
+            seed,
+            build,
+        },
+        r.pos,
+    ))
+}
+
+/// Reads a section header, checking the tag; the payload length is
+/// validated against the remaining bytes (decoding then proceeds through
+/// the typed readers, which re-check every primitive).
+fn expect_section(r: &mut Reader<'_>, tag: u8) -> Result<(), CodecError> {
+    let got = r.u8()?;
+    if got != tag {
+        return Err(CodecError::BadSection(got));
+    }
+    let len = r.u64()?;
+    if len > (r.buf.len() - r.pos) as u64 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Provenance;
+    use nni_topology::TopologyBuilder;
+
+    fn sample() -> MeasurementSet {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.host("h0");
+        let h1 = b.host("h1");
+        let r0 = b.relay("r0");
+        let l0 = b.link_with("l0", h0, r0, 100e6, 0.005).unwrap();
+        let l1 = b.link_with("l1", r0, h1, 50e6, 0.1).unwrap();
+        b.path("p0", vec![l0, l1]).unwrap();
+        let mut log = MeasurementLog::new(1, 0.1);
+        log.record_sent(0, PathId(0), 1234);
+        log.record_lost(0, PathId(0), 7);
+        log.record_sent(3, PathId(0), u64::MAX); // varint edge
+        MeasurementSet {
+            topology: b.build(),
+            classes: vec![vec![PathId(0)], vec![]],
+            log,
+            provenance: Provenance {
+                scenario: "sample scenario ⟨l1⟩".into(),
+                scenario_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                seed: u64::MAX,
+                build: "nni-emu test".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let set = sample();
+        let bytes = encode(&set);
+        let back = decode(&bytes).expect("decodes");
+        assert_eq!(set, back);
+        assert_eq!(set.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn prefix_reads_provenance_without_full_decode() {
+        let set = sample();
+        let bytes = encode(&set);
+        let (prov, offset) = decode_prefix(&bytes).expect("prefix decodes");
+        assert_eq!(prov, set.provenance);
+        assert!(offset < bytes.len());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let set = sample();
+        let bytes = encode(&set);
+        // Bad magic.
+        let mut b = bytes.clone();
+        b[0] ^= 0xFF;
+        assert_eq!(decode(&b).unwrap_err(), CodecError::BadMagic);
+        // Future version.
+        let mut b = bytes.clone();
+        b[7] = 99;
+        assert_eq!(decode(&b).unwrap_err(), CodecError::UnsupportedVersion(99));
+        // Truncation anywhere fails loudly.
+        for cut in [9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "truncated at {cut}");
+        }
+        // A flipped payload byte trips the checksum (or a typed check).
+        let mut b = bytes.clone();
+        let mid = b.len() / 2;
+        b[mid] ^= 0x01;
+        assert!(decode(&b).is_err());
+        // Trailing garbage is rejected.
+        let mut b = bytes.clone();
+        b.push(0);
+        assert_eq!(decode(&b).unwrap_err(), CodecError::TrailingBytes);
+    }
+
+    #[test]
+    fn rejects_log_width_inconsistent_with_topology() {
+        // A structurally inconsistent stream (self-consistent checksum,
+        // log wider than the topology's path set) must be a decode error,
+        // not a later out-of-bounds panic inside inference.
+        let mut set = sample();
+        set.log = MeasurementLog::new(3, 0.1);
+        let err = decode(&encode(&set)).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::BadValue("log path count != topology paths")
+        );
+    }
+
+    #[test]
+    fn varints_cover_the_u64_range() {
+        let mut w = Writer { buf: Vec::new() };
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            w.vu(v);
+        }
+        let mut r = Reader {
+            buf: &w.buf,
+            pos: 0,
+        };
+        for &v in &values {
+            assert_eq!(r.vu().unwrap(), v);
+        }
+        assert_eq!(r.pos, w.buf.len());
+    }
+}

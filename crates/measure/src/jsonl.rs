@@ -1,0 +1,617 @@
+//! Human-readable JSON-lines dump of a [`MeasurementSet`] — the greppable
+//! twin of the binary codec (see [`crate::codec`]), hand-rolled for the same
+//! offline-vendored reason.
+//!
+//! One JSON object per line:
+//!
+//! ```text
+//! {"type":"meta","version":1,"scenario":…,"fingerprint":…,"seed":…,"build":…}
+//! {"type":"node","kind":"host","name":"h1"}            (one per node)
+//! {"type":"link","src":0,"dst":2,"capacity_bps":…,…}   (one per link)
+//! {"type":"path","name":"p1","links":[0,3]}            (one per path)
+//! {"type":"classes","classes":[[0,1],[2,3]]}
+//! {"type":"log","interval_s":0.1,"paths":4,"intervals":120}
+//! {"type":"interval","t":0,"sent":[…],"lost":[…]}      (one per interval)
+//! ```
+//!
+//! Round trips are bit-identical: floats are printed with Rust's shortest
+//! round-trip formatting and parsed back with `str::parse::<f64>`, and
+//! `u64`s (seeds, fingerprints, counts) are kept as raw digit strings until
+//! the consumer knows the target type, so values above 2^53 never pass
+//! through an f64.
+
+use crate::codec::CodecError;
+use crate::dataset::{MeasurementSet, Provenance};
+use crate::record::MeasurementLog;
+use nni_topology::{NodeId, NodeKind, PathId, TopologyBuilder};
+
+/// Format version stamped into the `meta` line.
+pub const JSONL_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------- writing
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{:?}` on finite f64 is Rust's shortest exact round-trip form.
+fn num(x: f64) -> String {
+    debug_assert!(x.is_finite(), "measurement floats are finite");
+    format!("{x:?}")
+}
+
+fn u64_list(vals: impl Iterator<Item = u64>) -> String {
+    let items: Vec<String> = vals.map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Dumps a measurement set as JSON lines (trailing newline included).
+pub fn to_jsonl(set: &MeasurementSet) -> String {
+    let mut out = String::new();
+    let p = &set.provenance;
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"version\":{JSONL_VERSION},\"scenario\":\"{}\",\
+         \"fingerprint\":{},\"seed\":{},\"build\":\"{}\"}}\n",
+        esc(&p.scenario),
+        p.scenario_fingerprint,
+        p.seed,
+        esc(&p.build),
+    ));
+    for n in set.topology.nodes() {
+        let kind = match n.kind {
+            NodeKind::Host => "host",
+            NodeKind::Relay => "relay",
+        };
+        out.push_str(&format!(
+            "{{\"type\":\"node\",\"kind\":\"{kind}\",\"name\":\"{}\"}}\n",
+            esc(&n.name)
+        ));
+    }
+    for l in set.topology.links() {
+        out.push_str(&format!(
+            "{{\"type\":\"link\",\"src\":{},\"dst\":{},\"capacity_bps\":{},\
+             \"delay_s\":{},\"name\":\"{}\"}}\n",
+            l.src.index(),
+            l.dst.index(),
+            num(l.capacity_bps),
+            num(l.delay_s),
+            esc(&l.name),
+        ));
+    }
+    for path in set.topology.paths() {
+        out.push_str(&format!(
+            "{{\"type\":\"path\",\"name\":\"{}\",\"links\":{}}}\n",
+            esc(path.name()),
+            u64_list(path.links().iter().map(|l| l.index() as u64)),
+        ));
+    }
+    let classes: Vec<String> = set
+        .classes
+        .iter()
+        .map(|c| u64_list(c.iter().map(|p| p.index() as u64)))
+        .collect();
+    out.push_str(&format!(
+        "{{\"type\":\"classes\",\"classes\":[{}]}}\n",
+        classes.join(",")
+    ));
+    let log = &set.log;
+    out.push_str(&format!(
+        "{{\"type\":\"log\",\"interval_s\":{},\"paths\":{},\"intervals\":{}}}\n",
+        num(log.interval_s()),
+        log.path_count(),
+        log.interval_count(),
+    ));
+    for t in 0..log.interval_count() {
+        out.push_str(&format!(
+            "{{\"type\":\"interval\",\"t\":{t},\"sent\":{},\"lost\":{}}}\n",
+            u64_list((0..log.path_count()).map(|p| log.sent(t, PathId(p)))),
+            u64_list((0..log.path_count()).map(|p| log.lost(t, PathId(p)))),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// A parsed JSON value. Numbers keep their raw text so integers up to
+/// `u64::MAX` and exact float bit patterns both survive.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Result<&'a Json, CodecError> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or(CodecError::BadValue("missing object key")),
+            _ => Err(CodecError::BadValue("expected object")),
+        }
+    }
+
+    fn str(&self) -> Result<&str, CodecError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(CodecError::BadValue("expected string")),
+        }
+    }
+
+    fn u64(&self) -> Result<u64, CodecError> {
+        match self {
+            Json::Num(s) => s.parse().map_err(|_| CodecError::BadValue("expected u64")),
+            _ => Err(CodecError::BadValue("expected number")),
+        }
+    }
+
+    fn f64(&self) -> Result<f64, CodecError> {
+        match self {
+            Json::Num(s) => s.parse().map_err(|_| CodecError::BadValue("expected f64")),
+            _ => Err(CodecError::BadValue("expected number")),
+        }
+    }
+
+    fn arr(&self) -> Result<&[Json], CodecError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(CodecError::BadValue("expected array")),
+        }
+    }
+
+    fn u64_arr(&self) -> Result<Vec<u64>, CodecError> {
+        self.arr()?.iter().map(Json::u64).collect()
+    }
+}
+
+/// Minimal recursive-descent JSON parser over one line.
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && matches!(self.s[self.pos], b' ' | b'\t' | b'\r' | b'\n') {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, CodecError> {
+        self.skip_ws();
+        self.s
+            .get(self.pos)
+            .copied()
+            .ok_or(CodecError::UnexpectedEof)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), CodecError> {
+        if self.peek()? != c {
+            return Err(CodecError::BadValue("unexpected character"));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, CodecError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, CodecError> {
+        if self.s[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(CodecError::BadValue("bad literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, CodecError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = {
+                self.skip_ws();
+                self.string()?
+            };
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(CodecError::BadValue("expected , or }")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, CodecError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(CodecError::BadValue("expected , or ]")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.s.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.s.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .ok_or(CodecError::UnexpectedEof)?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| CodecError::BadUtf8)?,
+                                16,
+                            )
+                            .map_err(|_| CodecError::BadValue("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(CodecError::BadValue("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(CodecError::BadValue("bad escape")),
+                    }
+                }
+                _ => {
+                    // Re-synchronize on UTF-8 boundaries: back up and take
+                    // the whole multi-byte character from the source.
+                    let start = self.pos - 1;
+                    let tail =
+                        std::str::from_utf8(&self.s[start..]).map_err(|_| CodecError::BadUtf8)?;
+                    let ch = tail.chars().next().ok_or(CodecError::UnexpectedEof)?;
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, CodecError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && matches!(
+                self.s[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(CodecError::BadValue("expected a number"));
+        }
+        let text =
+            std::str::from_utf8(&self.s[start..self.pos]).map_err(|_| CodecError::BadUtf8)?;
+        // Validate now so consumers can trust the raw text.
+        text.parse::<f64>()
+            .map_err(|_| CodecError::BadValue("malformed number"))?;
+        Ok(Json::Num(text.to_string()))
+    }
+
+    fn finish(&mut self) -> Result<(), CodecError> {
+        self.skip_ws();
+        if self.pos != self.s.len() {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(())
+    }
+}
+
+fn parse_line(line: &str) -> Result<Json, CodecError> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.finish()?;
+    Ok(v)
+}
+
+/// Parses a JSON-lines dump back into a measurement set (bit-identical to
+/// the dumped one; see the round-trip tests).
+pub fn from_jsonl(text: &str) -> Result<MeasurementSet, CodecError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+
+    let meta = parse_line(lines.next().ok_or(CodecError::UnexpectedEof)?)?;
+    if meta.get("type")?.str()? != "meta" {
+        return Err(CodecError::BadValue("first line must be meta"));
+    }
+    let version = meta.get("version")?.u64()?;
+    if version != JSONL_VERSION {
+        return Err(CodecError::UnsupportedVersion(version.min(255) as u8));
+    }
+    let provenance = Provenance {
+        scenario: meta.get("scenario")?.str()?.to_string(),
+        scenario_fingerprint: meta.get("fingerprint")?.u64()?,
+        seed: meta.get("seed")?.u64()?,
+        build: meta.get("build")?.str()?.to_string(),
+    };
+
+    let mut b = TopologyBuilder::new();
+    let mut classes: Option<Vec<Vec<PathId>>> = None;
+    let mut log: Option<MeasurementLog> = None;
+    let mut expected_intervals = 0usize;
+
+    for line in lines {
+        let v = parse_line(line)?;
+        match v.get("type")?.str()? {
+            "node" => {
+                let name = v.get("name")?.str()?;
+                match v.get("kind")?.str()? {
+                    "host" => b.host(name),
+                    "relay" => b.relay(name),
+                    _ => return Err(CodecError::BadValue("node kind")),
+                };
+            }
+            "link" => {
+                b.link_with(
+                    v.get("name")?.str()?,
+                    NodeId(v.get("src")?.u64()? as usize),
+                    NodeId(v.get("dst")?.u64()? as usize),
+                    v.get("capacity_bps")?.f64()?,
+                    v.get("delay_s")?.f64()?,
+                )?;
+            }
+            "path" => {
+                let links = v
+                    .get("links")?
+                    .u64_arr()?
+                    .into_iter()
+                    .map(|l| nni_topology::LinkId(l as usize))
+                    .collect();
+                b.path(v.get("name")?.str()?, links)?;
+            }
+            "classes" => {
+                classes = Some(
+                    v.get("classes")?
+                        .arr()?
+                        .iter()
+                        .map(|c| {
+                            Ok(c.u64_arr()?
+                                .into_iter()
+                                .map(|p| PathId(p as usize))
+                                .collect())
+                        })
+                        .collect::<Result<_, CodecError>>()?,
+                );
+            }
+            "log" => {
+                let interval_s = v.get("interval_s")?.f64()?;
+                if interval_s.is_nan() || interval_s <= 0.0 {
+                    return Err(CodecError::BadValue("non-positive interval"));
+                }
+                let paths = v.get("paths")?.u64()? as usize;
+                if paths == 0 {
+                    return Err(CodecError::BadValue("log with zero paths"));
+                }
+                expected_intervals = v.get("intervals")?.u64()? as usize;
+                log = Some(MeasurementLog::new(paths, interval_s));
+            }
+            "interval" => {
+                let log = log
+                    .as_mut()
+                    .ok_or(CodecError::BadValue("interval before log header"))?;
+                let t = v.get("t")?.u64()? as usize;
+                // Interval lines must be sequential from 0: a duplicated or
+                // dropped line (an easy edit accident in a "greppable"
+                // format) would otherwise sum rows or leave silent zero
+                // gaps while still matching the header's interval count.
+                if t != log.interval_count() {
+                    return Err(CodecError::BadValue("interval lines must be sequential"));
+                }
+                let sent = v.get("sent")?.u64_arr()?;
+                let lost = v.get("lost")?.u64_arr()?;
+                if sent.len() != log.path_count() || lost.len() != log.path_count() {
+                    return Err(CodecError::BadValue("interval row width"));
+                }
+                for (p, (&s, &l)) in sent.iter().zip(&lost).enumerate() {
+                    log.record_sent(t, PathId(p), s);
+                    log.record_lost(t, PathId(p), l);
+                }
+            }
+            _ => return Err(CodecError::BadValue("unknown line type")),
+        }
+    }
+
+    let log = log.ok_or(CodecError::BadValue("missing log header"))?;
+    if log.interval_count() != expected_intervals {
+        return Err(CodecError::BadValue("interval count mismatch"));
+    }
+    let topology = b.build();
+    // Same structural check as the binary decoder: the log's width must be
+    // the topology's path count, or inference would index out of bounds.
+    if log.path_count() != topology.path_count() {
+        return Err(CodecError::BadValue("log path count != topology paths"));
+    }
+    Ok(MeasurementSet {
+        topology,
+        classes: classes.ok_or(CodecError::BadValue("missing classes line"))?,
+        log,
+        provenance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+
+    fn sample() -> MeasurementSet {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.host("h0 \"quoted\"");
+        let h1 = b.host("h1\nnewline");
+        let r = b.relay("r ⟨l5⟩");
+        let l0 = b.link_with("l0", h0, r, 100e6, 0.005).unwrap();
+        let l1 = b.link_with("l1", r, h1, 0.1 + 0.2, 1.0 / 3.0).unwrap();
+        b.path("p0", vec![l0, l1]).unwrap();
+        let mut log = MeasurementLog::new(1, 0.1);
+        log.record_sent(0, PathId(0), 100);
+        log.record_lost(0, PathId(0), 3);
+        log.record_sent(2, PathId(0), u64::MAX);
+        MeasurementSet {
+            topology: b.build(),
+            classes: vec![vec![PathId(0)], vec![]],
+            log,
+            provenance: Provenance {
+                scenario: "jsonl sample".into(),
+                scenario_fingerprint: u64::MAX - 1,
+                seed: 1 << 60,
+                build: "test".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        // Awkward floats (0.1+0.2, 1/3), u64s beyond 2^53, escapes, and
+        // non-ASCII names all survive the text round trip exactly.
+        let set = sample();
+        let text = to_jsonl(&set);
+        let back = from_jsonl(&text).expect("parses");
+        assert_eq!(set, back);
+        assert_eq!(set.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn jsonl_and_binary_agree() {
+        let set = sample();
+        let via_binary = codec::decode(&codec::encode(&set)).unwrap();
+        let via_text = from_jsonl(&to_jsonl(&set)).unwrap();
+        assert_eq!(via_binary, via_text);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_jsonl("").is_err());
+        assert!(from_jsonl("{\"type\":\"meta\"}").is_err());
+        let set = sample();
+        let text = to_jsonl(&set);
+        // Dropping the classes line is an error.
+        let without: String = text
+            .lines()
+            .filter(|l| !l.contains("\"classes\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            from_jsonl(&without).unwrap_err(),
+            CodecError::BadValue("missing classes line")
+        );
+        // Truncating the intervals is an error (count mismatch).
+        let truncated: String = text
+            .lines()
+            .take_while(|l| !l.contains("\"interval\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            from_jsonl(&truncated).unwrap_err(),
+            CodecError::BadValue("interval count mismatch")
+        );
+    }
+
+    #[test]
+    fn rejects_duplicated_or_inconsistent_lines() {
+        let set = sample();
+        let text = to_jsonl(&set);
+        // Duplicating an interval line (easy edit accident) is an error —
+        // not a silent double count.
+        let first_interval = text
+            .lines()
+            .find(|l| l.contains("\"interval\""))
+            .unwrap()
+            .to_string();
+        let duplicated: String = text
+            .lines()
+            .flat_map(|l| {
+                let dup = l.contains("\"interval\"") && l == first_interval;
+                std::iter::once(format!("{l}\n")).chain(dup.then(|| format!("{l}\n")))
+            })
+            .collect();
+        assert_eq!(
+            from_jsonl(&duplicated).unwrap_err(),
+            CodecError::BadValue("interval lines must be sequential")
+        );
+        // A log header wider than the topology's path set is an error.
+        let widened = text.replace("\"paths\":1", "\"paths\":2");
+        let err = from_jsonl(&widened).unwrap_err();
+        assert!(
+            matches!(err, CodecError::BadValue(_)),
+            "widened log must fail, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn parser_handles_json_syntax() {
+        let v = parse_line("{\"a\":[1,2.5,\"x\"],\"b\":{\"c\":true},\"d\":null}").unwrap();
+        assert_eq!(v.get("a").unwrap().arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap(), &Json::Bool(true));
+        assert_eq!(v.get("d").unwrap(), &Json::Null);
+        assert!(parse_line("{\"a\":}").is_err());
+        assert!(parse_line("{} extra").is_err());
+    }
+}

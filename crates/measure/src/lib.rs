@@ -11,13 +11,32 @@
 //!   performance numbers `y_Θ = -ln P(Θ congestion-free)`.
 //! * [`observer`] — [`MeasuredObservations`], the measured implementation of
 //!   `nni_core::Observations` that Algorithm 1 consumes.
+//! * [`dataset`] — the acquisition/inference seam: [`MeasurementSet`] (the
+//!   serializable bundle inference consumes), the [`MeasurementSource`]
+//!   trait, and the [`MeasurementCache`].
+//! * [`codec`] / [`jsonl`] — the hand-rolled binary and JSON-lines
+//!   serializations of a measurement set (no serde; the tree is vendored).
+//! * [`corpus`] — on-disk corpora of encoded sets ([`Corpus`],
+//!   [`CorpusEntry`]).
+//! * [`interval`] — the one measurement-interval binning rule, shared with
+//!   the emulator's cached interval index.
 
+pub mod codec;
+pub mod corpus;
+pub mod dataset;
+pub mod interval;
+pub mod jsonl;
 pub mod normalize;
 pub mod observer;
 pub mod record;
 
+pub use corpus::{Corpus, CorpusEntry, CORPUS_EXT};
+pub use dataset::{
+    Cached, Fnv, MeasurementCache, MeasurementSet, MeasurementSource, Provenance, SetKey,
+    SourceError,
+};
 pub use normalize::{
     group_indicators, hypergeometric, pathset_cf_counts, perf_from_counts, NormalizeConfig,
 };
 pub use observer::MeasuredObservations;
-pub use record::MeasurementLog;
+pub use record::{MeasurementLog, MergeError};

@@ -46,9 +46,12 @@ impl MeasurementLog {
         self.sent.len()
     }
 
-    /// Interval index for a timestamp.
+    /// Interval index for a timestamp — the same binning rule as the
+    /// emulator's cached interval index (see [`crate::interval`]): a
+    /// timestamp landing exactly on `k * interval_s` goes to interval `k`
+    /// in both layers.
     pub fn interval_of(&self, time_s: f64) -> usize {
-        (time_s / self.interval_s).floor().max(0.0) as usize
+        crate::interval::interval_index(time_s, self.interval_s)
     }
 
     fn ensure(&mut self, t: usize) {
@@ -121,7 +124,74 @@ impl MeasurementLog {
     pub fn total_lost(&self, path: PathId) -> u64 {
         (0..self.interval_count()).map(|t| self.lost(t, path)).sum()
     }
+
+    /// Merges another log into this one by summing counts cell-wise — the
+    /// multi-vantage aggregation primitive: several collectors observing the
+    /// same paths over the same interval grid combine into one log.
+    ///
+    /// Both logs must use the *bit-identical* interval length and the same
+    /// path count; interval counts may differ (the shorter log contributes
+    /// zeros to the tail).
+    pub fn merge(&mut self, other: &MeasurementLog) -> Result<(), MergeError> {
+        if self.interval_s.to_bits() != other.interval_s.to_bits() {
+            return Err(MergeError::IntervalMismatch {
+                ours: self.interval_s,
+                theirs: other.interval_s,
+            });
+        }
+        if self.n_paths != other.n_paths {
+            return Err(MergeError::PathCountMismatch {
+                ours: self.n_paths,
+                theirs: other.n_paths,
+            });
+        }
+        if other.sent.len() > self.sent.len() {
+            self.ensure(other.sent.len() - 1);
+        }
+        for t in 0..other.sent.len() {
+            for p in 0..self.n_paths {
+                self.sent[t][p] += other.sent[t][p];
+                self.lost[t][p] += other.lost[t][p];
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Why two measurement logs refused to merge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// The interval lengths differ (compared bit-for-bit: logs binned on
+    /// different grids cannot be summed cell-wise).
+    IntervalMismatch {
+        /// This log's interval.
+        ours: f64,
+        /// The other log's interval.
+        theirs: f64,
+    },
+    /// The path counts differ.
+    PathCountMismatch {
+        /// This log's path count.
+        ours: usize,
+        /// The other log's path count.
+        theirs: usize,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::IntervalMismatch { ours, theirs } => {
+                write!(f, "interval mismatch: {ours} s vs {theirs} s")
+            }
+            MergeError::PathCountMismatch { ours, theirs } => {
+                write!(f, "path count mismatch: {ours} vs {theirs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 #[cfg(test)]
 mod tests {
@@ -170,6 +240,75 @@ mod tests {
         assert!((log.congestion_probability(p, 0.01) - 1.0 / 3.0).abs() < 1e-12);
         // With a 10% threshold nothing is congested.
         assert_eq!(log.congestion_probability(p, 0.10), 0.0);
+    }
+
+    #[test]
+    fn interval_of_agrees_with_the_emulator_boundary_walk() {
+        // A timestamp landing exactly on a ULP-walked interval boundary
+        // must bin into that interval — the regression this satellite
+        // exists for: `interval_of` and the emulator's cached index now
+        // share one rule (`crate::interval`), so a boundary packet can
+        // never be logged into interval k by one layer and k-1 by the
+        // other.
+        use crate::interval::{interval_boundary_ns, interval_index_ns};
+        for interval_s in [0.1, 0.05, 0.3, 1.0 / 3.0, 0.123456789] {
+            let log = MeasurementLog::new(1, interval_s);
+            for k in 1u64..200 {
+                let boundary_ns = interval_boundary_ns(interval_s, k);
+                let time_s = boundary_ns as f64 / 1e9;
+                assert_eq!(
+                    log.interval_of(time_s),
+                    interval_index_ns(boundary_ns, interval_s),
+                    "boundary {k} at interval {interval_s}"
+                );
+                assert_eq!(log.interval_of(time_s), k as usize);
+                // One nanosecond earlier belongs to the previous interval.
+                assert_eq!(
+                    log.interval_of((boundary_ns - 1) as f64 / 1e9),
+                    (k - 1) as usize
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sums_counts_cell_wise() {
+        let mut a = MeasurementLog::new(2, 0.1);
+        a.record_sent(0, PathId(0), 10);
+        a.record_lost(0, PathId(0), 1);
+        let mut b = MeasurementLog::new(2, 0.1);
+        b.record_sent(0, PathId(0), 5);
+        b.record_lost(0, PathId(0), 2);
+        b.record_sent(3, PathId(1), 7); // longer log grows the target
+        a.merge(&b).expect("compatible logs merge");
+        assert_eq!(a.sent(0, PathId(0)), 15);
+        assert_eq!(a.lost(0, PathId(0)), 3);
+        assert_eq!(a.interval_count(), 4);
+        assert_eq!(a.sent(3, PathId(1)), 7);
+        // Merging a shorter log leaves the tail untouched.
+        let mut c = MeasurementLog::new(2, 0.1);
+        c.record_sent(0, PathId(1), 1);
+        a.merge(&c).unwrap();
+        assert_eq!(a.sent(0, PathId(1)), 1);
+        assert_eq!(a.interval_count(), 4);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = MeasurementLog::new(2, 0.1);
+        let b = MeasurementLog::new(3, 0.1);
+        assert_eq!(
+            a.merge(&b),
+            Err(MergeError::PathCountMismatch { ours: 2, theirs: 3 })
+        );
+        let c = MeasurementLog::new(2, 0.2);
+        assert_eq!(
+            a.merge(&c),
+            Err(MergeError::IntervalMismatch {
+                ours: 0.1,
+                theirs: 0.2
+            })
+        );
     }
 
     #[test]

@@ -1,33 +1,38 @@
-//! Routing the related-work baselines through the same [`Scenario`].
+//! Routing the related-work baselines through the same measurements.
 //!
-//! Each adapter derives a baseline's *input* from the scenario plus the
-//! experiment's [`SimReport`], so Algorithm 1, boolean tomography,
-//! least-squares loss tomography, Glasnost, and NetPolice all consume the
-//! identical run — the apples-to-apples comparison §8 calls for:
+//! Each adapter derives a baseline's *input* from a [`MeasurementSet`] — the
+//! identical artifact Algorithm 1 consumes, whether it came from the live
+//! emulator, an on-disk corpus, or a cache — so boolean tomography,
+//! least-squares loss tomography, Glasnost, and NetPolice all see the same
+//! run as the paper's algorithm: the apples-to-apples comparison §8 calls
+//! for. Concretely:
 //!
 //! * boolean / loss tomography see the measured path log (and assume
 //!   neutrality);
-//! * Glasnost additionally gets the class partition (which it would know —
-//!   it crafts the flow types itself);
+//! * Glasnost additionally gets the class partition the set carries (which
+//!   it would know — it crafts the flow types itself);
 //! * NetPolice gets per-link per-class probe loss rates, stood in by the
-//!   emulator's ground truth (its best case: perfect interior probes).
+//!   emulator's ground truth (its best case: perfect interior probes). That
+//!   is link-level information, which a measurement set deliberately does
+//!   not carry — NetPolice alone still takes the raw [`SimReport`].
 
 use nni_emu::SimReport;
-use nni_measure::{MeasuredObservations, NormalizeConfig};
+use nni_measure::{MeasuredObservations, MeasurementSet, NormalizeConfig};
 use nni_tomography::{
     boolean_infer, glasnost_detect, loss_infer, netpolice_detect, BooleanTomography,
     GlasnostVerdict, LinkVerdict, LossTomography, ProbeMeasurements, Snapshot,
 };
 use nni_topology::{PathId, PathSet};
 
+use crate::infer::InferenceConfig;
 use crate::spec::Scenario;
 
 /// Per-interval congestion snapshots over the measured paths (the input
-/// boolean tomography explains).
-pub fn snapshots(scenario: &Scenario, report: &SimReport) -> Vec<Snapshot> {
-    let g = &scenario.topology;
-    let log = &report.log;
-    let thr = scenario.measurement.loss_threshold;
+/// boolean tomography explains), at the config's loss threshold.
+pub fn snapshots(set: &MeasurementSet, cfg: &InferenceConfig) -> Vec<Snapshot> {
+    let g = &set.topology;
+    let log = &set.log;
+    let thr = cfg.loss_threshold;
     (0..log.interval_count())
         .filter_map(|t| {
             let snap: Vec<bool> = g
@@ -44,21 +49,21 @@ pub fn snapshots(scenario: &Scenario, report: &SimReport) -> Vec<Snapshot> {
         .collect()
 }
 
-/// Boolean tomography \[22\] over the scenario's congestion snapshots.
-pub fn boolean(scenario: &Scenario, report: &SimReport) -> BooleanTomography {
-    boolean_infer(&scenario.topology, &snapshots(scenario, report))
+/// Boolean tomography \[22\] over the set's congestion snapshots.
+pub fn boolean(set: &MeasurementSet, cfg: &InferenceConfig) -> BooleanTomography {
+    boolean_infer(&set.topology, &snapshots(set, cfg))
 }
 
 /// Least-squares loss tomography \[7\] over singleton and pair pathsets of
-/// every measured path, using the scenario's own normalization config.
-pub fn loss(scenario: &Scenario, report: &SimReport) -> LossTomography {
-    let g = &scenario.topology;
-    let m = &scenario.measurement;
+/// every measured path, normalized exactly as the set's own inference run
+/// (same threshold, same salted seed).
+pub fn loss(set: &MeasurementSet, cfg: &InferenceConfig) -> LossTomography {
+    let g = &set.topology;
     let obs = MeasuredObservations::new(
-        &report.log,
+        &set.log,
         NormalizeConfig {
-            loss_threshold: m.loss_threshold,
-            seed: m.seed ^ m.normalize_salt,
+            loss_threshold: cfg.loss_threshold,
+            seed: set.provenance.seed ^ cfg.normalize_salt,
         },
     );
     let group: Vec<PathId> = g.path_ids().collect();
@@ -78,23 +83,19 @@ pub fn loss(scenario: &Scenario, report: &SimReport) -> LossTomography {
     loss_infer(g, &pathsets, &y)
 }
 
-/// A Glasnost-style differential detector \[11\] fed the scenario's first two
+/// A Glasnost-style differential detector \[11\] fed the set's first two
 /// classes (the partition Glasnost knows by construction).
-pub fn glasnost(scenario: &Scenario, report: &SimReport, margin: f64) -> GlasnostVerdict {
+pub fn glasnost(set: &MeasurementSet, cfg: &InferenceConfig, margin: f64) -> GlasnostVerdict {
     let empty: &[PathId] = &[];
-    let class1 = scenario.classes.first().map_or(empty, Vec::as_slice);
-    let class2 = scenario.classes.get(1).map_or(empty, Vec::as_slice);
-    glasnost_detect(
-        &report.log,
-        class1,
-        class2,
-        scenario.measurement.loss_threshold,
-        margin,
-    )
+    let class1 = set.classes.first().map_or(empty, Vec::as_slice);
+    let class2 = set.classes.get(1).map_or(empty, Vec::as_slice);
+    glasnost_detect(&set.log, class1, class2, cfg.loss_threshold, margin)
 }
 
 /// A NetPolice-style per-link comparator \[31\] fed perfect interior probes:
-/// the emulator's per-link per-class ground-truth loss rates.
+/// the emulator's per-link per-class ground-truth loss rates. The only
+/// baseline that needs the raw report — its probes see inside the network,
+/// which the measurement-set boundary by definition excludes.
 pub fn netpolice(scenario: &Scenario, report: &SimReport, margin: f64) -> Vec<LinkVerdict> {
     let n_classes = scenario.class_label_count();
     let loss_rate: Vec<Vec<f64>> = scenario
@@ -122,24 +123,27 @@ mod tests {
     use crate::library::{topology_a_scenario, ExperimentParams, Mechanism};
     use nni_tomography::flagged_links;
 
-    fn short_policing_run() -> (Scenario, SimReport) {
+    fn short_policing_run() -> (Scenario, MeasurementSet, SimReport) {
         let s = topology_a_scenario(ExperimentParams {
             mechanism: Mechanism::Policing(0.2),
             duration_s: 25.0,
             seed: 11,
             ..ExperimentParams::default()
         });
-        let report = s.run().report;
-        (s, report)
+        let exp = s.compile();
+        let report = exp.emulate();
+        let set = exp.simulate();
+        (s, set, report)
     }
 
     #[test]
     fn baselines_consume_the_same_run() {
-        let (s, report) = short_policing_run();
+        let (s, set, report) = short_policing_run();
+        let cfg = InferenceConfig::of(&s);
         let l5 = s.topology.link_by_name("l5").unwrap();
 
         // Boolean tomography assumes neutrality and exonerates the culprit.
-        let b = boolean(&s, &report);
+        let b = boolean(&set, &cfg);
         assert!(
             b.prob(l5) < 0.05,
             "boolean tomography should exonerate l5, got {}",
@@ -147,11 +151,11 @@ mod tests {
         );
 
         // The least-squares fit leaves a residual (Lemma 1's raw material).
-        let ls = loss(&s, &report);
+        let ls = loss(&set, &cfg);
         assert!(ls.residual_norm > 0.0);
 
         // Glasnost (knowing the classes) sees the differentiation.
-        let g = glasnost(&s, &report, 0.05);
+        let g = glasnost(&set, &cfg, 0.05);
         assert!(g.differentiated);
         assert!(g.class2_congestion > g.class1_congestion);
 
@@ -165,9 +169,20 @@ mod tests {
 
     #[test]
     fn snapshots_cover_active_intervals_only() {
-        let (s, report) = short_policing_run();
-        let snaps = snapshots(&s, &report);
+        let (s, set, _) = short_policing_run();
+        let snaps = snapshots(&set, &InferenceConfig::of(&s));
         assert!(!snaps.is_empty());
         assert!(snaps.iter().all(|s| s.len() == 4));
+    }
+
+    #[test]
+    fn baselines_accept_a_decoded_set() {
+        // The adapters must be indifferent to where the set came from: a
+        // binary round trip feeds them identically.
+        let (s, set, _) = short_policing_run();
+        let cfg = InferenceConfig::of(&s);
+        let decoded = nni_measure::codec::decode(&nni_measure::codec::encode(&set)).unwrap();
+        assert_eq!(glasnost(&set, &cfg, 0.05), glasnost(&decoded, &cfg, 0.05));
+        assert_eq!(snapshots(&set, &cfg), snapshots(&decoded, &cfg));
     }
 }

@@ -12,13 +12,22 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use nni_measure::MeasurementSet;
+
 use crate::experiment::{Experiment, ExperimentOutcome};
 use crate::spec::Scenario;
 
 /// Runs batches of compiled experiments.
 pub trait Executor {
-    /// Runs every experiment and returns outcomes in input order.
+    /// Runs every experiment end to end (simulate + infer + score) and
+    /// returns outcomes in input order.
     fn execute(&self, experiments: &[Experiment]) -> Vec<ExperimentOutcome>;
+
+    /// Runs only the acquisition half of every experiment, returning the
+    /// measurement sets in input order — the batch primitive re-inference
+    /// sweeps build on (inference then fans out over the sets without
+    /// touching the emulator again).
+    fn acquire(&self, experiments: &[Experiment]) -> Vec<MeasurementSet>;
 
     /// Human-readable description for reports (`"serial"`, `"sharded(8)"`).
     fn describe(&self) -> String;
@@ -31,6 +40,10 @@ pub struct SerialExecutor;
 impl Executor for SerialExecutor {
     fn execute(&self, experiments: &[Experiment]) -> Vec<ExperimentOutcome> {
         experiments.iter().map(Experiment::run).collect()
+    }
+
+    fn acquire(&self, experiments: &[Experiment]) -> Vec<MeasurementSet> {
+        experiments.iter().map(Experiment::simulate).collect()
     }
 
     fn describe(&self) -> String {
@@ -74,26 +87,48 @@ impl ShardedExecutor {
 
 impl Executor for ShardedExecutor {
     fn execute(&self, experiments: &[Experiment]) -> Vec<ExperimentOutcome> {
-        let n = experiments.len();
-        let workers = self.workers.min(n);
-        if workers <= 1 {
-            return SerialExecutor.execute(experiments);
+        sharded_map(self.workers, experiments.len(), |i| experiments[i].run())
+            .unwrap_or_else(|| SerialExecutor.execute(experiments))
+    }
+
+    fn acquire(&self, experiments: &[Experiment]) -> Vec<MeasurementSet> {
+        sharded_map(self.workers, experiments.len(), |i| {
+            experiments[i].simulate()
+        })
+        .unwrap_or_else(|| SerialExecutor.acquire(experiments))
+    }
+
+    fn describe(&self) -> String {
+        format!("sharded({})", self.workers)
+    }
+}
+
+/// The sharded fan-out shared by both executor entry points: `f(i)` for
+/// every index, claimed from an atomic counter (no pre-partitioning, so a
+/// few slow items cannot strand an idle worker), each result landing in its
+/// input-index slot — result order is deterministic and identical to a
+/// serial run. Returns `None` when the effective worker count is one (the
+/// caller falls back to the serial path without spawning).
+fn sharded_map<T: Send>(workers: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Option<Vec<T>> {
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return None;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("unpoisoned slot") = Some(result);
+            });
         }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<ExperimentOutcome>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let outcome = experiments[i].run();
-                    *slots[i].lock().expect("unpoisoned slot") = Some(outcome);
-                });
-            }
-        });
+    });
+    Some(
         slots
             .into_iter()
             .map(|slot| {
@@ -101,12 +136,8 @@ impl Executor for ShardedExecutor {
                     .expect("unpoisoned slot")
                     .expect("every index was claimed exactly once")
             })
-            .collect()
-    }
-
-    fn describe(&self) -> String {
-        format!("sharded({})", self.workers)
-    }
+            .collect(),
+    )
 }
 
 /// Compiles every scenario, preserving order.
@@ -143,5 +174,19 @@ mod tests {
     fn describe_names_the_strategy() {
         assert_eq!(SerialExecutor.describe(), "serial");
         assert_eq!(ShardedExecutor::new(3).describe(), "sharded(3)");
+    }
+
+    #[test]
+    fn acquire_is_identical_serial_and_sharded() {
+        let scenario = crate::library::topology_a_scenario(crate::library::ExperimentParams {
+            duration_s: 2.0,
+            ..crate::library::ExperimentParams::default()
+        });
+        let batch = seed_sweep(&scenario, &[1, 2, 3]);
+        let serial = SerialExecutor.acquire(&batch);
+        let sharded = ShardedExecutor::new(2).acquire(&batch);
+        assert_eq!(serial, sharded, "acquisition must be executor-invariant");
+        assert_eq!(serial.len(), 3);
+        assert_eq!(serial[1].provenance.seed, 2);
     }
 }

@@ -2,18 +2,38 @@
 //!
 //! An experiment is a compiled scenario: simulator link parameters and the
 //! route table are materialized once, so repeated runs (and executor workers)
-//! share the same pre-resolved inputs. `run` is a pure function of the
-//! scenario — identical scenarios produce bit-identical outcomes on any
-//! executor, which is what makes run-sharding safe.
+//! share the same pre-resolved inputs. Acquisition and inference are
+//! decoupled: [`Experiment::simulate`] produces a [`MeasurementSet`] (the
+//! experiment is a [`MeasurementSource`]), [`crate::infer()`] consumes one,
+//! and [`Experiment::run`] is the thin fused composition of the two. Every
+//! entry point is a pure function of the scenario — identical scenarios
+//! produce bit-identical outcomes on any executor, which is what makes
+//! run-sharding and measurement caching safe.
 
-use nni_core::{evaluate, identify, Quality};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nni_core::Quality;
 use nni_emu::{
     background_route, link_params, measured_routes, LinkParams, Route, RouteId, SimConfig,
     SimReport, Simulator, TrafficSpec,
 };
-use nni_measure::{MeasuredObservations, NormalizeConfig};
+use nni_measure::{
+    MeasurementLog, MeasurementSet, MeasurementSource, Provenance, SetKey, SourceError,
+};
 
+use crate::infer::InferenceConfig;
 use crate::spec::{Scenario, TrafficProfile};
+
+/// Counts every packet-level simulation this process runs — the probe the
+/// re-inference tests use to assert that an inference-axis sweep simulates
+/// each distinct scenario exactly once.
+static SIMULATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of packet-level simulations run by this process so far
+/// (monotone; compare before/after deltas).
+pub fn simulation_count() -> u64 {
+    SIMULATIONS.load(Ordering::Relaxed)
+}
 
 /// A compiled, runnable scenario.
 #[derive(Debug, Clone)]
@@ -22,6 +42,9 @@ pub struct Experiment {
     links: Vec<LinkParams>,
     routes: Vec<Route>,
     traffic: Vec<TrafficSpec>,
+    /// `Scenario::measurement_fingerprint`, computed once at compile time —
+    /// sweeps key their caches on it per member.
+    fingerprint: u64,
 }
 
 impl Experiment {
@@ -48,11 +71,13 @@ impl Experiment {
             routes.push(background_route(bg.links.clone()));
             traffic.extend(bg.profiles.iter().map(|p| spec_for(route, p)));
         }
+        let fingerprint = scenario.measurement_fingerprint();
         Experiment {
             scenario,
             links,
             routes,
             traffic,
+            fingerprint,
         }
     }
 
@@ -79,10 +104,12 @@ impl Experiment {
         &self.traffic
     }
 
-    /// Runs only the emulation half: the packet-level simulation, without
-    /// measurement post-processing or inference. Deterministic in the
-    /// scenario — the basis of the cross-implementation identity tests.
-    pub fn simulate(&self) -> SimReport {
+    /// Runs only the raw emulation: the packet-level simulation, without
+    /// measurement packaging or inference. Deterministic in the scenario —
+    /// the basis of the cross-implementation identity tests (which
+    /// fingerprint the full report, ground truth and queue traces included).
+    pub fn emulate(&self) -> SimReport {
+        SIMULATIONS.fetch_add(1, Ordering::Relaxed);
         let s = &self.scenario;
         let m = &s.measurement;
         let mut cfg = SimConfig {
@@ -107,40 +134,75 @@ impl Experiment {
         sim.run()
     }
 
-    /// Runs the experiment end to end: emulate → measure → infer → score.
+    /// Runs the acquisition half: emulate, then package the measurement log
+    /// with the topology, class partition, and provenance into the
+    /// serializable [`MeasurementSet`] any inference consumer accepts.
+    pub fn simulate(&self) -> MeasurementSet {
+        self.package(self.emulate().log)
+    }
+
+    /// Wraps an already-produced measurement log into this experiment's
+    /// measurement set (topology, classes, and provenance attached) —
+    /// for callers that already hold a [`SimReport`] and do not want to
+    /// simulate again.
+    pub fn package(&self, log: MeasurementLog) -> MeasurementSet {
+        let s = &self.scenario;
+        MeasurementSet {
+            topology: s.topology.clone(),
+            classes: s.classes.clone(),
+            log,
+            provenance: Provenance {
+                scenario: s.name.clone(),
+                scenario_fingerprint: self.fingerprint,
+                seed: s.measurement.seed,
+                build: nni_emu::build_fingerprint(),
+            },
+        }
+    }
+
+    /// Runs the experiment end to end — the *fused* legacy entry point, now
+    /// a thin composition of [`Experiment::simulate`] and
+    /// [`crate::infer_scored`] over the measurement-set seam (plus the raw
+    /// report, which executors and baselines still want). Prefer the two
+    /// halves when measurements are reused across inference configs.
     ///
     /// Takes `&self` so executors can run the same compiled experiment from
     /// several workers; every invocation is deterministic in the scenario.
     pub fn run(&self) -> ExperimentOutcome {
         let s = &self.scenario;
-        let g = &s.topology;
-        let m = &s.measurement;
-        let report = self.simulate();
-
-        let path_congestion: Vec<f64> = g
-            .path_ids()
-            .map(|path| report.log.congestion_probability(path, m.loss_threshold))
-            .collect();
-
-        let obs = MeasuredObservations::new(
+        let report = self.emulate();
+        // The borrowing core of `infer_scored`: identical inference over
+        // the same seam, without materializing (cloning) a MeasurementSet
+        // per run — run() is the executors' hot path.
+        let scored = crate::infer::infer_scored_parts(
+            &s.topology,
             &report.log,
-            NormalizeConfig {
-                loss_threshold: m.loss_threshold,
-                seed: m.seed ^ m.normalize_salt,
-            },
+            s.measurement.seed,
+            &InferenceConfig::of(s),
+            &s.expectation,
         );
-        let inference = identify(g, &obs, s.inference);
-        let flagged_nonneutral = inference.network_is_nonneutral();
-        let quality = evaluate(g, &inference.nonneutral, &s.expectation.nonneutral_links);
-
         ExperimentOutcome {
-            path_congestion,
-            flagged_nonneutral,
-            correct: flagged_nonneutral == s.expectation.expect_flagged,
-            quality,
-            inference,
+            path_congestion: scored.path_congestion,
+            flagged_nonneutral: scored.flagged_nonneutral,
+            correct: scored.correct,
+            quality: scored.quality,
+            inference: scored.inference,
             report,
         }
+    }
+}
+
+/// The live emulator as a measurement source: acquisition simulates.
+impl MeasurementSource for Experiment {
+    fn key(&self) -> SetKey {
+        SetKey {
+            fingerprint: self.fingerprint,
+            seed: self.scenario.measurement.seed,
+        }
+    }
+
+    fn acquire(&self) -> Result<MeasurementSet, SourceError> {
+        Ok(self.simulate())
     }
 }
 
@@ -213,6 +275,26 @@ mod tests {
             a.report.segments_sent, c.report.segments_sent,
             "different seed must change the traffic"
         );
+    }
+
+    #[test]
+    fn experiment_is_a_measurement_source() {
+        let s = policing_scenario(5);
+        let exp = s.compile();
+        let key = exp.key();
+        assert_eq!(key.seed, 5);
+        assert_eq!(key.fingerprint, s.measurement_fingerprint());
+        let before = simulation_count();
+        let set = exp.acquire().expect("live acquisition is infallible");
+        // Other unit tests simulate concurrently, so only monotonicity is
+        // asserted here; the exact-count probe lives in the serialized
+        // `tests/reinfer.rs` suite.
+        assert!(simulation_count() > before, "acquire must simulate");
+        assert_eq!(set.key(), key);
+        assert_eq!(set.log, exp.emulate().log);
+        assert_eq!(set.provenance.scenario, "policing");
+        assert!(set.provenance.build.starts_with("nni-emu"));
+        assert_eq!(set.classes, s.classes);
     }
 
     #[test]

@@ -9,14 +9,24 @@
 //! * [`spec`] — [`Scenario`], [`ScenarioBuilder`], validation (including
 //!   mixed congestion-control fleets and per-link [`QueueOverride`]s).
 //! * [`experiment`] — the compiled [`Experiment`] and its
-//!   [`ExperimentOutcome`] (emulate → measure → infer → score).
+//!   [`ExperimentOutcome`]. Acquisition and inference are decoupled:
+//!   [`Experiment::simulate`] yields a serializable
+//!   [`MeasurementSet`] (experiments are [`MeasurementSource`]s), and
+//!   [`Experiment::run`] is the thin fused composition.
+//! * [`infer`](mod@infer) — the inference half: [`infer()`]/[`infer_scored`]
+//!   run Algorithm 1/2 over *any* measurement set (live, decoded from an
+//!   on-disk [`Corpus`], or cached in a [`MeasurementCache`]) under an
+//!   [`InferenceConfig`].
 //! * [`executor`] — [`SerialExecutor`] and [`ShardedExecutor`]: independent
 //!   runs fan out across scoped threads with deterministic, input-order
 //!   results. Identical scenarios produce bit-identical outcomes on either
 //!   executor.
 //! * [`sweep`] — [`SweepSet`]: a named experiment family over one axis
-//!   (seeds, policer rates, differentiation placements, CC fleets) that
-//!   compiles into a batch and runs through any executor with one call.
+//!   (seeds, policer rates, differentiation placements, CC fleets — and the
+//!   inference-side axes [`SweepSet::decision_thresholds`] /
+//!   [`SweepSet::cluster_configs`], which [`SweepSet::run_reinfer`] serves
+//!   from one simulation per distinct measurement) that compiles into a
+//!   batch and runs through any executor with one call.
 //! * [`library`] — ready-made scenarios: the paper's topology A (Table 2)
 //!   and topology B (§6.4) setups plus variants beyond Table 2
 //!   (dual policers, asymmetric-RTT and mixed-CC neutral controls,
@@ -64,16 +74,24 @@ pub mod baselines;
 pub mod executor;
 pub mod experiment;
 pub mod generate;
+pub mod infer;
 pub mod library;
 pub mod spec;
 pub mod sweep;
 
 pub use audit::{assert_demand_exceeds_policed_rate, policed_demand_report, DEMAND_MARGIN};
 pub use executor::{compile_all, seed_sweep, Executor, SerialExecutor, ShardedExecutor};
-pub use experiment::{Experiment, ExperimentOutcome};
+pub use experiment::{simulation_count, Experiment, ExperimentOutcome};
 pub use generate::{GenConfig, ScenarioGen};
+pub use infer::{infer, infer_scored, InferenceConfig, InferenceOutcome};
 pub use spec::{
     BackgroundTraffic, Expectation, MeasurementConfig, QueueOverride, Scenario, ScenarioBuilder,
     ScenarioError, TrafficProfile, DEFAULT_NORMALIZE_SALT,
 };
-pub use sweep::{run_sets, SweepMember, SweepOutcome, SweepSet};
+pub use sweep::{reinfer_sets, run_sets, ReinferOutcome, SweepMember, SweepOutcome, SweepSet};
+// The dataset seam's types, re-exported so consumers of the experiment
+// surface need only this crate.
+pub use nni_measure::{
+    Cached, Corpus, CorpusEntry, MeasurementCache, MeasurementSet, MeasurementSource, Provenance,
+    SetKey, SourceError,
+};

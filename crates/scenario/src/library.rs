@@ -413,6 +413,63 @@ pub fn policer_rate_sweep_topology_b(p: TopologyBParams) -> SweepSet {
     )
 }
 
+/// The **identity suite**: every scenario family of this library at
+/// identity-test durations (short windows, 1 s warm-up so several measured
+/// intervals survive), in a pinned order. This is the population behind two
+/// cross-implementation gates:
+///
+/// * `tests/report_identity.rs` pins full-`SimReport` fingerprints of all
+///   14 members × 3 seeds against the pre-rewrite emulator;
+/// * `tests/corpus_roundtrip.rs` asserts that `infer` over a binary
+///   encode→decode round trip of each member's
+///   [`MeasurementSet`](nni_measure::MeasurementSet) is bit-identical to
+///   the fused `Experiment::run` result.
+///
+/// Appending new families is fine (new golden rows get captured); never
+/// reorder or edit existing members — the fingerprints are order-keyed.
+pub fn identity_suite() -> Vec<Scenario> {
+    let short_b = || TopologyBParams {
+        duration_s: 5.0,
+        ..TopologyBParams::default()
+    };
+    let sweep = policer_rate_sweep_topology_b(TopologyBParams {
+        duration_s: 4.0,
+        ..TopologyBParams::default()
+    });
+    let mut scenarios = vec![
+        topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Neutral,
+            duration_s: 6.0,
+            ..ExperimentParams::default()
+        }),
+        topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Policing(0.2),
+            duration_s: 6.0,
+            ..ExperimentParams::default()
+        }),
+        topology_a_scenario(ExperimentParams {
+            mechanism: Mechanism::Shaping(0.3),
+            duration_s: 6.0,
+            ..ExperimentParams::default()
+        }),
+        topology_b_scenario(short_b()),
+        dual_policer_topology_b(short_b()),
+        asymmetric_rtt_neutral(6.0, 42),
+        dual_link_shaping(short_b()),
+        mixed_cc_policer_contention(6.0, 42),
+        mixed_cc_neutral_control(6.0, 42),
+        shallow_buffer_neutral_control(6.0, 42),
+        deep_buffer_policing(6.0, 42),
+    ];
+    scenarios.extend(sweep.scenarios().cloned());
+    // A short warm-up keeps several post-warmup intervals in the log (the
+    // default 5 s would drop nearly everything at these durations).
+    for s in &mut scenarios {
+        s.measurement.warmup_s = Some(1.0);
+    }
+    scenarios
+}
+
 /// Ground-truth class partition of topology A as a [`nni_core::Classes`]
 /// value (for reporting).
 pub fn topology_a_classes(paper: &PaperTopology) -> nni_core::Classes {

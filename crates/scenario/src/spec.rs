@@ -352,6 +352,155 @@ impl Scenario {
         self.classes.iter().position(|c| c.contains(&p))
     }
 
+    /// FNV-1a fingerprint of every *measurement-relevant* axis: topology,
+    /// class partition, differentiation placements, traffic, queue
+    /// overrides, and the simulation window — but **not** the seed (the
+    /// cache key pairs fingerprint with seed), and not the inference-side
+    /// knobs (name, loss threshold, normalization salt, Algorithm 1 config,
+    /// expectation), which do not shape the measured counts.
+    ///
+    /// Two scenarios with equal fingerprints produce bit-identical
+    /// measurement logs at equal seeds; this is what keys the
+    /// [`MeasurementCache`](nni_measure::MeasurementCache) and what an
+    /// inference-axis sweep dedups on.
+    pub fn measurement_fingerprint(&self) -> u64 {
+        use nni_emu::{CcFleet, SizeDist};
+        let mut h = nni_measure::Fnv::new();
+        let g = &self.topology;
+        // Topology structure and physical parameters.
+        h.word(g.nodes().len() as u64);
+        for n in g.nodes() {
+            h.word(matches!(n.kind, nni_topology::NodeKind::Relay) as u64);
+            h.str(&n.name);
+        }
+        h.word(g.link_count() as u64);
+        for l in g.links() {
+            h.word(l.src.index() as u64);
+            h.word(l.dst.index() as u64);
+            h.word(l.capacity_bps.to_bits());
+            h.word(l.delay_s.to_bits());
+            h.str(&l.name);
+        }
+        h.word(g.path_count() as u64);
+        for p in g.paths() {
+            h.str(p.name());
+            h.word(p.len() as u64);
+            for l in p.links() {
+                h.word(l.index() as u64);
+            }
+        }
+        // Class partition (rides into the set; also sizes the truth
+        // recorder via `class_label_count`).
+        h.word(self.classes.len() as u64);
+        for class in &self.classes {
+            h.word(class.len() as u64);
+            for p in class {
+                h.word(p.index() as u64);
+            }
+        }
+        // Differentiation placements.
+        let hash_fleet = |h: &mut nni_measure::Fnv, fleet: &CcFleet| match fleet {
+            CcFleet::Uniform(kind) => {
+                h.word(1);
+                h.word(*kind as u64);
+            }
+            CcFleet::Mixed(kinds) => {
+                h.word(2);
+                h.word(kinds.len() as u64);
+                for k in kinds {
+                    h.word(*k as u64);
+                }
+            }
+        };
+        let hash_profile = |h: &mut nni_measure::Fnv, p: &TrafficProfile| {
+            h.word(p.class as u64);
+            hash_fleet(h, &p.cc);
+            match p.size {
+                SizeDist::ParetoMean { mean_bytes, shape } => {
+                    h.word(1);
+                    h.word(mean_bytes.to_bits());
+                    h.word(shape.to_bits());
+                }
+                SizeDist::Fixed { bytes } => {
+                    h.word(2);
+                    h.word(bytes);
+                }
+            }
+            h.word(p.mean_gap_s.to_bits());
+            h.word(p.parallel as u64);
+        };
+        h.word(self.differentiation.len() as u64);
+        for (l, diff) in &self.differentiation {
+            h.word(l.index() as u64);
+            match diff {
+                Differentiation::None => h.word(0),
+                Differentiation::Policing {
+                    class,
+                    rate_bps,
+                    burst_bytes,
+                } => {
+                    h.word(1);
+                    h.word(*class as u64);
+                    h.word(rate_bps.to_bits());
+                    h.word(burst_bytes.to_bits());
+                }
+                Differentiation::Shaping { lanes } => {
+                    h.word(2);
+                    h.word(lanes.len() as u64);
+                    for lane in lanes {
+                        h.word(lane.class as u64);
+                        h.word(lane.rate_bps.to_bits());
+                        h.word(lane.burst_bytes.to_bits());
+                        h.word(lane.buffer_bytes);
+                    }
+                }
+            }
+        }
+        // Traffic.
+        h.word(self.path_traffic.len() as u64);
+        for (p, profile) in &self.path_traffic {
+            h.word(p.index() as u64);
+            hash_profile(&mut h, profile);
+        }
+        h.word(self.background.len() as u64);
+        for bg in &self.background {
+            h.word(bg.links.len() as u64);
+            for l in &bg.links {
+                h.word(l.index() as u64);
+            }
+            h.word(bg.profiles.len() as u64);
+            for profile in &bg.profiles {
+                hash_profile(&mut h, profile);
+            }
+        }
+        // Queue overrides.
+        h.word(self.queue_overrides.len() as u64);
+        for (l, q) in &self.queue_overrides {
+            h.word(l.index() as u64);
+            match q {
+                QueueOverride::Bytes(b) => {
+                    h.word(1);
+                    h.word(*b);
+                }
+                QueueOverride::Packets(n) => {
+                    h.word(2);
+                    h.word(*n as u64);
+                }
+            }
+        }
+        // Simulation window (seed excluded by design).
+        h.word(self.measurement.duration_s.to_bits());
+        h.word(self.measurement.interval_s.to_bits());
+        match self.measurement.warmup_s {
+            None => h.word(0),
+            Some(w) => {
+                h.word(1);
+                h.word(w.to_bits());
+            }
+        }
+        h.0
+    }
+
     /// Same scenario, different simulation seed — the unit of a seed sweep.
     pub fn with_seed(&self, seed: u64) -> Scenario {
         let mut s = self.clone();
@@ -784,6 +933,52 @@ mod tests {
             ScenarioBuilder::of(broken).build().unwrap_err(),
             ScenarioError::EmptyCcFleet
         );
+    }
+
+    #[test]
+    fn measurement_fingerprint_ignores_inference_axes_only() {
+        let paper = topology_a(0.05, 0.05);
+        let l5 = paper.topology.link_by_name("l5").unwrap();
+        let mech = policer_at_fraction(&paper.topology, l5, 1, 0.2, 0.01);
+        let base = Scenario::builder("t", paper.topology.clone())
+            .classes(paper.classes.clone())
+            .differentiate(mech.0, mech.1)
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap();
+        let fp = base.measurement_fingerprint();
+
+        // Inference-side knobs (and the seed, and the name) leave the
+        // fingerprint alone — that is what lets a threshold sweep share one
+        // simulation.
+        let mut s = base.clone();
+        s.name = "renamed".into();
+        s.measurement.seed ^= 0xFFFF;
+        s.measurement.loss_threshold = 0.05;
+        s.measurement.normalize_salt = 0x1234;
+        s.inference = nni_core::Config::exact();
+        s.expectation = Expectation::nonneutral(vec![l5]);
+        assert_eq!(s.measurement_fingerprint(), fp);
+
+        // Every measurement-shaping axis moves it.
+        let mut s = base.clone();
+        s.measurement.duration_s += 1.0;
+        assert_ne!(s.measurement_fingerprint(), fp);
+        let mut s = base.clone();
+        s.measurement.warmup_s = Some(0.5);
+        assert_ne!(s.measurement_fingerprint(), fp);
+        let mut s = base.clone();
+        s.differentiation.clear();
+        assert_ne!(s.measurement_fingerprint(), fp);
+        let mut s = base.clone();
+        s.path_traffic[0].1.parallel += 1;
+        assert_ne!(s.measurement_fingerprint(), fp);
+        let mut s = base.clone();
+        s.queue_overrides.push((l5, QueueOverride::Packets(9)));
+        assert_ne!(s.measurement_fingerprint(), fp);
+        let mut s = base.clone();
+        s.classes.push(vec![]);
+        assert_ne!(s.measurement_fingerprint(), fp);
     }
 
     #[test]

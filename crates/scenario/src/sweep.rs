@@ -30,10 +30,12 @@
 //! ```
 
 use nni_emu::{policer_at_fraction, CcFleet, ClassLabel, Differentiation};
+use nni_measure::MeasurementCache;
 use nni_topology::LinkId;
 
 use crate::executor::Executor;
 use crate::experiment::{Experiment, ExperimentOutcome};
+use crate::infer::{infer_scored, InferenceConfig, InferenceOutcome};
 use crate::spec::Scenario;
 
 /// One member of a sweep: the x-axis tick label and its scenario.
@@ -52,6 +54,17 @@ pub struct SweepOutcome {
     pub tick: String,
     /// The member's experiment outcome.
     pub outcome: ExperimentOutcome,
+}
+
+/// One member's re-inference result ([`SweepSet::run_reinfer`]): the tick
+/// label plus the inference half of the outcome (no raw simulation report —
+/// the member may not have simulated at all).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReinferOutcome {
+    /// The member's tick label.
+    pub tick: String,
+    /// The member's inference outcome over the (possibly cached) set.
+    pub outcome: InferenceOutcome,
 }
 
 /// A named family of experiments varying along one axis.
@@ -195,6 +208,93 @@ impl SweepSet {
         )
     }
 
+    /// **Decision-threshold axis** (inference-side): the base scenario with
+    /// Algorithm 1's clustered-mode `abs_threshold` set to each value. The
+    /// measurement axes are untouched, so every member shares one
+    /// measurement fingerprint — [`SweepSet::run_reinfer`] simulates the
+    /// base exactly once and fans the thresholds out over the cached
+    /// [`MeasurementSet`](nni_measure::MeasurementSet).
+    ///
+    /// A base in exact mode adopts the clustered defaults for the swept
+    /// parameters (the threshold axis only exists in clustered mode).
+    pub fn decision_thresholds(
+        name: impl Into<String>,
+        base: &Scenario,
+        thresholds: &[f64],
+    ) -> SweepSet {
+        use nni_core::DecisionMode;
+        let (guard, rel_margin) = match base.inference.mode {
+            DecisionMode::Clustered {
+                guard, rel_margin, ..
+            } => (guard, rel_margin),
+            DecisionMode::Exact { .. } => {
+                let defaults = nni_core::Config::clustered();
+                match defaults.mode {
+                    DecisionMode::Clustered {
+                        guard, rel_margin, ..
+                    } => (guard, rel_margin),
+                    DecisionMode::Exact { .. } => unreachable!("clustered() is clustered"),
+                }
+            }
+        };
+        SweepSet::from_points(
+            name,
+            "decision threshold",
+            thresholds.iter().map(|&abs_threshold| {
+                let mut s = base.clone();
+                s.inference.mode = DecisionMode::Clustered {
+                    guard,
+                    abs_threshold,
+                    rel_margin,
+                };
+                (format!("{abs_threshold}"), s)
+            }),
+        )
+    }
+
+    /// **Clustering-config axis** (inference-side): the base scenario with
+    /// each complete Algorithm 1 [`Config`](nni_core::Config) installed
+    /// wholesale. Like [`SweepSet::decision_thresholds`], members share the
+    /// base's measurements — run through [`SweepSet::run_reinfer`], the set
+    /// costs one simulation regardless of how many configs it compares.
+    pub fn cluster_configs(
+        name: impl Into<String>,
+        base: &Scenario,
+        configs: impl IntoIterator<Item = (String, nni_core::Config)>,
+    ) -> SweepSet {
+        SweepSet::from_points(
+            name,
+            "inference config",
+            configs.into_iter().map(|(tick, cfg)| {
+                let mut s = base.clone();
+                s.inference = cfg;
+                (tick, s)
+            }),
+        )
+    }
+
+    /// Runs the set through the measurement-set seam: simulate each
+    /// *distinct* `(measurement fingerprint, seed)` exactly once — missing
+    /// sets are acquired through the executor in one parallel batch, hits
+    /// come from `cache` — then fan member inference configs out over the
+    /// cached sets serially (inference is orders of magnitude cheaper than
+    /// emulation).
+    ///
+    /// For an inference-axis set of N members over one base this turns
+    /// O(members) simulations into O(1); for a mixed set it degenerates
+    /// gracefully to one simulation per distinct member. Results are
+    /// bit-identical to [`SweepSet::run`]'s inference outputs, member for
+    /// member (the identity the re-inference test suite gates).
+    pub fn run_reinfer(
+        &self,
+        executor: &dyn Executor,
+        cache: &MeasurementCache,
+    ) -> Vec<ReinferOutcome> {
+        reinfer_sets(std::slice::from_ref(self), executor, cache)
+            .pop()
+            .expect("one result slice per set")
+    }
+
     /// The members, in sweep order.
     pub fn members(&self) -> &[SweepMember] {
         &self.members
@@ -255,6 +355,55 @@ fn revalidated(s: Scenario, axis: &str) -> Scenario {
     crate::spec::ScenarioBuilder::of(s)
         .build()
         .unwrap_or_else(|e| panic!("SweepSet::{axis}: member `{name}` is invalid: {e}"))
+}
+
+/// Runs several sets through the measurement-set seam as **one** batch:
+/// every distinct `(measurement fingerprint, seed)` across *all* sets is
+/// simulated at most once — cache misses are acquired in a single
+/// [`Executor::acquire`] call, so workers drain the whole flattened
+/// distinct-measurement list — then member inference configs fan out over
+/// the cached sets, re-sliced per set in input order.
+///
+/// The batched twin of [`SweepSet::run_reinfer`], exactly as [`run_sets`]
+/// is the batched twin of [`SweepSet::run`].
+pub fn reinfer_sets(
+    sets: &[SweepSet],
+    executor: &dyn Executor,
+    cache: &MeasurementCache,
+) -> Vec<Vec<ReinferOutcome>> {
+    use nni_measure::MeasurementSource;
+    let experiments: Vec<Vec<Experiment>> = sets.iter().map(SweepSet::compile).collect();
+    // The experiments whose keys the cache lacks, one per distinct key, in
+    // first-occurrence order across the whole batch.
+    let mut missing: Vec<Experiment> = Vec::new();
+    for e in experiments.iter().flatten() {
+        if cache.get(e.key()).is_none() && missing.iter().all(|m| m.key() != e.key()) {
+            missing.push(e.clone());
+        }
+    }
+    for set in executor.acquire(&missing) {
+        cache.insert(set.key(), std::sync::Arc::new(set));
+    }
+    sets.iter()
+        .zip(&experiments)
+        .map(|(set, exps)| {
+            set.members
+                .iter()
+                .zip(exps)
+                .map(|(m, e)| {
+                    let data = cache.get(e.key()).expect("acquired above");
+                    ReinferOutcome {
+                        tick: m.tick.clone(),
+                        outcome: infer_scored(
+                            &data,
+                            &InferenceConfig::of(&m.scenario),
+                            &m.scenario.expectation,
+                        ),
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Runs several sets as **one** executor batch (so workers drain the whole
@@ -395,6 +544,75 @@ mod tests {
             .path_traffic
             .iter()
             .all(|(_, p)| p.cc == fleet));
+    }
+
+    #[test]
+    fn decision_threshold_axis_shares_one_measurement() {
+        let b = base();
+        let set = SweepSet::decision_thresholds("thr", &b, &[0.02, 0.04, 0.08]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.members()[1].tick, "0.04");
+        let fps: Vec<u64> = set
+            .scenarios()
+            .map(Scenario::measurement_fingerprint)
+            .collect();
+        assert!(
+            fps.iter().all(|&f| f == b.measurement_fingerprint()),
+            "threshold members must share the base's measurement fingerprint"
+        );
+        for (s, &thr) in set.scenarios().zip(&[0.02, 0.04, 0.08]) {
+            match s.inference.mode {
+                nni_core::DecisionMode::Clustered { abs_threshold, .. } => {
+                    assert_eq!(abs_threshold, thr)
+                }
+                _ => panic!("threshold axis must produce clustered mode"),
+            }
+        }
+    }
+
+    #[test]
+    fn reinfer_matches_the_fused_sweep_with_one_simulation() {
+        use nni_measure::MeasurementCache;
+        let b = base();
+        let set = SweepSet::decision_thresholds("thr", &b, &[0.02, 0.04, 0.30]);
+        let cache = MeasurementCache::new();
+        let reinferred = set.run_reinfer(&SerialExecutor, &cache);
+        assert_eq!(cache.len(), 1, "one distinct measurement, one simulation");
+        let fused = set.run(&SerialExecutor);
+        for (r, f) in reinferred.iter().zip(&fused) {
+            assert_eq!(r.tick, f.tick);
+            assert_eq!(r.outcome.inference, f.outcome.inference);
+            assert_eq!(r.outcome.path_congestion, f.outcome.path_congestion);
+            assert_eq!(r.outcome.correct, f.outcome.correct);
+        }
+        // Re-running hits the cache: no new distinct sets.
+        let hits_before = cache.hits();
+        let again = set.run_reinfer(&SerialExecutor, &cache);
+        assert_eq!(again, reinferred);
+        assert!(cache.hits() > hits_before);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cluster_config_axis_installs_configs_wholesale() {
+        let b = base();
+        let set = SweepSet::cluster_configs(
+            "cfg",
+            &b,
+            [
+                ("exact".to_string(), nni_core::Config::exact()),
+                ("clustered".to_string(), nni_core::Config::clustered()),
+            ],
+        );
+        assert_eq!(set.len(), 2);
+        assert!(matches!(
+            set.members()[0].scenario.inference.mode,
+            nni_core::DecisionMode::Exact { .. }
+        ));
+        assert_eq!(
+            set.members()[1].scenario.measurement_fingerprint(),
+            b.measurement_fingerprint()
+        );
     }
 
     #[test]

@@ -16,36 +16,12 @@
 //! simulation behaviour and must be fixed, not re-golded.
 
 use nni_emu::SimReport;
-use nni_scenario::library::{
-    asymmetric_rtt_neutral, deep_buffer_policing, dual_link_shaping, dual_policer_topology_b,
-    mixed_cc_neutral_control, mixed_cc_policer_contention, policer_rate_sweep_topology_b,
-    shallow_buffer_neutral_control, topology_a_scenario, topology_b_scenario, ExperimentParams,
-    Mechanism, TopologyBParams,
-};
+use nni_measure::Fnv;
+use nni_scenario::library::{identity_suite, topology_a_scenario, ExperimentParams, Mechanism};
 use nni_scenario::Scenario;
 use nni_topology::{LinkId, PathId};
 
 const SEEDS: [u64; 3] = [1, 7, 42];
-
-/// FNV-1a over a stream of u64 words.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn word(&mut self, w: u64) {
-        for byte in w.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    fn f64(&mut self, x: f64) {
-        self.word(x.to_bits());
-    }
-}
 
 /// Folds every field of a `SimReport` into one u64 — as strict as
 /// `PartialEq` on the full report.
@@ -94,57 +70,16 @@ fn fingerprint(report: &SimReport) -> u64 {
     h.0
 }
 
-fn short_b() -> TopologyBParams {
-    TopologyBParams {
-        duration_s: 5.0,
-        ..TopologyBParams::default()
-    }
-}
-
-/// Every scenario family in the library, at identity-test durations.
+/// Every scenario family in the library at identity-test durations — now
+/// the shared [`identity_suite`] (the corpus round-trip gate runs over the
+/// same population).
 ///
 /// Rows 0–6 are the PR 3 set, pinned on the **pre-rewrite** emulator; rows
 /// 7–13 cover the PR 4 additions (mixed-CC fleets, queue overrides, the
 /// topology-B policer-rate sweep), pinned on the emulator that shipped
 /// them — so heterogeneous traffic stays fingerprint-gated too.
 fn library() -> Vec<Scenario> {
-    let sweep = policer_rate_sweep_topology_b(TopologyBParams {
-        duration_s: 4.0,
-        ..TopologyBParams::default()
-    });
-    let mut scenarios = vec![
-        topology_a_scenario(ExperimentParams {
-            mechanism: Mechanism::Neutral,
-            duration_s: 6.0,
-            ..ExperimentParams::default()
-        }),
-        topology_a_scenario(ExperimentParams {
-            mechanism: Mechanism::Policing(0.2),
-            duration_s: 6.0,
-            ..ExperimentParams::default()
-        }),
-        topology_a_scenario(ExperimentParams {
-            mechanism: Mechanism::Shaping(0.3),
-            duration_s: 6.0,
-            ..ExperimentParams::default()
-        }),
-        topology_b_scenario(short_b()),
-        dual_policer_topology_b(short_b()),
-        asymmetric_rtt_neutral(6.0, 42),
-        dual_link_shaping(short_b()),
-        // PR 4 additions: heterogeneous fleets and queue overrides.
-        mixed_cc_policer_contention(6.0, 42),
-        mixed_cc_neutral_control(6.0, 42),
-        shallow_buffer_neutral_control(6.0, 42),
-        deep_buffer_policing(6.0, 42),
-    ];
-    scenarios.extend(sweep.scenarios().cloned());
-    // A short warm-up keeps several post-warmup intervals in the
-    // fingerprinted log (the default 5 s would drop nearly everything).
-    for s in &mut scenarios {
-        s.measurement.warmup_s = Some(1.0);
-    }
-    scenarios
+    identity_suite()
 }
 
 /// `(scenario index, seed index) -> fingerprint`. Scenario order matches
@@ -174,7 +109,7 @@ fn sim_reports_match_pre_rewrite_golden_fingerprints() {
     for s in &scenarios {
         let mut row = Vec::new();
         for &seed in &SEEDS {
-            row.push(fingerprint(&s.with_seed(seed).compile().simulate()));
+            row.push(fingerprint(&s.with_seed(seed).compile().emulate()));
         }
         current.push(row);
     }
@@ -213,7 +148,7 @@ fn fingerprints_are_deterministic_within_build() {
         duration_s: 5.0,
         ..ExperimentParams::default()
     });
-    let a = fingerprint(&s.with_seed(9).compile().simulate());
-    let b = fingerprint(&s.with_seed(9).compile().simulate());
+    let a = fingerprint(&s.with_seed(9).compile().emulate());
+    let b = fingerprint(&s.with_seed(9).compile().emulate());
     assert_eq!(a, b);
 }

@@ -17,7 +17,7 @@ use nni_measure::MeasurementLog;
 use nni_topology::PathId;
 
 /// Verdict of the differential detector.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlasnostVerdict {
     /// Mean congestion probability of class-1 paths.
     pub class1_congestion: f64,

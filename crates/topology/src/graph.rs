@@ -20,7 +20,7 @@ pub enum NodeKind {
 }
 
 /// A node of the network graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// Kind (host or relay).
     pub kind: NodeKind,
@@ -30,7 +30,7 @@ pub struct Node {
 
 /// A directed link of the network graph, with the physical parameters the
 /// emulator needs (the inference layer only uses the `src`/`dst` structure).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Link {
     /// Transmitting node.
     pub src: NodeId,
@@ -86,7 +86,12 @@ impl std::fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// The immutable network graph plus the set of currently used paths `P`.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full structure (nodes, links — f64 parameters
+/// included — and paths; `paths_by_link` is derived, so it follows), which
+/// is what makes a decoded `MeasurementSet` comparable bit-for-bit to the
+/// live one (`nni-measure`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
