@@ -140,7 +140,16 @@ fn record(args: &Args) {
 
 fn replay(args: &Args) {
     let corpus = open_corpus(args);
-    let entries = corpus.entries().expect("list corpus");
+    // `entries()` decodes every file's provenance prefix, so a corrupt
+    // entry surfaces *here*, not just at acquire time — report it and exit
+    // 1 (a codec failure is a verification failure, not a crash).
+    let entries = match corpus.entries() {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("FAILED to list corpus {}: {err}", corpus.dir().display());
+            std::process::exit(1);
+        }
+    };
     let mut t = Table::new(vec![
         "scenario",
         "seed",
@@ -186,7 +195,13 @@ fn replay(args: &Args) {
 
 fn reinfer(args: &Args) {
     let corpus = open_corpus(args);
-    let sets = corpus.load_all().expect("load corpus");
+    let sets = match corpus.load_all() {
+        Ok(sets) => sets,
+        Err(err) => {
+            eprintln!("FAILED to load corpus {}: {err}", corpus.dir().display());
+            std::process::exit(1);
+        }
+    };
     println!(
         "== re-inference over {} stored sets (zero simulations) ==\n",
         sets.len()

@@ -9,19 +9,29 @@
 //!
 //! ```text
 //! perf_record [--smoke] [--label <name>] [--out <path>] [--fresh]
-//!   --smoke   few iterations per bench (CI-friendly, minutes -> seconds)
-//!   --label   entry label (default "local")
-//!   --out     trajectory file (default BENCH_emulator.json)
-//!   --fresh   start a new file instead of appending
+//!             [--check] [--baseline <path>]
+//!   --smoke     few iterations per bench (CI-friendly, minutes -> seconds)
+//!   --label     entry label (default "local")
+//!   --out       trajectory file (default BENCH_emulator.json)
+//!   --fresh     start a new file instead of appending
+//!   --check     exit 1 if any bench's median regresses more than 2x
+//!               against the latest entry in the baseline file
+//!   --baseline  file --check compares against (default BENCH_emulator.json)
 //! ```
 
 use nni_bench::{run_topology_a, table2_sets, ExperimentParams, Mechanism};
 use nni_emu::{
     link_params, measured_routes, CcKind, RouteId, SimConfig, Simulator, SizeDist, TrafficSpec,
 };
-use nni_scenario::{reinfer_sets, Executor, MeasurementCache, SerialExecutor, SweepSet};
+use nni_scenario::{
+    default_worker_bin, reinfer_sets, Executor, MeasurementCache, ProcessExecutor, SerialExecutor,
+    SweepSet,
+};
 use nni_topology::library::topology_a;
 use std::time::{Duration, Instant};
+
+/// Medians must stay within this factor of the baseline under `--check`.
+const REGRESSION_FACTOR: f64 = 2.0;
 
 struct BenchResult {
     name: &'static str,
@@ -159,6 +169,79 @@ fn json_entry(label: &str, mode: &str, results: &[BenchResult]) -> String {
     out
 }
 
+/// Latest recorded median per bench name in a perf-trajectory file, by
+/// line scan — the file format is exactly what [`json_entry`] emits (one
+/// `"name": {... "median_ns": N ...}` line per bench), so no JSON parser
+/// is needed. Later entries overwrite earlier ones: the comparison is
+/// always against the file's most recent entry carrying that bench.
+fn baseline_medians(text: &str) -> Vec<(String, u128)> {
+    let mut medians: Vec<(String, u128)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_start();
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(rest) = rest.split_once("\"median_ns\": ").map(|(_, r)| r) else {
+            continue;
+        };
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        let Ok(median) = digits.parse::<u128>() else {
+            continue;
+        };
+        match medians.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = median,
+            None => medians.push((name.to_string(), median)),
+        }
+    }
+    medians
+}
+
+/// The `--check` gate: every measured median must be within
+/// [`REGRESSION_FACTOR`] of the baseline's latest median for the same
+/// bench. Benches absent from the baseline (e.g. newly added workloads)
+/// are reported but cannot fail the gate.
+fn check_regressions(results: &[BenchResult], baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = baseline_medians(&text);
+    if baseline.is_empty() {
+        return Err(format!("baseline {baseline_path} has no bench entries"));
+    }
+    let mut regressions = Vec::new();
+    for r in results {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == r.name) else {
+            eprintln!(
+                "  check: {:<35} no baseline entry (new bench, skipped)",
+                r.name
+            );
+            continue;
+        };
+        let ratio = r.median.as_nanos() as f64 / *base as f64;
+        eprintln!(
+            "  check: {:<35} median {:>10.3?} vs baseline {:>10.3?}  ({ratio:.2}x)",
+            r.name,
+            r.median,
+            Duration::from_nanos(*base as u64)
+        );
+        if ratio > REGRESSION_FACTOR {
+            regressions.push(format!(
+                "{}: median {:?} is {ratio:.2}x the baseline {:?} (limit {REGRESSION_FACTOR}x)",
+                r.name,
+                r.median,
+                Duration::from_nanos(*base as u64)
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(regressions.join("\n"))
+    }
+}
+
 /// Appends `entry` to the JSON array in `path` (creating the file if
 /// needed). The file format is exactly what this function emits, so the
 /// textual append is safe.
@@ -186,18 +269,25 @@ fn append_entry(path: &str, entry: &str, fresh: bool) -> std::io::Result<()> {
 fn main() {
     let mut smoke = false;
     let mut fresh = false;
+    let mut check = false;
     let mut label = String::from("local");
     let mut out = String::from("BENCH_emulator.json");
+    let mut baseline = String::from("BENCH_emulator.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--fresh" => fresh = true,
+            "--check" => check = true,
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = args.next().expect("--out needs a value"),
+            "--baseline" => baseline = args.next().expect("--baseline needs a value"),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_record [--smoke] [--label <name>] [--out <path>] [--fresh]");
+                eprintln!(
+                    "usage: perf_record [--smoke] [--label <name>] [--out <path>] \
+                     [--fresh] [--check] [--baseline <path>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -213,7 +303,7 @@ fn main() {
         .collect();
     let reinfer = reinfer_sets_for_workload();
 
-    let results = vec![
+    let mut results = vec![
         measure("emulator/topology_a_1s", emu_iters, emulator_workload),
         measure("experiment/fig8_policing_10s", fig8_iters, fig8_workload),
         measure("executor/table2_sweep_3s_serial", sweep_iters, || {
@@ -223,11 +313,35 @@ fn main() {
             reinfer_workload(&reinfer)
         }),
     ];
+    // The process-pool variant of the table-2 sweep needs the nni-worker
+    // binary next to this one (build nni-service first); skip loudly — not
+    // silently — when it is absent so a partial record is visible.
+    let worker = default_worker_bin();
+    if worker.exists() {
+        let pool = ProcessExecutor::new(2).with_worker_bin(&worker);
+        results.push(measure("process/table2_sweep_3s", sweep_iters, || {
+            pool.execute(&sweep).len()
+        }));
+    } else {
+        eprintln!(
+            "perf_record: skipping process/table2_sweep_3s \
+             (worker binary {} not found; build nni-service first)",
+            worker.display()
+        );
+    }
     for r in &results {
         eprintln!(
             "  {:<35} mean {:>10.3?}  median {:>10.3?}  p95 {:>10.3?} ({} iters)",
             r.name, r.mean, r.median, r.p95, r.iters
         );
+    }
+    if check {
+        eprintln!("perf_record: checking medians against {baseline} ...");
+        if let Err(e) = check_regressions(&results, &baseline) {
+            eprintln!("perf_record: REGRESSION\n{e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf_record: no median regressed beyond {REGRESSION_FACTOR}x");
     }
     let entry = json_entry(&label, mode, &results);
     if let Err(e) = append_entry(&out, &entry, fresh) {

@@ -2,7 +2,7 @@
 //! `--duration/--seed/--set/--executor/--workers/--lenient` surface lives,
 //! instead of per-bin copies.
 
-use nni_scenario::{Executor, SerialExecutor, ShardedExecutor};
+use nni_scenario::{Executor, ProcessExecutor, SerialExecutor, ShardedExecutor};
 
 /// Which optional flags a binary supports. Unsupported flags are rejected
 /// (the historical strictness of every bin), so `exp_fig10 --executor
@@ -72,6 +72,9 @@ pub struct ExpArgs {
 enum ExecutorKind {
     Serial,
     Sharded,
+    /// Worker subprocesses (`nni-worker`; override the binary with
+    /// `NNI_WORKER_BIN`).
+    Process,
 }
 
 impl ExpArgs {
@@ -109,10 +112,11 @@ impl ExpArgs {
                     i += 2;
                 }
                 "--executor" if caps.executor => {
-                    out.executor = match value(i, "--executor serial|sharded") {
+                    out.executor = match value(i, "--executor serial|sharded|process") {
                         "serial" => ExecutorKind::Serial,
                         "sharded" => ExecutorKind::Sharded,
-                        other => panic!("--executor serial|sharded, got {other}"),
+                        "process" => ExecutorKind::Process,
+                        other => panic!("--executor serial|sharded|process, got {other}"),
                     };
                     i += 2;
                 }
@@ -131,12 +135,21 @@ impl ExpArgs {
     }
 
     /// The executor the flags selected: serial by default; `--executor
-    /// sharded` fans out over `--workers` threads (default: all cores).
-    /// A bare `--workers N` implies the sharded executor — asking for a
-    /// worker count is asking for parallelism.
+    /// sharded` fans out over `--workers` threads (default: all cores);
+    /// `--executor process` fans out over `--workers` `nni-worker`
+    /// subprocesses (default: all cores; binary resolved next to the
+    /// running executable, override with `NNI_WORKER_BIN`). A bare
+    /// `--workers N` implies the sharded executor — asking for a worker
+    /// count is asking for parallelism.
     pub fn executor(&self) -> Box<dyn Executor> {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        };
         match (self.executor, self.workers) {
             (ExecutorKind::Serial, None) => Box::new(SerialExecutor),
+            (ExecutorKind::Process, n) => Box::new(ProcessExecutor::new(n.unwrap_or_else(auto))),
             (_, Some(n)) => Box::new(ShardedExecutor::new(n)),
             (ExecutorKind::Sharded, None) => Box::new(ShardedExecutor::auto()),
         }

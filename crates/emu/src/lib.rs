@@ -16,6 +16,8 @@
 //! * [`stats`] — the measurement log handed to the inference, the per-link
 //!   per-class ground truth (Figure 10a), and queue traces (Figure 11).
 //! * [`scenario`] — adapters from `nni-topology` graphs to simulator inputs.
+//! * [`wire`] — the `SimReport` binary codec (the payload a worker
+//!   subprocess streams back to its parent).
 //!
 //! Determinism: integer-nanosecond event times, insertion-order tie
 //! breaking, and a single seeded RNG make every run reproducible.
@@ -33,6 +35,7 @@ pub mod tcp;
 pub mod time;
 pub mod traffic;
 pub mod window;
+pub mod wire;
 
 /// Build fingerprint of this emulator, stamped into every
 /// `MeasurementSet`'s provenance (`nni-measure`): the crate version plus the
@@ -65,3 +68,4 @@ pub use time::SimTime;
 pub use traffic::{
     long_flow, mean_flow_bits, short_flow_mix, sustained_demand_bps, CcFleet, SizeDist, TrafficSpec,
 };
+pub use wire::{decode_report, encode_report};

@@ -29,6 +29,32 @@ impl LinkTruth {
         }
     }
 
+    /// Rebuilds a recorder from raw cell counts (the codec's decode path).
+    /// Both tensors must be `[interval][link][class]`-shaped with the given
+    /// dimensions.
+    pub fn from_counts(
+        n_links: usize,
+        n_classes: usize,
+        offered: Vec<Vec<Vec<u64>>>,
+        dropped: Vec<Vec<Vec<u64>>>,
+    ) -> LinkTruth {
+        assert_eq!(offered.len(), dropped.len(), "interval counts must match");
+        for tensor in [&offered, &dropped] {
+            for interval in tensor {
+                assert_eq!(interval.len(), n_links, "row per link");
+                for row in interval {
+                    assert_eq!(row.len(), n_classes, "cell per class");
+                }
+            }
+        }
+        LinkTruth {
+            n_links,
+            n_classes,
+            offered,
+            dropped,
+        }
+    }
+
     fn ensure(&mut self, t: usize) {
         while self.offered.len() <= t {
             self.offered

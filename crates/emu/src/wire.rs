@@ -1,0 +1,233 @@
+//! `SimReport` binary codec — the payload a worker subprocess ships back to
+//! its parent over the PR 5 wire format.
+//!
+//! The bytes here are a bare payload: they travel inside a checksummed frame
+//! (`nni_measure::wire`) whose header carries the magic and version byte, so
+//! this codec only has to lay out the report itself. Every number folds
+//! through the shared primitives ([`WireWriter`]/[`WireReader`]): varints
+//! for counts, `f64` bit patterns for timestamps and intervals — which is
+//! what makes a decoded report *bit-identical* to the encoded one, the
+//! property the three-way executor identity gate rests on.
+//!
+//! Layout (in order):
+//!
+//! ```text
+//! log            interval_s f64 · n_paths vu · n_intervals vu ·
+//!                sent cells vu (row-major) · lost cells vu
+//! link_truth     n_links vu · n_classes vu · n_intervals vu ·
+//!                offered cells vu ([t][link][class]) · dropped cells vu
+//! queue_traces   count vu · per trace: len vu · times_s f64 × len ·
+//!                bytes vu × len
+//! counters       completed_flows vu · segments_sent vu ·
+//!                segments_delivered vu · segments_dropped vu
+//! ```
+
+use nni_measure::codec::CodecError;
+use nni_measure::{MeasurementLog, WireReader, WireWriter};
+use nni_topology::PathId;
+
+use crate::stats::{LinkTruth, QueueTrace, SimReport};
+
+/// Encodes a report into the bare payload bytes (no frame header).
+pub fn encode_report(report: &SimReport) -> Vec<u8> {
+    let mut w = WireWriter::new();
+
+    let log = &report.log;
+    w.f64(log.interval_s());
+    w.vu(log.path_count() as u64);
+    w.vu(log.interval_count() as u64);
+    for t in 0..log.interval_count() {
+        for p in 0..log.path_count() {
+            w.vu(log.sent(t, PathId(p)));
+        }
+    }
+    for t in 0..log.interval_count() {
+        for p in 0..log.path_count() {
+            w.vu(log.lost(t, PathId(p)));
+        }
+    }
+
+    let truth = &report.link_truth;
+    w.vu(truth.link_count() as u64);
+    w.vu(truth.class_count() as u64);
+    w.vu(truth.interval_count() as u64);
+    for t in 0..truth.interval_count() {
+        for l in 0..truth.link_count() {
+            for c in 0..truth.class_count() {
+                w.vu(truth.offered_at(t, nni_topology::LinkId(l), c as u8));
+            }
+        }
+    }
+    for t in 0..truth.interval_count() {
+        for l in 0..truth.link_count() {
+            for c in 0..truth.class_count() {
+                w.vu(truth.dropped_at(t, nni_topology::LinkId(l), c as u8));
+            }
+        }
+    }
+
+    w.vu(report.queue_traces.len() as u64);
+    for trace in &report.queue_traces {
+        w.vu(trace.times_s.len() as u64);
+        for &t in &trace.times_s {
+            w.f64(t);
+        }
+        for &b in &trace.bytes {
+            w.vu(b);
+        }
+    }
+
+    w.vu(report.completed_flows as u64);
+    w.vu(report.segments_sent);
+    w.vu(report.segments_delivered);
+    w.vu(report.segments_dropped);
+    w.into_bytes()
+}
+
+/// Decodes a report payload, consuming every byte.
+pub fn decode_report(bytes: &[u8]) -> Result<SimReport, CodecError> {
+    let mut r = WireReader::new(bytes);
+
+    let interval_s = r.f64()?;
+    // NaN must be rejected too, not just non-positive values — the log
+    // constructor would panic on it.
+    if !interval_s.is_finite() || interval_s <= 0.0 {
+        return Err(CodecError::BadValue("log interval must be positive"));
+    }
+    let n_paths = r.vu()? as usize;
+    if n_paths == 0 {
+        return Err(CodecError::BadValue("log needs at least one path"));
+    }
+    let n_intervals = r.vu()? as usize;
+    let mut log = MeasurementLog::new(n_paths, interval_s);
+    for t in 0..n_intervals {
+        for p in 0..n_paths {
+            log.record_sent(t, PathId(p), r.vu()?);
+        }
+    }
+    for t in 0..n_intervals {
+        for p in 0..n_paths {
+            log.record_lost(t, PathId(p), r.vu()?);
+        }
+    }
+
+    let n_links = r.vu()? as usize;
+    let n_classes = r.vu()? as usize;
+    let truth_intervals = r.vu()? as usize;
+    let read_tensor = |r: &mut WireReader<'_>| -> Result<Vec<Vec<Vec<u64>>>, CodecError> {
+        let mut tensor = Vec::with_capacity(truth_intervals);
+        for _ in 0..truth_intervals {
+            let mut interval = Vec::with_capacity(n_links);
+            for _ in 0..n_links {
+                let mut row = Vec::with_capacity(n_classes);
+                for _ in 0..n_classes {
+                    row.push(r.vu()?);
+                }
+                interval.push(row);
+            }
+            tensor.push(interval);
+        }
+        Ok(tensor)
+    };
+    let offered = read_tensor(&mut r)?;
+    let dropped = read_tensor(&mut r)?;
+    let link_truth = LinkTruth::from_counts(n_links, n_classes, offered, dropped);
+
+    let n_traces = r.vu()? as usize;
+    let mut queue_traces = Vec::with_capacity(n_traces);
+    for _ in 0..n_traces {
+        let len = r.vu()? as usize;
+        let mut trace = QueueTrace::default();
+        for _ in 0..len {
+            trace.times_s.push(r.f64()?);
+        }
+        for _ in 0..len {
+            trace.bytes.push(r.vu()?);
+        }
+        queue_traces.push(trace);
+    }
+
+    let completed_flows = r.vu()? as usize;
+    let segments_sent = r.vu()?;
+    let segments_delivered = r.vu()?;
+    let segments_dropped = r.vu()?;
+    if !r.is_empty() {
+        return Err(CodecError::TrailingBytes);
+    }
+    Ok(SimReport {
+        log,
+        link_truth,
+        queue_traces,
+        completed_flows,
+        segments_sent,
+        segments_delivered,
+        segments_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nni_topology::LinkId;
+
+    fn sample_report() -> SimReport {
+        let mut log = MeasurementLog::new(2, 0.1);
+        log.record_sent(0, PathId(0), 10);
+        log.record_lost(0, PathId(0), 1);
+        log.record_sent(2, PathId(1), 7);
+        let mut truth = LinkTruth::new(2, 2);
+        truth.record_offered(0, LinkId(1), 1);
+        truth.record_dropped(1, LinkId(0), 0);
+        let mut trace = QueueTrace::default();
+        trace.push(0.05, 1500);
+        trace.push(0.15, 0);
+        SimReport {
+            log,
+            link_truth: truth,
+            queue_traces: vec![trace, QueueTrace::default()],
+            completed_flows: 3,
+            segments_sent: 100,
+            segments_delivered: 97,
+            segments_dropped: 2,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_bit_identically() {
+        let report = sample_report();
+        let bytes = encode_report(&report);
+        let decoded = decode_report(&bytes).expect("decode");
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_fail() {
+        let mut bytes = encode_report(&sample_report());
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 1);
+        assert!(matches!(
+            decode_report(&truncated),
+            Err(CodecError::UnexpectedEof)
+        ));
+        bytes.push(0);
+        assert!(matches!(
+            decode_report(&bytes),
+            Err(CodecError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = SimReport {
+            log: MeasurementLog::new(1, 0.1),
+            link_truth: LinkTruth::new(0, 0),
+            queue_traces: Vec::new(),
+            completed_flows: 0,
+            segments_sent: 0,
+            segments_delivered: 0,
+            segments_dropped: 0,
+        };
+        let decoded = decode_report(&encode_report(&report)).expect("decode");
+        assert_eq!(decoded, report);
+    }
+}

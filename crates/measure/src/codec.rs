@@ -31,6 +31,7 @@
 
 use crate::dataset::{Fnv, MeasurementSet, Provenance};
 use crate::record::MeasurementLog;
+use crate::wire::{WireReader, WireWriter};
 use nni_topology::{NodeKind, PathId, TopologyBuilder, TopologyError};
 
 /// Magic prefix of every encoded set.
@@ -94,62 +95,28 @@ impl From<TopologyError> for CodecError {
 
 // ---------------------------------------------------------------- writing
 
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    fn vu(&mut self, mut v: u64) {
-        loop {
-            let byte = (v & 0x7F) as u8;
-            v >>= 7;
-            if v == 0 {
-                self.buf.push(byte);
-                return;
-            }
-            self.buf.push(byte | 0x80);
-        }
-    }
-
-    fn str(&mut self, s: &str) {
-        self.vu(s.len() as u64);
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-
-    /// Writes a section: tag, payload length, payload.
-    fn section(&mut self, tag: u8, payload: impl FnOnce(&mut Writer)) {
-        let mut w = Writer { buf: Vec::new() };
-        payload(&mut w);
-        self.u8(tag);
-        self.u64(w.buf.len() as u64);
-        self.buf.extend_from_slice(&w.buf);
-    }
+/// Writes a section: tag, payload length, payload — the byte primitives
+/// themselves live in [`crate::wire`], shared with every codec in the tree.
+fn section(out: &mut WireWriter, tag: u8, payload: impl FnOnce(&mut WireWriter)) {
+    let mut w = WireWriter::new();
+    payload(&mut w);
+    out.u8(tag);
+    out.u64(w.bytes().len() as u64);
+    out.raw(w.bytes());
 }
 
 /// Encodes a measurement set into the versioned binary format.
 pub fn encode(set: &MeasurementSet) -> Vec<u8> {
-    let mut w = Writer { buf: Vec::new() };
-    w.buf.extend_from_slice(MAGIC);
+    let mut w = WireWriter::new();
+    w.raw(MAGIC);
     w.u8(VERSION);
-    w.section(TAG_PROVENANCE, |w| {
+    section(&mut w, TAG_PROVENANCE, |w| {
         w.str(&set.provenance.scenario);
         w.u64(set.provenance.scenario_fingerprint);
         w.u64(set.provenance.seed);
         w.str(&set.provenance.build);
     });
-    w.section(TAG_TOPOLOGY, |w| {
+    section(&mut w, TAG_TOPOLOGY, |w| {
         let g = &set.topology;
         w.vu(g.nodes().len() as u64);
         for n in g.nodes() {
@@ -173,7 +140,7 @@ pub fn encode(set: &MeasurementSet) -> Vec<u8> {
             }
         }
     });
-    w.section(TAG_CLASSES, |w| {
+    section(&mut w, TAG_CLASSES, |w| {
         w.vu(set.classes.len() as u64);
         for class in &set.classes {
             w.vu(class.len() as u64);
@@ -182,7 +149,7 @@ pub fn encode(set: &MeasurementSet) -> Vec<u8> {
             }
         }
     });
-    w.section(TAG_LOG, |w| {
+    section(&mut w, TAG_LOG, |w| {
         let log = &set.log;
         w.f64(log.interval_s());
         w.vu(log.path_count() as u64);
@@ -196,81 +163,21 @@ pub fn encode(set: &MeasurementSet) -> Vec<u8> {
     });
     w.u8(TAG_END);
     let mut h = Fnv::new();
-    for &b in &w.buf {
+    for &b in w.bytes() {
         h.byte(b);
     }
     let checksum = h.0;
     w.u64(checksum);
-    w.buf
+    w.into_bytes()
 }
 
 // ---------------------------------------------------------------- reading
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.pos + n > self.buf.len() {
-            return Err(CodecError::UnexpectedEof);
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u64(&mut self) -> Result<u64, CodecError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
-    }
-
-    fn f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    fn vu(&mut self) -> Result<u64, CodecError> {
-        let mut out: u64 = 0;
-        for shift in (0..64).step_by(7) {
-            let byte = self.u8()?;
-            out |= ((byte & 0x7F) as u64) << shift;
-            if byte & 0x80 == 0 {
-                return Ok(out);
-            }
-        }
-        Err(CodecError::BadValue("varint longer than 64 bits"))
-    }
-
-    fn len(&mut self) -> Result<usize, CodecError> {
-        let v = self.vu()?;
-        // A length can never exceed the remaining bytes — reject early so a
-        // corrupted count fails with a clear error instead of an OOM.
-        if v > (self.buf.len() - self.pos) as u64 {
-            return Err(CodecError::UnexpectedEof);
-        }
-        Ok(v as usize)
-    }
-
-    fn str(&mut self) -> Result<String, CodecError> {
-        let n = self.len()?;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
-    }
-}
 
 /// Decodes a measurement set, verifying the checksum and re-validating the
 /// topology through [`TopologyBuilder`].
 pub fn decode(bytes: &[u8]) -> Result<MeasurementSet, CodecError> {
     let provenance = decode_prefix(bytes)?;
-    let mut r = Reader {
-        buf: bytes,
-        pos: provenance.1,
-    };
+    let mut r = WireReader::at(bytes, provenance.1);
 
     // TOPOLOGY.
     expect_section(&mut r, TAG_TOPOLOGY)?;
@@ -364,14 +271,14 @@ pub fn decode(bytes: &[u8]) -> Result<MeasurementSet, CodecError> {
         return Err(CodecError::BadValue("missing end marker"));
     }
     let mut h = Fnv::new();
-    for &byte in &bytes[..r.pos] {
+    for &byte in &bytes[..r.pos()] {
         h.byte(byte);
     }
     let expect = h.0;
     if r.u64()? != expect {
         return Err(CodecError::ChecksumMismatch);
     }
-    if r.pos != bytes.len() {
+    if !r.is_empty() {
         return Err(CodecError::TrailingBytes);
     }
 
@@ -387,7 +294,7 @@ pub fn decode(bytes: &[u8]) -> Result<MeasurementSet, CodecError> {
 /// entries' [`SetKey`](crate::SetKey)s without paying for full decodes.
 /// Returns the provenance and the stream offset of the next section.
 pub fn decode_prefix(bytes: &[u8]) -> Result<(Provenance, usize), CodecError> {
-    let mut r = Reader { buf: bytes, pos: 0 };
+    let mut r = WireReader::new(bytes);
     if r.take(MAGIC.len())? != MAGIC {
         return Err(CodecError::BadMagic);
     }
@@ -407,20 +314,20 @@ pub fn decode_prefix(bytes: &[u8]) -> Result<(Provenance, usize), CodecError> {
             seed,
             build,
         },
-        r.pos,
+        r.pos(),
     ))
 }
 
 /// Reads a section header, checking the tag; the payload length is
 /// validated against the remaining bytes (decoding then proceeds through
 /// the typed readers, which re-check every primitive).
-fn expect_section(r: &mut Reader<'_>, tag: u8) -> Result<(), CodecError> {
+fn expect_section(r: &mut WireReader<'_>, tag: u8) -> Result<(), CodecError> {
     let got = r.u8()?;
     if got != tag {
         return Err(CodecError::BadSection(got));
     }
     let len = r.u64()?;
-    if len > (r.buf.len() - r.pos) as u64 {
+    if len > r.remaining() as u64 {
         return Err(CodecError::UnexpectedEof);
     }
     Ok(())
@@ -518,18 +425,16 @@ mod tests {
 
     #[test]
     fn varints_cover_the_u64_range() {
-        let mut w = Writer { buf: Vec::new() };
+        let mut w = WireWriter::new();
         let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
         for &v in &values {
             w.vu(v);
         }
-        let mut r = Reader {
-            buf: &w.buf,
-            pos: 0,
-        };
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
         for &v in &values {
             assert_eq!(r.vu().unwrap(), v);
         }
-        assert_eq!(r.pos, w.buf.len());
+        assert!(r.is_empty());
     }
 }

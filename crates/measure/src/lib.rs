@@ -20,6 +20,9 @@
 //!   [`CorpusEntry`]).
 //! * [`interval`] — the one measurement-interval binning rule, shared with
 //!   the emulator's cached interval index.
+//! * [`wire`] — the shared byte-level primitives every codec folds through
+//!   ([`WireWriter`]/[`WireReader`]) plus checksummed stream framing
+//!   ([`wire::write_frame`]/[`wire::read_frame`]) for the worker protocol.
 
 pub mod codec;
 pub mod corpus;
@@ -29,6 +32,7 @@ pub mod jsonl;
 pub mod normalize;
 pub mod observer;
 pub mod record;
+pub mod wire;
 
 pub use corpus::{Corpus, CorpusEntry, CORPUS_EXT};
 pub use dataset::{
@@ -40,3 +44,6 @@ pub use normalize::{
 };
 pub use observer::MeasuredObservations;
 pub use record::{MeasurementLog, MergeError};
+pub use wire::{
+    frame_bytes, read_frame, write_frame, FrameError, WireReader, WireWriter, FRAME_VERSION,
+};

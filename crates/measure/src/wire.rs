@@ -1,0 +1,388 @@
+//! Shared wire primitives: the byte-level writer/reader the binary codecs
+//! build on, plus stream framing for the worker protocol.
+//!
+//! The [`codec`](crate::codec) module (measurement sets), the `SimReport`
+//! codec in `nni-emu`, and the `Scenario` codec in `nni-scenario` all fold
+//! through these primitives, so every format in the tree shares one
+//! definition of varints, strings, and f64 bit patterns — and one checksum.
+//!
+//! # Frame layout (version 1)
+//!
+//! A *frame* is one length-prefixed, checksummed message on a byte stream
+//! (worker stdin/stdout, a spool file, a socket):
+//!
+//! ```text
+//! magic     7 bytes   frame-type magic (e.g. b"NNIWJOB")
+//! version   u8        1
+//! length    u64 LE    payload byte count
+//! payload   …         codec-specific bytes
+//! checksum  u64 LE    FNV-1a over every preceding byte (magic included)
+//! ```
+//!
+//! The version byte is the compatibility gate: a future v2 bumps it and
+//! keeps this decoder readable. Readers reject bad magic, newer versions,
+//! and checksum mismatches with typed [`CodecError`]s; a clean end-of-stream
+//! *between* frames reads as `Ok(None)`, while a stream that dies mid-frame
+//! is [`CodecError::UnexpectedEof`].
+
+use std::io::{Read, Write};
+
+use crate::codec::CodecError;
+use crate::dataset::Fnv;
+
+/// Current frame-format version (all frame magics).
+pub const FRAME_VERSION: u8 = 1;
+
+/// Append-only byte sink with the codec primitives: little-endian
+/// `u64`/`f64` (bit patterns), LEB128 varints, length-prefixed strings.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrowed view of the bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its bit pattern (round trips are bit-identical).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a LEB128 varint (7 bits per byte, high bit = continue).
+    pub fn vu(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends a varint-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.vu(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor over a byte slice with the matching read primitives; every read
+/// is bounds-checked and fails with [`CodecError::UnexpectedEof`] instead
+/// of panicking on truncated input.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// A reader starting at `pos` (e.g. after a prefix decode).
+    pub fn at(buf: &'a [u8], pos: usize) -> WireReader<'a> {
+        WireReader { buf, pos }
+    }
+
+    /// Current offset into the buffer.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn vu(&mut self) -> Result<u64, CodecError> {
+        let mut out: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            out |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+        }
+        Err(CodecError::BadValue("varint longer than 64 bits"))
+    }
+
+    /// Reads a varint as a collection length, rejecting counts that exceed
+    /// the remaining bytes — a corrupted count fails with a clear error
+    /// instead of an OOM.
+    pub fn len(&mut self) -> Result<usize, CodecError> {
+        let v = self.vu()?;
+        if v > self.remaining() as u64 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+/// Why a frame failed to cross a stream: transport failure or codec
+/// failure. The distinction matters to the worker pool — an I/O error (or
+/// mid-frame EOF) means a worker died and the job can be retried; a codec
+/// error means the bytes themselves are bad and retrying cannot help.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The bytes arrived but did not decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Codec(e) => write!(f, "frame codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+impl From<CodecError> for FrameError {
+    fn from(e: CodecError) -> FrameError {
+        FrameError::Codec(e)
+    }
+}
+
+/// Serializes one frame: magic, version byte, payload length, payload, and
+/// the trailing FNV-1a checksum over everything before it.
+pub fn frame_bytes(magic: &[u8; 7], payload: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.raw(magic);
+    w.u8(FRAME_VERSION);
+    w.u64(payload.len() as u64);
+    w.raw(payload);
+    let mut h = Fnv::new();
+    for &b in w.bytes() {
+        h.byte(b);
+    }
+    let checksum = h.0;
+    w.u64(checksum);
+    w.into_bytes()
+}
+
+/// Writes one frame to a stream and flushes it (the consumer on the other
+/// end of a pipe is waiting on exactly this message).
+pub fn write_frame(
+    out: &mut impl Write,
+    magic: &[u8; 7],
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    out.write_all(&frame_bytes(magic, payload))?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from a stream, verifying magic, version, and checksum.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (no bytes before EOF) — how
+/// a worker recognizes an orderly shutdown; an EOF *inside* a frame is
+/// [`CodecError::UnexpectedEof`] (a peer died mid-message).
+pub fn read_frame(input: &mut impl Read, magic: &[u8; 7]) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 16]; // magic + version + length
+    let mut got = 0usize;
+    while got < header.len() {
+        let n = input.read(&mut header[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(CodecError::UnexpectedEof.into());
+        }
+        got += n;
+    }
+    if &header[..7] != magic {
+        return Err(CodecError::BadMagic.into());
+    }
+    if header[7] != FRAME_VERSION {
+        return Err(CodecError::UnsupportedVersion(header[7]).into());
+    }
+    let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    // A frame is one in-flight message, not a corpus: cap the payload so a
+    // corrupted length fails loudly instead of attempting a huge allocation.
+    const MAX_FRAME: u64 = 1 << 32;
+    if len > MAX_FRAME {
+        return Err(CodecError::BadValue("frame payload over 4 GiB").into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    input.read_exact(&mut payload).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => FrameError::Codec(CodecError::UnexpectedEof),
+        _ => FrameError::Io(e),
+    })?;
+    let mut trailer = [0u8; 8];
+    input.read_exact(&mut trailer).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => FrameError::Codec(CodecError::UnexpectedEof),
+        _ => FrameError::Io(e),
+    })?;
+    let mut h = Fnv::new();
+    for &b in header.iter().chain(&payload) {
+        h.byte(b);
+    }
+    if u64::from_le_bytes(trailer) != h.0 {
+        return Err(CodecError::ChecksumMismatch.into());
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8; 7] = b"NNITEST";
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = WireWriter::new();
+        w.u8(7);
+        w.u64(u64::MAX);
+        w.f64(-0.0);
+        w.vu(300);
+        w.str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.vu().unwrap(), 300);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, MAGIC, b"first").unwrap();
+        write_frame(&mut stream, MAGIC, b"").unwrap();
+        write_frame(&mut stream, MAGIC, &[0xFFu8; 1000]).unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_frame(&mut cursor, MAGIC).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut cursor, MAGIC).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut cursor, MAGIC).unwrap().unwrap(),
+            vec![0xFFu8; 1000]
+        );
+        // Clean EOF between frames is an orderly shutdown, not an error.
+        assert!(read_frame(&mut cursor, MAGIC).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupted_frames_fail_loudly() {
+        let mut bytes = frame_bytes(MAGIC, b"payload");
+        // Wrong magic.
+        let mut b = bytes.clone();
+        b[0] ^= 0xFF;
+        let err = read_frame(&mut b.as_slice(), MAGIC).unwrap_err();
+        assert!(matches!(err, FrameError::Codec(CodecError::BadMagic)));
+        // Future version.
+        let mut b = bytes.clone();
+        b[7] = 9;
+        let err = read_frame(&mut b.as_slice(), MAGIC).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::Codec(CodecError::UnsupportedVersion(9))
+        ));
+        // Flipped payload byte trips the checksum.
+        let mut b = bytes.clone();
+        b[18] ^= 0x01;
+        let err = read_frame(&mut b.as_slice(), MAGIC).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::Codec(CodecError::ChecksumMismatch)
+        ));
+        // Truncation mid-frame is an EOF error, not a clean end.
+        bytes.truncate(bytes.len() - 3);
+        let err = read_frame(&mut bytes.as_slice(), MAGIC).unwrap_err();
+        assert!(matches!(err, FrameError::Codec(CodecError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocating() {
+        let mut bytes = frame_bytes(MAGIC, b"x");
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice(), MAGIC).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::Codec(CodecError::BadValue("frame payload over 4 GiB"))
+        ));
+    }
+}

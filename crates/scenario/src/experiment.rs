@@ -169,8 +169,18 @@ impl Experiment {
     /// Takes `&self` so executors can run the same compiled experiment from
     /// several workers; every invocation is deterministic in the scenario.
     pub fn run(&self) -> ExperimentOutcome {
+        self.outcome_from(self.emulate())
+    }
+
+    /// The inference-and-scoring half of [`Experiment::run`] over an
+    /// already-produced report — how a [`ProcessExecutor`] parent turns a
+    /// worker subprocess's shipped [`SimReport`] into the same outcome the
+    /// fused path produces (inference is deterministic in the report, so
+    /// only the report ever crosses the process boundary).
+    ///
+    /// [`ProcessExecutor`]: crate::ProcessExecutor
+    pub fn outcome_from(&self, report: SimReport) -> ExperimentOutcome {
         let s = &self.scenario;
-        let report = self.emulate();
         // The borrowing core of `infer_scored`: identical inference over
         // the same seam, without materializing (cloning) a MeasurementSet
         // per run — run() is the executors' hot path.

@@ -21,6 +21,12 @@
 //!   runs fan out across scoped threads with deterministic, input-order
 //!   results. Identical scenarios produce bit-identical outcomes on either
 //!   executor.
+//! * [`proto`] — the worker wire protocol: a complete [`Scenario`] codec
+//!   plus the checksummed job/result frames exchanged with `nni-worker`
+//!   subprocesses.
+//! * [`process`] — [`ProcessExecutor`]: the same batch contract fanned
+//!   across worker *subprocesses*, with crash-respawn and bounded retries —
+//!   the third leg of the serial/sharded/process identity gate.
 //! * [`sweep`] — [`SweepSet`]: a named experiment family over one axis
 //!   (seeds, policer rates, differentiation placements, CC fleets — and the
 //!   inference-side axes [`SweepSet::decision_thresholds`] /
@@ -76,6 +82,8 @@ pub mod experiment;
 pub mod generate;
 pub mod infer;
 pub mod library;
+pub mod process;
+pub mod proto;
 pub mod spec;
 pub mod sweep;
 
@@ -84,6 +92,14 @@ pub use executor::{compile_all, seed_sweep, Executor, SerialExecutor, ShardedExe
 pub use experiment::{simulation_count, Experiment, ExperimentOutcome};
 pub use generate::{GenConfig, ScenarioGen};
 pub use infer::{infer, infer_scored, InferenceConfig, InferenceOutcome};
+pub use process::{
+    default_worker_bin, ProcessError, ProcessExecutor, ProcessStats, DEFAULT_MAX_ATTEMPTS,
+    WORKER_BIN_ENV,
+};
+pub use proto::{
+    decode_scenario, encode_scenario, read_job, read_result, write_job, write_result, JOB_MAGIC,
+    RESULT_MAGIC,
+};
 pub use spec::{
     BackgroundTraffic, Expectation, MeasurementConfig, QueueOverride, Scenario, ScenarioBuilder,
     ScenarioError, TrafficProfile, DEFAULT_NORMALIZE_SALT,

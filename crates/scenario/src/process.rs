@@ -1,0 +1,451 @@
+//! [`ProcessExecutor`]: fan experiment runs across worker *subprocesses*.
+//!
+//! Each worker is an `nni-worker` binary speaking the frame protocol of
+//! [`crate::proto`] over stdin/stdout: the parent sends serialized
+//! [`Scenario`]s, the worker emulates and ships the [`SimReport`] back, and
+//! the parent re-derives outcomes and measurement sets exactly as the
+//! in-process executors do ([`Experiment::outcome_from`] /
+//! [`Experiment::package`]). Reports land in per-index slots, so results
+//! are deterministic and input-ordered — the bit-identity contract of
+//! [`SerialExecutor`](crate::SerialExecutor) and
+//! [`ShardedExecutor`](crate::ShardedExecutor) generalizes unchanged to a
+//! three-way serial/sharded/process gate.
+//!
+//! Crash handling: a worker that dies mid-job (I/O error, EOF before the
+//! result frame) is killed, respawned, and the job requeued with a bounded
+//! attempt budget; bytes that arrive but fail to *decode* are never
+//! retried — rerunning cannot fix a corrupted stream, so the batch fails
+//! with the typed [`ProcessError::Codec`].
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use nni_emu::SimReport;
+use nni_measure::codec::CodecError;
+use nni_measure::wire::FrameError;
+use nni_measure::MeasurementSet;
+
+use crate::executor::Executor;
+use crate::experiment::{Experiment, ExperimentOutcome};
+use crate::proto::{read_result, write_job};
+use crate::spec::Scenario;
+
+/// Environment variable overriding the worker binary path (how tests and
+/// the daemon point an executor at a specific build).
+pub const WORKER_BIN_ENV: &str = "NNI_WORKER_BIN";
+
+/// Default number of times one job may be attempted before the batch fails.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// Where the worker binary lives when no override is given: next to the
+/// current executable (stepping out of cargo's `deps/` directory when the
+/// caller is a test binary).
+pub fn default_worker_bin() -> PathBuf {
+    if let Some(p) = std::env::var_os(WORKER_BIN_ENV) {
+        return PathBuf::from(p);
+    }
+    let exe = std::env::current_exe().unwrap_or_default();
+    let mut dir = exe.parent().unwrap_or_else(|| Path::new(".")).to_path_buf();
+    if dir.file_name().is_some_and(|n| n == "deps") {
+        dir.pop();
+    }
+    dir.join(format!("nni-worker{}", std::env::consts::EXE_SUFFIX))
+}
+
+/// Why a process-pool batch failed.
+#[derive(Debug)]
+pub enum ProcessError {
+    /// The worker binary could not be spawned at all.
+    Spawn {
+        /// The binary the pool tried to run.
+        bin: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// One job exhausted its attempt budget across worker crashes.
+    JobFailed {
+        /// Input index of the job.
+        job: usize,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Description of the final failure.
+        last: String,
+    },
+    /// A worker's bytes arrived but did not decode — not retriable.
+    Codec {
+        /// Input index of the job.
+        job: usize,
+        /// The decode failure.
+        error: CodecError,
+    },
+    /// A worker answered with the wrong job id — a protocol violation.
+    Mismatch {
+        /// The job the parent sent.
+        job: usize,
+        /// The id the worker answered with.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessError::Spawn { bin, error } => {
+                write!(f, "failed to spawn worker {}: {error}", bin.display())
+            }
+            ProcessError::JobFailed {
+                job,
+                attempts,
+                last,
+            } => write!(f, "job {job} failed after {attempts} attempts: {last}"),
+            ProcessError::Codec { job, error } => {
+                write!(f, "job {job}: worker result failed to decode: {error}")
+            }
+            ProcessError::Mismatch { job, got } => {
+                write!(f, "job {job}: worker answered for job {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProcessError {}
+
+/// What a batch cost beyond the results: how often workers died and jobs
+/// were retried — the observability hook the crash-injection tests assert
+/// on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Worker processes respawned after a crash.
+    pub respawns: usize,
+    /// Jobs requeued after a worker crash.
+    pub retries: usize,
+}
+
+/// Fans experiment batches across `nni-worker` subprocesses.
+#[derive(Debug, Clone)]
+pub struct ProcessExecutor {
+    workers: usize,
+    worker_bin: PathBuf,
+    max_attempts: u32,
+}
+
+impl ProcessExecutor {
+    /// A pool of `workers` subprocesses (at least one) running the
+    /// [`default_worker_bin`].
+    pub fn new(workers: usize) -> ProcessExecutor {
+        ProcessExecutor {
+            workers: workers.max(1),
+            worker_bin: default_worker_bin(),
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+        }
+    }
+
+    /// Same pool, explicit worker binary.
+    pub fn with_worker_bin(mut self, bin: impl Into<PathBuf>) -> ProcessExecutor {
+        self.worker_bin = bin.into();
+        self
+    }
+
+    /// Same pool, explicit per-job attempt budget (at least one).
+    pub fn with_max_attempts(mut self, attempts: u32) -> ProcessExecutor {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker binary the pool spawns.
+    pub fn worker_bin(&self) -> &Path {
+        &self.worker_bin
+    }
+
+    /// Runs every scenario on the pool, returning reports in input order
+    /// plus the crash/retry statistics — the primitive both executor entry
+    /// points and the experiment daemon build on.
+    pub fn try_reports(
+        &self,
+        scenarios: &[&Scenario],
+    ) -> Result<(Vec<SimReport>, ProcessStats), ProcessError> {
+        let n = scenarios.len();
+        if n == 0 {
+            return Ok((Vec::new(), ProcessStats::default()));
+        }
+        let workers = self.workers.min(n);
+        let queue: Mutex<VecDeque<(usize, u32)>> = Mutex::new((0..n).map(|i| (i, 1)).collect());
+        let slots: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let failure: Mutex<Option<ProcessError>> = Mutex::new(None);
+        let respawns = AtomicUsize::new(0);
+        let retries = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut worker: Option<Worker> = None;
+                    loop {
+                        if failure.lock().expect("unpoisoned").is_some() {
+                            break;
+                        }
+                        let Some((job, attempt)) = queue.lock().expect("unpoisoned").pop_front()
+                        else {
+                            break;
+                        };
+                        if worker.is_none() {
+                            match Worker::spawn(&self.worker_bin) {
+                                Ok(w) => worker = Some(w),
+                                Err(error) => {
+                                    fail(
+                                        &failure,
+                                        ProcessError::Spawn {
+                                            bin: self.worker_bin.clone(),
+                                            error,
+                                        },
+                                    );
+                                    break;
+                                }
+                            }
+                        }
+                        let w = worker.as_mut().expect("just spawned");
+                        match w.run_job(job, scenarios[job]) {
+                            JobResult::Done(report) => {
+                                *slots[job].lock().expect("unpoisoned") = Some(report);
+                            }
+                            JobResult::WorkerDied(cause) => {
+                                // The process is gone (or its stream is):
+                                // reap it, count the respawn, and requeue the
+                                // job unless its budget is spent.
+                                worker.take().expect("had a worker").reap();
+                                respawns.fetch_add(1, Ordering::Relaxed);
+                                if attempt >= self.max_attempts {
+                                    fail(
+                                        &failure,
+                                        ProcessError::JobFailed {
+                                            job,
+                                            attempts: attempt,
+                                            last: cause,
+                                        },
+                                    );
+                                    break;
+                                }
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                queue
+                                    .lock()
+                                    .expect("unpoisoned")
+                                    .push_back((job, attempt + 1));
+                            }
+                            JobResult::Fatal(error) => {
+                                fail(&failure, error);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(w) = worker {
+                        w.shutdown();
+                    }
+                });
+            }
+        });
+
+        if let Some(error) = failure.into_inner().expect("unpoisoned") {
+            return Err(error);
+        }
+        let reports = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("unpoisoned slot")
+                    .expect("every job completed or the batch failed")
+            })
+            .collect();
+        Ok((
+            reports,
+            ProcessStats {
+                respawns: respawns.into_inner(),
+                retries: retries.into_inner(),
+            },
+        ))
+    }
+
+    /// [`Executor::execute`] with the error surfaced instead of panicking,
+    /// plus the batch statistics.
+    pub fn try_execute(
+        &self,
+        experiments: &[Experiment],
+    ) -> Result<(Vec<ExperimentOutcome>, ProcessStats), ProcessError> {
+        let scenarios: Vec<&Scenario> = experiments.iter().map(Experiment::scenario).collect();
+        let (reports, stats) = self.try_reports(&scenarios)?;
+        let outcomes = experiments
+            .iter()
+            .zip(reports)
+            .map(|(exp, report)| exp.outcome_from(report))
+            .collect();
+        Ok((outcomes, stats))
+    }
+
+    /// [`Executor::acquire`] with the error surfaced instead of panicking,
+    /// plus the batch statistics.
+    pub fn try_acquire(
+        &self,
+        experiments: &[Experiment],
+    ) -> Result<(Vec<MeasurementSet>, ProcessStats), ProcessError> {
+        let scenarios: Vec<&Scenario> = experiments.iter().map(Experiment::scenario).collect();
+        let (reports, stats) = self.try_reports(&scenarios)?;
+        let sets = experiments
+            .iter()
+            .zip(reports)
+            .map(|(exp, report)| exp.package(report.log))
+            .collect();
+        Ok((sets, stats))
+    }
+}
+
+impl Executor for ProcessExecutor {
+    fn execute(&self, experiments: &[Experiment]) -> Vec<ExperimentOutcome> {
+        self.try_execute(experiments)
+            .unwrap_or_else(|e| panic!("process executor batch failed: {e}"))
+            .0
+    }
+
+    fn acquire(&self, experiments: &[Experiment]) -> Vec<MeasurementSet> {
+        self.try_acquire(experiments)
+            .unwrap_or_else(|e| panic!("process executor batch failed: {e}"))
+            .0
+    }
+
+    fn describe(&self) -> String {
+        format!("process({})", self.workers)
+    }
+}
+
+fn fail(failure: &Mutex<Option<ProcessError>>, error: ProcessError) {
+    let mut slot = failure.lock().expect("unpoisoned");
+    if slot.is_none() {
+        *slot = Some(error);
+    }
+}
+
+/// How one job round trip ended.
+enum JobResult {
+    /// The worker answered.
+    Done(SimReport),
+    /// The worker (or its stream) died before answering — retriable; the
+    /// string describes the failure for the attempt-budget error.
+    WorkerDied(String),
+    /// A non-retriable protocol failure.
+    Fatal(ProcessError),
+}
+
+/// One live worker subprocess with its pipe handles.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: ChildStdout,
+}
+
+impl Worker {
+    fn spawn(bin: &Path) -> Result<Worker, std::io::Error> {
+        let mut child = Command::new(bin)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        Ok(Worker {
+            child,
+            stdin,
+            stdout,
+        })
+    }
+
+    fn run_job(&mut self, job: usize, scenario: &Scenario) -> JobResult {
+        if let Err(e) = write_job(&mut self.stdin, job as u64, scenario) {
+            // A write failure (EPIPE) means the worker is gone.
+            return JobResult::WorkerDied(format!("job write failed: {e}"));
+        }
+        match read_result(&mut self.stdout) {
+            Ok(Some((id, report))) if id == job as u64 => JobResult::Done(report),
+            Ok(Some((id, _))) => JobResult::Fatal(ProcessError::Mismatch { job, got: id }),
+            // EOF before any result frame: the worker exited under the job.
+            Ok(None) => JobResult::WorkerDied("worker exited before answering".into()),
+            // A stream dying mid-frame is a crash; other codec errors mean
+            // the bytes themselves are bad and retrying cannot help.
+            Err(FrameError::Codec(CodecError::UnexpectedEof)) => {
+                JobResult::WorkerDied("worker died mid-frame".into())
+            }
+            Err(FrameError::Io(e)) => JobResult::WorkerDied(format!("result read failed: {e}")),
+            Err(FrameError::Codec(error)) => JobResult::Fatal(ProcessError::Codec { job, error }),
+        }
+    }
+
+    /// Orderly shutdown: close stdin (the worker reads EOF and exits), then
+    /// reap.
+    fn shutdown(self) {
+        let Worker {
+            mut child,
+            stdin,
+            stdout,
+        } = self;
+        drop(stdin);
+        drop(stdout);
+        let _ = child.wait();
+    }
+
+    /// Post-crash cleanup: make sure the process is gone and reap it.
+    fn reap(self) {
+        let Worker {
+            mut child,
+            stdin,
+            stdout,
+        } = self;
+        drop(stdin);
+        drop(stdout);
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_names_the_strategy_and_floors_workers() {
+        assert_eq!(ProcessExecutor::new(3).describe(), "process(3)");
+        assert_eq!(ProcessExecutor::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn builders_override_bin_and_attempts() {
+        let exec = ProcessExecutor::new(2)
+            .with_worker_bin("/tmp/custom-worker")
+            .with_max_attempts(0);
+        assert_eq!(exec.worker_bin(), Path::new("/tmp/custom-worker"));
+        assert_eq!(exec.max_attempts, 1, "attempt budget floors at one");
+    }
+
+    #[test]
+    fn empty_batches_spawn_nothing() {
+        // A missing binary only matters once there is work.
+        let exec = ProcessExecutor::new(2).with_worker_bin("/nonexistent/nni-worker");
+        let (reports, stats) = exec.try_reports(&[]).expect("empty batch");
+        assert!(reports.is_empty());
+        assert_eq!(stats, ProcessStats::default());
+        assert!(exec.execute(&[]).is_empty());
+    }
+
+    #[test]
+    fn missing_worker_binary_is_a_spawn_error() {
+        let scenario = crate::library::topology_a_scenario(crate::library::ExperimentParams {
+            duration_s: 2.0,
+            ..crate::library::ExperimentParams::default()
+        });
+        let exec = ProcessExecutor::new(1).with_worker_bin("/nonexistent/nni-worker");
+        let err = exec.try_reports(&[&scenario]).unwrap_err();
+        assert!(matches!(err, ProcessError::Spawn { .. }), "got {err}");
+    }
+}

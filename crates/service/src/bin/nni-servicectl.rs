@@ -1,0 +1,81 @@
+//! `nni-servicectl`: the client side of the experiment service.
+//!
+//! ```text
+//! nni-servicectl submit <spool> <scenario-name> [--seed N]
+//! nni-servicectl status <spool>
+//! nni-servicectl drain <spool>
+//! ```
+//!
+//! `submit` looks the scenario up by name in the library identity suite
+//! (the same population the CI identity gate runs), optionally reseeded,
+//! and spools it as one framed job file. `status` tallies the spool's
+//! state directories; `drain` writes the control marker an idle daemon
+//! exits on.
+
+use std::process::exit;
+
+use nni_scenario::library::identity_suite;
+use nni_service::{ServiceError, Spool};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nni-servicectl submit <spool> <scenario-name> [--seed N]\n\
+         \x20      nni-servicectl status <spool>\n\
+         \x20      nni-servicectl drain <spool>"
+    );
+    exit(2);
+}
+
+fn run() -> Result<(), ServiceError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("submit") => {
+            let (Some(spool), Some(name)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let seed = match args.get(3).map(String::as_str) {
+                Some("--seed") => {
+                    let v = args.get(4).unwrap_or_else(|| usage());
+                    Some(v.parse::<u64>().unwrap_or_else(|_| {
+                        eprintln!("nni-servicectl: bad value for --seed: {v:?}");
+                        usage();
+                    }))
+                }
+                Some(_) => usage(),
+                None => None,
+            };
+            let mut scenario = identity_suite()
+                .into_iter()
+                .find(|s| s.name == *name)
+                .ok_or_else(|| ServiceError::UnknownScenario(name.clone()))?;
+            if let Some(seed) = seed {
+                scenario = scenario.with_seed(seed);
+            }
+            let spool = Spool::open(spool)?;
+            let path = spool.submit(&scenario)?;
+            println!("submitted {}", path.display());
+        }
+        Some("status") => {
+            let Some(spool) = args.get(1) else { usage() };
+            let c = Spool::open(spool)?.counts()?;
+            println!(
+                "incoming {} | running {} | done {} | failed {} | verdicts {}",
+                c.incoming, c.running, c.done, c.failed, c.verdicts
+            );
+        }
+        Some("drain") => {
+            let Some(spool) = args.get(1) else { usage() };
+            Spool::open(spool)?.request_drain()?;
+            println!("drain requested");
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("nni-servicectl: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,85 @@
+//! `nni-serviced`: the experiment-service daemon. Drains jobs from a spool
+//! directory across a worker-subprocess pool, spilling measurement sets
+//! into the spool's corpus and streaming verdict lines into
+//! `verdicts.jsonl`.
+//!
+//! ```text
+//! nni-serviced <spool> [--workers N] [--drain] [--worker-bin PATH]
+//!              [--poll-ms N] [--max-attempts N]
+//! ```
+//!
+//! Without `--drain` the daemon polls forever (until a drain marker is
+//! written, e.g. by `nni-servicectl drain`). Exits 1 on any terminal
+//! error — an undecodable job file included.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use nni_service::{run_daemon, DaemonConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nni-serviced <spool> [--workers N] [--drain] \
+         [--worker-bin PATH] [--poll-ms N] [--max-attempts N]"
+    );
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("nni-serviced: {flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("nni-serviced: bad value for {flag}: {v:?}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut spool: Option<PathBuf> = None;
+    let mut cfg = DaemonConfig {
+        spool: PathBuf::new(),
+        workers: 2,
+        worker_bin: None,
+        drain: false,
+        poll_ms: 200,
+        max_attempts: nni_scenario::DEFAULT_MAX_ATTEMPTS,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => cfg.workers = parse("--workers", args.next()),
+            "--drain" => cfg.drain = true,
+            "--worker-bin" => cfg.worker_bin = Some(parse::<PathBuf>("--worker-bin", args.next())),
+            "--poll-ms" => cfg.poll_ms = parse("--poll-ms", args.next()),
+            "--max-attempts" => cfg.max_attempts = parse("--max-attempts", args.next()),
+            "--help" | "-h" => usage(),
+            _ if spool.is_none() && !arg.starts_with('-') => spool = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("nni-serviced: unexpected argument {arg:?}");
+                usage();
+            }
+        }
+    }
+    let Some(spool) = spool else { usage() };
+    cfg.spool = spool;
+
+    match run_daemon(&cfg) {
+        Ok(summary) => {
+            println!(
+                "nni-serviced: drained: {} jobs in {} batches \
+                 (recovered {}, respawns {}, retries {})",
+                summary.jobs_done,
+                summary.batches,
+                summary.recovered,
+                summary.respawns,
+                summary.retries
+            );
+        }
+        Err(e) => {
+            eprintln!("nni-serviced: {e}");
+            exit(1);
+        }
+    }
+}

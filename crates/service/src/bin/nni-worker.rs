@@ -1,0 +1,20 @@
+//! `nni-worker`: the subprocess half of the process executor. Reads framed
+//! scenario jobs from stdin, emulates each, writes framed `SimReport`
+//! results to stdout, and exits 0 on a clean end-of-stream. Any frame
+//! error — transport or decode — exits 1 so the parent sees the failure.
+
+use std::io::{stdin, stdout, BufReader, BufWriter, Write};
+
+fn main() {
+    let mut input = BufReader::new(stdin().lock());
+    let mut output = BufWriter::new(stdout().lock());
+    match nni_service::serve(&mut input, &mut output) {
+        Ok(_) => {
+            let _ = output.flush();
+        }
+        Err(e) => {
+            eprintln!("nni-worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The `nni-serviced` loop: drain the spool through a worker-subprocess
+//! pool, spill measurements, stream verdicts.
+//!
+//! Scheduling and crash handling are delegated to
+//! [`ProcessExecutor`]: a worker that dies
+//! mid-job is respawned and the job requeued (bounded attempts), so the
+//! daemon's own loop only manages *durability* — which state directory
+//! each job file is in, and what has been written to the corpus and the
+//! verdict stream. Jobs move `incoming → running → done` (or `failed` for
+//! undecodable submissions); a daemon killed mid-batch leaves its claims
+//! in `running/`, which the next start [`recover`](Spool::recover)s back
+//! into the queue.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nni_measure::codec::CodecError;
+use nni_measure::wire::FrameError;
+use nni_measure::Corpus;
+use nni_scenario::{
+    read_job, Executor, Experiment, ExperimentOutcome, ProcessError, ProcessExecutor,
+};
+
+use crate::spool::Spool;
+
+/// Everything the daemon needs to run.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Spool root directory.
+    pub spool: PathBuf,
+    /// Worker-subprocess pool size.
+    pub workers: usize,
+    /// Worker binary override (`None`: the executor's default resolution).
+    pub worker_bin: Option<PathBuf>,
+    /// Exit as soon as the queue is empty instead of polling forever.
+    pub drain: bool,
+    /// Poll interval while idle (non-drain mode).
+    pub poll_ms: u64,
+    /// Per-job attempt budget across worker crashes.
+    pub max_attempts: u32,
+}
+
+impl DaemonConfig {
+    /// A drain-mode config with defaults (2 workers, 3 attempts).
+    pub fn drain(spool: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            spool: spool.into(),
+            workers: 2,
+            worker_bin: None,
+            drain: true,
+            poll_ms: 200,
+            max_attempts: nni_scenario::DEFAULT_MAX_ATTEMPTS,
+        }
+    }
+}
+
+/// What one daemon run accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonSummary {
+    /// Jobs completed into `done/`.
+    pub jobs_done: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Jobs recovered from `running/` at startup.
+    pub recovered: usize,
+    /// Worker processes respawned after crashes.
+    pub respawns: usize,
+    /// Jobs requeued after worker crashes.
+    pub retries: usize,
+}
+
+/// Why the daemon stopped.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A filesystem or pipe failure.
+    Io(std::io::Error),
+    /// A job file (or worker stream) held undecodable bytes. The file is
+    /// parked in `failed/` before this is returned; the daemon exits
+    /// non-zero rather than logging and continuing.
+    Codec {
+        /// The offending job file.
+        file: PathBuf,
+        /// The decode failure.
+        error: CodecError,
+    },
+    /// The worker pool failed terminally (spawn failure, attempt budget
+    /// exhausted, protocol violation).
+    Process(ProcessError),
+    /// `nni-servicectl submit` was asked for a scenario the library does
+    /// not contain.
+    UnknownScenario(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::Codec { file, error } => {
+                write!(f, "undecodable job {}: {error}", file.display())
+            }
+            ServiceError::Process(e) => write!(f, "worker pool failed: {e}"),
+            ServiceError::UnknownScenario(name) => {
+                write!(f, "no library scenario named {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> ServiceError {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<ProcessError> for ServiceError {
+    fn from(e: ProcessError) -> ServiceError {
+        ServiceError::Process(e)
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn verdict_line(job: &std::path::Path, exp: &Experiment, out: &ExperimentOutcome) -> String {
+    let s = exp.scenario();
+    format!(
+        "{{\"type\":\"verdict\",\"job\":\"{}\",\"scenario\":\"{}\",\"seed\":{},\
+         \"fingerprint\":\"{:016x}\",\"flagged\":{},\"correct\":{}}}",
+        esc(&job.file_name().unwrap_or_default().to_string_lossy()),
+        esc(&s.name),
+        s.measurement.seed,
+        s.measurement_fingerprint(),
+        out.flagged_nonneutral,
+        out.correct,
+    )
+}
+
+/// Runs the daemon until drained (drain mode / drain marker) or a terminal
+/// error. See the module docs for the durability contract.
+pub fn run_daemon(cfg: &DaemonConfig) -> Result<DaemonSummary, ServiceError> {
+    let spool = Spool::open(&cfg.spool)?;
+    let corpus = Corpus::open(spool.corpus_dir())?;
+    let mut exec = ProcessExecutor::new(cfg.workers).with_max_attempts(cfg.max_attempts);
+    if let Some(bin) = &cfg.worker_bin {
+        exec = exec.with_worker_bin(bin);
+    }
+    let mut summary = DaemonSummary {
+        recovered: spool.recover()?,
+        ..DaemonSummary::default()
+    };
+
+    loop {
+        let pending = spool.pending()?;
+        if pending.is_empty() {
+            if cfg.drain || spool.drain_requested() {
+                return Ok(summary);
+            }
+            std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(1)));
+            continue;
+        }
+
+        // Claim, then decode. An undecodable submission is parked and
+        // terminates the daemon non-zero — but only after the good jobs
+        // claimed before it are returned to the queue, so nothing is lost.
+        let mut claimed: Vec<PathBuf> = Vec::with_capacity(pending.len());
+        for job in &pending {
+            claimed.push(spool.claim(job)?);
+        }
+        let mut jobs: Vec<(PathBuf, Experiment)> = Vec::with_capacity(claimed.len());
+        for path in &claimed {
+            let bytes = fs::read(path)?;
+            let decoded = match read_job(&mut bytes.as_slice()) {
+                Ok(Some((_, scenario))) => scenario,
+                Ok(None) => {
+                    return fail_decode(&spool, jobs, path, CodecError::UnexpectedEof);
+                }
+                Err(FrameError::Codec(error)) => {
+                    return fail_decode(&spool, jobs, path, error);
+                }
+                Err(FrameError::Io(e)) => return Err(ServiceError::Io(e)),
+            };
+            jobs.push((path.clone(), decoded.compile()));
+        }
+
+        let experiments: Vec<Experiment> = jobs.iter().map(|(_, e)| e.clone()).collect();
+        let (outcomes, stats) = match exec.try_execute(&experiments) {
+            Ok(r) => r,
+            Err(e) => {
+                // Terminal pool failure: put the whole batch back so a
+                // restart re-runs it.
+                for (path, _) in &jobs {
+                    let _ = spool.requeue(path);
+                }
+                return Err(e.into());
+            }
+        };
+
+        for ((path, exp), outcome) in jobs.iter().zip(&outcomes) {
+            corpus
+                .store(&exp.package(outcome.report.log.clone()))
+                .map_err(ServiceError::Io)?;
+            spool.append_verdict(&verdict_line(path, exp, outcome))?;
+            spool.complete(path)?;
+            summary.jobs_done += 1;
+        }
+        spool.append_verdict(&format!(
+            "{{\"type\":\"batch\",\"jobs\":{},\"executor\":\"{}\",\
+             \"respawns\":{},\"retries\":{}}}",
+            outcomes.len(),
+            exec.describe(),
+            stats.respawns,
+            stats.retries,
+        ))?;
+        summary.batches += 1;
+        summary.respawns += stats.respawns;
+        summary.retries += stats.retries;
+    }
+}
+
+/// Parks the undecodable job, requeues the already-decoded rest of the
+/// batch, and surfaces the typed error (the bin exits 1 on it).
+fn fail_decode(
+    spool: &Spool,
+    jobs: Vec<(PathBuf, Experiment)>,
+    bad: &std::path::Path,
+    error: CodecError,
+) -> Result<DaemonSummary, ServiceError> {
+    let parked = spool.park_failed(bad)?;
+    for (path, _) in &jobs {
+        let _ = spool.requeue(path);
+    }
+    Err(ServiceError::Codec {
+        file: parked,
+        error,
+    })
+}

@@ -1,0 +1,31 @@
+//! # nni-service
+//!
+//! The long-lived, multi-process half of the experiment layer: everything
+//! that turns "run this batch here" into "keep running whatever lands in
+//! the queue" (the ROADMAP's fleet-scale execution item).
+//!
+//! * [`worker`] — the `nni-worker` subprocess loop: read framed
+//!   [`Scenario`](nni_scenario::Scenario) jobs from stdin, emulate, write
+//!   framed `SimReport` results to stdout. This is the binary a
+//!   [`ProcessExecutor`](nni_scenario::ProcessExecutor) pool spawns.
+//! * [`spool`] — the on-disk work queue: `incoming/` → `running/` →
+//!   `done/`/`failed/` job files, a drain marker, and a verdicts JSONL
+//!   stream.
+//! * [`daemon`] — the `nni-serviced` loop: claim spooled jobs, schedule
+//!   them across a worker-subprocess pool (crash-respawn and bounded
+//!   retries included), spill every `MeasurementSet` into a disk-backed
+//!   [`Corpus`](nni_measure::Corpus), and append one verdict line per job.
+//!
+//! Error policy, shared by every binary here: transport failures are
+//! retried (a worker that dies is respawned and its job requeued), but
+//! bytes that fail to *decode* terminate the process with a non-zero exit —
+//! a corrupted stream must never be logged-and-skipped into silent data
+//! loss.
+
+pub mod daemon;
+pub mod spool;
+pub mod worker;
+
+pub use daemon::{run_daemon, DaemonConfig, DaemonSummary, ServiceError};
+pub use spool::{Spool, SpoolCounts, JOB_EXT};
+pub use worker::{serve, CRASH_ONCE_ENV};

@@ -1,0 +1,284 @@
+//! The on-disk work queue `nni-serviced` drains and `nni-servicectl`
+//! feeds.
+//!
+//! Layout under one spool root:
+//!
+//! ```text
+//! incoming/*.job    submitted jobs (framed scenarios, see below)
+//! running/*.job     claimed by the daemon (recovered on restart)
+//! done/*.job        completed
+//! failed/*.job      undecodable submissions
+//! control/drain     marker: finish pending work, then exit
+//! corpus/*.nniset   measurement sets spilled per completed job
+//! verdicts.jsonl    one JSON line per completed job (+ batch summaries)
+//! ```
+//!
+//! A job file holds exactly one `b"NNIWJOB"` frame (the same checksummed
+//! framing the worker protocol uses on its pipes — one format end to end),
+//! so a truncated or corrupted submission fails the decode loudly instead
+//! of running a half-read scenario. Claiming is a `rename(2)` into
+//! `running/`, which is atomic on one filesystem: a job is in exactly one
+//! state directory at any instant, the invariant behind the
+//! no-lost-no-duplicated-jobs guarantee.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nni_scenario::{write_job, Scenario};
+
+/// File extension of spooled jobs.
+pub const JOB_EXT: &str = "job";
+
+/// Monotone per-process submission counter (keeps names unique when one
+/// process submits several jobs within a clock tick).
+static SUBMITS: AtomicU64 = AtomicU64::new(0);
+
+/// One spool directory with its state subdirectories materialized.
+#[derive(Debug, Clone)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+/// Queue-state tally for `nni-servicectl status`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpoolCounts {
+    /// Jobs waiting in `incoming/`.
+    pub incoming: usize,
+    /// Jobs claimed in `running/`.
+    pub running: usize,
+    /// Jobs completed into `done/`.
+    pub done: usize,
+    /// Undecodable jobs parked in `failed/`.
+    pub failed: usize,
+    /// Verdict lines written so far.
+    pub verdicts: usize,
+}
+
+impl Spool {
+    /// Opens (creating if needed) a spool rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Spool> {
+        let root = root.into();
+        for sub in ["incoming", "running", "done", "failed", "control"] {
+            fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(Spool { root })
+    }
+
+    /// The spool root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Where completed jobs' measurement sets are spilled.
+    pub fn corpus_dir(&self) -> PathBuf {
+        self.root.join("corpus")
+    }
+
+    /// The verdict JSONL stream.
+    pub fn verdicts_path(&self) -> PathBuf {
+        self.root.join("verdicts.jsonl")
+    }
+
+    fn dir(&self, state: &str) -> PathBuf {
+        self.root.join(state)
+    }
+
+    /// Submits one scenario: writes a framed job file into `incoming/` and
+    /// returns its path.
+    pub fn submit(&self, scenario: &Scenario) -> std::io::Result<PathBuf> {
+        let nonce = SUBMITS.fetch_add(1, Ordering::Relaxed);
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let slug: String = scenario
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .take(48)
+            .collect();
+        let name = format!(
+            "{slug}-{stamp:016x}-{}-{nonce:04}.{JOB_EXT}",
+            std::process::id()
+        );
+        let mut bytes = Vec::new();
+        write_job(&mut bytes, nonce, scenario).expect("Vec writes are infallible");
+        // Write-then-rename so a reader never sees a half-written job.
+        let tmp = self.dir("incoming").join(format!("{name}.tmp"));
+        fs::write(&tmp, &bytes)?;
+        let path = self.dir("incoming").join(&name);
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Jobs waiting in `incoming/`, sorted by file name (submission order
+    /// for one submitter; stable for everyone).
+    pub fn pending(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut jobs: Vec<PathBuf> = fs::read_dir(self.dir("incoming"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == JOB_EXT))
+            .collect();
+        jobs.sort();
+        Ok(jobs)
+    }
+
+    /// Claims a pending job: renames it into `running/` and returns the new
+    /// path.
+    pub fn claim(&self, job: &Path) -> std::io::Result<PathBuf> {
+        self.rename_into(job, "running")
+    }
+
+    /// Returns a claimed job to the queue (daemon shutdown with the batch
+    /// unfinished).
+    pub fn requeue(&self, job: &Path) -> std::io::Result<PathBuf> {
+        self.rename_into(job, "incoming")
+    }
+
+    /// Marks a claimed job completed.
+    pub fn complete(&self, job: &Path) -> std::io::Result<PathBuf> {
+        self.rename_into(job, "done")
+    }
+
+    /// Parks an undecodable job.
+    pub fn park_failed(&self, job: &Path) -> std::io::Result<PathBuf> {
+        self.rename_into(job, "failed")
+    }
+
+    fn rename_into(&self, job: &Path, state: &str) -> std::io::Result<PathBuf> {
+        let name = job.file_name().expect("job files have names");
+        let dst = self.dir(state).join(name);
+        fs::rename(job, &dst)?;
+        Ok(dst)
+    }
+
+    /// Moves every `running/` job back to `incoming/` — called at daemon
+    /// startup so jobs claimed by a crashed daemon are re-run, not lost.
+    pub fn recover(&self) -> std::io::Result<usize> {
+        let mut recovered = 0;
+        for entry in fs::read_dir(self.dir("running"))? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == JOB_EXT) {
+                self.requeue(&path)?;
+                recovered += 1;
+            }
+        }
+        Ok(recovered)
+    }
+
+    /// Requests an orderly shutdown: the daemon finishes pending work, then
+    /// exits.
+    pub fn request_drain(&self) -> std::io::Result<()> {
+        fs::write(self.dir("control").join("drain"), b"")
+    }
+
+    /// Whether a drain was requested.
+    pub fn drain_requested(&self) -> bool {
+        self.dir("control").join("drain").exists()
+    }
+
+    /// Appends one line to the verdict stream.
+    pub fn append_verdict(&self, line: &str) -> std::io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.verdicts_path())?;
+        writeln!(f, "{line}")
+    }
+
+    /// Tallies every state directory plus the verdict stream.
+    pub fn counts(&self) -> std::io::Result<SpoolCounts> {
+        let count = |state: &str| -> std::io::Result<usize> {
+            Ok(fs::read_dir(self.dir(state))?
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == JOB_EXT))
+                .count())
+        };
+        let verdicts = match fs::read_to_string(self.verdicts_path()) {
+            Ok(s) => s.lines().count(),
+            Err(_) => 0,
+        };
+        Ok(SpoolCounts {
+            incoming: count("incoming")?,
+            running: count("running")?,
+            done: count("done")?,
+            failed: count("failed")?,
+            verdicts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nni_scenario::library::{topology_a_scenario, ExperimentParams};
+    use nni_scenario::read_job;
+
+    fn temp_spool(tag: &str) -> Spool {
+        let dir = std::env::temp_dir().join(format!(
+            "nni-spool-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Spool::open(dir).expect("spool opens")
+    }
+
+    #[test]
+    fn submitted_jobs_round_trip_and_walk_the_lifecycle() {
+        let spool = temp_spool("lifecycle");
+        let scenario = topology_a_scenario(ExperimentParams {
+            duration_s: 2.0,
+            ..ExperimentParams::default()
+        });
+        let a = spool.submit(&scenario).unwrap();
+        let b = spool.submit(&scenario.with_seed(9)).unwrap();
+        assert_ne!(a, b, "submissions get unique names");
+        assert_eq!(spool.pending().unwrap(), vec![a.clone(), b.clone()]);
+
+        let bytes = fs::read(&a).unwrap();
+        let (_, back) = read_job(&mut bytes.as_slice()).unwrap().expect("one job");
+        assert_eq!(
+            back.measurement_fingerprint(),
+            scenario.measurement_fingerprint()
+        );
+
+        let running = spool.claim(&a).unwrap();
+        assert_eq!(spool.counts().unwrap().running, 1);
+        let done = spool.complete(&running).unwrap();
+        assert!(done.starts_with(spool.root().join("done")));
+        let parked = spool.park_failed(&spool.claim(&b).unwrap()).unwrap();
+        assert!(parked.starts_with(spool.root().join("failed")));
+        let c = spool.counts().unwrap();
+        assert_eq!((c.incoming, c.running, c.done, c.failed), (0, 0, 1, 1));
+        fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn recover_returns_running_jobs_to_the_queue() {
+        let spool = temp_spool("recover");
+        let scenario = topology_a_scenario(ExperimentParams {
+            duration_s: 2.0,
+            ..ExperimentParams::default()
+        });
+        let job = spool.submit(&scenario).unwrap();
+        spool.claim(&job).unwrap();
+        assert!(spool.pending().unwrap().is_empty());
+        assert_eq!(spool.recover().unwrap(), 1);
+        assert_eq!(spool.pending().unwrap().len(), 1);
+        fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn drain_marker_and_verdicts() {
+        let spool = temp_spool("drain");
+        assert!(!spool.drain_requested());
+        spool.request_drain().unwrap();
+        assert!(spool.drain_requested());
+        spool.append_verdict("{\"type\":\"verdict\"}").unwrap();
+        spool.append_verdict("{\"type\":\"batch\"}").unwrap();
+        assert_eq!(spool.counts().unwrap().verdicts, 2);
+        fs::remove_dir_all(spool.root()).unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! The worker loop behind the `nni-worker` binary: a frame-in, frame-out
+//! service over any byte stream (stdin/stdout in production, in-memory
+//! buffers in tests).
+//!
+//! The worker deliberately runs only the *emulation* half of an experiment
+//! and ships the full `SimReport` back: inference is deterministic in the
+//! report, so the parent re-derives outcomes locally and bit-identity to
+//! the in-process executors holds by construction.
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+use nni_measure::wire::FrameError;
+use nni_scenario::{read_job, write_result};
+
+/// Crash-injection hook for the requeue tests: when this variable names a
+/// token file that does **not** exist yet, the worker creates it and
+/// `abort()`s before answering its first job — so exactly one crash is
+/// injected and the respawned worker (which finds the token) proceeds
+/// normally.
+pub const CRASH_ONCE_ENV: &str = "NNI_WORKER_CRASH_ONCE";
+
+/// Serves jobs until a clean end-of-stream, returning how many were
+/// answered. Any frame error — transport or codec — aborts the loop; the
+/// binary maps it to a non-zero exit.
+pub fn serve(input: &mut impl Read, output: &mut impl Write) -> Result<usize, FrameError> {
+    let mut served = 0usize;
+    while let Some((job_id, scenario)) = read_job(input)? {
+        maybe_crash_once();
+        let report = scenario.compile().emulate();
+        write_result(output, job_id, &report)?;
+        // The parent blocks on this result before sending the next job, so
+        // a buffered stdout must drain per job, not per batch.
+        output.flush()?;
+        served += 1;
+    }
+    Ok(served)
+}
+
+fn maybe_crash_once() {
+    if let Some(token) = std::env::var_os(CRASH_ONCE_ENV) {
+        let token = PathBuf::from(token);
+        if !token.exists() {
+            // Leave the token first: the respawned worker must not crash
+            // again, or the bounded retry budget would (correctly) give up.
+            let _ = std::fs::write(&token, b"crashed once");
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nni_scenario::library::{topology_a_scenario, ExperimentParams};
+    use nni_scenario::{read_result, write_job};
+
+    #[test]
+    fn serve_answers_jobs_in_order_until_eof() {
+        let scenario = topology_a_scenario(ExperimentParams {
+            duration_s: 2.0,
+            ..ExperimentParams::default()
+        });
+        let mut input = Vec::new();
+        write_job(&mut input, 4, &scenario).unwrap();
+        write_job(&mut input, 9, &scenario.with_seed(7)).unwrap();
+        let mut output = Vec::new();
+        let served = serve(&mut input.as_slice(), &mut output).expect("clean run");
+        assert_eq!(served, 2);
+        let mut cursor = std::io::Cursor::new(&output);
+        let (id_a, report_a) = read_result(&mut cursor).unwrap().expect("first result");
+        let (id_b, report_b) = read_result(&mut cursor).unwrap().expect("second result");
+        assert_eq!((id_a, id_b), (4, 9));
+        assert_eq!(report_a, scenario.compile().emulate());
+        assert_eq!(report_b, scenario.with_seed(7).compile().emulate());
+        assert!(read_result(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_input_is_a_frame_error_not_a_panic() {
+        let mut output = Vec::new();
+        let err = serve(&mut &b"not a frame at all"[..], &mut output).unwrap_err();
+        assert!(matches!(err, FrameError::Codec(_)), "got {err}");
+        assert!(output.is_empty(), "no result may be emitted for bad input");
+    }
+}

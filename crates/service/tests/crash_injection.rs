@@ -1,0 +1,132 @@
+//! Crash injection: a worker killed mid-job must be respawned, the job
+//! requeued, and the batch's final outcomes must still be bit-identical to
+//! serial — the no-lost-no-duplicated-jobs half of the executor contract.
+//!
+//! The injection hook is `NNI_WORKER_CRASH_ONCE=<token-path>`: the first
+//! worker to see a missing token file creates it and `abort()`s before
+//! answering, so exactly one crash happens per token path. The variable is
+//! process-global (inherited by every spawned worker), so the tests here
+//! serialize on a mutex and scope the variable tightly.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use nni_scenario::library::{topology_a_scenario, ExperimentParams, Mechanism};
+use nni_scenario::{seed_sweep, Executor, ProcessExecutor, SerialExecutor};
+use nni_service::{run_daemon, DaemonConfig, Spool, CRASH_ONCE_ENV};
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_nni-worker")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nni-crash-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&dir);
+    dir
+}
+
+/// Runs `f` with the crash token armed, then disarms and cleans up.
+fn with_crash_once<T>(token: &PathBuf, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().expect("unpoisoned");
+    std::env::set_var(CRASH_ONCE_ENV, token);
+    let out = f();
+    std::env::remove_var(CRASH_ONCE_ENV);
+    let _ = std::fs::remove_file(token);
+    out
+}
+
+fn batch() -> Vec<nni_scenario::Experiment> {
+    let scenario = topology_a_scenario(ExperimentParams {
+        mechanism: Mechanism::Policing(0.2),
+        duration_s: 4.0,
+        ..ExperimentParams::default()
+    });
+    seed_sweep(&scenario, &[1, 2, 3, 4])
+}
+
+#[test]
+fn killed_worker_is_respawned_and_outcomes_stay_identical() {
+    let experiments = batch();
+    let serial = SerialExecutor.execute(&experiments);
+
+    let token = temp_path("executor-token");
+    let exec = ProcessExecutor::new(2).with_worker_bin(worker_bin());
+    let (process, stats) = with_crash_once(&token, || {
+        exec.try_execute(&experiments).expect("batch survives")
+    });
+
+    assert!(
+        stats.respawns >= 1,
+        "the injected crash must be observed as a respawn: {stats:?}"
+    );
+    assert!(
+        stats.retries >= 1,
+        "the crashed worker's job must be requeued: {stats:?}"
+    );
+    assert_eq!(
+        serial, process,
+        "outcomes after a crash-respawn must still be bit-identical to serial"
+    );
+}
+
+#[test]
+fn exhausted_attempt_budget_fails_the_batch_loudly() {
+    // A token pointing into a directory that cannot be created: the worker
+    // aborts on every spawn, so the budget runs out and the typed error
+    // carries the attempt count.
+    let experiments = batch()[..1].to_vec();
+    let token = PathBuf::from("/nonexistent-dir/never-created-token");
+    let exec = ProcessExecutor::new(1)
+        .with_worker_bin(worker_bin())
+        .with_max_attempts(2);
+    let err = with_crash_once(&token, || exec.try_execute(&experiments).unwrap_err());
+    match err {
+        nni_scenario::ProcessError::JobFailed { attempts, .. } => {
+            assert_eq!(attempts, 2, "budget must be exhausted exactly")
+        }
+        other => panic!("expected JobFailed, got {other}"),
+    }
+}
+
+#[test]
+fn daemon_survives_a_worker_crash_with_no_lost_or_duplicated_jobs() {
+    let spool_dir = temp_path("daemon-spool");
+    let spool = Spool::open(&spool_dir).expect("spool opens");
+    let scenario = topology_a_scenario(ExperimentParams {
+        duration_s: 4.0,
+        ..ExperimentParams::default()
+    });
+    let submitted = 3usize;
+    for seed in 0..submitted as u64 {
+        spool.submit(&scenario.with_seed(seed + 1)).expect("submit");
+    }
+
+    let token = temp_path("daemon-token");
+    let cfg = DaemonConfig {
+        worker_bin: Some(PathBuf::from(worker_bin())),
+        ..DaemonConfig::drain(&spool_dir)
+    };
+    let summary = with_crash_once(&token, || run_daemon(&cfg).expect("daemon drains"));
+
+    assert_eq!(summary.jobs_done, submitted, "every job completes once");
+    assert!(
+        summary.respawns >= 1,
+        "the crash must be visible: {summary:?}"
+    );
+    let counts = spool.counts().expect("counts");
+    assert_eq!(
+        (counts.incoming, counts.running, counts.done, counts.failed),
+        (0, 0, submitted, 0),
+        "jobs must be neither lost nor duplicated"
+    );
+    // One verdict line per job plus one batch line per batch.
+    assert_eq!(counts.verdicts, summary.jobs_done + summary.batches);
+    std::fs::remove_dir_all(&spool_dir).expect("cleanup");
+}

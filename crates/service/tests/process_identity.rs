@@ -1,0 +1,96 @@
+//! The three-way identity gate: for the same scenarios, the process
+//! executor's outcomes are bit-identical to the serial and sharded
+//! executors' — across the curated 14-scenario identity suite AND the
+//! 24-scenario randomized invariant population. This is the suite the
+//! dedicated `process-identity` CI job runs.
+//!
+//! The worker binary is the one cargo just built for this crate
+//! (`CARGO_BIN_EXE_nni-worker`), so the gate always tests the code under
+//! review, never a stale installed binary.
+
+use nni_scenario::library::identity_suite;
+use nni_scenario::{
+    run_sets, Executor, ProcessExecutor, Scenario, ScenarioGen, SerialExecutor, ShardedExecutor,
+    SweepSet,
+};
+
+fn process_pool(workers: usize) -> ProcessExecutor {
+    ProcessExecutor::new(workers).with_worker_bin(env!("CARGO_BIN_EXE_nni-worker"))
+}
+
+fn invariant_seed() -> u64 {
+    std::env::var("NNI_INVARIANT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// The same population `crates/scenario/tests/invariants.rs` checks: 16
+/// full-generator scenarios plus 8 forced-neutral controls.
+fn random_population() -> Vec<Scenario> {
+    let seed = invariant_seed();
+    let mut pop = ScenarioGen::new(seed).scenarios(16);
+    pop.extend(ScenarioGen::neutral_only(seed.wrapping_add(0x9E37_79B9)).scenarios(8));
+    pop
+}
+
+#[test]
+fn identity_suite_is_three_way_bit_identical() {
+    let experiments: Vec<_> = identity_suite().iter().map(Scenario::compile).collect();
+    assert_eq!(experiments.len(), 14, "the curated identity suite");
+
+    let serial = SerialExecutor.execute(&experiments);
+    let sharded = ShardedExecutor::new(3).execute(&experiments);
+    assert_eq!(serial, sharded, "sharded must match serial");
+
+    let (process, stats) = process_pool(2)
+        .try_execute(&experiments)
+        .expect("process batch succeeds");
+    assert_eq!(
+        serial, process,
+        "process outcomes must be bit-identical to serial, in input order"
+    );
+    assert_eq!(
+        (stats.respawns, stats.retries),
+        (0, 0),
+        "a healthy pool neither crashes nor retries"
+    );
+}
+
+#[test]
+fn randomized_population_is_three_way_bit_identical() {
+    // Same sweep-set surface as the invariants harness: identity must hold
+    // on batched sets (compile + batch + re-slice), not just single runs.
+    let sets: Vec<SweepSet> = random_population()
+        .chunks(6)
+        .enumerate()
+        .map(|(i, chunk)| {
+            SweepSet::from_points(
+                format!("random set {i}"),
+                "member",
+                chunk.iter().map(|s| (s.name.clone(), s.clone())),
+            )
+        })
+        .collect();
+    assert_eq!(sets.iter().map(SweepSet::len).sum::<usize>(), 24);
+
+    let serial = run_sets(&sets, &SerialExecutor);
+    let sharded = run_sets(&sets, &ShardedExecutor::new(3));
+    let process = run_sets(&sets, &process_pool(2));
+    assert_eq!(serial, sharded, "sharded must match serial");
+    assert_eq!(
+        serial, process,
+        "process sweep-set outcomes must be bit-identical to serial"
+    );
+}
+
+#[test]
+fn acquired_measurement_sets_are_identical_too() {
+    // The daemon path goes through `acquire` (measurement sets spilled to a
+    // corpus), so identity must hold on that surface as well.
+    let scenarios: Vec<Scenario> = identity_suite().into_iter().take(4).collect();
+    let experiments: Vec<_> = scenarios.iter().map(Scenario::compile).collect();
+    let serial = SerialExecutor.acquire(&experiments);
+    let process = process_pool(2).acquire(&experiments);
+    assert_eq!(serial, process, "measurement sets must match bit for bit");
+}

@@ -1,0 +1,173 @@
+//! End-to-end service tests: submit → daemon drain → corpus + verdicts,
+//! the decode-error exit contract of every binary, and the `nni-servicectl`
+//! command surface.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use nni_measure::Corpus;
+use nni_scenario::library::{identity_suite, topology_a_scenario, ExperimentParams};
+use nni_service::{run_daemon, DaemonConfig, ServiceError, Spool};
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_nni-worker")
+}
+
+fn temp_spool_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nni-e2e-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn drain_config(spool_dir: &PathBuf) -> DaemonConfig {
+    DaemonConfig {
+        worker_bin: Some(PathBuf::from(worker_bin())),
+        ..DaemonConfig::drain(spool_dir)
+    }
+}
+
+#[test]
+fn submitted_jobs_drain_into_corpus_and_verdicts() {
+    let spool_dir = temp_spool_dir("drain");
+    let spool = Spool::open(&spool_dir).expect("spool opens");
+    let scenario = topology_a_scenario(ExperimentParams {
+        duration_s: 4.0,
+        ..ExperimentParams::default()
+    });
+    for seed in [3u64, 5, 8] {
+        spool.submit(&scenario.with_seed(seed)).expect("submit");
+    }
+
+    let summary = run_daemon(&drain_config(&spool_dir)).expect("daemon drains");
+    assert_eq!(summary.jobs_done, 3);
+
+    // Every completed job spilled one measurement set, bit-identical to a
+    // local simulation of the same scenario.
+    let corpus = Corpus::open(spool.corpus_dir()).expect("corpus opens");
+    let mut sets = corpus.load_all().expect("corpus loads");
+    sets.sort_by_key(|s| s.provenance.seed);
+    assert_eq!(sets.len(), 3);
+    for (set, seed) in sets.iter().zip([3u64, 5, 8]) {
+        assert_eq!(set.provenance.seed, seed);
+        assert_eq!(set, &scenario.with_seed(seed).compile().simulate());
+    }
+
+    // Verdict stream: one JSON line per job plus the batch summaries.
+    let verdicts = fs::read_to_string(spool.verdicts_path()).expect("verdicts exist");
+    let lines: Vec<&str> = verdicts.lines().collect();
+    assert_eq!(lines.len(), summary.jobs_done + summary.batches);
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"type\":\"verdict\""))
+            .count(),
+        3
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad JSONL: {line}"
+        );
+    }
+    fs::remove_dir_all(&spool_dir).expect("cleanup");
+}
+
+#[test]
+fn undecodable_job_parks_and_fails_the_daemon() {
+    let spool_dir = temp_spool_dir("badjob");
+    let spool = Spool::open(&spool_dir).expect("spool opens");
+    fs::write(
+        spool.root().join("incoming").join("corrupt.job"),
+        b"these are not frame bytes",
+    )
+    .expect("write bad job");
+
+    let err = run_daemon(&drain_config(&spool_dir)).expect_err("daemon must fail");
+    match err {
+        ServiceError::Codec { file, .. } => {
+            assert!(
+                file.starts_with(spool.root().join("failed")),
+                "bad job must be parked in failed/: {}",
+                file.display()
+            );
+        }
+        other => panic!("expected a codec error, got {other}"),
+    }
+    let counts = spool.counts().expect("counts");
+    assert_eq!((counts.failed, counts.done), (1, 0));
+    fs::remove_dir_all(&spool_dir).expect("cleanup");
+}
+
+#[test]
+fn worker_binary_exits_nonzero_on_garbage_stdin() {
+    let mut child = Command::new(worker_bin())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("worker spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"garbage bytes, not a frame")
+        .expect("write garbage");
+    let out = child.wait_with_output().expect("worker exits");
+    assert_eq!(out.status.code(), Some(1), "decode errors must exit 1");
+    assert!(out.stdout.is_empty(), "no result frame may be emitted");
+    assert!(!out.stderr.is_empty(), "the failure must be reported");
+}
+
+#[test]
+fn worker_binary_exits_zero_on_clean_eof() {
+    let out = Command::new(worker_bin())
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .output()
+        .expect("worker runs");
+    assert!(out.status.success(), "clean EOF is a clean exit");
+}
+
+#[test]
+fn servicectl_submit_status_drain_round_trip() {
+    let spool_dir = temp_spool_dir("ctl");
+    let ctl = env!("CARGO_BIN_EXE_nni-servicectl");
+    let run = |args: &[&str]| {
+        Command::new(ctl)
+            .args(args)
+            .output()
+            .expect("servicectl runs")
+    };
+    let spool_s = spool_dir.to_str().expect("utf8 temp dir");
+
+    // Submit by the library's own name — whatever the suite calls its first
+    // member — so the test does not hard-code naming conventions.
+    let name = identity_suite()[0].name.clone();
+    let out = run(&["submit", spool_s, &name]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = run(&["submit", spool_s, "no-such-scenario"]);
+    assert_eq!(out.status.code(), Some(1), "unknown scenario must exit 1");
+
+    let out = run(&["status", spool_s]);
+    assert!(out.status.success());
+    let status = String::from_utf8_lossy(&out.stdout);
+    assert!(status.contains("incoming 1"), "got: {status}");
+
+    let out = run(&["drain", spool_s]);
+    assert!(out.status.success());
+    assert!(Spool::open(&spool_dir).expect("spool").drain_requested());
+
+    let out = run(&["bogus-subcommand"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    fs::remove_dir_all(&spool_dir).expect("cleanup");
+}

@@ -20,7 +20,8 @@
 //! | [`topology`] | `nni-topology` | The graph model `G = (V, L, P)` and every paper topology |
 //! | [`measure`] | `nni-measure` | Algorithm 2: normalization, loss thresholds, pathset performance numbers |
 //! | [`emu`] | `nni-emu` | Deterministic packet-level emulator: drop-tail queues, policers, shapers, NewReno/CUBIC TCP |
-//! | [`scenario`] | `nni-scenario` | Topology-agnostic Scenario API: declarative experiments, serial + sharded executors, baseline adapters |
+//! | [`scenario`] | `nni-scenario` | Topology-agnostic Scenario API: declarative experiments, serial / sharded / process executors, baseline adapters |
+//! | [`service`] | `nni-service` | Distributed execution: `nni-worker` subprocesses, the `nni-serviced` spool daemon, `nni-servicectl` |
 //! | [`tomography`] | `nni-tomography` | Related-work baselines (boolean tomography, loss tomography, Glasnost-style) |
 //! | [`stats`] | `nni-stats` | Two-cluster classification, five-number summaries, Pareto/exponential samplers |
 //! | [`linalg`] | `nni-linalg` | Rank / RREF / least squares for the solvability tests |
@@ -57,6 +58,7 @@ pub use nni_emu as emu;
 pub use nni_linalg as linalg;
 pub use nni_measure as measure;
 pub use nni_scenario as scenario;
+pub use nni_service as service;
 pub use nni_stats as stats;
 pub use nni_tomography as tomography;
 pub use nni_topology as topology;
