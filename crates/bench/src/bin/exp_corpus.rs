@@ -2,7 +2,7 @@
 //! the `MeasurementSet` seam as a command-line tool.
 //!
 //! ```text
-//! exp_corpus record  --dir D [--seeds 1,2] [--take N] [--jsonl]
+//! exp_corpus record  --dir D [--seeds 1,2] [--take N] [--jsonl] [--append]
 //! exp_corpus replay  --dir D [--verify]
 //! exp_corpus reinfer --dir D [--thresholds 0.02,0.04,0.08]
 //! ```
@@ -12,6 +12,10 @@
 //!   every `MeasurementSet` in the corpus directory (binary codec;
 //!   `--jsonl` additionally writes the human-readable dump next to each
 //!   entry). `--take N` records only the first N suite members.
+//!   `--append` adds onto an existing corpus — and exits 1 *before
+//!   writing anything* if any new set's identity (scenario fingerprint +
+//!   seed) is already stored, so a live tail never sees an entry rewrite
+//!   itself.
 //! * `replay` lists the corpus: provenance, shape, and set fingerprint per
 //!   entry — with `--verify`, a checksum/decode failure or a provenance
 //!   mismatch exits nonzero (the CI compatibility gate).
@@ -27,7 +31,7 @@ use nni_scenario::{infer, InferenceConfig, SerialExecutor};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: exp_corpus record  --dir D [--seeds 1,2] [--take N] [--jsonl]\n\
+        "usage: exp_corpus record  --dir D [--seeds 1,2] [--take N] [--jsonl] [--append]\n\
                 exp_corpus replay  --dir D [--verify]\n\
                 exp_corpus reinfer --dir D [--thresholds 0.02,0.04]"
     );
@@ -39,6 +43,7 @@ struct Args {
     seeds: Vec<u64>,
     take: Option<usize>,
     jsonl: bool,
+    append: bool,
     verify: bool,
     thresholds: Vec<f64>,
 }
@@ -49,6 +54,7 @@ fn parse_args(rest: &[String]) -> Args {
         seeds: vec![3, 11],
         take: None,
         jsonl: false,
+        append: false,
         verify: false,
         thresholds: vec![0.02, 0.04, 0.08],
     };
@@ -87,6 +93,10 @@ fn parse_args(rest: &[String]) -> Args {
                 out.jsonl = true;
                 i += 1;
             }
+            "--append" => {
+                out.append = true;
+                i += 1;
+            }
             "--verify" => {
                 out.verify = true;
                 i += 1;
@@ -121,6 +131,29 @@ fn record(args: &Args) {
         .flat_map(|&seed| suite.iter().map(move |s| s.with_seed(seed).compile()))
         .collect();
     let sets = nni_scenario::Executor::acquire(&SerialExecutor, &experiments);
+    if args.append {
+        // Collision check before the first write: an append either lands
+        // whole or not at all, and an existing identity is never silently
+        // rewritten under a live tail.
+        let existing: std::collections::HashSet<_> = corpus
+            .entries()
+            .expect("list corpus")
+            .iter()
+            .map(MeasurementSource::key)
+            .collect();
+        for set in &sets {
+            if existing.contains(&set.key()) {
+                eprintln!(
+                    "exp_corpus: refusing to append: corpus already holds {} \
+                     ({:?} seed {})",
+                    set.key(),
+                    set.provenance.scenario,
+                    set.provenance.seed
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     for set in &sets {
         let path = corpus.store(set).expect("store entry");
         if args.jsonl {

@@ -25,7 +25,7 @@ use nni_emu::{
 };
 use nni_scenario::{
     default_worker_bin, reinfer_sets, Executor, MeasurementCache, ProcessExecutor, SerialExecutor,
-    SweepSet,
+    StreamingInference, SweepSet,
 };
 use nni_topology::library::topology_a;
 use std::time::{Duration, Instant};
@@ -132,6 +132,33 @@ fn reinfer_sets_for_workload() -> Vec<SweepSet> {
 fn reinfer_workload(sets: &[SweepSet]) -> usize {
     let cache = MeasurementCache::new();
     reinfer_sets(sets, &SerialExecutor, &cache).len()
+}
+
+/// The measurement the streaming workload folds: a 60-interval policing
+/// run (simulated once, outside the timed region).
+fn live_set_for_workload() -> nni_scenario::MeasurementSet {
+    let mut s = nni_scenario::library::topology_a_scenario(ExperimentParams {
+        mechanism: Mechanism::Policing(0.2),
+        duration_s: 7.0,
+        ..ExperimentParams::default()
+    });
+    s.measurement.warmup_s = Some(1.0);
+    s.compile().simulate()
+}
+
+/// The `nni-live` hot path: fold the 60 intervals one at a time into a
+/// [`StreamingInference`], re-deriving the verdict per closed interval
+/// (incremental Algorithm 2 counters + the cheap decision half — never a
+/// full recompute).
+fn live_workload(set: &nni_scenario::MeasurementSet) -> u64 {
+    let cfg = nni_scenario::InferenceConfig::default();
+    let mut live = StreamingInference::new(&set.topology, set.provenance.seed, &cfg);
+    let mut acc = 0u64;
+    for t in 1..=set.log.interval_count() {
+        live.advance(&set.log, t);
+        acc ^= live.verdict().fingerprint();
+    }
+    acc
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -293,8 +320,11 @@ fn main() {
         }
     }
     let mode = if smoke { "smoke" } else { "full" };
-    let (emu_iters, fig8_iters, sweep_iters, reinfer_iters) =
-        if smoke { (5, 3, 2, 3) } else { (20, 10, 8, 10) };
+    let (emu_iters, fig8_iters, sweep_iters, reinfer_iters, live_iters) = if smoke {
+        (5, 3, 2, 3, 5)
+    } else {
+        (20, 10, 8, 10, 20)
+    };
 
     eprintln!("perf_record: measuring ({mode} mode) ...");
     let sweep: Vec<_> = table2_sets(3.0, 42)
@@ -302,6 +332,7 @@ fn main() {
         .flat_map(|s| s.compile())
         .collect();
     let reinfer = reinfer_sets_for_workload();
+    let live_set = live_set_for_workload();
 
     let mut results = vec![
         measure("emulator/topology_a_1s", emu_iters, emulator_workload),
@@ -311,6 +342,9 @@ fn main() {
         }),
         measure("reinfer/threshold_sweep_5x10_3s", reinfer_iters, || {
             reinfer_workload(&reinfer)
+        }),
+        measure("live/incremental_recluster", live_iters, || {
+            live_workload(&live_set)
         }),
     ];
     // The process-pool variant of the table-2 sweep needs the nni-worker

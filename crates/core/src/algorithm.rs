@@ -176,31 +176,111 @@ impl InferenceResult {
     }
 }
 
+/// The per-topology precompute of Algorithm 1: the analyzable slices and
+/// their normalization groups, derived once and reused across repeated
+/// identifications over the same topology — the structure an incremental
+/// (per-interval) re-identification must not re-derive on every arrival.
+///
+/// A plan depends only on the topology and `cfg.min_pairs`; observation
+/// vectors vary per call, so [`identify_with_plan`] (full) and
+/// [`identify_scores`] (caller-supplied `y` vectors) both consume one.
+#[derive(Debug, Clone)]
+pub struct IdentifyPlan {
+    slices: Vec<Slice>,
+    groups: Vec<Vec<PathId>>,
+}
+
+impl IdentifyPlan {
+    /// Enumerates and filters the slices of `topology` and precomputes each
+    /// slice's normalization group `Paths(τ)`.
+    pub fn new(topology: &Topology, cfg: &Config) -> IdentifyPlan {
+        let slices: Vec<Slice> = enumerate_slices(topology)
+            .into_iter()
+            .filter(|s| s.pair_count() >= cfg.min_pairs)
+            .collect();
+        let groups = slices
+            .iter()
+            .map(|s| normalization_group(topology, &s.tau))
+            .collect();
+        IdentifyPlan { slices, groups }
+    }
+
+    /// The analyzable slices, in the deterministic `τ` order
+    /// [`identify`] walks them.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// The normalization group of slice `i` (aligned with [`slices`]).
+    ///
+    /// [`slices`]: IdentifyPlan::slices
+    pub fn group(&self, i: usize) -> &[PathId] {
+        &self.groups[i]
+    }
+
+    /// Queries `obs` for every slice's observation vector, in plan order —
+    /// the acquisition half of [`identify_with_plan`].
+    pub fn observe(&self, obs: &impl Observations) -> Vec<Vec<f64>> {
+        self.slices
+            .iter()
+            .zip(&self.groups)
+            .map(|(s, g)| obs.observe_all(g, &s.pathsets))
+            .collect()
+    }
+}
+
 /// Runs Algorithm 1 against an observation source.
 pub fn identify(topology: &Topology, obs: &impl Observations, cfg: Config) -> InferenceResult {
-    let slices: Vec<Slice> = enumerate_slices(topology)
-        .into_iter()
-        .filter(|s| s.pair_count() >= cfg.min_pairs)
-        .collect();
+    let plan = IdentifyPlan::new(topology, &cfg);
+    identify_with_plan(&plan, obs, cfg)
+}
 
-    // Gather observations and per-slice scores.
+/// [`identify`] over a precomputed [`IdentifyPlan`] — what repeated
+/// identifications on one topology (sweeps, streaming re-clustering) call
+/// so slice enumeration happens once.
+pub fn identify_with_plan(
+    plan: &IdentifyPlan,
+    obs: &impl Observations,
+    cfg: Config,
+) -> InferenceResult {
+    identify_scores(plan, &plan.observe(obs), cfg)
+}
+
+/// The decision half of Algorithm 1: per-slice estimates, unsolvability
+/// scores, the solvability decision (exact rank test or 2-means
+/// re-clustering), and redundancy removal — over caller-supplied
+/// observation vectors `ys` (one per plan slice, aligned with
+/// [`IdentifyPlan::slices`]).
+///
+/// This is the seam the streaming subsystem re-enters on every closed
+/// interval: an incremental Algorithm 2 maintains the counts behind `ys`
+/// cheaply, and the (cheap, slice-count-sized) decision re-runs here, so
+/// every emitted verdict is the same pure function of `(ys, cfg)` that
+/// batch [`identify`] computes.
+pub fn identify_scores(plan: &IdentifyPlan, ys: &[Vec<f64>], cfg: Config) -> InferenceResult {
+    let slices = &plan.slices;
+    assert_eq!(
+        ys.len(),
+        slices.len(),
+        "one observation vector per plan slice"
+    );
+
+    // Per-slice scores from the observation vectors.
     let mut verdicts: Vec<SliceVerdict> = Vec::with_capacity(slices.len());
     let mut exact_flags: Vec<bool> = Vec::with_capacity(slices.len());
-    for s in &slices {
-        let group = normalization_group(topology, &s.tau);
-        let y = obs.observe_all(&group, &s.pathsets);
+    for (s, y) in slices.iter().zip(ys) {
         let estimates: Vec<PairEstimate> = s
             .pairs
             .iter()
-            .zip(s.pair_estimates(&y))
+            .zip(s.pair_estimates(y))
             .map(|(&pair, estimate)| PairEstimate { pair, estimate })
             .collect();
-        let unsolvability = s.unsolvability(&y);
+        let unsolvability = s.unsolvability(y);
         let exact_unsolvable = match cfg.mode {
             DecisionMode::Exact { tol } => {
                 let a = s.routing_matrix();
-                let tol = tol.max(default_tolerance(&a.augment_col(&y)));
-                !analyze(&a, &y, tol).is_consistent()
+                let tol = tol.max(default_tolerance(&a.augment_col(y)));
+                !analyze(&a, y, tol).is_consistent()
             }
             DecisionMode::Clustered { .. } => false, // decided below
         };

@@ -52,7 +52,8 @@ pub mod routing;
 pub mod slice;
 
 pub use algorithm::{
-    identify, remove_redundant, Config, DecisionMode, InferenceResult, PairEstimate, SliceVerdict,
+    identify, identify_scores, identify_with_plan, remove_redundant, Config, DecisionMode,
+    IdentifyPlan, InferenceResult, PairEstimate, SliceVerdict,
 };
 pub use class::{ClassError, Classes};
 pub use equivalent::{EquivalentNetwork, VirtualLink, VirtualRole};

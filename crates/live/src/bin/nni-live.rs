@@ -1,0 +1,168 @@
+//! `nni-live`: tail a growing corpus directory and stream verdict updates
+//! as JSONL, re-running inference on every newly closed interval.
+//!
+//! ```text
+//! nni-live <corpus-dir> [--out PATH] [--poll-ms N] [--window W]
+//!          [--idle-exit N] [--verify-batch] [--retry-budget N]
+//! ```
+//!
+//! One JSON line per update, to stdout (or `--out`):
+//!
+//! ```text
+//! {"type":"update","scenario":"…","fingerprint":"…","seed":3,
+//!  "interval":17,"vantages":1,"nonneutral":true,"result":"…",
+//!  "mode":"incremental"}
+//! ```
+//!
+//! `--idle-exit N` stops after `N` consecutive empty polls (the demo /
+//! CI mode; without it the tail runs until killed). `--verify-batch`
+//! re-runs *batch* inference over every session's merged log on exit and
+//! exits 1 unless each streaming verdict is bit-identical — the
+//! convergence guarantee, checked end to end. Corrupt files are reported
+//! on stderr and skipped.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::exit;
+
+use nni_live::{LiveConfig, LiveMonitor};
+use nni_measure::{CorpusTail, TailEvent};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nni-live <corpus-dir> [--out PATH] [--poll-ms N] [--window W] \
+         [--idle-exit N] [--verify-batch] [--retry-budget N]"
+    );
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("nni-live: {flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("nni-live: bad value for {flag}: {v:?}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut poll_ms: u64 = 100;
+    let mut window: Option<usize> = None;
+    let mut idle_exit: Option<u32> = None;
+    let mut verify_batch = false;
+    let mut retry_budget: Option<u32> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(parse::<PathBuf>("--out", args.next())),
+            "--poll-ms" => poll_ms = parse("--poll-ms", args.next()),
+            "--window" => window = Some(parse("--window", args.next())),
+            "--idle-exit" => idle_exit = Some(parse("--idle-exit", args.next())),
+            "--verify-batch" => verify_batch = true,
+            "--retry-budget" => retry_budget = Some(parse("--retry-budget", args.next())),
+            "--help" | "-h" => usage(),
+            _ if dir.is_none() && !arg.starts_with('-') => dir = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("nni-live: unexpected argument {arg:?}");
+                usage();
+            }
+        }
+    }
+    let Some(dir) = dir else { usage() };
+
+    let mut tail = match CorpusTail::open(&dir) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("nni-live: cannot tail {}: {e}", dir.display());
+            exit(1);
+        }
+    };
+    if let Some(budget) = retry_budget {
+        tail = tail.with_retry_budget(budget);
+    }
+    let mut sink: Box<dyn Write> = match &out {
+        Some(path) => match OpenOptions::new().create(true).append(true).open(path) {
+            Ok(f) => Box::new(f),
+            Err(e) => {
+                eprintln!("nni-live: cannot open {}: {e}", path.display());
+                exit(1);
+            }
+        },
+        None => Box::new(std::io::stdout()),
+    };
+    let mut monitor = LiveMonitor::new(LiveConfig {
+        window,
+        ..LiveConfig::default()
+    });
+
+    let mut idle: u32 = 0;
+    let mut emitted: u64 = 0;
+    loop {
+        let events = match tail.poll() {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("nni-live: poll failed: {e}");
+                exit(1);
+            }
+        };
+        let mut quiet = true;
+        for event in events {
+            quiet = false;
+            if let TailEvent::Corrupt { path, message } = &event {
+                eprintln!("nni-live: corrupt {}: {message}", path.display());
+                continue;
+            }
+            let updates = match monitor.handle(event) {
+                Ok(updates) => updates,
+                Err(e) => {
+                    eprintln!("nni-live: {e}");
+                    exit(1);
+                }
+            };
+            for u in &updates {
+                if writeln!(sink, "{}", u.jsonl()).is_err() {
+                    eprintln!("nni-live: output stream closed");
+                    exit(1);
+                }
+                emitted += 1;
+            }
+        }
+        let _ = sink.flush();
+        if quiet {
+            idle += 1;
+            if idle_exit.is_some_and(|n| idle >= n) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(1)));
+        } else {
+            idle = 0;
+        }
+    }
+
+    if verify_batch {
+        let mismatches = monitor.verify_batch();
+        if !mismatches.is_empty() {
+            for m in &mismatches {
+                eprintln!(
+                    "nni-live: verdict for {} diverged from batch: \
+                     streaming {:016x} != batch {:016x}",
+                    m.key, m.streaming, m.batch
+                );
+            }
+            exit(1);
+        }
+        eprintln!(
+            "nni-live: {} session(s) verified against batch inference",
+            monitor.session_count()
+        );
+    }
+    eprintln!(
+        "nni-live: done: {emitted} update(s) across {} session(s)",
+        monitor.session_count()
+    );
+}

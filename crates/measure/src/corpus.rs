@@ -43,14 +43,15 @@ impl Corpus {
         Ok(path)
     }
 
-    /// Lists the entries (sorted by file name, so iteration order is
-    /// stable), reading only each file's provenance prefix.
+    /// Lists the entries in stable replay order: by name prefix, then by
+    /// seed compared *numerically* — `s10` never precedes `s2`, even in
+    /// legacy unpadded file names ([`entry_order_key`]).
     pub fn entries(&self) -> Result<Vec<CorpusEntry>, SourceError> {
         let mut files: Vec<PathBuf> = fs::read_dir(&self.dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|e| e == CORPUS_EXT))
             .collect();
-        files.sort();
+        files.sort_by_key(|p| entry_order_key(p));
         files.into_iter().map(CorpusEntry::open).collect()
     }
 
@@ -60,18 +61,47 @@ impl Corpus {
     }
 }
 
-/// Builds the canonical file name for a set's provenance.
-fn entry_file_name(p: &Provenance) -> String {
+/// Builds the canonical file name for a set's provenance. The seed is
+/// zero-padded so lexicographic listings agree with numeric replay order
+/// for any corpus recorded from here on; [`entry_order_key`] keeps legacy
+/// unpadded names ordered correctly too.
+pub fn entry_file_name(p: &Provenance) -> String {
+    format!("{}.{CORPUS_EXT}", entry_stem(p))
+}
+
+/// The canonical file name of a *live segment* spill of the same
+/// provenance (see [`crate::segment`]): one corpus slot, two extensions.
+pub fn segment_file_name(p: &Provenance) -> String {
+    format!("{}.{}", entry_stem(p), crate::segment::SEGMENT_EXT)
+}
+
+fn entry_stem(p: &Provenance) -> String {
     let slug: String = p
         .scenario
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .take(48)
         .collect();
-    format!(
-        "{slug}-{:016x}-s{}.{CORPUS_EXT}",
-        p.scenario_fingerprint, p.seed
-    )
+    format!("{slug}-{:016x}-s{:06}", p.scenario_fingerprint, p.seed)
+}
+
+/// Replay/tail sort key of a corpus file: the name prefix, then the
+/// trailing `-s<digits>` seed as an *integer* (entry 10 must not precede
+/// entry 2), then the raw name as a tiebreak. Files without a parseable
+/// seed suffix order by name alone.
+pub fn entry_order_key(path: &Path) -> (String, Option<u64>, String) {
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if let Some((prefix, seed)) = name.rsplit_once("-s") {
+        if !seed.is_empty() && seed.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = seed.parse::<u64>() {
+                return (prefix.to_string(), Some(n), name);
+            }
+        }
+    }
+    (name.clone(), None, name)
 }
 
 /// One corpus file: provenance read eagerly (cheap prefix decode), the log
@@ -185,6 +215,31 @@ mod tests {
         let p2 = corpus.store(&a).unwrap();
         assert_eq!(p1, p2);
         assert_eq!(corpus.entries().unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entries_order_numerically_by_seed() {
+        let dir = temp_dir("order");
+        let corpus = Corpus::open(&dir).unwrap();
+        for seed in [10, 2, 1] {
+            corpus.store(&tiny_set("delta", seed)).unwrap();
+        }
+        // A legacy unpadded name must interleave numerically, not
+        // lexicographically (s7 after s2, before s10).
+        let legacy = tiny_set("delta", 7);
+        fs::write(
+            dir.join("delta-0000000000001234-s7.nniset"),
+            crate::codec::encode(&legacy),
+        )
+        .unwrap();
+        let seeds: Vec<u64> = corpus
+            .entries()
+            .unwrap()
+            .iter()
+            .map(|e| e.key().seed)
+            .collect();
+        assert_eq!(seeds, vec![1, 2, 7, 10]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -20,6 +20,14 @@
 //!   [`CorpusEntry`]).
 //! * [`interval`] — the one measurement-interval binning rule, shared with
 //!   the emulator's cached interval index.
+//! * [`stream`] — streaming acquisition: [`StreamingLog`] (closed-interval
+//!   watermark) and [`SlidingCounts`] (incremental Algorithm 2 counters,
+//!   optional sliding window).
+//! * [`segment`] — the append-friendly `.nniseg` on-disk segment format
+//!   ([`SegmentWriter`]/[`SegmentFollower`]): a codec-v1 header chunk plus
+//!   checksummed interval chunks, readable while being written.
+//! * [`tail`] — [`CorpusTail`], a poll-based watcher over a growing corpus
+//!   directory yielding complete entries and live segment intervals.
 //! * [`wire`] — the shared byte-level primitives every codec folds through
 //!   ([`WireWriter`]/[`WireReader`]) plus checksummed stream framing
 //!   ([`wire::write_frame`]/[`wire::read_frame`]) for the worker protocol.
@@ -32,18 +40,27 @@ pub mod jsonl;
 pub mod normalize;
 pub mod observer;
 pub mod record;
+pub mod segment;
+pub mod stream;
+pub mod tail;
 pub mod wire;
 
-pub use corpus::{Corpus, CorpusEntry, CORPUS_EXT};
+pub use corpus::{
+    entry_file_name, entry_order_key, segment_file_name, Corpus, CorpusEntry, CORPUS_EXT,
+};
 pub use dataset::{
     Cached, Fnv, MeasurementCache, MeasurementSet, MeasurementSource, Provenance, SetKey,
     SourceError,
 };
 pub use normalize::{
-    group_indicators, hypergeometric, pathset_cf_counts, perf_from_counts, NormalizeConfig,
+    group_indicators, hypergeometric, interval_eval_count, interval_indicators, pathset_cf_counts,
+    perf_from_counts, NormalizeConfig,
 };
 pub use observer::MeasuredObservations;
 pub use record::{MeasurementLog, MergeError};
+pub use segment::{SegmentError, SegmentFollower, SegmentWriter, SEGMENT_EXT};
+pub use stream::{PathsetHandle, SlidingCounts, StreamError, StreamingLog};
+pub use tail::{CorpusTail, TailEvent};
 pub use wire::{
     frame_bytes, read_frame, write_frame, FrameError, WireReader, WireWriter, FRAME_VERSION,
 };

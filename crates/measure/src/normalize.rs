@@ -16,11 +16,26 @@
 //! them in the same intervals; comparing similarly sized aggregates under a
 //! frequency metric keeps those observations consistent (§6.5).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::record::MeasurementLog;
 use nni_topology::PathId;
+
+/// Process-wide count of per-(group, interval) indicator evaluations — the
+/// unit of Algorithm 2 work. A full recompute of a `T`-interval log costs
+/// `T` evaluations per group; an incremental consumer pays one per closed
+/// interval. The streaming speedup gate reads this to prove the incremental
+/// path does asymptotically less work, independent of wall-clock noise.
+static INTERVAL_EVALS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`interval_indicators`] evaluations since process start
+/// (monotonic; probe by delta).
+pub fn interval_eval_count() -> u64 {
+    INTERVAL_EVALS.load(Ordering::Relaxed)
+}
 
 /// Exact hypergeometric draw: out of `total` packets of which `marked` are
 /// lost, sample `draw` without replacement; returns how many lost packets
@@ -82,36 +97,56 @@ pub fn group_indicators(
     cfg: NormalizeConfig,
 ) -> Vec<Vec<Option<bool>>> {
     let t_max = log.interval_count();
-    let mut out = vec![vec![None; t_max]; group.len()];
-    // `t` is an interval id: it keys the log, the RNG seed, and the output
-    // column, so an index loop is clearer than iterator gymnastics here.
-    #[allow(clippy::needless_range_loop)]
+    let mut out = vec![Vec::with_capacity(t_max); group.len()];
     for t in 0..t_max {
-        let m = group.iter().map(|&p| log.sent(t, p)).min().unwrap_or(0);
-        if m == 0 {
-            continue;
-        }
-        for (gi, &p) in group.iter().enumerate() {
-            let sent = log.sent(t, p);
-            let lost = log.lost(t, p).min(sent);
-            // Deterministic per (seed, interval, path): independent of the
-            // order in which slices query the oracle.
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed
-                    ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    ^ (p.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
-            );
-            let retained_lost = if sent == m {
-                lost
-            } else {
-                hypergeometric(&mut rng, sent, lost, m)
-            };
-            // Algorithm 2 line 11: congestion-free iff lost fraction below
-            // the threshold of the *common* budget m.
-            out[gi][t] = Some((retained_lost as f64) < cfg.loss_threshold * m as f64);
+        let col = interval_indicators(log, group, t, cfg);
+        for (row, s) in out.iter_mut().zip(col) {
+            row.push(s);
         }
     }
     out
+}
+
+/// One interval's congestion-free indicators for a normalization group —
+/// the column `S[t][·]` of [`group_indicators`], computable the moment
+/// interval `t` closes.
+///
+/// The discounting draw is seeded per `(seed, interval, path)`, so the
+/// indicator of a closed interval never depends on which intervals exist
+/// around it: computing columns one at a time as a stream closes them
+/// yields bit-identical indicators to a batch pass over the finished log.
+pub fn interval_indicators(
+    log: &MeasurementLog,
+    group: &[PathId],
+    t: usize,
+    cfg: NormalizeConfig,
+) -> Vec<Option<bool>> {
+    INTERVAL_EVALS.fetch_add(1, Ordering::Relaxed);
+    let mut col = vec![None; group.len()];
+    let m = group.iter().map(|&p| log.sent(t, p)).min().unwrap_or(0);
+    if m == 0 {
+        return col;
+    }
+    for (gi, &p) in group.iter().enumerate() {
+        let sent = log.sent(t, p);
+        let lost = log.lost(t, p).min(sent);
+        // Deterministic per (seed, interval, path): independent of the
+        // order in which slices query the oracle.
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed
+                ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (p.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        let retained_lost = if sent == m {
+            lost
+        } else {
+            hypergeometric(&mut rng, sent, lost, m)
+        };
+        // Algorithm 2 line 11: congestion-free iff lost fraction below
+        // the threshold of the *common* budget m.
+        col[gi] = Some((retained_lost as f64) < cfg.loss_threshold * m as f64);
+    }
+    col
 }
 
 /// The congestion-free probability of a *pathset* given the group

@@ -1,0 +1,502 @@
+//! The append-friendly on-disk segment format (`.nniseg`) — how a live
+//! producer spills a measurement set *while it grows*.
+//!
+//! A corpus entry (`.nniset`) is a single checksummed blob: appending an
+//! interval means rewriting the file, and a reader catching it mid-rewrite
+//! sees garbage. A segment is instead a chunk log — each chunk is written
+//! once, checksummed individually, and never touched again — so a follower
+//! can consume closed intervals while the producer is still appending.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! magic     7 bytes  b"NNISEGS"
+//! version   u8       1
+//! chunks    each:  tag u8, payload length u64 LE, payload bytes,
+//!                  checksum u64 LE (FNV-1a over tag + length + payload)
+//!   tag 1  HEADER     a full codec-v1 encoding of the set with an *empty*
+//!                     log — provenance, topology, classes, interval grid
+//!   tag 2  INTERVALS  first interval vu, interval count vu, then per
+//!                     interval per path: sent vu, lost vu
+//! ```
+//!
+//! Interval chunks are contiguous: each chunk's first interval equals the
+//! number of intervals in all chunks before it. A reader that finds fewer
+//! bytes than a chunk claims simply stops — the chunk is still being
+//! written — and resumes from the same offset next poll; a checksum
+//! mismatch on a *complete* chunk is real corruption.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{self, CodecError};
+use crate::dataset::{Fnv, MeasurementSet};
+use crate::record::MeasurementLog;
+use crate::wire::{WireReader, WireWriter};
+use nni_topology::PathId;
+
+/// File extension of segment files.
+pub const SEGMENT_EXT: &str = "nniseg";
+
+/// Magic prefix of every segment file.
+pub const MAGIC: &[u8; 7] = b"NNISEGS";
+
+/// Current segment format version.
+pub const VERSION: u8 = 1;
+
+const TAG_HEADER: u8 = 1;
+const TAG_INTERVALS: u8 = 2;
+
+/// Why a segment failed to write or parse.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// A filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The version byte is newer than this reader.
+    UnsupportedVersion(u8),
+    /// The header chunk's embedded measurement set failed to decode.
+    Codec(CodecError),
+    /// A structural violation (context in the message).
+    Corrupt(&'static str),
+    /// A complete chunk's checksum does not match its content.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Io(e) => write!(f, "i/o error: {e}"),
+            SegmentError::BadMagic => write!(f, "not a segment file (bad magic)"),
+            SegmentError::UnsupportedVersion(v) => {
+                write!(f, "unsupported segment version {v}")
+            }
+            SegmentError::Codec(e) => write!(f, "segment header: {e}"),
+            SegmentError::Corrupt(what) => write!(f, "corrupt segment: {what}"),
+            SegmentError::ChecksumMismatch => {
+                write!(f, "segment chunk checksum mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<std::io::Error> for SegmentError {
+    fn from(e: std::io::Error) -> SegmentError {
+        SegmentError::Io(e)
+    }
+}
+
+impl From<CodecError> for SegmentError {
+    fn from(e: CodecError) -> SegmentError {
+        SegmentError::Codec(e)
+    }
+}
+
+/// Strips the log from a set, keeping the interval grid — the payload of a
+/// header chunk.
+fn header_set(set: &MeasurementSet) -> MeasurementSet {
+    MeasurementSet {
+        topology: set.topology.clone(),
+        classes: set.classes.clone(),
+        log: MeasurementLog::new(set.log.path_count(), set.log.interval_s()),
+        provenance: set.provenance.clone(),
+    }
+}
+
+/// Frames one chunk: tag, length, payload, trailing FNV over all of it.
+fn chunk_bytes(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u8(tag);
+    w.u64(payload.len() as u64);
+    w.raw(payload);
+    let mut h = Fnv::new();
+    for &b in w.bytes() {
+        h.byte(b);
+    }
+    let checksum = h.0;
+    w.u64(checksum);
+    w.into_bytes()
+}
+
+/// Append-only segment producer. Every write is one whole chunk followed
+/// by a flush, so a concurrent [`SegmentFollower`] only ever sees a clean
+/// prefix plus (at worst) one incomplete trailing chunk.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    n_paths: usize,
+    written: usize,
+}
+
+impl SegmentWriter {
+    /// Creates (truncating) a segment at `path` and writes the header
+    /// chunk describing `set` (its log's intervals are *not* written —
+    /// append them explicitly).
+    pub fn create(
+        path: impl AsRef<Path>,
+        set: &MeasurementSet,
+    ) -> Result<SegmentWriter, SegmentError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        let mut prefix = Vec::with_capacity(MAGIC.len() + 1);
+        prefix.extend_from_slice(MAGIC);
+        prefix.push(VERSION);
+        file.write_all(&prefix)?;
+        file.write_all(&chunk_bytes(TAG_HEADER, &codec::encode(&header_set(set))))?;
+        file.flush()?;
+        Ok(SegmentWriter {
+            file,
+            n_paths: set.log.path_count(),
+            written: 0,
+        })
+    }
+
+    /// Intervals appended so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Appends intervals `[from, to)` of `log` as one chunk. The range
+    /// must continue exactly where the segment left off.
+    pub fn append_intervals(
+        &mut self,
+        log: &MeasurementLog,
+        from: usize,
+        to: usize,
+    ) -> Result<(), SegmentError> {
+        if log.path_count() != self.n_paths {
+            return Err(SegmentError::Corrupt("log width != segment header"));
+        }
+        if from != self.written {
+            return Err(SegmentError::Corrupt("non-contiguous interval append"));
+        }
+        if to < from || to > log.interval_count() {
+            return Err(SegmentError::Corrupt("interval range out of bounds"));
+        }
+        if to == from {
+            return Ok(());
+        }
+        let mut w = WireWriter::new();
+        w.vu(from as u64);
+        w.vu((to - from) as u64);
+        for t in from..to {
+            for p in 0..self.n_paths {
+                w.vu(log.sent(t, PathId(p)));
+                w.vu(log.lost(t, PathId(p)));
+            }
+        }
+        self.file
+            .write_all(&chunk_bytes(TAG_INTERVALS, w.bytes()))?;
+        self.file.flush()?;
+        self.written = to;
+        Ok(())
+    }
+}
+
+/// One poll's worth of newly landed segment content.
+#[derive(Debug, Default)]
+pub struct SegmentBatch {
+    /// The decoded header (empty-log set) — present on the poll that first
+    /// completed it, `None` afterwards.
+    pub header: Option<MeasurementSet>,
+    /// Newly complete interval rows, in interval order: `(sent, lost)` per
+    /// path.
+    pub intervals: Vec<(Vec<u64>, Vec<u64>)>,
+}
+
+/// Offset-tracking reader of a (possibly still growing) segment file.
+///
+/// [`poll`](SegmentFollower::poll) re-reads the file, parses every chunk
+/// that is complete beyond the last consumed offset, and tolerates an
+/// incomplete trailing chunk (the producer is mid-append) by leaving the
+/// offset at the chunk boundary.
+#[derive(Debug)]
+pub struct SegmentFollower {
+    path: PathBuf,
+    offset: usize,
+    n_paths: Option<usize>,
+    seen_intervals: usize,
+}
+
+impl SegmentFollower {
+    /// Starts following `path`. No I/O happens until the first poll, so a
+    /// follower can be created before the producer's first byte.
+    pub fn open(path: impl Into<PathBuf>) -> SegmentFollower {
+        SegmentFollower {
+            path: path.into(),
+            offset: 0,
+            n_paths: None,
+            seen_intervals: 0,
+        }
+    }
+
+    /// The file being followed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Complete intervals consumed so far.
+    pub fn intervals_seen(&self) -> usize {
+        self.seen_intervals
+    }
+
+    /// Whether the header chunk has been consumed.
+    pub fn has_header(&self) -> bool {
+        self.n_paths.is_some()
+    }
+
+    /// Reads everything newly complete. An empty batch means nothing new
+    /// landed (or the producer is mid-chunk); an error is terminal for
+    /// this follower.
+    pub fn poll(&mut self) -> Result<SegmentBatch, SegmentError> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            // Not created yet: nothing to report.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(SegmentBatch::default())
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut batch = SegmentBatch::default();
+
+        if self.offset == 0 {
+            // The fixed prefix: magic + version.
+            if bytes.len() < MAGIC.len() + 1 {
+                return Ok(batch); // still being written
+            }
+            if &bytes[..MAGIC.len()] != MAGIC {
+                return Err(SegmentError::BadMagic);
+            }
+            let version = bytes[MAGIC.len()];
+            if version != VERSION {
+                return Err(SegmentError::UnsupportedVersion(version));
+            }
+            self.offset = MAGIC.len() + 1;
+        }
+
+        while let Some((tag, payload, next)) = complete_chunk(&bytes, self.offset)? {
+            match tag {
+                TAG_HEADER => {
+                    if self.n_paths.is_some() {
+                        return Err(SegmentError::Corrupt("duplicate header chunk"));
+                    }
+                    let set = codec::decode(payload)?;
+                    if set.log.interval_count() != 0 {
+                        return Err(SegmentError::Corrupt("header log must be empty"));
+                    }
+                    self.n_paths = Some(set.log.path_count());
+                    batch.header = Some(set);
+                }
+                TAG_INTERVALS => {
+                    let Some(n_paths) = self.n_paths else {
+                        return Err(SegmentError::Corrupt("intervals before header"));
+                    };
+                    let mut r = WireReader::new(payload);
+                    let first = r.vu().map_err(|_| SegmentError::Corrupt("chunk prefix"))?;
+                    let count = r.vu().map_err(|_| SegmentError::Corrupt("chunk prefix"))?;
+                    if first as usize != self.seen_intervals {
+                        return Err(SegmentError::Corrupt("interval chunk out of order"));
+                    }
+                    for _ in 0..count {
+                        let mut sent = Vec::with_capacity(n_paths);
+                        let mut lost = Vec::with_capacity(n_paths);
+                        for _ in 0..n_paths {
+                            sent.push(r.vu().map_err(|_| SegmentError::Corrupt("short row"))?);
+                            lost.push(r.vu().map_err(|_| SegmentError::Corrupt("short row"))?);
+                        }
+                        batch.intervals.push((sent, lost));
+                        self.seen_intervals += 1;
+                    }
+                    if !r.is_empty() {
+                        return Err(SegmentError::Corrupt("trailing bytes in chunk"));
+                    }
+                }
+                _ => return Err(SegmentError::Corrupt("unknown chunk tag")),
+            }
+            self.offset = next;
+        }
+        Ok(batch)
+    }
+}
+
+/// A fully-present chunk: `(tag, payload, next_offset)` — or `None` when
+/// the bytes run out before the chunk does (still being written).
+type ChunkAt<'a> = Option<(u8, &'a [u8], usize)>;
+
+/// Parses the chunk at `offset` if it is completely present. Verifies the
+/// chunk checksum.
+fn complete_chunk(bytes: &[u8], offset: usize) -> Result<ChunkAt<'_>, SegmentError> {
+    let rest = &bytes[offset.min(bytes.len())..];
+    if rest.len() < 1 + 8 {
+        return Ok(None);
+    }
+    let tag = rest[0];
+    let len = u64::from_le_bytes(rest[1..9].try_into().expect("8 bytes")) as usize;
+    let total = 1 + 8 + len + 8;
+    if rest.len() < total {
+        return Ok(None);
+    }
+    let payload = &rest[9..9 + len];
+    let mut h = Fnv::new();
+    for &b in &rest[..9 + len] {
+        h.byte(b);
+    }
+    let expect = h.0;
+    let got = u64::from_le_bytes(rest[9 + len..total].try_into().expect("8 bytes"));
+    if got != expect {
+        return Err(SegmentError::ChecksumMismatch);
+    }
+    Ok(Some((tag, payload, offset + total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Provenance;
+    use nni_topology::TopologyBuilder;
+
+    fn sample_set(intervals: usize) -> MeasurementSet {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.host("h0");
+        let h1 = b.host("h1");
+        let l0 = b.link("l0", h0, h1).unwrap();
+        b.path("p0", vec![l0]).unwrap();
+        b.path("p1", vec![l0]).unwrap();
+        let mut log = MeasurementLog::new(2, 0.1);
+        for t in 0..intervals {
+            log.record_sent(t, PathId(0), 100 + t as u64);
+            log.record_lost(t, PathId(0), (t % 3) as u64);
+            log.record_sent(t, PathId(1), 90);
+        }
+        MeasurementSet {
+            topology: b.build(),
+            classes: vec![vec![PathId(0), PathId(1)]],
+            log,
+            provenance: Provenance {
+                scenario: "segment sample".into(),
+                scenario_fingerprint: 0xFEED,
+                seed: 9,
+                build: "test".into(),
+            },
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "nni-segment-test-{tag}-{}.{SEGMENT_EXT}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn chunked_write_reassembles_the_log() {
+        let set = sample_set(25);
+        let path = temp_path("roundtrip");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        // Three uneven chunks.
+        w.append_intervals(&set.log, 0, 10).unwrap();
+        w.append_intervals(&set.log, 10, 11).unwrap();
+        w.append_intervals(&set.log, 11, 25).unwrap();
+
+        let mut f = SegmentFollower::open(&path);
+        let batch = f.poll().unwrap();
+        let header = batch.header.expect("header on first poll");
+        assert_eq!(header.provenance, set.provenance);
+        assert_eq!(header.log.interval_count(), 0);
+        assert_eq!(batch.intervals.len(), 25);
+        // Reassemble and compare cell-wise.
+        let mut log = MeasurementLog::new(2, header.log.interval_s());
+        for (t, (sent, lost)) in batch.intervals.iter().enumerate() {
+            for p in 0..2 {
+                log.record_sent(t, PathId(p), sent[p]);
+                log.record_lost(t, PathId(p), lost[p]);
+            }
+        }
+        assert_eq!(log, set.log);
+        // Nothing new on the next poll.
+        let again = f.poll().unwrap();
+        assert!(again.header.is_none() && again.intervals.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn follower_tolerates_partial_trailing_chunk() {
+        let set = sample_set(8);
+        let path = temp_path("partial");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 4).unwrap();
+        let complete = std::fs::read(&path).unwrap();
+
+        // Truncate mid-chunk: the follower must stop at the clean prefix.
+        w.append_intervals(&set.log, 4, 8).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..complete.len() + 5]).unwrap();
+
+        let mut f = SegmentFollower::open(&path);
+        let batch = f.poll().unwrap();
+        assert!(batch.header.is_some());
+        assert_eq!(batch.intervals.len(), 4);
+
+        // The producer finishes the chunk: the follower resumes.
+        std::fs::write(&path, &full).unwrap();
+        let batch = f.poll().unwrap();
+        assert!(batch.header.is_none());
+        assert_eq!(batch.intervals.len(), 4);
+        assert_eq!(f.intervals_seen(), 8);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn follower_survives_a_missing_file() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let mut f = SegmentFollower::open(&path);
+        let batch = f.poll().unwrap();
+        assert!(batch.header.is_none() && batch.intervals.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let set = sample_set(6);
+        let path = temp_path("corrupt");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 6).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte in the last chunk.
+        let n = bytes.len();
+        bytes[n - 12] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = SegmentFollower::open(&path);
+        assert!(matches!(
+            f.poll(),
+            Err(SegmentError::ChecksumMismatch) | Err(SegmentError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn writer_rejects_non_contiguous_appends() {
+        let set = sample_set(5);
+        let path = temp_path("contiguous");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 2).unwrap();
+        assert!(matches!(
+            w.append_intervals(&set.log, 3, 5),
+            Err(SegmentError::Corrupt("non-contiguous interval append"))
+        ));
+        assert!(matches!(
+            w.append_intervals(&set.log, 2, 9),
+            Err(SegmentError::Corrupt("interval range out of bounds"))
+        ));
+        w.append_intervals(&set.log, 2, 5).unwrap();
+        assert_eq!(w.written(), 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

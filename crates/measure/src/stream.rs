@@ -1,0 +1,566 @@
+//! Streaming measurement state: interval-at-a-time acquisition
+//! ([`StreamingLog`]) and the incremental half of Algorithm 2
+//! ([`SlidingCounts`]).
+//!
+//! The batch pipeline recomputes every per-interval indicator each time it
+//! infers; over a growing log of `T` intervals that is `O(T²)` indicator
+//! work. Streaming exploits two determinisms instead:
+//!
+//! * the discounting draw is seeded per `(seed, interval, path)` — a closed
+//!   interval's indicator column never changes as later intervals arrive
+//!   (see [`interval_indicators`]);
+//! * the performance number is a pure function of two *integers* — the
+//!   congestion-free and informative interval counts
+//!   ([`perf_from_counts`]).
+//!
+//! So [`SlidingCounts`] folds each closed interval into per-pathset integer
+//! counters exactly once, and every verdict derived from those counters is
+//! bit-identical to batch inference over the same closed prefix. An
+//! optional sliding window bounds the counters to the last `W` intervals by
+//! remembering one 2-bit outcome per interval per pathset.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::normalize::{interval_indicators, perf_from_counts, NormalizeConfig};
+use crate::record::MeasurementLog;
+use nni_topology::{PathId, PathSet};
+
+/// Why a streaming append was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// A record landed in an interval that was already closed — its
+    /// indicator column has been consumed, so the count must not change.
+    IntervalClosed {
+        /// The offending interval.
+        t: usize,
+        /// Number of closed intervals (everything below is frozen).
+        closed: usize,
+    },
+    /// An appended interval row had the wrong number of paths.
+    PathCountMismatch {
+        /// The log's path count.
+        ours: usize,
+        /// The row's length.
+        theirs: usize,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::IntervalClosed { t, closed } => {
+                write!(f, "interval {t} is closed (watermark {closed})")
+            }
+            StreamError::PathCountMismatch { ours, theirs } => {
+                write!(f, "path count mismatch: log has {ours}, row has {theirs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// A [`MeasurementLog`] with a close watermark: intervals below `closed()`
+/// are frozen (their Algorithm 2 columns may have been consumed), intervals
+/// at or above it still accumulate records.
+///
+/// Producers either record timestamped packets into open intervals
+/// ([`record_sent_at`](StreamingLog::record_sent_at)) and close them as the
+/// clock passes their boundary ([`close_through`](StreamingLog::close_through)),
+/// or append whole pre-closed interval rows
+/// ([`append_interval`](StreamingLog::append_interval)) — the shape a
+/// segment tail delivers.
+#[derive(Debug, Clone)]
+pub struct StreamingLog {
+    log: MeasurementLog,
+    closed: usize,
+}
+
+impl StreamingLog {
+    /// An empty streaming log (no intervals, watermark zero).
+    pub fn new(n_paths: usize, interval_s: f64) -> StreamingLog {
+        StreamingLog {
+            log: MeasurementLog::new(n_paths, interval_s),
+            closed: 0,
+        }
+    }
+
+    /// Wraps an existing log with everything it currently holds open.
+    pub fn from_log(log: MeasurementLog) -> StreamingLog {
+        StreamingLog { log, closed: 0 }
+    }
+
+    /// The underlying log. Consumers must only trust intervals below
+    /// [`closed`](StreamingLog::closed).
+    pub fn log(&self) -> &MeasurementLog {
+        &self.log
+    }
+
+    /// Unwraps into the underlying log.
+    pub fn into_log(self) -> MeasurementLog {
+        self.log
+    }
+
+    /// Number of closed (frozen) intervals.
+    pub fn closed(&self) -> usize {
+        self.closed
+    }
+
+    /// Records `n` packets sent on `path` at time `time_s`, binning with
+    /// the shared [`crate::interval`] rule. Refused once the interval is
+    /// closed.
+    pub fn record_sent_at(&mut self, time_s: f64, path: PathId, n: u64) -> Result<(), StreamError> {
+        let t = self.log.interval_of(time_s);
+        self.check_open(t)?;
+        self.log.record_sent(t, path, n);
+        Ok(())
+    }
+
+    /// Records `n` lost packets on `path` at time `time_s`.
+    pub fn record_lost_at(&mut self, time_s: f64, path: PathId, n: u64) -> Result<(), StreamError> {
+        let t = self.log.interval_of(time_s);
+        self.check_open(t)?;
+        self.log.record_lost(t, path, n);
+        Ok(())
+    }
+
+    /// Appends one already-closed interval: `sent[p]` / `lost[p]` per path.
+    /// The row lands immediately below the watermark; any open records in
+    /// that interval slot must not exist (the slot is created by the
+    /// append). Returns the interval index.
+    pub fn append_interval(&mut self, sent: &[u64], lost: &[u64]) -> Result<usize, StreamError> {
+        let n = self.log.path_count();
+        if sent.len() != n || lost.len() != n {
+            return Err(StreamError::PathCountMismatch {
+                ours: n,
+                theirs: if sent.len() != n {
+                    sent.len()
+                } else {
+                    lost.len()
+                },
+            });
+        }
+        let t = self.closed;
+        for (p, (&s, &l)) in sent.iter().zip(lost).enumerate() {
+            if s > 0 {
+                self.log.record_sent(t, PathId(p), s);
+            }
+            if l > 0 {
+                self.log.record_lost(t, PathId(p), l);
+            }
+        }
+        // An all-zero row must still materialize the interval slot.
+        if self.log.interval_count() <= t {
+            self.log.record_sent(t, PathId(0), 0);
+        }
+        self.closed = t + 1;
+        Ok(t)
+    }
+
+    /// Closes every interval strictly before the one containing `time_s`
+    /// (a packet stamped `time_s` proves those intervals are over). Returns
+    /// how many intervals were newly closed.
+    pub fn close_through(&mut self, time_s: f64) -> usize {
+        let boundary = self.log.interval_of(time_s);
+        if boundary <= self.closed {
+            return 0;
+        }
+        // Materialize silent intervals so consumers can read them.
+        if self.log.interval_count() < boundary {
+            self.log.record_sent(boundary - 1, PathId(0), 0);
+        }
+        let newly = boundary - self.closed;
+        self.closed = boundary;
+        newly
+    }
+
+    /// Closes everything currently recorded (end of stream).
+    pub fn close_all(&mut self) -> usize {
+        let newly = self.log.interval_count().saturating_sub(self.closed);
+        self.closed = self.log.interval_count();
+        newly
+    }
+
+    fn check_open(&self, t: usize) -> Result<(), StreamError> {
+        if t < self.closed {
+            return Err(StreamError::IntervalClosed {
+                t,
+                closed: self.closed,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Opaque handle to a registered pathset (group index + set index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathsetHandle {
+    group: usize,
+    set: usize,
+}
+
+/// Per-interval outcome of a pathset, packed for the window ring.
+const OUT_UNINFORMATIVE: u8 = 0;
+const OUT_CONGESTED: u8 = 1;
+const OUT_CF: u8 = 2;
+
+#[derive(Debug, Clone)]
+struct SetState {
+    /// Member rows into the group's (sorted, deduplicated) path list.
+    rows: Vec<usize>,
+    cf: usize,
+    informative: usize,
+    /// Per-interval outcomes, kept only in windowed mode (eviction needs
+    /// to know what each expiring interval contributed).
+    history: VecDeque<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct GroupState {
+    /// Sorted, deduplicated — the same canonical key
+    /// `MeasuredObservations` caches under, so the discounting draws match.
+    paths: Vec<PathId>,
+    sets: Vec<SetState>,
+}
+
+/// The incremental half of Algorithm 2: per-pathset congestion-free and
+/// informative interval counters, folded forward one closed interval at a
+/// time.
+///
+/// Register every normalization group and pathset the caller will query,
+/// then [`advance`](SlidingCounts::advance) over closed intervals as they
+/// arrive; [`perf`](SlidingCounts::perf) is at all times exactly
+/// [`perf_from_counts`] of the accumulated integers — bit-identical to a
+/// batch pass over the same prefix (unwindowed), or over the last `W`
+/// intervals (windowed).
+#[derive(Debug, Clone)]
+pub struct SlidingCounts {
+    cfg: NormalizeConfig,
+    window: Option<usize>,
+    groups: Vec<GroupState>,
+    index: HashMap<Vec<PathId>, usize>,
+    consumed: usize,
+}
+
+impl SlidingCounts {
+    /// Unwindowed counts: counters cover every consumed interval, so the
+    /// derived verdict equals batch inference over the full closed prefix.
+    pub fn new(cfg: NormalizeConfig) -> SlidingCounts {
+        SlidingCounts {
+            cfg,
+            window: None,
+            groups: Vec::new(),
+            index: HashMap::new(),
+            consumed: 0,
+        }
+    }
+
+    /// Sliding-window counts over the last `window` intervals.
+    pub fn with_window(cfg: NormalizeConfig, window: usize) -> SlidingCounts {
+        assert!(window > 0, "window must be non-empty");
+        SlidingCounts {
+            window: Some(window),
+            ..SlidingCounts::new(cfg)
+        }
+    }
+
+    /// The active window, if any.
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Intervals consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Registers a normalization group (deduplicated by canonical path
+    /// list) and returns its id for pathset registration.
+    pub fn register_group(&mut self, group: &[PathId]) -> usize {
+        let mut paths = group.to_vec();
+        paths.sort();
+        paths.dedup();
+        if let Some(&id) = self.index.get(&paths) {
+            return id;
+        }
+        assert_eq!(self.consumed, 0, "register groups before advancing");
+        let id = self.groups.len();
+        self.index.insert(paths.clone(), id);
+        self.groups.push(GroupState {
+            paths,
+            sets: Vec::new(),
+        });
+        id
+    }
+
+    /// Registers a pathset under a group; all members must belong to the
+    /// group.
+    pub fn register_pathset(&mut self, group: usize, pathset: &PathSet) -> PathsetHandle {
+        assert_eq!(self.consumed, 0, "register pathsets before advancing");
+        let g = &mut self.groups[group];
+        let rows: Vec<usize> = pathset
+            .paths()
+            .iter()
+            .map(|p| {
+                g.paths
+                    .binary_search(p)
+                    .expect("pathset members must belong to the normalization group")
+            })
+            .collect();
+        assert!(!rows.is_empty(), "pathsets are non-empty");
+        let set = g.sets.len();
+        g.sets.push(SetState {
+            rows,
+            cf: 0,
+            informative: 0,
+            history: VecDeque::new(),
+        });
+        PathsetHandle { group, set }
+    }
+
+    /// Folds closed intervals `consumed..through` of `log` into the
+    /// counters. Each interval is evaluated once per registered group —
+    /// the incremental work unit the speedup gate counts.
+    pub fn advance(&mut self, log: &MeasurementLog, through: usize) {
+        assert!(
+            through <= log.interval_count(),
+            "cannot advance past the recorded log"
+        );
+        assert!(through >= self.consumed, "the closed prefix only grows");
+        for t in self.consumed..through {
+            for g in &mut self.groups {
+                let col = interval_indicators(log, &g.paths, t, self.cfg);
+                for s in &mut g.sets {
+                    let states: Option<Vec<bool>> = s.rows.iter().map(|&r| col[r]).collect();
+                    let outcome = match states {
+                        None => OUT_UNINFORMATIVE,
+                        Some(v) if v.iter().all(|&b| b) => OUT_CF,
+                        Some(_) => OUT_CONGESTED,
+                    };
+                    s.apply(outcome);
+                    if let Some(w) = self.window {
+                        s.history.push_back(outcome);
+                        while s.history.len() > w {
+                            let old = s.history.pop_front().expect("non-empty history");
+                            s.retract(old);
+                        }
+                    }
+                }
+            }
+        }
+        self.consumed = through;
+    }
+
+    /// Congestion-free / informative counts of a pathset (over the window,
+    /// or everything consumed).
+    pub fn counts(&self, h: PathsetHandle) -> (usize, usize) {
+        let s = &self.groups[h.group].sets[h.set];
+        (s.cf, s.informative)
+    }
+
+    /// The performance number `y = -ln P(congestion-free)` of a pathset —
+    /// exactly [`perf_from_counts`] over [`counts`](SlidingCounts::counts).
+    pub fn perf(&self, h: PathsetHandle) -> f64 {
+        let (cf, informative) = self.counts(h);
+        perf_from_counts(cf, informative)
+    }
+
+    /// Forgets every consumed interval but keeps the registered structure —
+    /// the exact-fallback reset used when a multi-vantage merge rewrites
+    /// history (merged counts in frozen intervals changed, so the stream
+    /// re-advances from zero over the merged log).
+    pub fn rebase(&mut self) {
+        self.consumed = 0;
+        for g in &mut self.groups {
+            for s in &mut g.sets {
+                s.cf = 0;
+                s.informative = 0;
+                s.history.clear();
+            }
+        }
+    }
+}
+
+impl SetState {
+    fn apply(&mut self, outcome: u8) {
+        if outcome != OUT_UNINFORMATIVE {
+            self.informative += 1;
+        }
+        if outcome == OUT_CF {
+            self.cf += 1;
+        }
+    }
+
+    fn retract(&mut self, outcome: u8) {
+        if outcome != OUT_UNINFORMATIVE {
+            self.informative -= 1;
+        }
+        if outcome == OUT_CF {
+            self.cf -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::{group_indicators, pathset_cf_counts};
+
+    fn lossy_log(t_max: usize) -> MeasurementLog {
+        let mut log = MeasurementLog::new(3, 0.1);
+        for t in 0..t_max {
+            for p in 0..3 {
+                if p == 2 && t % 7 == 3 {
+                    // Starved path: uninformative interval for any group
+                    // containing it.
+                    continue;
+                }
+                log.record_sent(t, PathId(p), 200 + 50 * p as u64);
+                log.record_lost(t, PathId(p), ((t * (p + 2)) % 9) as u64);
+            }
+            if t % 5 == 0 {
+                log.record_lost(t, PathId(0), 40);
+                log.record_lost(t, PathId(1), 40);
+            }
+        }
+        // A trailing fully silent interval.
+        log.record_sent(t_max, PathId(0), 0);
+        log
+    }
+
+    #[test]
+    fn incremental_counts_match_batch() {
+        let log = lossy_log(40);
+        let cfg = NormalizeConfig::default();
+        let group = [PathId(0), PathId(1), PathId(2)];
+        let sets = [
+            PathSet::single(PathId(0)),
+            PathSet::pair(PathId(0), PathId(1)),
+            PathSet::new(vec![PathId(0), PathId(1), PathId(2)]),
+        ];
+
+        let mut inc = SlidingCounts::new(cfg);
+        let gid = inc.register_group(&group);
+        let handles: Vec<PathsetHandle> =
+            sets.iter().map(|s| inc.register_pathset(gid, s)).collect();
+
+        let batch_ind = group_indicators(&log, &group, cfg);
+        // Advance one interval at a time; at every prefix the counts match
+        // a batch recount of that prefix.
+        for through in 0..=log.interval_count() {
+            inc.advance(&log, through);
+            for (set, &h) in sets.iter().zip(&handles) {
+                let rows: Vec<usize> = set.paths().iter().map(|p| p.index()).collect();
+                let truncated: Vec<Vec<Option<bool>>> = batch_ind
+                    .iter()
+                    .map(|row| row[..through].to_vec())
+                    .collect();
+                let want = pathset_cf_counts(&truncated, &rows);
+                assert_eq!(inc.counts(h), want, "prefix {through}");
+                assert_eq!(inc.perf(h), perf_from_counts(want.0, want.1));
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_counts_cover_last_w_intervals() {
+        let log = lossy_log(50);
+        let cfg = NormalizeConfig::default();
+        let group = [PathId(0), PathId(1)];
+        let w = 12;
+        let mut inc = SlidingCounts::with_window(cfg, w);
+        let gid = inc.register_group(&group);
+        let h = inc.register_pathset(gid, &PathSet::pair(PathId(0), PathId(1)));
+        let ind = group_indicators(&log, &group, cfg);
+        for through in 1..=log.interval_count() {
+            inc.advance(&log, through);
+            let lo = through.saturating_sub(w);
+            let windowed: Vec<Vec<Option<bool>>> =
+                ind.iter().map(|row| row[lo..through].to_vec()).collect();
+            let want = pathset_cf_counts(&windowed, &[0, 1]);
+            assert_eq!(inc.counts(h), want, "window ending at {through}");
+        }
+    }
+
+    #[test]
+    fn rebase_replays_merged_history() {
+        let mut a = lossy_log(30);
+        let mut b = MeasurementLog::new(3, 0.1);
+        for t in 0..30 {
+            b.record_sent(t, PathId(1), 90);
+            b.record_lost(t, PathId(1), (t % 4) as u64);
+        }
+        let cfg = NormalizeConfig::default();
+        let group = [PathId(0), PathId(1), PathId(2)];
+        let mut inc = SlidingCounts::new(cfg);
+        let gid = inc.register_group(&group);
+        let h = inc.register_pathset(gid, &PathSet::single(PathId(1)));
+        inc.advance(&a, a.interval_count());
+
+        // Second vantage arrives: merged history invalidates the counters.
+        a.merge(&b).unwrap();
+        inc.rebase();
+        inc.advance(&a, a.interval_count());
+
+        let ind = group_indicators(&a, &group, cfg);
+        let want = pathset_cf_counts(&ind, &[1]);
+        assert_eq!(inc.counts(h), want);
+    }
+
+    #[test]
+    fn group_registration_deduplicates() {
+        let mut inc = SlidingCounts::new(NormalizeConfig::default());
+        let a = inc.register_group(&[PathId(1), PathId(0), PathId(1)]);
+        let b = inc.register_group(&[PathId(0), PathId(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_log_freezes_closed_intervals() {
+        let mut s = StreamingLog::new(2, 0.1);
+        s.record_sent_at(0.05, PathId(0), 10).unwrap();
+        s.record_sent_at(0.15, PathId(0), 10).unwrap();
+        assert_eq!(s.close_through(0.15), 1);
+        assert_eq!(s.closed(), 1);
+        // Interval 0 is frozen now.
+        assert_eq!(
+            s.record_sent_at(0.06, PathId(0), 1),
+            Err(StreamError::IntervalClosed { t: 0, closed: 1 })
+        );
+        // Interval 1 still accepts records.
+        s.record_lost_at(0.19, PathId(0), 2).unwrap();
+        assert_eq!(s.close_all(), 1);
+        assert_eq!(s.closed(), 2);
+        let log = s.into_log();
+        assert_eq!(log.sent(0, PathId(0)), 10);
+        assert_eq!(log.lost(1, PathId(0)), 2);
+    }
+
+    #[test]
+    fn append_interval_rows() {
+        let mut s = StreamingLog::new(2, 0.1);
+        assert_eq!(s.append_interval(&[5, 7], &[1, 0]), Ok(0));
+        assert_eq!(s.append_interval(&[0, 0], &[0, 0]), Ok(1));
+        assert_eq!(s.append_interval(&[3, 4], &[0, 2]), Ok(2));
+        assert_eq!(s.closed(), 3);
+        assert_eq!(s.log().interval_count(), 3);
+        assert_eq!(s.log().sent(2, PathId(1)), 4);
+        assert_eq!(s.log().lost(0, PathId(0)), 1);
+        assert_eq!(
+            s.append_interval(&[1, 2, 3], &[0, 0, 0]),
+            Err(StreamError::PathCountMismatch { ours: 2, theirs: 3 })
+        );
+    }
+
+    #[test]
+    fn close_through_materializes_silent_intervals() {
+        let mut s = StreamingLog::new(1, 0.1);
+        assert_eq!(s.close_through(0.55), 5);
+        assert_eq!(s.closed(), 5);
+        assert_eq!(s.log().interval_count(), 5);
+        assert_eq!(s.log().sent(4, PathId(0)), 0);
+        // Closing backwards is a no-op.
+        assert_eq!(s.close_through(0.3), 0);
+        assert_eq!(s.closed(), 5);
+    }
+}

@@ -25,8 +25,71 @@ fn log_strategy() -> impl Strategy<Value = MeasurementLog> {
     })
 }
 
+/// Strategy: a random log over exactly `paths` paths (shared grid, so the
+/// result is mergeable with any sibling from the same `paths`).
+fn vantage_strategy(paths: usize) -> impl Strategy<Value = MeasurementLog> {
+    (5usize..=30).prop_flat_map(move |intervals| {
+        prop::collection::vec((0u64..500, 0.0..0.3f64), paths * intervals).prop_map(move |cells| {
+            let mut log = MeasurementLog::new(paths, 0.1);
+            for (idx, &(sent, loss_frac)) in cells.iter().enumerate() {
+                let t = idx / paths;
+                let p = PathId(idx % paths);
+                log.record_sent(t, p, sent);
+                log.record_lost(t, p, (sent as f64 * loss_frac) as u64);
+            }
+            log
+        })
+    })
+}
+
+/// Strategy: three mergeable vantage logs (same path count and interval
+/// grid; interval counts may differ — merge extends the shorter).
+fn vantage_logs() -> impl Strategy<Value = (MeasurementLog, MeasurementLog, MeasurementLog)> {
+    (2usize..=4).prop_flat_map(|paths| {
+        (
+            vantage_strategy(paths),
+            vantage_strategy(paths),
+            vantage_strategy(paths),
+        )
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Vantage merging is commutative: which collector reports first must
+    /// not change the combined log.
+    #[test]
+    fn merge_is_commutative((a, b, _) in vantage_logs()) {
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Vantage merging is associative across three logs: any pairing order
+    /// lands on the same combined log, so a live monitor may fold vantages
+    /// in arrival order.
+    #[test]
+    fn merge_is_associative((a, b, c) in vantage_logs()) {
+        let mut ab_then_c = a.clone();
+        ab_then_c.merge(&b).unwrap();
+        ab_then_c.merge(&c).unwrap();
+        let mut bc = b.clone();
+        bc.merge(&c).unwrap();
+        let mut a_then_bc = a.clone();
+        a_then_bc.merge(&bc).unwrap();
+        prop_assert_eq!(ab_then_c, a_then_bc);
+    }
+
+    /// Merging an empty log (a vantage that saw nothing) changes nothing.
+    #[test]
+    fn merge_with_empty_is_identity((a, _, _) in vantage_logs()) {
+        let mut merged = a.clone();
+        merged.merge(&MeasurementLog::new(a.path_count(), a.interval_s())).unwrap();
+        prop_assert_eq!(merged, a);
+    }
 
     /// Hypergeometric draws are bounded by both the marked count and the
     /// draw size, and are deterministic per seed.

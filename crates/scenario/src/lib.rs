@@ -17,6 +17,11 @@
 //!   run Algorithm 1/2 over *any* measurement set (live, decoded from an
 //!   on-disk [`Corpus`], or cached in a [`MeasurementCache`]) under an
 //!   [`InferenceConfig`].
+//! * [`stream`](mod@stream) — online inference: [`StreamingInference`]
+//!   re-clusters on every closed interval from incremental Algorithm 2
+//!   counters, and [`infer_incremental`] converges bit-identically to
+//!   [`infer()`] (the streaming guarantee, gated by
+//!   `tests/streaming_convergence.rs` in `nni-live`).
 //! * [`executor`] — [`SerialExecutor`] and [`ShardedExecutor`]: independent
 //!   runs fan out across scoped threads with deterministic, input-order
 //!   results. Identical scenarios produce bit-identical outcomes on either
@@ -85,6 +90,7 @@ pub mod library;
 pub mod process;
 pub mod proto;
 pub mod spec;
+pub mod stream;
 pub mod sweep;
 
 pub use audit::{assert_demand_exceeds_policed_rate, policed_demand_report, DEMAND_MARGIN};
@@ -104,6 +110,7 @@ pub use spec::{
     BackgroundTraffic, Expectation, MeasurementConfig, QueueOverride, Scenario, ScenarioBuilder,
     ScenarioError, TrafficProfile, DEFAULT_NORMALIZE_SALT,
 };
+pub use stream::{infer_incremental, StreamingInference};
 pub use sweep::{reinfer_sets, run_sets, ReinferOutcome, SweepMember, SweepOutcome, SweepSet};
 // The dataset seam's types, re-exported so consumers of the experiment
 // surface need only this crate.

@@ -26,13 +26,10 @@ fn golden_dir() -> std::path::PathBuf {
 }
 
 /// `(scenario, seed) -> (set fingerprint, inference fingerprint)`.
+///
+/// Entries appear in corpus replay order: per scenario, seeds ascend
+/// *numerically* (3 before 11 — the zero-padded listing fix).
 const GOLDEN: [(&str, u64, u64, u64); 6] = [
-    (
-        "topology-a neutral",
-        11,
-        0x8c02c9bbec0988b4,
-        0x47f5d527547fc943,
-    ),
     (
         "topology-a neutral",
         3,
@@ -40,10 +37,10 @@ const GOLDEN: [(&str, u64, u64, u64); 6] = [
         0x47f5d527547fc943,
     ),
     (
-        "topology-a policing 20%",
+        "topology-a neutral",
         11,
-        0x9adc7e95bb5ead66,
-        0xb6a763b0cccd2b95,
+        0x8c02c9bbec0988b4,
+        0x47f5d527547fc943,
     ),
     (
         "topology-a policing 20%",
@@ -52,16 +49,22 @@ const GOLDEN: [(&str, u64, u64, u64); 6] = [
         0x4b4f3b011e8ac86a,
     ),
     (
-        "topology-a shaping 30%",
+        "topology-a policing 20%",
         11,
-        0x53b061b4b7382b9c,
-        0x17bf11b09c99c9e4,
+        0x9adc7e95bb5ead66,
+        0xb6a763b0cccd2b95,
     ),
     (
         "topology-a shaping 30%",
         3,
         0xf98ebeccded6afc8,
         0xb355d0b938ffdec6,
+    ),
+    (
+        "topology-a shaping 30%",
+        11,
+        0x53b061b4b7382b9c,
+        0x17bf11b09c99c9e4,
     ),
 ];
 

@@ -5,8 +5,12 @@
 //!
 //! ```text
 //! nni-serviced <spool> [--workers N] [--drain] [--worker-bin PATH]
-//!              [--poll-ms N] [--max-attempts N]
+//!              [--poll-ms N] [--max-attempts N] [--follow]
 //! ```
+//!
+//! With `--follow`, completed jobs spill as chunked `.nniseg` segments
+//! instead of whole `.nniset` entries, so a live tail (`nni-live`) sees
+//! intervals land while the spool drains.
 //!
 //! Without `--drain` the daemon polls forever (until a drain marker is
 //! written, e.g. by `nni-servicectl drain`). Exits 1 on any terminal
@@ -20,7 +24,7 @@ use nni_service::{run_daemon, DaemonConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: nni-serviced <spool> [--workers N] [--drain] \
-         [--worker-bin PATH] [--poll-ms N] [--max-attempts N]"
+         [--worker-bin PATH] [--poll-ms N] [--max-attempts N] [--follow]"
     );
     exit(2);
 }
@@ -46,11 +50,13 @@ fn main() {
         drain: false,
         poll_ms: 200,
         max_attempts: nni_scenario::DEFAULT_MAX_ATTEMPTS,
+        follow: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => cfg.workers = parse("--workers", args.next()),
             "--drain" => cfg.drain = true,
+            "--follow" => cfg.follow = true,
             "--worker-bin" => cfg.worker_bin = Some(parse::<PathBuf>("--worker-bin", args.next())),
             "--poll-ms" => cfg.poll_ms = parse("--poll-ms", args.next()),
             "--max-attempts" => cfg.max_attempts = parse("--max-attempts", args.next()),

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use nni_measure::codec::CodecError;
 use nni_measure::wire::FrameError;
-use nni_measure::Corpus;
+use nni_measure::{Corpus, MeasurementSet, SegmentWriter};
 use nni_scenario::{
     read_job, Executor, Experiment, ExperimentOutcome, ProcessError, ProcessExecutor,
 };
@@ -39,6 +39,10 @@ pub struct DaemonConfig {
     pub poll_ms: u64,
     /// Per-job attempt budget across worker crashes.
     pub max_attempts: u32,
+    /// Spill measurements as chunked `.nniseg` segments instead of whole
+    /// `.nniset` entries, so a live `CorpusTail` (e.g. `nni-live`) sees
+    /// intervals land incrementally instead of one opaque blob per job.
+    pub follow: bool,
 }
 
 impl DaemonConfig {
@@ -51,6 +55,7 @@ impl DaemonConfig {
             drain: true,
             poll_ms: 200,
             max_attempts: nni_scenario::DEFAULT_MAX_ATTEMPTS,
+            follow: false,
         }
     }
 }
@@ -210,9 +215,12 @@ pub fn run_daemon(cfg: &DaemonConfig) -> Result<DaemonSummary, ServiceError> {
         };
 
         for ((path, exp), outcome) in jobs.iter().zip(&outcomes) {
-            corpus
-                .store(&exp.package(outcome.report.log.clone()))
-                .map_err(ServiceError::Io)?;
+            let set = exp.package(outcome.report.log.clone());
+            if cfg.follow {
+                spill_segment(corpus.dir(), &set)?;
+            } else {
+                corpus.store(&set).map_err(ServiceError::Io)?;
+            }
             spool.append_verdict(&verdict_line(path, exp, outcome))?;
             spool.complete(path)?;
             summary.jobs_done += 1;
@@ -228,6 +236,39 @@ pub fn run_daemon(cfg: &DaemonConfig) -> Result<DaemonSummary, ServiceError> {
         summary.batches += 1;
         summary.respawns += stats.respawns;
         summary.retries += stats.retries;
+    }
+}
+
+/// Segment chunk size in `--follow` mode: small enough that a concurrent
+/// tail sees several interval batches land per job, large enough to keep
+/// chunk overhead negligible.
+const FOLLOW_CHUNK_INTERVALS: usize = 10;
+
+/// Spills one completed job's measurement set as a chunked `.nniseg`
+/// segment under the corpus directory (follow mode): header chunk first,
+/// then interval chunks, each flushed — a tailing consumer never sees a
+/// torn entry.
+fn spill_segment(dir: &std::path::Path, set: &MeasurementSet) -> Result<(), ServiceError> {
+    let path = dir.join(nni_measure::segment_file_name(&set.provenance));
+    let mut w = SegmentWriter::create(&path, set).map_err(segment_err)?;
+    let total = set.log.interval_count();
+    let mut from = 0;
+    while from < total {
+        let to = (from + FOLLOW_CHUNK_INTERVALS).min(total);
+        w.append_intervals(&set.log, from, to)
+            .map_err(segment_err)?;
+        from = to;
+    }
+    Ok(())
+}
+
+fn segment_err(e: nni_measure::SegmentError) -> ServiceError {
+    match e {
+        nni_measure::SegmentError::Io(e) => ServiceError::Io(e),
+        other => ServiceError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            other.to_string(),
+        )),
     }
 }
 

@@ -79,6 +79,61 @@ fn submitted_jobs_drain_into_corpus_and_verdicts() {
 }
 
 #[test]
+fn follow_mode_spills_segments_a_tail_can_replay() {
+    let spool_dir = temp_spool_dir("follow");
+    let spool = Spool::open(&spool_dir).expect("spool opens");
+    let scenario = topology_a_scenario(ExperimentParams {
+        duration_s: 4.0,
+        ..ExperimentParams::default()
+    });
+    spool.submit(&scenario.with_seed(7)).expect("submit");
+
+    let cfg = DaemonConfig {
+        follow: true,
+        ..drain_config(&spool_dir)
+    };
+    let summary = run_daemon(&cfg).expect("daemon drains");
+    assert_eq!(summary.jobs_done, 1);
+
+    // No whole-blob entry lands in follow mode — only the segment.
+    let corpus = Corpus::open(spool.corpus_dir()).expect("corpus opens");
+    assert!(corpus.entries().expect("lists").is_empty());
+    let mut tail = nni_measure::CorpusTail::open(spool.corpus_dir()).expect("tail opens");
+    let events = tail.poll().expect("tail polls");
+
+    // Header + interval chunks reassemble the exact simulated set.
+    let want = scenario.with_seed(7).compile().simulate();
+    let mut header = None;
+    let mut log = None;
+    for e in events {
+        match e {
+            nni_measure::TailEvent::SegmentHeader { set, .. } => {
+                log = Some(nni_measure::MeasurementLog::new(
+                    set.log.path_count(),
+                    set.log.interval_s(),
+                ));
+                header = Some(set);
+            }
+            nni_measure::TailEvent::SegmentIntervals { first_t, rows, .. } => {
+                let log = log.as_mut().expect("header precedes intervals");
+                for (i, (sent, lost)) in rows.iter().enumerate() {
+                    for (p, (&s, &l)) in sent.iter().zip(lost).enumerate() {
+                        let path = nni_topology::PathId(p);
+                        log.record_sent(first_t + i, path, s);
+                        log.record_lost(first_t + i, path, l);
+                    }
+                }
+            }
+            other => panic!("unexpected tail event {other:?}"),
+        }
+    }
+    let header = header.expect("segment header seen");
+    assert_eq!(header.provenance, want.provenance);
+    assert_eq!(log.expect("intervals seen"), want.log);
+    fs::remove_dir_all(&spool_dir).expect("cleanup");
+}
+
+#[test]
 fn undecodable_job_parks_and_fails_the_daemon() {
     let spool_dir = temp_spool_dir("badjob");
     let spool = Spool::open(&spool_dir).expect("spool opens");

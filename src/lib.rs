@@ -22,6 +22,7 @@
 //! | [`emu`] | `nni-emu` | Deterministic packet-level emulator: drop-tail queues, policers, shapers, NewReno/CUBIC TCP |
 //! | [`scenario`] | `nni-scenario` | Topology-agnostic Scenario API: declarative experiments, serial / sharded / process executors, baseline adapters |
 //! | [`service`] | `nni-service` | Distributed execution: `nni-worker` subprocesses, the `nni-serviced` spool daemon, `nni-servicectl` |
+//! | [`live`] | `nni-live` | Online inference: `nni-live` tails a growing corpus, re-clustering per closed interval with multi-vantage merge |
 //! | [`tomography`] | `nni-tomography` | Related-work baselines (boolean tomography, loss tomography, Glasnost-style) |
 //! | [`stats`] | `nni-stats` | Two-cluster classification, five-number summaries, Pareto/exponential samplers |
 //! | [`linalg`] | `nni-linalg` | Rank / RREF / least squares for the solvability tests |
@@ -56,6 +57,7 @@
 pub use nni_core as core;
 pub use nni_emu as emu;
 pub use nni_linalg as linalg;
+pub use nni_live as live;
 pub use nni_measure as measure;
 pub use nni_scenario as scenario;
 pub use nni_service as service;
