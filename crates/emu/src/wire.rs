@@ -99,6 +99,12 @@ pub fn decode_report(bytes: &[u8]) -> Result<SimReport, CodecError> {
         return Err(CodecError::BadValue("log needs at least one path"));
     }
     let n_intervals = r.vu()? as usize;
+    // Every cell is at least one varint byte, so a garbled dimension pair
+    // whose product exceeds the remaining payload can never decode — reject
+    // it before the log grows `n_paths × n_intervals` storage for it.
+    if 2 * n_paths as u128 * n_intervals as u128 > r.remaining() as u128 {
+        return Err(CodecError::BadValue("log dimensions exceed payload"));
+    }
     let mut log = MeasurementLog::new(n_paths, interval_s);
     for t in 0..n_intervals {
         for p in 0..n_paths {
@@ -114,6 +120,16 @@ pub fn decode_report(bytes: &[u8]) -> Result<SimReport, CodecError> {
     let n_links = r.vu()? as usize;
     let n_classes = r.vu()? as usize;
     let truth_intervals = r.vu()? as usize;
+    // Same byte-per-cell argument for the truth tensors; the degenerate
+    // zero-link/zero-class shape carries no cell bytes at all, so a nonzero
+    // interval count there is unfillable garbage (a real recorder can only
+    // grow intervals by recording against a link).
+    if (n_links == 0 || n_classes == 0) && truth_intervals != 0 {
+        return Err(CodecError::BadValue("truth intervals without truth cells"));
+    }
+    if 2 * truth_intervals as u128 * n_links as u128 * n_classes as u128 > r.remaining() as u128 {
+        return Err(CodecError::BadValue("truth dimensions exceed payload"));
+    }
     let read_tensor = |r: &mut WireReader<'_>| -> Result<Vec<Vec<Vec<u64>>>, CodecError> {
         let mut tensor = Vec::with_capacity(truth_intervals);
         for _ in 0..truth_intervals {
@@ -134,6 +150,10 @@ pub fn decode_report(bytes: &[u8]) -> Result<SimReport, CodecError> {
     let link_truth = LinkTruth::from_counts(n_links, n_classes, offered, dropped);
 
     let n_traces = r.vu()? as usize;
+    // Each trace costs at least its one-byte length varint.
+    if n_traces as u128 > r.remaining() as u128 {
+        return Err(CodecError::BadValue("trace count exceeds payload"));
+    }
     let mut queue_traces = Vec::with_capacity(n_traces);
     for _ in 0..n_traces {
         let len = r.vu()? as usize;
@@ -213,6 +233,62 @@ mod tests {
         assert!(matches!(
             decode_report(&bytes),
             Err(CodecError::TrailingBytes)
+        ));
+    }
+
+    /// Garbled dimension varints must fail as [`CodecError::BadValue`]
+    /// before the decoder allocates or loops on them — a corrupt frame may
+    /// cost an error, never memory or time.
+    #[test]
+    fn implausible_dimensions_are_rejected_before_allocation() {
+        // Log claiming 2^40 intervals for 2^20 paths in a tiny payload.
+        let mut w = WireWriter::new();
+        w.f64(0.1);
+        w.vu(1 << 20);
+        w.vu(1 << 40);
+        assert!(matches!(
+            decode_report(&w.into_bytes()),
+            Err(CodecError::BadValue("log dimensions exceed payload"))
+        ));
+
+        // Truth tensor claiming 2^50 cells.
+        let mut w = WireWriter::new();
+        w.f64(0.1);
+        w.vu(1); // n_paths
+        w.vu(0); // n_intervals
+        w.vu(1 << 10); // n_links
+        w.vu(1 << 10); // n_classes
+        w.vu(1 << 30); // truth_intervals
+        assert!(matches!(
+            decode_report(&w.into_bytes()),
+            Err(CodecError::BadValue("truth dimensions exceed payload"))
+        ));
+
+        // Zero-link truth cannot carry intervals (it would loop for free).
+        let mut w = WireWriter::new();
+        w.f64(0.1);
+        w.vu(1);
+        w.vu(0);
+        w.vu(0); // n_links
+        w.vu(0); // n_classes
+        w.vu(u64::MAX); // truth_intervals
+        assert!(matches!(
+            decode_report(&w.into_bytes()),
+            Err(CodecError::BadValue("truth intervals without truth cells"))
+        ));
+
+        // Queue-trace count far beyond the payload.
+        let mut w = WireWriter::new();
+        w.f64(0.1);
+        w.vu(1);
+        w.vu(0);
+        w.vu(0);
+        w.vu(0);
+        w.vu(0);
+        w.vu(u64::MAX); // n_traces
+        assert!(matches!(
+            decode_report(&w.into_bytes()),
+            Err(CodecError::BadValue("trace count exceeds payload"))
         ));
     }
 

@@ -117,6 +117,19 @@ fn main() {
                 eprintln!("nni-live: corrupt {}: {message}", path.display());
                 continue;
             }
+            if let TailEvent::SegmentGap {
+                path,
+                from_interval,
+                to_interval,
+                bytes_skipped,
+            } = &event
+            {
+                eprintln!(
+                    "nni-live: gap in {}: intervals {from_interval}..{to_interval} \
+                     lost ({bytes_skipped} bytes skipped)",
+                    path.display()
+                );
+            }
             let updates = match monitor.handle(event) {
                 Ok(updates) => updates,
                 Err(e) => {

@@ -21,7 +21,12 @@
 //!   [`MeasurementLog::merge`] sums the vantage logs cell-wise, the
 //!   session [`rebase`](StreamingInference::rebase)s its counters, and one
 //!   `"rebase"` update carries the re-derived verdict — the exact
-//!   fallback, since merge rewrites frozen history.
+//!   fallback, since merge rewrites frozen history;
+//! * **corrupt segment regions** degrade instead of killing the session:
+//!   the tail's follower skips to the next valid chunk
+//!   ([`TailEvent::SegmentGap`]), the monitor zero-fills the lost
+//!   intervals and emits one `"resync"` update, and every later verdict
+//!   from that session carries `"degraded":true`.
 //!
 //! Every emitted verdict is checkable against batch inference over the
 //! session's merged log at the same watermark;
@@ -60,6 +65,9 @@ pub enum UpdateMode {
     /// A merge rewrote consumed intervals; the session rebased and
     /// replayed the merged log (the exact fallback).
     Rebase,
+    /// A corrupt segment region was skipped: the missing intervals were
+    /// zero-filled and the session resumed past them.
+    Resync,
 }
 
 impl UpdateMode {
@@ -68,6 +76,7 @@ impl UpdateMode {
         match self {
             UpdateMode::Incremental => "incremental",
             UpdateMode::Rebase => "rebase",
+            UpdateMode::Resync => "resync",
         }
     }
 }
@@ -92,8 +101,13 @@ pub struct VerdictUpdate {
     /// Fingerprint of the full [`InferenceResult`] — comparable against
     /// batch re-inference of the same log prefix.
     pub result_fingerprint: u64,
-    /// Incremental extension or merge-triggered rebase.
+    /// Incremental extension, merge-triggered rebase, or corruption
+    /// resync.
     pub mode: UpdateMode,
+    /// Whether this session has ever lost intervals to segment
+    /// corruption. Once set it stays set: every later verdict from the
+    /// session is derived from an incomplete log.
+    pub degraded: bool,
 }
 
 impl VerdictUpdate {
@@ -102,7 +116,7 @@ impl VerdictUpdate {
         format!(
             "{{\"type\":\"update\",\"scenario\":\"{}\",\"fingerprint\":\"{:016x}\",\
              \"seed\":{},\"interval\":{},\"vantages\":{},\"nonneutral\":{},\
-             \"result\":\"{:016x}\",\"mode\":\"{}\"}}",
+             \"result\":\"{:016x}\",\"mode\":\"{}\",\"degraded\":{}}}",
             esc(&self.scenario),
             self.scenario_fingerprint,
             self.seed,
@@ -111,6 +125,7 @@ impl VerdictUpdate {
             self.nonneutral,
             self.result_fingerprint,
             self.mode.as_str(),
+            self.degraded,
         )
     }
 }
@@ -182,6 +197,8 @@ struct Session {
     /// first segment vantage keeps the cheap append path; everything else
     /// goes through merge + rebase.
     primary: Option<PathBuf>,
+    /// Intervals have been lost to segment corruption; sticky.
+    degraded: bool,
 }
 
 impl Session {
@@ -196,6 +213,7 @@ impl Session {
             nonneutral: result.network_is_nonneutral(),
             result_fingerprint: result.fingerprint(),
             mode,
+            degraded: self.degraded,
         }
     }
 
@@ -281,8 +299,49 @@ impl LiveMonitor {
                 first_t,
                 rows,
             } => self.ingest_intervals(&path, first_t, &rows),
+            TailEvent::SegmentGap {
+                path,
+                from_interval,
+                to_interval,
+                ..
+            } => self.ingest_gap(&path, from_interval, to_interval),
             TailEvent::Corrupt { .. } => Ok(Vec::new()),
         }
+    }
+
+    /// A corrupt region of a live segment was skipped: intervals
+    /// `from_interval..to_interval` are gone for good. On the in-sync
+    /// primary segment the session zero-fills the lost intervals (no
+    /// packets observed) and advances, so the rows that follow still
+    /// append at the watermark; either way the session is marked degraded
+    /// and every later verdict carries the tag.
+    fn ingest_gap(
+        &mut self,
+        path: &Path,
+        from_interval: usize,
+        to_interval: usize,
+    ) -> Result<Vec<VerdictUpdate>, LiveError> {
+        let Some(&key) = self.by_path.get(path) else {
+            return Err(LiveError::UnknownSegment(path.to_path_buf()));
+        };
+        let i = self.index[&key];
+        let session = &mut self.sessions[i].1;
+        session.degraded = true;
+        let appendable =
+            session.primary.as_deref() == Some(path) && from_interval == session.stream.closed();
+        if !appendable || to_interval <= from_interval {
+            // Non-primary vantages merge their rows as deltas; a gap in
+            // one simply means fewer rows to merge.
+            return Ok(Vec::new());
+        }
+        let zeros = vec![0u64; session.stream.log().path_count()];
+        for _ in from_interval..to_interval {
+            session.stream.append_interval(&zeros, &zeros)?;
+        }
+        session
+            .live
+            .advance(session.stream.log(), session.stream.closed());
+        Ok(vec![session.update(key, UpdateMode::Resync)])
     }
 
     /// A complete measurement set landed: first vantage replays interval
@@ -402,6 +461,7 @@ impl LiveMonitor {
             live,
             vantages: 1,
             primary: None,
+            degraded: false,
         };
         let i = self.sessions.len();
         self.sessions.push((key, session));

@@ -1,0 +1,141 @@
+//! The live-resilience gate: a corrupt chunk in a live segment must not
+//! kill the session. The tail skips to the next valid chunk, the monitor
+//! zero-fills the lost intervals, emits one `"resync"` update, and tags
+//! every later verdict `"degraded":true` — while the streaming verdict
+//! stays bit-identical to batch inference over the (zero-filled) log the
+//! session actually consumed.
+
+use std::path::PathBuf;
+
+use nni_live::{LiveConfig, LiveMonitor, UpdateMode};
+use nni_measure::{segment_file_name, CorpusTail, MeasurementSet, SegmentWriter, TailEvent};
+use nni_scenario::library::{topology_a_scenario, ExperimentParams, Mechanism};
+
+fn recorded_set(seed: u64) -> MeasurementSet {
+    let mut s = topology_a_scenario(ExperimentParams {
+        mechanism: Mechanism::Policing(0.2),
+        duration_s: 4.0,
+        ..ExperimentParams::default()
+    });
+    s.measurement.warmup_s = Some(1.0);
+    s.with_seed(seed).compile().simulate()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nni-degraded-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn live_session_resyncs_past_segment_corruption_with_degraded_tags() {
+    let dir = temp_dir("resync");
+    std::fs::create_dir_all(&dir).unwrap();
+    let set = recorded_set(11);
+    let total = set.log.interval_count();
+    assert!(total >= 12, "need room for three chunks");
+    let third = total / 3;
+
+    // Spill the whole log as three chunks, then flip one byte in the
+    // middle chunk's payload.
+    let path = dir.join(segment_file_name(&set.provenance));
+    let mut w = SegmentWriter::create(&path, &set).unwrap();
+    w.append_intervals(&set.log, 0, third).unwrap();
+    let clean = std::fs::read(&path).unwrap().len();
+    w.append_intervals(&set.log, third, 2 * third).unwrap();
+    w.append_intervals(&set.log, 2 * third, total).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[clean + 12] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut tail = CorpusTail::open(&dir).unwrap();
+    let mut monitor = LiveMonitor::new(LiveConfig::default());
+    let mut updates = Vec::new();
+    let mut gaps = Vec::new();
+    for event in tail.poll().unwrap() {
+        if let TailEvent::SegmentGap {
+            from_interval,
+            to_interval,
+            ..
+        } = &event
+        {
+            gaps.push((*from_interval, *to_interval));
+        }
+        updates.extend(monitor.handle(event).unwrap());
+    }
+
+    // The corrupt middle chunk became exactly one gap...
+    assert_eq!(gaps, vec![(third, 2 * third)]);
+    // ...bridged by exactly one resync update at the gap's far edge.
+    let resyncs: Vec<_> = updates
+        .iter()
+        .filter(|u| u.mode == UpdateMode::Resync)
+        .collect();
+    assert_eq!(resyncs.len(), 1);
+    assert_eq!(resyncs[0].interval, 2 * third);
+    assert!(resyncs[0].degraded);
+
+    // Updates before the gap are clean; everything from the resync on is
+    // tagged degraded, and the stream still reached the end of the log.
+    assert_eq!(updates.len(), total - third + 1);
+    for u in &updates {
+        assert_eq!(u.degraded, u.interval > third, "update at {}", u.interval);
+    }
+    let last = updates.last().unwrap();
+    assert_eq!(last.interval, total);
+    assert!(last.degraded);
+    assert!(last.jsonl().contains("\"degraded\":true"));
+    assert!(resyncs[0].jsonl().contains("\"mode\":\"resync\""));
+
+    // Degraded is degraded, not wrong: the streaming verdict still
+    // matches batch inference over the zero-filled log it consumed.
+    assert!(monitor.verify_batch().is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gap_on_a_secondary_vantage_marks_the_session_degraded_only() {
+    let dir = temp_dir("secondary");
+    std::fs::create_dir_all(&dir).unwrap();
+    let set = recorded_set(13);
+    let total = set.log.interval_count();
+    let half = total / 2;
+
+    // Primary vantage: a clean segment. Secondary: same identity from a
+    // second file whose middle chunk is corrupt.
+    let primary = dir.join(segment_file_name(&set.provenance));
+    let mut w = SegmentWriter::create(&primary, &set).unwrap();
+    w.append_intervals(&set.log, 0, total).unwrap();
+
+    let secondary = dir.join(format!("vantage2-{}", segment_file_name(&set.provenance)));
+    let mut w2 = SegmentWriter::create(&secondary, &set).unwrap();
+    w2.append_intervals(&set.log, 0, half).unwrap();
+    let clean = std::fs::read(&secondary).unwrap().len();
+    w2.append_intervals(&set.log, half, half + 2).unwrap();
+    w2.append_intervals(&set.log, half + 2, total).unwrap();
+    let mut bytes = std::fs::read(&secondary).unwrap();
+    bytes[clean + 12] ^= 0x08;
+    std::fs::write(&secondary, &bytes).unwrap();
+
+    let mut tail = CorpusTail::open(&dir).unwrap();
+    let mut monitor = LiveMonitor::new(LiveConfig::default());
+    let mut updates = Vec::new();
+    for event in tail.poll().unwrap() {
+        updates.extend(monitor.handle(event).unwrap());
+    }
+
+    // The session survived, saw both vantages, and is tagged degraded
+    // from the secondary's gap onward.
+    let last = updates.last().unwrap();
+    assert_eq!(last.vantages, 2);
+    assert!(last.degraded);
+    assert!(updates
+        .iter()
+        .all(|u| u.mode != UpdateMode::Resync || u.degraded));
+    assert!(monitor.verify_batch().is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -25,9 +25,12 @@
 //!   optional sliding window).
 //! * [`segment`] — the append-friendly `.nniseg` on-disk segment format
 //!   ([`SegmentWriter`]/[`SegmentFollower`]): a codec-v1 header chunk plus
-//!   checksummed interval chunks, readable while being written.
+//!   checksummed interval chunks, readable while being written, with
+//!   optional corrupt-chunk resync (skip to the next valid chunk and
+//!   report the loss as a [`SegmentGap`]).
 //! * [`tail`] — [`CorpusTail`], a poll-based watcher over a growing corpus
-//!   directory yielding complete entries and live segment intervals.
+//!   directory yielding complete entries, live segment intervals, and
+//!   resync gaps.
 //! * [`wire`] — the shared byte-level primitives every codec folds through
 //!   ([`WireWriter`]/[`WireReader`]) plus checksummed stream framing
 //!   ([`wire::write_frame`]/[`wire::read_frame`]) for the worker protocol.
@@ -58,7 +61,10 @@ pub use normalize::{
 };
 pub use observer::MeasuredObservations;
 pub use record::{MeasurementLog, MergeError};
-pub use segment::{SegmentError, SegmentFollower, SegmentWriter, SEGMENT_EXT};
+pub use segment::{
+    IntervalRows, SegmentBatch, SegmentError, SegmentFollower, SegmentGap, SegmentItem,
+    SegmentWriter, MAX_CHUNK_BYTES, SEGMENT_EXT,
+};
 pub use stream::{PathsetHandle, SlidingCounts, StreamError, StreamingLog};
 pub use tail::{CorpusTail, TailEvent};
 pub use wire::{

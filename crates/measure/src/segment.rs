@@ -25,6 +25,21 @@
 //! bytes than a chunk claims simply stops — the chunk is still being
 //! written — and resumes from the same offset next poll; a checksum
 //! mismatch on a *complete* chunk is real corruption.
+//!
+//! # Corruption and resync
+//!
+//! By default a follower treats corruption as terminal (strict mode: the
+//! archival contract). With [`SegmentFollower::with_resync`] it instead
+//! *scans forward* for the next complete, checksum-valid, in-order
+//! intervals chunk, reports the skipped range as a [`SegmentItem::Gap`],
+//! and resumes — the behavior a live consumer wants, where one flipped
+//! byte must not end a session. Each chunk carries its own first-interval
+//! index precisely so a reader can re-anchor after losing bytes. The one
+//! unrecoverable region is the header: without it a reader cannot even
+//! size an interval row, so header corruption stays terminal. A corrupt
+//! *length* field can masquerade as an incomplete trailing chunk until
+//! enough bytes arrive to disprove it (lengths above [`MAX_CHUNK_BYTES`]
+//! are rejected outright); a sync marker fixing that is wire-v2 material.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -47,6 +62,11 @@ pub const VERSION: u8 = 1;
 
 const TAG_HEADER: u8 = 1;
 const TAG_INTERVALS: u8 = 2;
+
+/// Upper bound on a single chunk's payload length. A length field above
+/// this is treated as corruption rather than an in-flight chunk, so a
+/// flipped length byte cannot stall a follower forever.
+pub const MAX_CHUNK_BYTES: u64 = 1 << 30;
 
 /// Why a segment failed to write or parse.
 #[derive(Debug)]
@@ -200,15 +220,69 @@ impl SegmentWriter {
     }
 }
 
+/// The interval range lost to a corrupt region, and how wide that region
+/// was on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentGap {
+    /// First interval index covered by the gap (the count of intervals
+    /// consumed before corruption struck).
+    pub from_interval: usize,
+    /// One past the last missing interval — the recovered chunk's first.
+    pub to_interval: usize,
+    /// Bytes between the corrupt chunk's start and the recovered chunk's
+    /// start.
+    pub bytes_skipped: usize,
+}
+
+/// Decoded interval rows: `(sent, lost)` per path, one entry per interval.
+pub type IntervalRows = Vec<(Vec<u64>, Vec<u64>)>;
+
+/// One decoded unit of segment content, in file order.
+#[derive(Debug)]
+pub enum SegmentItem {
+    /// The decoded header (empty-log set) — once per segment, on the poll
+    /// that first completed it.
+    Header(Box<MeasurementSet>),
+    /// A run of complete interval rows starting at interval `first_t`:
+    /// `(sent, lost)` per path.
+    Intervals {
+        /// Interval index of `rows[0]`.
+        first_t: usize,
+        /// `(sent, lost)` per path, one entry per interval.
+        rows: IntervalRows,
+    },
+    /// Intervals lost to a corrupt region (resync mode only).
+    Gap(SegmentGap),
+}
+
 /// One poll's worth of newly landed segment content.
 #[derive(Debug, Default)]
 pub struct SegmentBatch {
-    /// The decoded header (empty-log set) — present on the poll that first
-    /// completed it, `None` afterwards.
-    pub header: Option<MeasurementSet>,
-    /// Newly complete interval rows, in interval order: `(sent, lost)` per
-    /// path.
-    pub intervals: Vec<(Vec<u64>, Vec<u64>)>,
+    /// Decoded items, in file order.
+    pub items: Vec<SegmentItem>,
+}
+
+impl SegmentBatch {
+    /// No new content landed this poll.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The header, if this poll completed it.
+    pub fn header(&self) -> Option<&MeasurementSet> {
+        self.items.iter().find_map(|i| match i {
+            SegmentItem::Header(set) => Some(set.as_ref()),
+            _ => None,
+        })
+    }
+
+    /// All interval rows in this batch, in file order.
+    pub fn rows(&self) -> impl Iterator<Item = &(Vec<u64>, Vec<u64>)> {
+        self.items.iter().flat_map(|i| match i {
+            SegmentItem::Intervals { rows, .. } => rows.as_slice(),
+            _ => &[],
+        })
+    }
 }
 
 /// Offset-tracking reader of a (possibly still growing) segment file.
@@ -223,6 +297,12 @@ pub struct SegmentFollower {
     offset: usize,
     n_paths: Option<usize>,
     seen_intervals: usize,
+    resync: bool,
+    scanning: bool,
+    /// Offset of the corrupt chunk that armed the current scan.
+    scan_from: usize,
+    /// Next candidate offset the scan will try.
+    scan_at: usize,
 }
 
 impl SegmentFollower {
@@ -234,7 +314,28 @@ impl SegmentFollower {
             offset: 0,
             n_paths: None,
             seen_intervals: 0,
+            resync: false,
+            scanning: false,
+            scan_from: 0,
+            scan_at: 0,
         }
+    }
+
+    /// Switches corrupt-chunk handling from terminal (strict, the
+    /// default) to forward-scan resync: skip ahead to the next complete,
+    /// checksum-valid, in-order intervals chunk and report the loss as a
+    /// [`SegmentItem::Gap`]. Corruption before the header stays terminal
+    /// either way — without the header a reader cannot even size an
+    /// interval row.
+    pub fn with_resync(mut self, resync: bool) -> SegmentFollower {
+        self.resync = resync;
+        self
+    }
+
+    /// Whether the follower is mid-scan, skipping a corrupt region in
+    /// search of the next valid chunk.
+    pub fn is_resyncing(&self) -> bool {
+        self.scanning
     }
 
     /// The file being followed.
@@ -281,49 +382,143 @@ impl SegmentFollower {
             self.offset = MAGIC.len() + 1;
         }
 
-        while let Some((tag, payload, next)) = complete_chunk(&bytes, self.offset)? {
-            match tag {
-                TAG_HEADER => {
-                    if self.n_paths.is_some() {
-                        return Err(SegmentError::Corrupt("duplicate header chunk"));
-                    }
-                    let set = codec::decode(payload)?;
-                    if set.log.interval_count() != 0 {
-                        return Err(SegmentError::Corrupt("header log must be empty"));
-                    }
-                    self.n_paths = Some(set.log.path_count());
-                    batch.header = Some(set);
+        loop {
+            if self.scanning {
+                if !self.scan(&bytes, &mut batch) {
+                    break; // nothing valid completed yet; resume next poll
                 }
-                TAG_INTERVALS => {
-                    let Some(n_paths) = self.n_paths else {
-                        return Err(SegmentError::Corrupt("intervals before header"));
-                    };
-                    let mut r = WireReader::new(payload);
-                    let first = r.vu().map_err(|_| SegmentError::Corrupt("chunk prefix"))?;
-                    let count = r.vu().map_err(|_| SegmentError::Corrupt("chunk prefix"))?;
-                    if first as usize != self.seen_intervals {
-                        return Err(SegmentError::Corrupt("interval chunk out of order"));
-                    }
-                    for _ in 0..count {
-                        let mut sent = Vec::with_capacity(n_paths);
-                        let mut lost = Vec::with_capacity(n_paths);
-                        for _ in 0..n_paths {
-                            sent.push(r.vu().map_err(|_| SegmentError::Corrupt("short row"))?);
-                            lost.push(r.vu().map_err(|_| SegmentError::Corrupt("short row"))?);
-                        }
-                        batch.intervals.push((sent, lost));
-                        self.seen_intervals += 1;
-                    }
-                    if !r.is_empty() {
-                        return Err(SegmentError::Corrupt("trailing bytes in chunk"));
-                    }
-                }
-                _ => return Err(SegmentError::Corrupt("unknown chunk tag")),
+                continue;
             }
-            self.offset = next;
+            let (tag, payload, next) = match complete_chunk(&bytes, self.offset) {
+                Ok(Some(chunk)) => chunk,
+                Ok(None) => break, // trailing chunk still being written
+                Err(e) => {
+                    self.corrupted(e)?;
+                    continue;
+                }
+            };
+            match self.consume(tag, payload) {
+                Ok(item) => {
+                    self.offset = next;
+                    batch.items.push(item);
+                }
+                Err(e) => self.corrupted(e)?,
+            }
         }
         Ok(batch)
     }
+
+    /// Decodes one complete chunk into an item, advancing follower state.
+    fn consume(&mut self, tag: u8, payload: &[u8]) -> Result<SegmentItem, SegmentError> {
+        match tag {
+            TAG_HEADER => {
+                if self.n_paths.is_some() {
+                    return Err(SegmentError::Corrupt("duplicate header chunk"));
+                }
+                let set: MeasurementSet = codec::decode(payload)?;
+                if set.log.interval_count() != 0 {
+                    return Err(SegmentError::Corrupt("header log must be empty"));
+                }
+                self.n_paths = Some(set.log.path_count());
+                Ok(SegmentItem::Header(Box::new(set)))
+            }
+            TAG_INTERVALS => {
+                let Some(n_paths) = self.n_paths else {
+                    return Err(SegmentError::Corrupt("intervals before header"));
+                };
+                let (first, rows) = parse_intervals(payload, n_paths)?;
+                if first != self.seen_intervals {
+                    return Err(SegmentError::Corrupt("interval chunk out of order"));
+                }
+                self.seen_intervals += rows.len();
+                Ok(SegmentItem::Intervals {
+                    first_t: first,
+                    rows,
+                })
+            }
+            _ => Err(SegmentError::Corrupt("unknown chunk tag")),
+        }
+    }
+
+    /// Routes a corrupt-chunk error: terminal in strict mode (or before
+    /// the header), otherwise arms the forward scan one byte past the bad
+    /// chunk's start.
+    fn corrupted(&mut self, e: SegmentError) -> Result<(), SegmentError> {
+        if !self.resync || self.n_paths.is_none() {
+            return Err(e);
+        }
+        self.scanning = true;
+        self.scan_from = self.offset;
+        self.scan_at = self.offset + 1;
+        Ok(())
+    }
+
+    /// Advances the forward scan: tries every byte offset from `scan_at`
+    /// to the end of the buffer. The first complete, checksum-valid
+    /// intervals chunk with an in-order first interval wins (recovery —
+    /// emits the gap and the chunk, returns `true`). If nothing validates
+    /// the scan pauses at the earliest offset that still *could* be a
+    /// chunk in flight — garbage can masquerade as an incomplete chunk
+    /// (e.g. a window onto a later chunk's small LE length field), so a
+    /// single "not enough bytes yet" candidate must not stop the sweep —
+    /// and resumes there next poll (returns `false`).
+    fn scan(&mut self, bytes: &[u8], batch: &mut SegmentBatch) -> bool {
+        let n_paths = self.n_paths.expect("scan is only armed after the header");
+        let mut pending: Option<usize> = None;
+        let mut at = self.scan_at;
+        while at < bytes.len() {
+            match complete_chunk(bytes, at) {
+                Ok(None) => {
+                    pending.get_or_insert(at);
+                    at += 1;
+                }
+                Ok(Some((TAG_INTERVALS, payload, next))) => {
+                    if let Ok((first, rows)) = parse_intervals(payload, n_paths) {
+                        if first >= self.seen_intervals {
+                            batch.items.push(SegmentItem::Gap(SegmentGap {
+                                from_interval: self.seen_intervals,
+                                to_interval: first,
+                                bytes_skipped: at - self.scan_from,
+                            }));
+                            self.seen_intervals = first + rows.len();
+                            batch.items.push(SegmentItem::Intervals {
+                                first_t: first,
+                                rows,
+                            });
+                            self.offset = next;
+                            self.scanning = false;
+                            return true;
+                        }
+                    }
+                    at += 1;
+                }
+                Ok(Some(_)) | Err(_) => at += 1,
+            }
+        }
+        self.scan_at = pending.unwrap_or(bytes.len());
+        false
+    }
+}
+
+/// Decodes an intervals-chunk payload into `(first_interval, rows)`.
+fn parse_intervals(payload: &[u8], n_paths: usize) -> Result<(usize, IntervalRows), SegmentError> {
+    let mut r = WireReader::new(payload);
+    let first = r.vu().map_err(|_| SegmentError::Corrupt("chunk prefix"))? as usize;
+    let count = r.vu().map_err(|_| SegmentError::Corrupt("chunk prefix"))?;
+    let mut rows = Vec::new();
+    for _ in 0..count {
+        let mut sent = Vec::with_capacity(n_paths);
+        let mut lost = Vec::with_capacity(n_paths);
+        for _ in 0..n_paths {
+            sent.push(r.vu().map_err(|_| SegmentError::Corrupt("short row"))?);
+            lost.push(r.vu().map_err(|_| SegmentError::Corrupt("short row"))?);
+        }
+        rows.push((sent, lost));
+    }
+    if !r.is_empty() {
+        return Err(SegmentError::Corrupt("trailing bytes in chunk"));
+    }
+    Ok((first, rows))
 }
 
 /// A fully-present chunk: `(tag, payload, next_offset)` — or `None` when
@@ -338,7 +533,11 @@ fn complete_chunk(bytes: &[u8], offset: usize) -> Result<ChunkAt<'_>, SegmentErr
         return Ok(None);
     }
     let tag = rest[0];
-    let len = u64::from_le_bytes(rest[1..9].try_into().expect("8 bytes")) as usize;
+    let len64 = u64::from_le_bytes(rest[1..9].try_into().expect("8 bytes"));
+    if len64 > MAX_CHUNK_BYTES {
+        return Err(SegmentError::Corrupt("chunk length implausible"));
+    }
+    let len = len64 as usize;
     let total = 1 + 8 + len + 8;
     if rest.len() < total {
         return Ok(None);
@@ -407,13 +606,14 @@ mod tests {
 
         let mut f = SegmentFollower::open(&path);
         let batch = f.poll().unwrap();
-        let header = batch.header.expect("header on first poll");
+        let header = batch.header().expect("header on first poll");
         assert_eq!(header.provenance, set.provenance);
         assert_eq!(header.log.interval_count(), 0);
-        assert_eq!(batch.intervals.len(), 25);
+        let interval_s = header.log.interval_s();
+        assert_eq!(batch.rows().count(), 25);
         // Reassemble and compare cell-wise.
-        let mut log = MeasurementLog::new(2, header.log.interval_s());
-        for (t, (sent, lost)) in batch.intervals.iter().enumerate() {
+        let mut log = MeasurementLog::new(2, interval_s);
+        for (t, (sent, lost)) in batch.rows().enumerate() {
             for p in 0..2 {
                 log.record_sent(t, PathId(p), sent[p]);
                 log.record_lost(t, PathId(p), lost[p]);
@@ -422,7 +622,7 @@ mod tests {
         assert_eq!(log, set.log);
         // Nothing new on the next poll.
         let again = f.poll().unwrap();
-        assert!(again.header.is_none() && again.intervals.is_empty());
+        assert!(again.is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -441,14 +641,14 @@ mod tests {
 
         let mut f = SegmentFollower::open(&path);
         let batch = f.poll().unwrap();
-        assert!(batch.header.is_some());
-        assert_eq!(batch.intervals.len(), 4);
+        assert!(batch.header().is_some());
+        assert_eq!(batch.rows().count(), 4);
 
         // The producer finishes the chunk: the follower resumes.
         std::fs::write(&path, &full).unwrap();
         let batch = f.poll().unwrap();
-        assert!(batch.header.is_none());
-        assert_eq!(batch.intervals.len(), 4);
+        assert!(batch.header().is_none());
+        assert_eq!(batch.rows().count(), 4);
         assert_eq!(f.intervals_seen(), 8);
         std::fs::remove_file(&path).unwrap();
     }
@@ -459,7 +659,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut f = SegmentFollower::open(&path);
         let batch = f.poll().unwrap();
-        assert!(batch.header.is_none() && batch.intervals.is_empty());
+        assert!(batch.is_empty());
     }
 
     #[test]
@@ -477,6 +677,112 @@ mod tests {
         assert!(matches!(
             f.poll(),
             Err(SegmentError::ChecksumMismatch) | Err(SegmentError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resync_skips_a_corrupt_chunk_and_reports_the_gap() {
+        let set = sample_set(30);
+        let path = temp_path("resync");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 10).unwrap();
+        let clean = std::fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, 10, 20).unwrap();
+        let after_second = std::fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, 20, 30).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[clean + 12] ^= 0x40; // flip one byte in the middle chunk
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut f = SegmentFollower::open(&path).with_resync(true);
+        let batch = f.poll().unwrap();
+        assert!(batch.header().is_some());
+        let gaps: Vec<&SegmentGap> = batch
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SegmentItem::Gap(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gaps.len(), 1);
+        assert_eq!((gaps[0].from_interval, gaps[0].to_interval), (10, 20));
+        assert_eq!(gaps[0].bytes_skipped, after_second - clean);
+        assert_eq!(f.intervals_seen(), 30);
+        assert!(!f.is_resyncing());
+        // Recovered rows are genuine: chunk 1 plus chunk 3, not the
+        // corrupted middle.
+        let runs: Vec<(usize, usize)> = batch
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SegmentItem::Intervals { first_t, rows } => Some((*first_t, rows.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(runs, vec![(0, 10), (20, 10)]);
+        for (i, (sent, lost)) in batch.rows().enumerate() {
+            let t = if i < 10 { i } else { i + 10 };
+            for p in 0..2 {
+                assert_eq!(sent[p], set.log.sent(t, PathId(p)));
+                assert_eq!(lost[p], set.log.lost(t, PathId(p)));
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resync_pauses_on_a_corrupt_tail_until_a_valid_chunk_lands() {
+        let set = sample_set(30);
+        let path = temp_path("resync-tail");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 10).unwrap();
+        let clean = std::fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, 10, 20).unwrap();
+        let after_second = std::fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, 20, 30).unwrap();
+        let mut full = std::fs::read(&path).unwrap();
+        full[clean + 12] ^= 0x40; // corrupt the middle chunk
+
+        // Only the corrupt chunk is on disk: the scan must pause, not
+        // fail and not fabricate a recovery.
+        std::fs::write(&path, &full[..after_second]).unwrap();
+        let mut f = SegmentFollower::open(&path).with_resync(true);
+        let batch = f.poll().unwrap();
+        assert!(batch.header().is_some());
+        assert_eq!(batch.rows().count(), 10);
+        assert!(f.is_resyncing());
+
+        // The next valid chunk lands: the scan recovers.
+        std::fs::write(&path, &full).unwrap();
+        let batch = f.poll().unwrap();
+        assert!(!f.is_resyncing());
+        assert_eq!(batch.rows().count(), 10);
+        assert_eq!(f.intervals_seen(), 30);
+        assert!(batch
+            .items
+            .iter()
+            .any(|i| matches!(i, SegmentItem::Gap(g) if g.to_interval == 20)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn implausible_chunk_length_is_corruption_not_backpressure() {
+        let set = sample_set(4);
+        let path = temp_path("implausible");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 4).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // A "chunk" whose length field says 2^60: a strict follower must
+        // call it corrupt instead of waiting forever for the bytes.
+        bytes.push(TAG_INTERVALS);
+        bytes.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = SegmentFollower::open(&path);
+        assert!(matches!(
+            f.poll(),
+            Err(SegmentError::Corrupt("chunk length implausible"))
         ));
         std::fs::remove_file(&path).unwrap();
     }

@@ -12,7 +12,9 @@
 //! * **segment traffic** (`.nniseg`) — a live producer is spilling closed
 //!   intervals as it runs ([`SegmentWriter`](crate::segment::SegmentWriter));
 //!   the tail surfaces the header once and every newly complete interval
-//!   row after it.
+//!   row after it. Segment followers run in resync mode: a corrupt chunk
+//!   becomes a [`TailEvent::SegmentGap`] and the stream continues from the
+//!   next valid chunk instead of dying.
 
 use std::collections::{HashMap, HashSet};
 use std::fs;
@@ -20,7 +22,7 @@ use std::path::{Path, PathBuf};
 
 use crate::corpus::{entry_order_key, CorpusEntry, CORPUS_EXT};
 use crate::dataset::MeasurementSet;
-use crate::segment::{SegmentFollower, SEGMENT_EXT};
+use crate::segment::{SegmentFollower, SegmentItem, SEGMENT_EXT};
 
 /// Default number of failed polls before a pending `.nniset` is declared
 /// corrupt rather than still-being-written.
@@ -48,8 +50,22 @@ pub enum TailEvent {
         /// `(sent, lost)` per path, one pair of rows per interval.
         rows: Vec<(Vec<u64>, Vec<u64>)>,
     },
+    /// A corrupt region of a live segment was skipped: intervals
+    /// `from_interval..to_interval` are lost, the stream continues after
+    /// them. Consumers should degrade their verdicts, not die.
+    SegmentGap {
+        /// The segment file.
+        path: PathBuf,
+        /// First interval lost.
+        from_interval: usize,
+        /// One past the last interval lost.
+        to_interval: usize,
+        /// Width of the skipped byte region on disk.
+        bytes_skipped: usize,
+    },
     /// A file is genuinely unreadable (retry budget exhausted, or a
-    /// terminal segment error). Reported once; the file is then ignored.
+    /// terminal segment error such as header corruption). Reported once;
+    /// the file is then ignored.
     Corrupt {
         /// The offending file.
         path: PathBuf,
@@ -160,22 +176,32 @@ impl CorpusTail {
         let follower = self
             .followers
             .entry(path.clone())
-            .or_insert_with(|| SegmentFollower::open(&path));
-        let first_t = follower.intervals_seen();
+            // Followers resync past corrupt chunks: a live consumer wants
+            // a degraded stream, not a dead one. Header corruption is
+            // still terminal and lands in the `Err` arm below.
+            .or_insert_with(|| SegmentFollower::open(&path).with_resync(true));
         match follower.poll() {
             Ok(batch) => {
-                if let Some(set) = batch.header {
-                    events.push(TailEvent::SegmentHeader {
-                        path: path.clone(),
-                        set,
-                    });
-                }
-                if !batch.intervals.is_empty() {
-                    events.push(TailEvent::SegmentIntervals {
-                        path,
-                        first_t,
-                        rows: batch.intervals,
-                    });
+                for item in batch.items {
+                    match item {
+                        SegmentItem::Header(set) => events.push(TailEvent::SegmentHeader {
+                            path: path.clone(),
+                            set: *set,
+                        }),
+                        SegmentItem::Intervals { first_t, rows } => {
+                            events.push(TailEvent::SegmentIntervals {
+                                path: path.clone(),
+                                first_t,
+                                rows,
+                            })
+                        }
+                        SegmentItem::Gap(gap) => events.push(TailEvent::SegmentGap {
+                            path: path.clone(),
+                            from_interval: gap.from_interval,
+                            to_interval: gap.to_interval,
+                            bytes_skipped: gap.bytes_skipped,
+                        }),
+                    }
                 }
             }
             Err(e) => {
@@ -314,6 +340,43 @@ mod tests {
             other => panic!("unexpected events {other:?}"),
         }
         assert!(tail.poll().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_chunk_degrades_to_a_gap() {
+        let dir = temp_dir("gap");
+        let mut tail = CorpusTail::open(&dir).unwrap();
+        let set = tiny_set("gap", 7, 12);
+        let path = dir.join(crate::corpus::segment_file_name(&set.provenance));
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 4).unwrap();
+        let clean = fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, 4, 8).unwrap();
+        w.append_intervals(&set.log, 8, 12).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[clean + 12] ^= 0x10; // corrupt the middle chunk's payload
+        fs::write(&path, &bytes).unwrap();
+
+        let events = tail.poll().unwrap();
+        assert_eq!(events.len(), 4, "header, rows, gap, rows: {events:?}");
+        assert!(matches!(&events[0], TailEvent::SegmentHeader { .. }));
+        assert!(matches!(
+            &events[1],
+            TailEvent::SegmentIntervals { first_t: 0, .. }
+        ));
+        assert!(matches!(
+            &events[2],
+            TailEvent::SegmentGap {
+                from_interval: 4,
+                to_interval: 8,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &events[3],
+            TailEvent::SegmentIntervals { first_t: 8, .. }
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -30,8 +30,14 @@
 //!   plus the checksummed job/result frames exchanged with `nni-worker`
 //!   subprocesses.
 //! * [`process`] — [`ProcessExecutor`]: the same batch contract fanned
-//!   across worker *subprocesses*, with crash-respawn and bounded retries —
-//!   the third leg of the serial/sharded/process identity gate.
+//!   across worker *subprocesses*, with job timeouts, crash-respawn under
+//!   exponential backoff, bounded retries, and quarantine of jobs that
+//!   exhaust their budget ([`BatchOutcome`]) — the third leg of the
+//!   serial/sharded/process identity gate.
+//! * [`fault`] — [`FaultPlan`]: deterministic, seeded fault injection
+//!   (hangs, crashes, torn frames, bit flips, poison jobs) shipped to
+//!   workers through [`FAULT_PLAN_ENV`]; the chaos harness behind
+//!   `tests/chaos.rs`.
 //! * [`sweep`] — [`SweepSet`]: a named experiment family over one axis
 //!   (seeds, policer rates, differentiation placements, CC fleets — and the
 //!   inference-side axes [`SweepSet::decision_thresholds`] /
@@ -84,6 +90,7 @@ pub mod audit;
 pub mod baselines;
 pub mod executor;
 pub mod experiment;
+pub mod fault;
 pub mod generate;
 pub mod infer;
 pub mod library;
@@ -96,15 +103,16 @@ pub mod sweep;
 pub use audit::{assert_demand_exceeds_policed_rate, policed_demand_report, DEMAND_MARGIN};
 pub use executor::{compile_all, seed_sweep, Executor, SerialExecutor, ShardedExecutor};
 pub use experiment::{simulation_count, Experiment, ExperimentOutcome};
+pub use fault::{job_token, Fault, FaultPlan, FaultPlanParseError, FAULT_PLAN_ENV};
 pub use generate::{GenConfig, ScenarioGen};
 pub use infer::{infer, infer_scored, InferenceConfig, InferenceOutcome};
 pub use process::{
-    default_worker_bin, ProcessError, ProcessExecutor, ProcessStats, DEFAULT_MAX_ATTEMPTS,
-    WORKER_BIN_ENV,
+    default_worker_bin, BatchOutcome, ProcessError, ProcessExecutor, ProcessStats, Quarantined,
+    WorkerFailure, DEFAULT_JOB_TIMEOUT_MS, DEFAULT_MAX_ATTEMPTS, WORKER_BIN_ENV,
 };
 pub use proto::{
-    decode_scenario, encode_scenario, read_job, read_result, write_job, write_result, JOB_MAGIC,
-    RESULT_MAGIC,
+    decode_scenario, encode_scenario, read_job, read_result, result_frame_bytes, write_job,
+    write_result, JOB_MAGIC, RESULT_MAGIC,
 };
 pub use spec::{
     BackgroundTraffic, Expectation, MeasurementConfig, QueueOverride, Scenario, ScenarioBuilder,

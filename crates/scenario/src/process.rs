@@ -11,17 +11,36 @@
 //! [`ShardedExecutor`](crate::ShardedExecutor) generalizes unchanged to a
 //! three-way serial/sharded/process gate.
 //!
-//! Crash handling: a worker that dies mid-job (I/O error, EOF before the
-//! result frame) is killed, respawned, and the job requeued with a bounded
-//! attempt budget; bytes that arrive but fail to *decode* are never
-//! retried — rerunning cannot fix a corrupted stream, so the batch fails
-//! with the typed [`ProcessError::Codec`].
+//! # Failure semantics
+//!
+//! Every result is read through a dedicated reader thread, so the parent
+//! waits with a *wall-clock job timeout* ([`DEFAULT_JOB_TIMEOUT_MS`],
+//! [`ProcessExecutor::with_job_timeout`]): a worker that hangs is killed
+//! and counted ([`ProcessStats::timeouts`]), not waited on forever. Each
+//! retriable failure is typed ([`WorkerFailure`]) so a clean
+//! exit-under-a-job, a hang, a torn frame, and a checksum-corrupt frame
+//! are distinguishable in errors and logs. A worker that dies mid-job is
+//! killed, respawned (with exponential backoff per consecutive death, so a
+//! crash loop cannot spin the host) and the job requeued with a bounded
+//! attempt budget. A job that exhausts its budget is **quarantined** into
+//! the typed partial [`BatchOutcome`] of [`ProcessExecutor::try_batch`] —
+//! the rest of the batch completes; only the strict all-or-nothing entry
+//! points ([`try_reports`](ProcessExecutor::try_reports) and the
+//! [`Executor`] impl) convert a quarantine into
+//! [`ProcessError::JobFailed`]. Bytes that arrive, checksum correctly, but
+//! fail to *decode* are never retried — rerunning cannot fix a wrong
+//! stream, so the batch fails with the typed [`ProcessError::Codec`]. A
+//! checksum mismatch, by contrast, is transport corruption and retriable
+//! ([`WorkerFailure::CorruptFrame`]).
 
 use std::collections::VecDeque;
+use std::ffi::OsString;
 use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use nni_emu::SimReport;
 use nni_measure::codec::CodecError;
@@ -37,8 +56,20 @@ use crate::spec::Scenario;
 /// the daemon point an executor at a specific build).
 pub const WORKER_BIN_ENV: &str = "NNI_WORKER_BIN";
 
-/// Default number of times one job may be attempted before the batch fails.
+/// Default number of times one job may be attempted before it is
+/// quarantined.
 pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// Default per-job wall-clock timeout in milliseconds (five minutes —
+/// generous next to any emulation in the suite, tight next to forever).
+pub const DEFAULT_JOB_TIMEOUT_MS: u64 = 300_000;
+
+/// Default base delay before respawning after a worker death; doubles per
+/// consecutive death up to [`DEFAULT_BACKOFF_CAP_MS`].
+pub const DEFAULT_BACKOFF_BASE_MS: u64 = 10;
+
+/// Default ceiling of the respawn backoff.
+pub const DEFAULT_BACKOFF_CAP_MS: u64 = 1_000;
 
 /// Where the worker binary lives when no override is given: next to the
 /// current executable (stepping out of cargo's `deps/` directory when the
@@ -55,7 +86,51 @@ pub fn default_worker_bin() -> PathBuf {
     dir.join(format!("nni-worker{}", std::env::consts::EXE_SUFFIX))
 }
 
-/// Why a process-pool batch failed.
+/// The last-seen state of a worker when a retriable job attempt failed —
+/// the typed payload of [`ProcessError::JobFailed`] and
+/// [`Quarantined::last`], distinguishing failure modes that demand
+/// different operator responses (a clean EOF is a worker bug or poison
+/// job; a hang is an environment problem; torn/corrupt frames point at
+/// the transport).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFailure {
+    /// The worker exited cleanly (EOF between frames) with the job still
+    /// outstanding — a deliberate abort or a worker bug, not a transport
+    /// failure.
+    CleanEof,
+    /// No result arrived within the job timeout; the worker was killed.
+    Hang {
+        /// The timeout that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// The stream died mid-frame (EOF inside a frame): a crash while
+    /// writing the answer.
+    TornFrame,
+    /// The result frame arrived but its FNV trailer did not match:
+    /// transport corruption, retriable on a fresh worker.
+    CorruptFrame,
+    /// A pipe-level I/O failure (write or read side).
+    Io(String),
+}
+
+impl std::fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerFailure::CleanEof => {
+                write!(f, "worker exited cleanly with the job outstanding")
+            }
+            WorkerFailure::Hang { timeout_ms } => {
+                write!(f, "no result within {timeout_ms} ms (worker killed)")
+            }
+            WorkerFailure::TornFrame => write!(f, "worker died mid-frame"),
+            WorkerFailure::CorruptFrame => write!(f, "result frame failed its checksum"),
+            WorkerFailure::Io(e) => write!(f, "worker pipe failed: {e}"),
+        }
+    }
+}
+
+/// Why a process-pool batch failed outright (partial completion is not a
+/// failure — see [`BatchOutcome`]).
 #[derive(Debug)]
 pub enum ProcessError {
     /// The worker binary could not be spawned at all.
@@ -65,16 +140,18 @@ pub enum ProcessError {
         /// The underlying error.
         error: std::io::Error,
     },
-    /// One job exhausted its attempt budget across worker crashes.
+    /// One job exhausted its attempt budget (strict entry points only;
+    /// [`ProcessExecutor::try_batch`] quarantines instead).
     JobFailed {
         /// Input index of the job.
         job: usize,
         /// Attempts consumed.
         attempts: u32,
-        /// Description of the final failure.
-        last: String,
+        /// The worker's last-seen state.
+        last: WorkerFailure,
     },
-    /// A worker's bytes arrived but did not decode — not retriable.
+    /// A worker's bytes arrived and checksummed but did not decode — not
+    /// retriable.
     Codec {
         /// Input index of the job.
         job: usize,
@@ -113,15 +190,70 @@ impl std::fmt::Display for ProcessError {
 
 impl std::error::Error for ProcessError {}
 
-/// What a batch cost beyond the results: how often workers died and jobs
-/// were retried — the observability hook the crash-injection tests assert
-/// on.
+/// What a batch cost beyond the results: how often workers died, hung,
+/// and jobs were retried or quarantined — the observability hook the
+/// crash-injection and chaos tests assert on.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcessStats {
-    /// Worker processes respawned after a crash.
+    /// Worker processes respawned after a death (crash, hang kill, torn
+    /// stream).
     pub respawns: usize,
-    /// Jobs requeued after a worker crash.
+    /// Jobs requeued for another attempt.
     pub retries: usize,
+    /// Hung workers killed on job timeout (a subset of `respawns`).
+    pub timeouts: usize,
+    /// Jobs that exhausted their attempt budget and were quarantined.
+    pub quarantined: usize,
+}
+
+/// One job that exhausted its attempt budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Input index of the job.
+    pub job: usize,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// The worker's last-seen state on the final attempt.
+    pub last: WorkerFailure,
+}
+
+/// The typed partial result of [`ProcessExecutor::try_batch`]: every job
+/// either has its report (in its input slot) or an entry in
+/// [`quarantined`](Self::quarantined) — never both, never neither, no
+/// duplicates.
+#[derive(Debug, Default)]
+pub struct BatchOutcome {
+    /// Per-input-index reports; `None` exactly for quarantined jobs.
+    pub reports: Vec<Option<SimReport>>,
+    /// Jobs that exhausted their budget, sorted by input index.
+    pub quarantined: Vec<Quarantined>,
+    /// Crash/retry/timeout accounting for the batch.
+    pub stats: ProcessStats,
+}
+
+impl BatchOutcome {
+    /// Whether every job completed.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Strict view: all reports in input order, or the first quarantine as
+    /// a [`ProcessError::JobFailed`].
+    pub fn into_reports(self) -> Result<(Vec<SimReport>, ProcessStats), ProcessError> {
+        if let Some(q) = self.quarantined.into_iter().next() {
+            return Err(ProcessError::JobFailed {
+                job: q.job,
+                attempts: q.attempts,
+                last: q.last,
+            });
+        }
+        let reports = self
+            .reports
+            .into_iter()
+            .map(|r| r.expect("no quarantines, so every slot is filled"))
+            .collect();
+        Ok((reports, self.stats))
+    }
 }
 
 /// Fans experiment batches across `nni-worker` subprocesses.
@@ -130,6 +262,10 @@ pub struct ProcessExecutor {
     workers: usize,
     worker_bin: PathBuf,
     max_attempts: u32,
+    job_timeout: Duration,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    envs: Vec<(OsString, OsString)>,
 }
 
 impl ProcessExecutor {
@@ -140,6 +276,10 @@ impl ProcessExecutor {
             workers: workers.max(1),
             worker_bin: default_worker_bin(),
             max_attempts: DEFAULT_MAX_ATTEMPTS,
+            job_timeout: Duration::from_millis(DEFAULT_JOB_TIMEOUT_MS),
+            backoff_base: Duration::from_millis(DEFAULT_BACKOFF_BASE_MS),
+            backoff_cap: Duration::from_millis(DEFAULT_BACKOFF_CAP_MS),
+            envs: Vec::new(),
         }
     }
 
@@ -155,6 +295,33 @@ impl ProcessExecutor {
         self
     }
 
+    /// Same pool, explicit per-job wall-clock timeout (floored at one
+    /// millisecond).
+    pub fn with_job_timeout(mut self, timeout: Duration) -> ProcessExecutor {
+        self.job_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Same pool, explicit respawn backoff (base delay, doubling per
+    /// consecutive death up to `cap`).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> ProcessExecutor {
+        self.backoff_base = base;
+        self.backoff_cap = cap.max(base);
+        self
+    }
+
+    /// Same pool, one extra environment variable set on every spawned
+    /// worker — how tests ship a `FaultPlan` to workers without touching
+    /// the parent's (process-global) environment.
+    pub fn with_env(
+        mut self,
+        key: impl Into<OsString>,
+        value: impl Into<OsString>,
+    ) -> ProcessExecutor {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -165,28 +332,36 @@ impl ProcessExecutor {
         &self.worker_bin
     }
 
-    /// Runs every scenario on the pool, returning reports in input order
-    /// plus the crash/retry statistics — the primitive both executor entry
-    /// points and the experiment daemon build on.
-    pub fn try_reports(
-        &self,
-        scenarios: &[&Scenario],
-    ) -> Result<(Vec<SimReport>, ProcessStats), ProcessError> {
+    /// The per-job wall-clock timeout.
+    pub fn job_timeout(&self) -> Duration {
+        self.job_timeout
+    }
+
+    /// Runs every scenario on the pool, quarantining jobs that exhaust
+    /// their attempt budget instead of failing the batch — the primitive
+    /// the daemon builds on. Errors only on failures retrying cannot
+    /// help: spawn, decode, protocol violation.
+    pub fn try_batch(&self, scenarios: &[&Scenario]) -> Result<BatchOutcome, ProcessError> {
         let n = scenarios.len();
         if n == 0 {
-            return Ok((Vec::new(), ProcessStats::default()));
+            return Ok(BatchOutcome::default());
         }
         let workers = self.workers.min(n);
         let queue: Mutex<VecDeque<(usize, u32)>> = Mutex::new((0..n).map(|i| (i, 1)).collect());
         let slots: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let quarantined: Mutex<Vec<Quarantined>> = Mutex::new(Vec::new());
         let failure: Mutex<Option<ProcessError>> = Mutex::new(None);
         let respawns = AtomicUsize::new(0);
         let retries = AtomicUsize::new(0);
+        let timeouts = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut worker: Option<Worker> = None;
+                    // Consecutive deaths seen by this thread; drives the
+                    // respawn backoff and resets on a completed job.
+                    let mut deaths: u32 = 0;
                     loop {
                         if failure.lock().expect("unpoisoned").is_some() {
                             break;
@@ -196,7 +371,14 @@ impl ProcessExecutor {
                             break;
                         };
                         if worker.is_none() {
-                            match Worker::spawn(&self.worker_bin) {
+                            if deaths > 0 {
+                                std::thread::sleep(backoff_delay(
+                                    self.backoff_base,
+                                    self.backoff_cap,
+                                    deaths,
+                                ));
+                            }
+                            match Worker::spawn(&self.worker_bin, &self.envs) {
                                 Ok(w) => worker = Some(w),
                                 Err(error) => {
                                     fail(
@@ -211,32 +393,36 @@ impl ProcessExecutor {
                             }
                         }
                         let w = worker.as_mut().expect("just spawned");
-                        match w.run_job(job, scenarios[job]) {
+                        match w.run_job(job, scenarios[job], self.job_timeout) {
                             JobResult::Done(report) => {
                                 *slots[job].lock().expect("unpoisoned") = Some(report);
+                                deaths = 0;
                             }
-                            JobResult::WorkerDied(cause) => {
-                                // The process is gone (or its stream is):
-                                // reap it, count the respawn, and requeue the
-                                // job unless its budget is spent.
+                            JobResult::WorkerDied(last) => {
+                                // The process is gone (or its stream is, or
+                                // it hung past the timeout): reap it, count
+                                // the respawn, and requeue the job unless
+                                // its budget is spent — then quarantine it
+                                // and keep going.
                                 worker.take().expect("had a worker").reap();
                                 respawns.fetch_add(1, Ordering::Relaxed);
-                                if attempt >= self.max_attempts {
-                                    fail(
-                                        &failure,
-                                        ProcessError::JobFailed {
-                                            job,
-                                            attempts: attempt,
-                                            last: cause,
-                                        },
-                                    );
-                                    break;
+                                deaths += 1;
+                                if matches!(last, WorkerFailure::Hang { .. }) {
+                                    timeouts.fetch_add(1, Ordering::Relaxed);
                                 }
-                                retries.fetch_add(1, Ordering::Relaxed);
-                                queue
-                                    .lock()
-                                    .expect("unpoisoned")
-                                    .push_back((job, attempt + 1));
+                                if attempt >= self.max_attempts {
+                                    quarantined.lock().expect("unpoisoned").push(Quarantined {
+                                        job,
+                                        attempts: attempt,
+                                        last,
+                                    });
+                                } else {
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    queue
+                                        .lock()
+                                        .expect("unpoisoned")
+                                        .push_back((job, attempt + 1));
+                                }
                             }
                             JobResult::Fatal(error) => {
                                 fail(&failure, error);
@@ -254,21 +440,37 @@ impl ProcessExecutor {
         if let Some(error) = failure.into_inner().expect("unpoisoned") {
             return Err(error);
         }
-        let reports = slots
+        let mut quarantined = quarantined.into_inner().expect("unpoisoned");
+        quarantined.sort_by_key(|q| q.job);
+        let reports: Vec<Option<SimReport>> = slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("unpoisoned slot")
-                    .expect("every job completed or the batch failed")
-            })
+            .map(|slot| slot.into_inner().expect("unpoisoned slot"))
             .collect();
-        Ok((
+        let stats = ProcessStats {
+            respawns: respawns.into_inner(),
+            retries: retries.into_inner(),
+            timeouts: timeouts.into_inner(),
+            quarantined: quarantined.len(),
+        };
+        debug_assert!(reports
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.is_some() != quarantined.iter().any(|q| q.job == i)));
+        Ok(BatchOutcome {
             reports,
-            ProcessStats {
-                respawns: respawns.into_inner(),
-                retries: retries.into_inner(),
-            },
-        ))
+            quarantined,
+            stats,
+        })
+    }
+
+    /// Runs every scenario on the pool, returning reports in input order
+    /// plus the crash/retry statistics. Strict: the first quarantined job
+    /// fails the whole batch with [`ProcessError::JobFailed`].
+    pub fn try_reports(
+        &self,
+        scenarios: &[&Scenario],
+    ) -> Result<(Vec<SimReport>, ProcessStats), ProcessError> {
+        self.try_batch(scenarios)?.into_reports()
     }
 
     /// [`Executor::execute`] with the error surfaced instead of panicking,
@@ -329,83 +531,125 @@ fn fail(failure: &Mutex<Option<ProcessError>>, error: ProcessError) {
     }
 }
 
+/// Exponential backoff: `base << (deaths - 1)` clamped to `cap`.
+fn backoff_delay(base: Duration, cap: Duration, deaths: u32) -> Duration {
+    let shift = deaths.saturating_sub(1).min(16);
+    base.saturating_mul(1u32 << shift).min(cap)
+}
+
 /// How one job round trip ended.
 enum JobResult {
     /// The worker answered.
     Done(SimReport),
-    /// The worker (or its stream) died before answering — retriable; the
-    /// string describes the failure for the attempt-budget error.
-    WorkerDied(String),
+    /// The worker (or its stream) died before answering — retriable, with
+    /// its last-seen state for the attempt-budget error.
+    WorkerDied(WorkerFailure),
     /// A non-retriable protocol failure.
     Fatal(ProcessError),
 }
 
-/// One live worker subprocess with its pipe handles.
+/// One live worker subprocess. Results are pulled by a dedicated reader
+/// thread and handed over a channel, so the parent can bound its wait
+/// (`recv_timeout`) and kill a hung worker instead of blocking forever.
 struct Worker {
     child: Child,
     stdin: ChildStdin,
-    stdout: ChildStdout,
+    results: Receiver<Result<Option<(u64, SimReport)>, FrameError>>,
+    reader: std::thread::JoinHandle<()>,
 }
 
 impl Worker {
-    fn spawn(bin: &Path) -> Result<Worker, std::io::Error> {
-        let mut child = Command::new(bin)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()?;
+    fn spawn(bin: &Path, envs: &[(OsString, OsString)]) -> Result<Worker, std::io::Error> {
+        let mut cmd = Command::new(bin);
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
+        for (key, value) in envs {
+            cmd.env(key, value);
+        }
+        let mut child = cmd.spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        let (tx, results) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn(move || loop {
+            let msg = read_result(&mut stdout);
+            // Anything but a result ends the stream; forward it and stop.
+            let stop = !matches!(msg, Ok(Some(_)));
+            if tx.send(msg).is_err() || stop {
+                break;
+            }
+        });
         Ok(Worker {
             child,
             stdin,
-            stdout,
+            results,
+            reader,
         })
     }
 
-    fn run_job(&mut self, job: usize, scenario: &Scenario) -> JobResult {
+    fn run_job(&mut self, job: usize, scenario: &Scenario, timeout: Duration) -> JobResult {
         if let Err(e) = write_job(&mut self.stdin, job as u64, scenario) {
             // A write failure (EPIPE) means the worker is gone.
-            return JobResult::WorkerDied(format!("job write failed: {e}"));
+            return JobResult::WorkerDied(WorkerFailure::Io(format!("job write failed: {e}")));
         }
-        match read_result(&mut self.stdout) {
-            Ok(Some((id, report))) if id == job as u64 => JobResult::Done(report),
-            Ok(Some((id, _))) => JobResult::Fatal(ProcessError::Mismatch { job, got: id }),
-            // EOF before any result frame: the worker exited under the job.
-            Ok(None) => JobResult::WorkerDied("worker exited before answering".into()),
-            // A stream dying mid-frame is a crash; other codec errors mean
-            // the bytes themselves are bad and retrying cannot help.
-            Err(FrameError::Codec(CodecError::UnexpectedEof)) => {
-                JobResult::WorkerDied("worker died mid-frame".into())
+        match self.results.recv_timeout(timeout) {
+            Ok(Ok(Some((id, report)))) if id == job as u64 => JobResult::Done(report),
+            Ok(Ok(Some((id, _)))) => JobResult::Fatal(ProcessError::Mismatch { job, got: id }),
+            // EOF between frames: the worker exited under the job.
+            Ok(Ok(None)) => JobResult::WorkerDied(WorkerFailure::CleanEof),
+            // A stream dying mid-frame is a crash while answering.
+            Err(RecvTimeoutError::Timeout) => JobResult::WorkerDied(WorkerFailure::Hang {
+                timeout_ms: timeout.as_millis() as u64,
+            }),
+            Err(RecvTimeoutError::Disconnected) => {
+                JobResult::WorkerDied(WorkerFailure::Io("reader thread ended".into()))
             }
-            Err(FrameError::Io(e)) => JobResult::WorkerDied(format!("result read failed: {e}")),
-            Err(FrameError::Codec(error)) => JobResult::Fatal(ProcessError::Codec { job, error }),
+            Ok(Err(FrameError::Codec(CodecError::UnexpectedEof))) => {
+                JobResult::WorkerDied(WorkerFailure::TornFrame)
+            }
+            // Checksum mismatch is transport corruption: retriable on a
+            // fresh worker. Any other decode failure means the bytes are
+            // simply wrong and retrying cannot help.
+            Ok(Err(FrameError::Codec(CodecError::ChecksumMismatch))) => {
+                JobResult::WorkerDied(WorkerFailure::CorruptFrame)
+            }
+            Ok(Err(FrameError::Io(e))) => {
+                JobResult::WorkerDied(WorkerFailure::Io(format!("result read failed: {e}")))
+            }
+            Ok(Err(FrameError::Codec(error))) => {
+                JobResult::Fatal(ProcessError::Codec { job, error })
+            }
         }
     }
 
-    /// Orderly shutdown: close stdin (the worker reads EOF and exits), then
-    /// reap.
+    /// Orderly shutdown: close stdin (the worker reads EOF and exits),
+    /// reap, and join the reader.
     fn shutdown(self) {
         let Worker {
             mut child,
             stdin,
-            stdout,
+            results,
+            reader,
         } = self;
         drop(stdin);
-        drop(stdout);
         let _ = child.wait();
+        drop(results);
+        let _ = reader.join();
     }
 
-    /// Post-crash cleanup: make sure the process is gone and reap it.
+    /// Post-crash (or post-hang) cleanup: make sure the process is gone,
+    /// reap it, and join the reader (the kill closes the pipe, so the
+    /// reader's blocking read returns).
     fn reap(self) {
         let Worker {
             mut child,
             stdin,
-            stdout,
+            results,
+            reader,
         } = self;
         drop(stdin);
-        drop(stdout);
         let _ = child.kill();
         let _ = child.wait();
+        drop(results);
+        let _ = reader.join();
     }
 }
 
@@ -420,12 +664,18 @@ mod tests {
     }
 
     #[test]
-    fn builders_override_bin_and_attempts() {
+    fn builders_override_bin_attempts_and_timeout() {
         let exec = ProcessExecutor::new(2)
             .with_worker_bin("/tmp/custom-worker")
-            .with_max_attempts(0);
+            .with_max_attempts(0)
+            .with_job_timeout(Duration::ZERO);
         assert_eq!(exec.worker_bin(), Path::new("/tmp/custom-worker"));
         assert_eq!(exec.max_attempts, 1, "attempt budget floors at one");
+        assert_eq!(
+            exec.job_timeout(),
+            Duration::from_millis(1),
+            "timeout floors at one millisecond"
+        );
     }
 
     #[test]
@@ -436,6 +686,8 @@ mod tests {
         assert!(reports.is_empty());
         assert_eq!(stats, ProcessStats::default());
         assert!(exec.execute(&[]).is_empty());
+        let batch = exec.try_batch(&[]).expect("empty batch");
+        assert!(batch.is_complete());
     }
 
     #[test]
@@ -447,5 +699,37 @@ mod tests {
         let exec = ProcessExecutor::new(1).with_worker_bin("/nonexistent/nni-worker");
         let err = exec.try_reports(&[&scenario]).unwrap_err();
         assert!(matches!(err, ProcessError::Spawn { .. }), "got {err}");
+    }
+
+    #[test]
+    fn backoff_doubles_and_clamps() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(100);
+        assert_eq!(backoff_delay(base, cap, 1), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, cap, 2), Duration::from_millis(20));
+        assert_eq!(backoff_delay(base, cap, 3), Duration::from_millis(40));
+        assert_eq!(backoff_delay(base, cap, 5), cap, "clamped");
+        assert_eq!(backoff_delay(base, cap, 60), cap, "shift saturates");
+    }
+
+    #[test]
+    fn batch_outcome_strict_view_surfaces_the_first_quarantine() {
+        let outcome = BatchOutcome {
+            reports: vec![None],
+            quarantined: vec![Quarantined {
+                job: 0,
+                attempts: 3,
+                last: WorkerFailure::CleanEof,
+            }],
+            stats: ProcessStats::default(),
+        };
+        match outcome.into_reports() {
+            Err(ProcessError::JobFailed {
+                job: 0,
+                attempts: 3,
+                last: WorkerFailure::CleanEof,
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -497,8 +497,14 @@ pub fn write_result(
     job_id: u64,
     report: &SimReport,
 ) -> Result<(), FrameError> {
-    write_frame(
-        out,
+    out.write_all(&result_frame_bytes(job_id, report))
+        .map_err(FrameError::Io)
+}
+
+/// The complete on-wire bytes of one result frame — the handle the fault
+/// hooks use to tear or bit-flip an answer deliberately.
+pub fn result_frame_bytes(job_id: u64, report: &SimReport) -> Vec<u8> {
+    nni_measure::wire::frame_bytes(
         RESULT_MAGIC,
         &with_job_id(job_id, &nni_emu::encode_report(report)),
     )

@@ -6,6 +6,7 @@
 //! ```text
 //! nni-serviced <spool> [--workers N] [--drain] [--worker-bin PATH]
 //!              [--poll-ms N] [--max-attempts N] [--follow]
+//!              [--job-timeout-ms N] [--job-retries N] [--max-batch N]
 //! ```
 //!
 //! With `--follow`, completed jobs spill as chunked `.nniseg` segments
@@ -13,8 +14,10 @@
 //! intervals land while the spool drains.
 //!
 //! Without `--drain` the daemon polls forever (until a drain marker is
-//! written, e.g. by `nni-servicectl drain`). Exits 1 on any terminal
-//! error — an undecodable job file included.
+//! written, e.g. by `nni-servicectl drain`). Undecodable or persistently
+//! failing jobs are parked in `failed/` with a `*.reason.json` and the
+//! daemon continues; only terminal pool failures (spawn errors, protocol
+//! violations) exit 1.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -24,7 +27,8 @@ use nni_service::{run_daemon, DaemonConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: nni-serviced <spool> [--workers N] [--drain] \
-         [--worker-bin PATH] [--poll-ms N] [--max-attempts N] [--follow]"
+         [--worker-bin PATH] [--poll-ms N] [--max-attempts N] [--follow] \
+         [--job-timeout-ms N] [--job-retries N] [--max-batch N]"
     );
     exit(2);
 }
@@ -44,13 +48,8 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut spool: Option<PathBuf> = None;
     let mut cfg = DaemonConfig {
-        spool: PathBuf::new(),
-        workers: 2,
-        worker_bin: None,
         drain: false,
-        poll_ms: 200,
-        max_attempts: nni_scenario::DEFAULT_MAX_ATTEMPTS,
-        follow: false,
+        ..DaemonConfig::drain(PathBuf::new())
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,6 +59,9 @@ fn main() {
             "--worker-bin" => cfg.worker_bin = Some(parse::<PathBuf>("--worker-bin", args.next())),
             "--poll-ms" => cfg.poll_ms = parse("--poll-ms", args.next()),
             "--max-attempts" => cfg.max_attempts = parse("--max-attempts", args.next()),
+            "--job-timeout-ms" => cfg.job_timeout_ms = parse("--job-timeout-ms", args.next()),
+            "--job-retries" => cfg.job_retries = parse("--job-retries", args.next()),
+            "--max-batch" => cfg.max_batch = parse("--max-batch", args.next()),
             "--help" | "-h" => usage(),
             _ if spool.is_none() && !arg.starts_with('-') => spool = Some(PathBuf::from(arg)),
             _ => {
@@ -75,12 +77,16 @@ fn main() {
         Ok(summary) => {
             println!(
                 "nni-serviced: drained: {} jobs in {} batches \
-                 (recovered {}, respawns {}, retries {})",
+                 (recovered {}, respawns {}, retries {}, timeouts {}, \
+                 quarantined {}, parked {})",
                 summary.jobs_done,
                 summary.batches,
                 summary.recovered,
                 summary.respawns,
-                summary.retries
+                summary.retries,
+                summary.timeouts,
+                summary.quarantined,
+                summary.parked,
             );
         }
         Err(e) => {

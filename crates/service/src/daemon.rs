@@ -1,25 +1,43 @@
 //! The `nni-serviced` loop: drain the spool through a worker-subprocess
 //! pool, spill measurements, stream verdicts.
 //!
-//! Scheduling and crash handling are delegated to
-//! [`ProcessExecutor`]: a worker that dies
-//! mid-job is respawned and the job requeued (bounded attempts), so the
-//! daemon's own loop only manages *durability* — which state directory
-//! each job file is in, and what has been written to the corpus and the
-//! verdict stream. Jobs move `incoming → running → done` (or `failed` for
-//! undecodable submissions); a daemon killed mid-batch leaves its claims
-//! in `running/`, which the next start [`recover`](Spool::recover)s back
-//! into the queue.
+//! Scheduling and crash handling are delegated to [`ProcessExecutor`]: a
+//! worker that dies or hangs mid-job is killed, respawned (with backoff)
+//! and the job requeued with a bounded attempt budget; a job that exhausts
+//! the budget comes back *quarantined* in the typed partial
+//! [`BatchOutcome`](nni_scenario::BatchOutcome) instead of failing the
+//! batch. The daemon's own loop
+//! manages **durability** and **poison containment**:
+//!
+//! * Jobs move `incoming → running → done` through fsync'd atomic renames;
+//!   a daemon killed mid-batch leaves its claims in `running/`, which the
+//!   next start [`recover`](Spool::recover)s back into the queue and
+//!   records with a `"recovered"` audit line in the verdict stream.
+//! * An **undecodable** submission is parked in `failed/` with a
+//!   machine-readable reason and the daemon *continues* — one bad file
+//!   cannot loop or kill the service.
+//! * A **quarantined** job is retried across batches with exponential
+//!   backoff plus deterministic jitter ([`DaemonConfig::job_retries`]
+//!   daemon-level runs, each of [`DaemonConfig::max_attempts`] worker
+//!   attempts); when the budget is spent it is parked in `failed/` with a
+//!   `*.reason.json` naming the last worker failure, and the rest of the
+//!   queue keeps draining.
+//! * Only failures retrying cannot help — spawn errors, protocol
+//!   violations, undecodable *worker* bytes — requeue the batch and stop
+//!   the daemon (exit 1), because they mean the installation itself is
+//!   broken.
 
+use std::collections::HashMap;
+use std::ffi::OsString;
 use std::fs;
-use std::path::PathBuf;
-use std::time::Duration;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
-use nni_measure::codec::CodecError;
 use nni_measure::wire::FrameError;
-use nni_measure::{Corpus, MeasurementSet, SegmentWriter};
+use nni_measure::{Corpus, Fnv, MeasurementSet, SegmentWriter};
+use nni_scenario::fault::FaultPlan;
 use nni_scenario::{
-    read_job, Executor, Experiment, ExperimentOutcome, ProcessError, ProcessExecutor,
+    read_job, Executor, Experiment, ProcessError, ProcessExecutor, Quarantined, Scenario,
 };
 
 use crate::spool::Spool;
@@ -37,16 +55,34 @@ pub struct DaemonConfig {
     pub drain: bool,
     /// Poll interval while idle (non-drain mode).
     pub poll_ms: u64,
-    /// Per-job attempt budget across worker crashes.
+    /// Per-job worker attempt budget within one batch.
     pub max_attempts: u32,
     /// Spill measurements as chunked `.nniseg` segments instead of whole
     /// `.nniset` entries, so a live `CorpusTail` (e.g. `nni-live`) sees
     /// intervals land incrementally instead of one opaque blob per job.
     pub follow: bool,
+    /// Per-job wall-clock timeout (hung-worker kill) in milliseconds.
+    pub job_timeout_ms: u64,
+    /// How many quarantines (daemon-level runs) one job may accumulate
+    /// before it is parked in `failed/` as poison. Floored at one.
+    pub job_retries: u32,
+    /// Base of the between-runs retry backoff in milliseconds (doubles per
+    /// strike, plus deterministic jitter).
+    pub retry_base_ms: u64,
+    /// Ceiling of the retry backoff in milliseconds.
+    pub retry_cap_ms: u64,
+    /// Most jobs claimed per batch — bounds the blast radius of a terminal
+    /// pool failure and keeps the verdict stream flowing under a deep
+    /// queue.
+    pub max_batch: usize,
+    /// Extra environment variables for spawned workers (how tests ship a
+    /// `FaultPlan` without touching the daemon's own environment).
+    pub worker_env: Vec<(String, String)>,
 }
 
 impl DaemonConfig {
-    /// A drain-mode config with defaults (2 workers, 3 attempts).
+    /// A drain-mode config with defaults (2 workers, 3 attempts, 5-minute
+    /// job timeout, 2 daemon-level runs per job).
     pub fn drain(spool: impl Into<PathBuf>) -> DaemonConfig {
         DaemonConfig {
             spool: spool.into(),
@@ -56,6 +92,12 @@ impl DaemonConfig {
             poll_ms: 200,
             max_attempts: nni_scenario::DEFAULT_MAX_ATTEMPTS,
             follow: false,
+            job_timeout_ms: nni_scenario::DEFAULT_JOB_TIMEOUT_MS,
+            job_retries: 2,
+            retry_base_ms: 25,
+            retry_cap_ms: 1_000,
+            max_batch: 32,
+            worker_env: Vec::new(),
         }
     }
 }
@@ -73,6 +115,12 @@ pub struct DaemonSummary {
     pub respawns: usize,
     /// Jobs requeued after worker crashes.
     pub retries: usize,
+    /// Hung workers killed on the job timeout.
+    pub timeouts: usize,
+    /// Quarantine events (a job may contribute several before parking).
+    pub quarantined: usize,
+    /// Jobs parked in `failed/` (undecodable or poison).
+    pub parked: usize,
 }
 
 /// Why the daemon stopped.
@@ -80,17 +128,8 @@ pub struct DaemonSummary {
 pub enum ServiceError {
     /// A filesystem or pipe failure.
     Io(std::io::Error),
-    /// A job file (or worker stream) held undecodable bytes. The file is
-    /// parked in `failed/` before this is returned; the daemon exits
-    /// non-zero rather than logging and continuing.
-    Codec {
-        /// The offending job file.
-        file: PathBuf,
-        /// The decode failure.
-        error: CodecError,
-    },
-    /// The worker pool failed terminally (spawn failure, attempt budget
-    /// exhausted, protocol violation).
+    /// The worker pool failed terminally (spawn failure, protocol
+    /// violation, undecodable worker bytes).
     Process(ProcessError),
     /// `nni-servicectl submit` was asked for a scenario the library does
     /// not contain.
@@ -101,9 +140,6 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::Io(e) => write!(f, "i/o error: {e}"),
-            ServiceError::Codec { file, error } => {
-                write!(f, "undecodable job {}: {error}", file.display())
-            }
             ServiceError::Process(e) => write!(f, "worker pool failed: {e}"),
             ServiceError::UnknownScenario(name) => {
                 write!(f, "no library scenario named {name:?}")
@@ -140,12 +176,19 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn verdict_line(job: &std::path::Path, exp: &Experiment, out: &ExperimentOutcome) -> String {
+fn job_name(path: &Path) -> String {
+    path.file_name()
+        .unwrap_or_default()
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn verdict_line(job: &Path, exp: &Experiment, out: &nni_scenario::ExperimentOutcome) -> String {
     let s = exp.scenario();
     format!(
         "{{\"type\":\"verdict\",\"job\":\"{}\",\"scenario\":\"{}\",\"seed\":{},\
          \"fingerprint\":\"{:016x}\",\"flagged\":{},\"correct\":{}}}",
-        esc(&job.file_name().unwrap_or_default().to_string_lossy()),
+        esc(&job_name(job)),
         esc(&s.name),
         s.measurement.seed,
         s.measurement_fingerprint(),
@@ -154,56 +197,142 @@ fn verdict_line(job: &std::path::Path, exp: &Experiment, out: &ExperimentOutcome
     )
 }
 
+/// Between-runs retry delay for a quarantined job: exponential in the
+/// strike count, clamped, plus deterministic jitter hashed from the job
+/// name — so a burst of poison jobs spreads out instead of thundering back
+/// in lockstep, and a test can still predict the schedule.
+fn retry_backoff(cfg: &DaemonConfig, name: &OsString, strike: u32) -> Duration {
+    let shift = strike.saturating_sub(1).min(16);
+    let exp = cfg
+        .retry_base_ms
+        .saturating_mul(1 << shift)
+        .min(cfg.retry_cap_ms.max(cfg.retry_base_ms));
+    let mut h = Fnv::new();
+    for b in name.to_string_lossy().bytes() {
+        h.byte(b);
+    }
+    h.word(strike as u64);
+    let jitter = if cfg.retry_base_ms > 0 {
+        h.0 % cfg.retry_base_ms
+    } else {
+        0
+    };
+    Duration::from_millis(exp + jitter)
+}
+
 /// Runs the daemon until drained (drain mode / drain marker) or a terminal
 /// error. See the module docs for the durability contract.
 pub fn run_daemon(cfg: &DaemonConfig) -> Result<DaemonSummary, ServiceError> {
     let spool = Spool::open(&cfg.spool)?;
     let corpus = Corpus::open(spool.corpus_dir())?;
-    let mut exec = ProcessExecutor::new(cfg.workers).with_max_attempts(cfg.max_attempts);
+    let mut exec = ProcessExecutor::new(cfg.workers)
+        .with_max_attempts(cfg.max_attempts)
+        .with_job_timeout(Duration::from_millis(cfg.job_timeout_ms.max(1)));
     if let Some(bin) = &cfg.worker_bin {
         exec = exec.with_worker_bin(bin);
     }
+    for (key, value) in &cfg.worker_env {
+        exec = exec.with_env(key, value);
+    }
+    // Delayed-spill fault hook: honored whether the plan arrives via the
+    // worker-env override (tests) or the daemon's own environment.
+    let spill_delay = cfg
+        .worker_env
+        .iter()
+        .find(|(k, _)| k == nni_scenario::FAULT_PLAN_ENV)
+        .and_then(|(_, v)| FaultPlan::parse(v).ok())
+        .or_else(FaultPlan::from_env)
+        .map(|p| Duration::from_millis(p.spill_delay_ms))
+        .unwrap_or(Duration::ZERO);
+
+    let recovered = spool.recover()?;
     let mut summary = DaemonSummary {
-        recovered: spool.recover()?,
+        recovered: recovered.len(),
         ..DaemonSummary::default()
     };
+    if !recovered.is_empty() {
+        let names: Vec<String> = recovered.iter().map(|p| esc(&job_name(p))).collect();
+        spool.append_verdict(&format!(
+            "{{\"type\":\"recovered\",\"jobs\":{},\"files\":[\"{}\"]}}",
+            recovered.len(),
+            names.join("\",\""),
+        ))?;
+    }
+
+    // Quarantine strikes and retry-eligibility times per job file name.
+    let mut strikes: HashMap<OsString, u32> = HashMap::new();
+    let mut eligible_at: HashMap<OsString, Instant> = HashMap::new();
 
     loop {
         let pending = spool.pending()?;
-        if pending.is_empty() {
-            if cfg.drain || spool.drain_requested() {
-                return Ok(summary);
+        let now = Instant::now();
+        let mut ready: Vec<PathBuf> = Vec::new();
+        let mut next_eligible: Option<Instant> = None;
+        for job in pending {
+            let name = job
+                .file_name()
+                .expect("job files have names")
+                .to_os_string();
+            match eligible_at.get(&name) {
+                Some(&at) if at > now => {
+                    next_eligible = Some(next_eligible.map_or(at, |t: Instant| t.min(at)));
+                }
+                _ => ready.push(job),
             }
-            std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(1)));
+        }
+        if ready.is_empty() {
+            match next_eligible {
+                // Jobs exist but are backing off: wait for the earliest.
+                Some(at) => {
+                    let wait = at.saturating_duration_since(now);
+                    std::thread::sleep(wait.min(Duration::from_millis(cfg.poll_ms.max(1))));
+                }
+                None => {
+                    if cfg.drain || spool.drain_requested() {
+                        return Ok(summary);
+                    }
+                    std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(1)));
+                }
+            }
+            continue;
+        }
+        ready.truncate(cfg.max_batch.max(1));
+
+        // Claim, then decode. An undecodable submission is parked with a
+        // reason and the rest of the batch proceeds — one bad file must
+        // not loop or stop the service.
+        let mut jobs: Vec<(PathBuf, Experiment)> = Vec::with_capacity(ready.len());
+        for job in &ready {
+            let path = spool.claim(job)?;
+            let bytes = fs::read(&path)?;
+            let error = match read_job(&mut bytes.as_slice()) {
+                Ok(Some((_, scenario))) => {
+                    jobs.push((path, scenario.compile()));
+                    continue;
+                }
+                Ok(None) => nni_measure::codec::CodecError::UnexpectedEof,
+                Err(FrameError::Codec(error)) => error,
+                Err(FrameError::Io(e)) => return Err(ServiceError::Io(e)),
+            };
+            let reason = format!(
+                "{{\"kind\":\"undecodable\",\"error\":\"{}\"}}",
+                esc(&error.to_string())
+            );
+            let parked = spool.park_failed_with_reason(&path, &reason)?;
+            spool.append_verdict(&format!(
+                "{{\"type\":\"parked\",\"job\":\"{}\",\"reason\":\"undecodable\",\"error\":\"{}\"}}",
+                esc(&job_name(&parked)),
+                esc(&error.to_string()),
+            ))?;
+            summary.parked += 1;
+        }
+        if jobs.is_empty() {
             continue;
         }
 
-        // Claim, then decode. An undecodable submission is parked and
-        // terminates the daemon non-zero — but only after the good jobs
-        // claimed before it are returned to the queue, so nothing is lost.
-        let mut claimed: Vec<PathBuf> = Vec::with_capacity(pending.len());
-        for job in &pending {
-            claimed.push(spool.claim(job)?);
-        }
-        let mut jobs: Vec<(PathBuf, Experiment)> = Vec::with_capacity(claimed.len());
-        for path in &claimed {
-            let bytes = fs::read(path)?;
-            let decoded = match read_job(&mut bytes.as_slice()) {
-                Ok(Some((_, scenario))) => scenario,
-                Ok(None) => {
-                    return fail_decode(&spool, jobs, path, CodecError::UnexpectedEof);
-                }
-                Err(FrameError::Codec(error)) => {
-                    return fail_decode(&spool, jobs, path, error);
-                }
-                Err(FrameError::Io(e)) => return Err(ServiceError::Io(e)),
-            };
-            jobs.push((path.clone(), decoded.compile()));
-        }
-
-        let experiments: Vec<Experiment> = jobs.iter().map(|(_, e)| e.clone()).collect();
-        let (outcomes, stats) = match exec.try_execute(&experiments) {
-            Ok(r) => r,
+        let scenarios: Vec<&Scenario> = jobs.iter().map(|(_, e)| e.scenario()).collect();
+        let batch = match exec.try_batch(&scenarios) {
+            Ok(b) => b,
             Err(e) => {
                 // Terminal pool failure: put the whole batch back so a
                 // restart re-runs it.
@@ -214,28 +343,82 @@ pub fn run_daemon(cfg: &DaemonConfig) -> Result<DaemonSummary, ServiceError> {
             }
         };
 
-        for ((path, exp), outcome) in jobs.iter().zip(&outcomes) {
-            let set = exp.package(outcome.report.log.clone());
-            if cfg.follow {
-                spill_segment(corpus.dir(), &set)?;
-            } else {
-                corpus.store(&set).map_err(ServiceError::Io)?;
+        let mut quarantined: HashMap<usize, Quarantined> =
+            batch.quarantined.into_iter().map(|q| (q.job, q)).collect();
+        for (i, ((path, exp), report)) in jobs.iter().zip(batch.reports).enumerate() {
+            let name = path
+                .file_name()
+                .expect("job files have names")
+                .to_os_string();
+            match report {
+                Some(report) => {
+                    let outcome = exp.outcome_from(report);
+                    let set = exp.package(outcome.report.log.clone());
+                    if cfg.follow {
+                        spill_segment(corpus.dir(), &set, spill_delay)?;
+                    } else {
+                        corpus.store(&set).map_err(ServiceError::Io)?;
+                    }
+                    spool.append_verdict(&verdict_line(path, exp, &outcome))?;
+                    spool.complete(path)?;
+                    summary.jobs_done += 1;
+                    strikes.remove(&name);
+                    eligible_at.remove(&name);
+                }
+                None => {
+                    let q = quarantined.remove(&i).expect("no report means quarantined");
+                    summary.quarantined += 1;
+                    let strike = strikes.entry(name.clone()).or_insert(0);
+                    *strike += 1;
+                    if *strike >= cfg.job_retries.max(1) {
+                        let reason = format!(
+                            "{{\"kind\":\"quarantined\",\"runs\":{},\"attempts_per_run\":{},\
+                             \"last\":\"{}\"}}",
+                            strike,
+                            q.attempts,
+                            esc(&q.last.to_string()),
+                        );
+                        let parked = spool.park_failed_with_reason(path, &reason)?;
+                        spool.append_verdict(&format!(
+                            "{{\"type\":\"parked\",\"job\":\"{}\",\"reason\":\"quarantined\",\
+                             \"runs\":{},\"last\":\"{}\"}}",
+                            esc(&job_name(&parked)),
+                            strike,
+                            esc(&q.last.to_string()),
+                        ))?;
+                        summary.parked += 1;
+                        strikes.remove(&name);
+                        eligible_at.remove(&name);
+                    } else {
+                        let delay = retry_backoff(cfg, &name, *strike);
+                        spool.requeue(path)?;
+                        eligible_at.insert(name.clone(), Instant::now() + delay);
+                        spool.append_verdict(&format!(
+                            "{{\"type\":\"requeued\",\"job\":\"{}\",\"strike\":{},\
+                             \"backoff_ms\":{},\"last\":\"{}\"}}",
+                            esc(&job_name(path)),
+                            strike,
+                            delay.as_millis(),
+                            esc(&q.last.to_string()),
+                        ))?;
+                    }
+                }
             }
-            spool.append_verdict(&verdict_line(path, exp, outcome))?;
-            spool.complete(path)?;
-            summary.jobs_done += 1;
         }
         spool.append_verdict(&format!(
             "{{\"type\":\"batch\",\"jobs\":{},\"executor\":\"{}\",\
-             \"respawns\":{},\"retries\":{}}}",
-            outcomes.len(),
+             \"respawns\":{},\"retries\":{},\"timeouts\":{},\"quarantined\":{}}}",
+            jobs.len(),
             exec.describe(),
-            stats.respawns,
-            stats.retries,
+            batch.stats.respawns,
+            batch.stats.retries,
+            batch.stats.timeouts,
+            batch.stats.quarantined,
         ))?;
         summary.batches += 1;
-        summary.respawns += stats.respawns;
-        summary.retries += stats.retries;
+        summary.respawns += batch.stats.respawns;
+        summary.retries += batch.stats.retries;
+        summary.timeouts += batch.stats.timeouts;
     }
 }
 
@@ -247,14 +430,18 @@ const FOLLOW_CHUNK_INTERVALS: usize = 10;
 /// Spills one completed job's measurement set as a chunked `.nniseg`
 /// segment under the corpus directory (follow mode): header chunk first,
 /// then interval chunks, each flushed — a tailing consumer never sees a
-/// torn entry.
-fn spill_segment(dir: &std::path::Path, set: &MeasurementSet) -> Result<(), ServiceError> {
+/// torn entry. `delay` (a fault-plan knob) is inserted between chunks to
+/// exercise followers against slow producers.
+fn spill_segment(dir: &Path, set: &MeasurementSet, delay: Duration) -> Result<(), ServiceError> {
     let path = dir.join(nni_measure::segment_file_name(&set.provenance));
     let mut w = SegmentWriter::create(&path, set).map_err(segment_err)?;
     let total = set.log.interval_count();
     let mut from = 0;
     while from < total {
         let to = (from + FOLLOW_CHUNK_INTERVALS).min(total);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
         w.append_intervals(&set.log, from, to)
             .map_err(segment_err)?;
         from = to;
@@ -270,22 +457,4 @@ fn segment_err(e: nni_measure::SegmentError) -> ServiceError {
             other.to_string(),
         )),
     }
-}
-
-/// Parks the undecodable job, requeues the already-decoded rest of the
-/// batch, and surfaces the typed error (the bin exits 1 on it).
-fn fail_decode(
-    spool: &Spool,
-    jobs: Vec<(PathBuf, Experiment)>,
-    bad: &std::path::Path,
-    error: CodecError,
-) -> Result<DaemonSummary, ServiceError> {
-    let parked = spool.park_failed(bad)?;
-    for (path, _) in &jobs {
-        let _ = spool.requeue(path);
-    }
-    Err(ServiceError::Codec {
-        file: parked,
-        error,
-    })
 }

@@ -7,25 +7,31 @@
 //! * [`worker`] — the `nni-worker` subprocess loop: read framed
 //!   [`Scenario`](nni_scenario::Scenario) jobs from stdin, emulate, write
 //!   framed `SimReport` results to stdout. This is the binary a
-//!   [`ProcessExecutor`](nni_scenario::ProcessExecutor) pool spawns.
+//!   [`ProcessExecutor`](nni_scenario::ProcessExecutor) pool spawns. It
+//!   also hosts the chaos harness's fault hooks
+//!   ([`FAULT_PLAN_ENV`](nni_scenario::FAULT_PLAN_ENV)): zero-cost when
+//!   unset, deterministic crashes/hangs/corruption when armed.
 //! * [`spool`] — the on-disk work queue: `incoming/` → `running/` →
-//!   `done/`/`failed/` job files, a drain marker, and a verdicts JSONL
-//!   stream.
+//!   `done/`/`failed/` job files through fsync'd atomic renames, a drain
+//!   marker, parked-job reason files, and a verdicts JSONL stream.
 //! * [`daemon`] — the `nni-serviced` loop: claim spooled jobs, schedule
-//!   them across a worker-subprocess pool (crash-respawn and bounded
-//!   retries included), spill every `MeasurementSet` into a disk-backed
-//!   [`Corpus`](nni_measure::Corpus), and append one verdict line per job.
+//!   them across a worker-subprocess pool (job timeouts, crash-respawn
+//!   with backoff, bounded retries), quarantine-park poison jobs with
+//!   machine-readable reasons, spill every `MeasurementSet` into a
+//!   disk-backed [`Corpus`](nni_measure::Corpus), and append one verdict
+//!   line per job.
 //!
-//! Error policy, shared by every binary here: transport failures are
-//! retried (a worker that dies is respawned and its job requeued), but
-//! bytes that fail to *decode* terminate the process with a non-zero exit —
-//! a corrupted stream must never be logged-and-skipped into silent data
-//! loss.
+//! Error policy, shared by every binary here: transient failures are
+//! contained and retried (a worker that dies or hangs is respawned and its
+//! job requeued; a job that keeps failing is parked in `failed/` with a
+//! reason, not looped), but bytes from a *worker* that checksum correctly
+//! yet fail to decode terminate the daemon with a non-zero exit — a wrong
+//! stream must never be logged-and-skipped into silent data loss.
 
 pub mod daemon;
 pub mod spool;
 pub mod worker;
 
 pub use daemon::{run_daemon, DaemonConfig, DaemonSummary, ServiceError};
-pub use spool::{Spool, SpoolCounts, JOB_EXT};
-pub use worker::{serve, CRASH_ONCE_ENV};
+pub use spool::{reason_path_for, Spool, SpoolCounts, JOB_EXT};
+pub use worker::{fault_token, serve, CRASH_ONCE_ENV};

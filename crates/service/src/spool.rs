@@ -20,6 +20,23 @@
 //! `running/`, which is atomic on one filesystem: a job is in exactly one
 //! state directory at any instant, the invariant behind the
 //! no-lost-no-duplicated-jobs guarantee.
+//!
+//! # Durability
+//!
+//! Every state transition is crash-safe, not just atomic: submissions
+//! fsync the job file before the rename, and every rename fsyncs the
+//! destination (and source) directory so the move survives a power cut,
+//! not just a process crash. Directory fsync is best-effort — some
+//! filesystems refuse it — but the rename itself is always durable-ordered
+//! where the platform allows. [`Spool::recover`] additionally sweeps stale
+//! `*.tmp` files (a submitter that died mid-write) and reports exactly
+//! which claims it returned to the queue, so a restarted daemon can write
+//! an audit line instead of silently re-running work.
+//!
+//! Jobs the daemon gives up on are parked with
+//! [`Spool::park_failed_with_reason`]: next to `failed/<name>.job` lands a
+//! machine-readable `failed/<name>.job.reason.json` describing why, so an
+//! operator (or a sweeper) can triage poison jobs without re-running them.
 
 use std::fs;
 use std::io::Write;
@@ -105,12 +122,25 @@ impl Spool {
         );
         let mut bytes = Vec::new();
         write_job(&mut bytes, nonce, scenario).expect("Vec writes are infallible");
-        // Write-then-rename so a reader never sees a half-written job.
-        let tmp = self.dir("incoming").join(format!("{name}.tmp"));
-        fs::write(&tmp, &bytes)?;
         let path = self.dir("incoming").join(&name);
-        fs::rename(&tmp, &path)?;
+        self.write_durable(&path, &bytes)?;
         Ok(path)
+    }
+
+    /// Write-then-fsync-then-rename(+dir fsync): a reader never sees a
+    /// half-written file, and a completed write survives a power cut.
+    fn write_durable(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let dir = path.parent().expect("spool paths have parents");
+        let name = path.file_name().expect("spool paths have names");
+        let tmp = dir.join(format!("{}.tmp", name.to_string_lossy()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        sync_dir(dir);
+        Ok(())
     }
 
     /// Jobs waiting in `incoming/`, sorted by file name (submission order
@@ -141,29 +171,57 @@ impl Spool {
         self.rename_into(job, "done")
     }
 
-    /// Parks an undecodable job.
+    /// Parks an unrunnable job (undecodable, or quarantined past its
+    /// retry budget).
     pub fn park_failed(&self, job: &Path) -> std::io::Result<PathBuf> {
         self.rename_into(job, "failed")
     }
 
+    /// Parks a job and writes a machine-readable reason next to it:
+    /// `failed/<name>.job` + `failed/<name>.job.reason.json`. The reason
+    /// string must already be a JSON object.
+    pub fn park_failed_with_reason(&self, job: &Path, reason: &str) -> std::io::Result<PathBuf> {
+        let parked = self.park_failed(job)?;
+        let reason_path = reason_path_for(&parked);
+        self.write_durable(&reason_path, reason.as_bytes())?;
+        Ok(parked)
+    }
+
     fn rename_into(&self, job: &Path, state: &str) -> std::io::Result<PathBuf> {
         let name = job.file_name().expect("job files have names");
+        let src_dir = job.parent().map(Path::to_path_buf);
         let dst = self.dir(state).join(name);
         fs::rename(job, &dst)?;
+        // Durable-order the move: destination directory first (the entry
+        // must exist somewhere), then the source (the entry must not exist
+        // twice after a replay).
+        sync_dir(&self.dir(state));
+        if let Some(src) = src_dir {
+            sync_dir(&src);
+        }
         Ok(dst)
     }
 
     /// Moves every `running/` job back to `incoming/` — called at daemon
-    /// startup so jobs claimed by a crashed daemon are re-run, not lost.
-    pub fn recover(&self) -> std::io::Result<usize> {
-        let mut recovered = 0;
+    /// startup so jobs claimed by a crashed daemon are re-run, not lost —
+    /// and sweeps stale `*.tmp` files left by a submitter that died
+    /// mid-write. Returns the recovered jobs' queue paths, the audit
+    /// record behind the daemon's `"recovered"` verdict line.
+    pub fn recover(&self) -> std::io::Result<Vec<PathBuf>> {
+        let mut recovered = Vec::new();
         for entry in fs::read_dir(self.dir("running"))? {
             let path = entry?.path();
             if path.extension().is_some_and(|e| e == JOB_EXT) {
-                self.requeue(&path)?;
-                recovered += 1;
+                recovered.push(self.requeue(&path)?);
             }
         }
+        for entry in fs::read_dir(self.dir("incoming"))? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        recovered.sort();
         Ok(recovered)
     }
 
@@ -178,13 +236,15 @@ impl Spool {
         self.dir("control").join("drain").exists()
     }
 
-    /// Appends one line to the verdict stream.
+    /// Appends one line to the verdict stream and fsyncs it — a verdict a
+    /// consumer has seen must still be there after a crash.
     pub fn append_verdict(&self, line: &str) -> std::io::Result<()> {
         let mut f = fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(self.verdicts_path())?;
-        writeln!(f, "{line}")
+        writeln!(f, "{line}")?;
+        f.sync_data()
     }
 
     /// Tallies every state directory plus the verdict stream.
@@ -206,6 +266,24 @@ impl Spool {
             failed: count("failed")?,
             verdicts,
         })
+    }
+}
+
+/// Where the machine-readable reason of a parked job lives:
+/// `<parked>.reason.json` (the `.job` extension is kept so the two files
+/// sort together).
+pub fn reason_path_for(parked: &Path) -> PathBuf {
+    let mut name = parked.as_os_str().to_os_string();
+    name.push(".reason.json");
+    PathBuf::from(name)
+}
+
+/// Best-effort directory fsync: makes a completed rename durable where the
+/// platform supports it; filesystems that refuse directory fsync are
+/// silently tolerated (the rename itself is still atomic).
+fn sync_dir(dir: &Path) {
+    if let Ok(f) = fs::File::open(dir) {
+        let _ = f.sync_all();
     }
 }
 
@@ -264,9 +342,35 @@ mod tests {
         });
         let job = spool.submit(&scenario).unwrap();
         spool.claim(&job).unwrap();
+        // A submitter that died mid-write leaves a stray tmp file; recovery
+        // sweeps it so it never shadows a real submission.
+        let stray = spool.root().join("incoming").join("halfdead.job.tmp");
+        fs::write(&stray, b"partial").unwrap();
         assert!(spool.pending().unwrap().is_empty());
-        assert_eq!(spool.recover().unwrap(), 1);
-        assert_eq!(spool.pending().unwrap().len(), 1);
+        let recovered = spool.recover().unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(spool.pending().unwrap(), recovered);
+        assert!(!stray.exists(), "stale tmp swept");
+        fs::remove_dir_all(spool.root()).unwrap();
+    }
+
+    #[test]
+    fn parking_with_reason_leaves_a_machine_readable_trail() {
+        let spool = temp_spool("reason");
+        let scenario = topology_a_scenario(ExperimentParams {
+            duration_s: 2.0,
+            ..ExperimentParams::default()
+        });
+        let job = spool.submit(&scenario).unwrap();
+        let claimed = spool.claim(&job).unwrap();
+        let parked = spool
+            .park_failed_with_reason(&claimed, "{\"kind\":\"quarantined\"}")
+            .unwrap();
+        assert!(parked.starts_with(spool.root().join("failed")));
+        let reason = fs::read_to_string(reason_path_for(&parked)).unwrap();
+        assert_eq!(reason, "{\"kind\":\"quarantined\"}");
+        // The reason file must not inflate the failed-job count.
+        assert_eq!(spool.counts().unwrap().failed, 1);
         fs::remove_dir_all(spool.root()).unwrap();
     }
 

@@ -9,7 +9,7 @@ use std::process::{Command, Stdio};
 
 use nni_measure::Corpus;
 use nni_scenario::library::{identity_suite, topology_a_scenario, ExperimentParams};
-use nni_service::{run_daemon, DaemonConfig, ServiceError, Spool};
+use nni_service::{reason_path_for, run_daemon, DaemonConfig, Spool};
 
 fn worker_bin() -> &'static str {
     env!("CARGO_BIN_EXE_nni-worker")
@@ -134,7 +134,7 @@ fn follow_mode_spills_segments_a_tail_can_replay() {
 }
 
 #[test]
-fn undecodable_job_parks_and_fails_the_daemon() {
+fn undecodable_job_parks_and_the_daemon_continues() {
     let spool_dir = temp_spool_dir("badjob");
     let spool = Spool::open(&spool_dir).expect("spool opens");
     fs::write(
@@ -142,20 +142,27 @@ fn undecodable_job_parks_and_fails_the_daemon() {
         b"these are not frame bytes",
     )
     .expect("write bad job");
+    // A healthy job alongside: parking the offender must not cost it.
+    let scenario = topology_a_scenario(ExperimentParams {
+        duration_s: 4.0,
+        ..ExperimentParams::default()
+    });
+    spool.submit(&scenario.with_seed(4)).expect("submit");
 
-    let err = run_daemon(&drain_config(&spool_dir)).expect_err("daemon must fail");
-    match err {
-        ServiceError::Codec { file, .. } => {
-            assert!(
-                file.starts_with(spool.root().join("failed")),
-                "bad job must be parked in failed/: {}",
-                file.display()
-            );
-        }
-        other => panic!("expected a codec error, got {other}"),
-    }
+    let summary = run_daemon(&drain_config(&spool_dir)).expect("daemon survives the bad job");
+    assert_eq!(summary.jobs_done, 1);
+    assert_eq!(summary.parked, 1);
+
     let counts = spool.counts().expect("counts");
-    assert_eq!((counts.failed, counts.done), (1, 0));
+    assert_eq!((counts.failed, counts.done), (1, 1));
+    // The parked job carries a machine-readable reason...
+    let parked = spool.root().join("failed").join("corrupt.job");
+    assert!(parked.exists(), "bad job must be parked in failed/");
+    let reason = fs::read_to_string(reason_path_for(&parked)).expect("reason file");
+    assert!(reason.contains("\"kind\":\"undecodable\""), "got: {reason}");
+    // ...and an audit line in the verdict stream.
+    let verdicts = fs::read_to_string(spool.verdicts_path()).expect("verdicts");
+    assert!(verdicts.lines().any(|l| l.contains("\"type\":\"parked\"")));
     fs::remove_dir_all(&spool_dir).expect("cleanup");
 }
 
