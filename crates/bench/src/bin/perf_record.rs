@@ -25,7 +25,7 @@ use nni_emu::{
 };
 use nni_scenario::{
     default_worker_bin, reinfer_sets, Executor, MeasurementCache, ProcessExecutor, SerialExecutor,
-    StreamingInference, SweepSet,
+    StreamingInference, SweepSet, WorkerTransport,
 };
 use nni_topology::library::topology_a;
 use std::time::{Duration, Instant};
@@ -356,9 +356,21 @@ fn main() {
         results.push(measure("process/table2_sweep_3s", sweep_iters, || {
             pool.execute(&sweep).len()
         }));
+        // The same sweep with the frames crossing loopback TCP instead of
+        // stdio pipes: the socket transport's framing + connect overhead
+        // against the pipe baseline above.
+        let tcp = ProcessExecutor::new(2)
+            .with_worker_bin(&worker)
+            .with_transport(WorkerTransport::Tcp);
+        results.push(measure(
+            "process_socket/table2_sweep_3s",
+            sweep_iters,
+            || tcp.execute(&sweep).len(),
+        ));
     } else {
         eprintln!(
-            "perf_record: skipping process/table2_sweep_3s \
+            "perf_record: skipping process/table2_sweep_3s and \
+             process_socket/table2_sweep_3s \
              (worker binary {} not found; build nni-service first)",
             worker.display()
         );

@@ -1,9 +1,12 @@
-//! `nni-live`: tail a growing corpus directory and stream verdict updates
-//! as JSONL, re-running inference on every newly closed interval.
+//! `nni-live`: tail a growing corpus directory — or a remote segment
+//! relay — and stream verdict updates as JSONL, re-running inference on
+//! every newly closed interval.
 //!
 //! ```text
-//! nni-live <corpus-dir> [--out PATH] [--poll-ms N] [--window W]
+//! nni-live <corpus-dir>       [--out PATH] [--poll-ms N] [--window W]
 //!          [--idle-exit N] [--verify-batch] [--retry-budget N]
+//! nni-live --connect <addr>   [--out PATH] [--poll-ms N] [--window W]
+//!          [--idle-exit N] [--verify-batch]
 //! ```
 //!
 //! One JSON line per update, to stdout (or `--out`):
@@ -14,24 +17,29 @@
 //!  "mode":"incremental"}
 //! ```
 //!
-//! `--idle-exit N` stops after `N` consecutive empty polls (the demo /
-//! CI mode; without it the tail runs until killed). `--verify-batch`
-//! re-runs *batch* inference over every session's merged log on exit and
-//! exits 1 unless each streaming verdict is bit-identical — the
-//! convergence guarantee, checked end to end. Corrupt files are reported
-//! on stderr and skipped.
+//! `--connect <addr>` follows a daemon's live `.nniseg` traffic over TCP
+//! (`nni-serviced --serve-segments`) instead of a local directory — a
+//! true remote monitor, with the same resync/degraded semantics, exiting
+//! when the server hangs up. `--idle-exit N` stops after `N` consecutive
+//! empty polls (the demo / CI mode; without it a directory tail runs
+//! until killed). `--verify-batch` re-runs *batch* inference over every
+//! session's merged log on exit and exits 1 unless each streaming verdict
+//! is bit-identical — the convergence guarantee, checked end to end.
+//! Corrupt files are reported on stderr and skipped.
 
 use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Duration;
 
-use nni_live::{LiveConfig, LiveMonitor};
-use nni_measure::{CorpusTail, TailEvent};
+use nni_live::{run_live, LiveConfig, LiveMonitor, RunConfig, TailSource};
+use nni_measure::{CorpusTail, RemoteTail};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nni-live <corpus-dir> [--out PATH] [--poll-ms N] [--window W] \
+        "usage: nni-live <corpus-dir> | --connect <addr> \
+         [--out PATH] [--poll-ms N] [--window W] \
          [--idle-exit N] [--verify-batch] [--retry-budget N]"
     );
     exit(2);
@@ -51,6 +59,7 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut dir: Option<PathBuf> = None;
+    let mut connect: Option<String> = None;
     let mut out: Option<PathBuf> = None;
     let mut poll_ms: u64 = 100;
     let mut window: Option<usize> = None;
@@ -59,6 +68,7 @@ fn main() {
     let mut retry_budget: Option<u32> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--connect" => connect = Some(parse::<String>("--connect", args.next())),
             "--out" => out = Some(parse::<PathBuf>("--out", args.next())),
             "--poll-ms" => poll_ms = parse("--poll-ms", args.next()),
             "--window" => window = Some(parse("--window", args.next())),
@@ -73,18 +83,37 @@ fn main() {
             }
         }
     }
-    let Some(dir) = dir else { usage() };
 
-    let mut tail = match CorpusTail::open(&dir) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("nni-live: cannot tail {}: {e}", dir.display());
-            exit(1);
+    let mut source: Box<dyn TailSource> = match (dir, connect) {
+        (Some(dir), None) => {
+            let mut tail = match CorpusTail::open(&dir) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("nni-live: cannot tail {}: {e}", dir.display());
+                    exit(1);
+                }
+            };
+            if let Some(budget) = retry_budget {
+                tail = tail.with_retry_budget(budget);
+            }
+            Box::new(tail)
         }
+        (None, Some(addr)) => {
+            if retry_budget.is_some() {
+                eprintln!("nni-live: --retry-budget only applies to a directory tail");
+                usage();
+            }
+            match RemoteTail::connect(addr.as_str()) {
+                Ok(tail) => Box::new(tail),
+                Err(e) => {
+                    eprintln!("nni-live: cannot connect to {addr}: {e}");
+                    exit(1);
+                }
+            }
+        }
+        _ => usage(), // exactly one source
     };
-    if let Some(budget) = retry_budget {
-        tail = tail.with_retry_budget(budget);
-    }
+
     let mut sink: Box<dyn Write> = match &out {
         Some(path) => match OpenOptions::new().create(true).append(true).open(path) {
             Ok(f) => Box::new(f),
@@ -100,62 +129,34 @@ fn main() {
         ..LiveConfig::default()
     });
 
-    let mut idle: u32 = 0;
-    let mut emitted: u64 = 0;
-    loop {
-        let events = match tail.poll() {
-            Ok(events) => events,
-            Err(e) => {
-                eprintln!("nni-live: poll failed: {e}");
-                exit(1);
-            }
-        };
-        let mut quiet = true;
-        for event in events {
-            quiet = false;
-            if let TailEvent::Corrupt { path, message } = &event {
-                eprintln!("nni-live: corrupt {}: {message}", path.display());
-                continue;
-            }
-            if let TailEvent::SegmentGap {
-                path,
-                from_interval,
-                to_interval,
-                bytes_skipped,
-            } = &event
-            {
-                eprintln!(
-                    "nni-live: gap in {}: intervals {from_interval}..{to_interval} \
-                     lost ({bytes_skipped} bytes skipped)",
-                    path.display()
-                );
-            }
-            let updates = match monitor.handle(event) {
-                Ok(updates) => updates,
-                Err(e) => {
-                    eprintln!("nni-live: {e}");
-                    exit(1);
-                }
-            };
-            for u in &updates {
-                if writeln!(sink, "{}", u.jsonl()).is_err() {
-                    eprintln!("nni-live: output stream closed");
-                    exit(1);
-                }
-                emitted += 1;
-            }
+    /// Prefixes every diagnostic line with the program name on stderr.
+    struct Diag;
+    impl Write for Diag {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            eprint!("nni-live: {}", String::from_utf8_lossy(buf));
+            Ok(buf.len())
         }
-        let _ = sink.flush();
-        if quiet {
-            idle += 1;
-            if idle_exit.is_some_and(|n| idle >= n) {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(1)));
-        } else {
-            idle = 0;
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
         }
     }
+
+    let stats = match run_live(
+        source.as_mut(),
+        &mut monitor,
+        &mut sink,
+        &mut Diag,
+        &RunConfig {
+            poll: Duration::from_millis(poll_ms.max(1)),
+            idle_exit,
+        },
+    ) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("nni-live: {e}");
+            exit(1);
+        }
+    };
 
     if verify_batch {
         let mismatches = monitor.verify_batch();
@@ -175,7 +176,8 @@ fn main() {
         );
     }
     eprintln!(
-        "nni-live: done: {emitted} update(s) across {} session(s)",
+        "nni-live: done: {} update(s) across {} session(s)",
+        stats.emitted,
         monitor.session_count()
     );
 }

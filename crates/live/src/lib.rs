@@ -34,6 +34,17 @@
 //! `nni-live --verify-batch` exit gate), and
 //! `tests/streaming_convergence.rs` pins the convergence across the
 //! identity suite and the randomized population.
+//!
+//! The [`run_live`] loop in [`run`] is the `nni-live` binary's engine: it
+//! drives a monitor over either a local
+//! [`CorpusTail`](nni_measure::CorpusTail) or a remote
+//! [`RemoteTail`](nni_measure::RemoteTail) relay connection
+//! (`nni-live --connect`, fed by `nni-serviced --serve-segments`) — the
+//! same events, the same degraded semantics, over a socket.
+
+pub mod run;
+
+pub use run::{run_live, RunConfig, RunError, RunStats, TailSource};
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};

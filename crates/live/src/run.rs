@@ -1,0 +1,152 @@
+//! The `nni-live` event loop, extracted from the binary so its idle-exit
+//! semantics are pinned by tests and shared between the two tail modes —
+//! a local directory ([`CorpusTail`]) and a remote relay connection
+//! ([`RemoteTail`]).
+//!
+//! The loop's one subtle invariant: **every** event resets the idle
+//! counter, including [`TailEvent::SegmentGap`] and [`TailEvent::Corrupt`]
+//! — a stream that is degrading is not a stream that is idle. A monitor
+//! run with `--idle-exit` must not give up while a producer is still
+//! writing, even if everything currently arriving is damage reports
+//! (`tests/live_loop.rs` pins this).
+
+use std::io::Write;
+use std::time::Duration;
+
+use nni_measure::{CorpusTail, RemoteTail, TailEvent};
+
+use crate::{LiveError, LiveMonitor};
+
+/// Anything a live monitor can be driven from: a poll surface plus an
+/// end-of-source signal. Implemented for the local directory tail (which
+/// never ends — a directory can always grow) and the remote relay tail
+/// (which ends when the server hangs up).
+pub trait TailSource {
+    /// Everything that newly arrived, in replay order.
+    fn poll(&mut self) -> std::io::Result<Vec<TailEvent>>;
+
+    /// Whether the source can never produce again.
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+impl TailSource for CorpusTail {
+    fn poll(&mut self) -> std::io::Result<Vec<TailEvent>> {
+        CorpusTail::poll(self)
+    }
+}
+
+impl TailSource for RemoteTail {
+    fn poll(&mut self) -> std::io::Result<Vec<TailEvent>> {
+        RemoteTail::poll(self)
+    }
+
+    fn finished(&self) -> bool {
+        RemoteTail::finished(self)
+    }
+}
+
+/// Loop knobs, mirroring the `nni-live` flags.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Sleep between empty polls.
+    pub poll: Duration,
+    /// Stop after this many consecutive empty polls (`None`: run until
+    /// the source finishes — forever, for a directory).
+    pub idle_exit: Option<u32>,
+}
+
+/// What one loop run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Verdict-update lines written to the sink.
+    pub emitted: u64,
+    /// Source polls performed.
+    pub polls: u64,
+}
+
+/// Why the loop stopped (beyond a clean idle-exit / source end).
+#[derive(Debug)]
+pub enum RunError {
+    /// The tail source failed (directory I/O, broken relay connection).
+    Poll(std::io::Error),
+    /// The monitor rejected an event (e.g. conflicting vantage merge).
+    Monitor(LiveError),
+    /// The verdict sink went away.
+    Sink(std::io::Error),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Poll(e) => write!(f, "poll failed: {e}"),
+            RunError::Monitor(e) => write!(f, "{e}"),
+            RunError::Sink(e) => write!(f, "output stream closed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Drives `monitor` over `source`'s event stream until `idle_exit`
+/// consecutive quiet polls, or until the source reports it can never
+/// produce again (a closed relay connection; a directory never
+/// finishes). Verdict updates stream to `sink` as JSONL; gap and
+/// corruption notices go to `diag`.
+pub fn run_live(
+    source: &mut dyn TailSource,
+    monitor: &mut LiveMonitor,
+    sink: &mut dyn Write,
+    diag: &mut dyn Write,
+    cfg: &RunConfig,
+) -> Result<RunStats, RunError> {
+    let mut stats = RunStats::default();
+    let mut idle: u32 = 0;
+    loop {
+        let events = source.poll().map_err(RunError::Poll)?;
+        stats.polls += 1;
+        let mut quiet = true;
+        for event in events {
+            // Any arrival — including a gap or a corruption report — is
+            // activity: the producer is alive, so the idle clock resets.
+            quiet = false;
+            if let TailEvent::Corrupt { path, message } = &event {
+                let _ = writeln!(diag, "corrupt {}: {message}", path.display());
+                continue;
+            }
+            if let TailEvent::SegmentGap {
+                path,
+                from_interval,
+                to_interval,
+                bytes_skipped,
+            } = &event
+            {
+                let _ = writeln!(
+                    diag,
+                    "gap in {}: intervals {from_interval}..{to_interval} \
+                     lost ({bytes_skipped} bytes skipped)",
+                    path.display()
+                );
+            }
+            let updates = monitor.handle(event).map_err(RunError::Monitor)?;
+            for u in &updates {
+                writeln!(sink, "{}", u.jsonl()).map_err(RunError::Sink)?;
+                stats.emitted += 1;
+            }
+        }
+        sink.flush().map_err(RunError::Sink)?;
+        if quiet {
+            if source.finished() {
+                return Ok(stats); // the source can never produce again
+            }
+            idle += 1;
+            if cfg.idle_exit.is_some_and(|n| idle >= n) {
+                return Ok(stats);
+            }
+            std::thread::sleep(cfg.poll.max(Duration::from_millis(1)));
+        } else {
+            idle = 0;
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Pins the `nni-live` event loop's exit semantics ([`run_live`]):
+//!
+//! * the idle counter resets on **every** arrival, including
+//!   [`TailEvent::SegmentGap`] and [`TailEvent::Corrupt`] — a degrading
+//!   stream is not an idle stream, so a monitor under `--idle-exit` keeps
+//!   watching while damage reports are still coming in;
+//! * a finished remote source ends the loop without waiting out the idle
+//!   budget;
+//! * a remote relay replay produces **byte-identical** JSONL to a local
+//!   directory tail over the same corpus — the remote-monitor guarantee.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nni_live::{run_live, LiveConfig, LiveMonitor, RunConfig, TailSource};
+use nni_measure::{
+    segment_file_name, CorpusTail, MeasurementSet, RelaySource, RemoteTail, SegmentWriter,
+    TailEvent,
+};
+use nni_scenario::library::{topology_a_scenario, ExperimentParams, Mechanism};
+
+fn recorded_set(seed: u64) -> MeasurementSet {
+    let mut s = topology_a_scenario(ExperimentParams {
+        mechanism: Mechanism::Policing(0.2),
+        duration_s: 4.0,
+        ..ExperimentParams::default()
+    });
+    s.measurement.warmup_s = Some(1.0);
+    s.with_seed(seed).compile().simulate()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nni-live-loop-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A scripted tail: each poll pops the next batch (empty once the script
+/// runs dry). Never finishes — exactly like a directory.
+struct Script(VecDeque<Vec<TailEvent>>);
+
+impl TailSource for Script {
+    fn poll(&mut self) -> std::io::Result<Vec<TailEvent>> {
+        Ok(self.0.pop_front().unwrap_or_default())
+    }
+}
+
+fn quick_cfg(idle_exit: Option<u32>) -> RunConfig {
+    RunConfig {
+        poll: Duration::from_millis(1),
+        idle_exit,
+    }
+}
+
+#[test]
+fn gap_and_corrupt_events_reset_the_idle_counter() {
+    let set = recorded_set(31);
+    let total = set.log.interval_count();
+    assert!(total >= 9, "need room for three slices");
+    let (a, b) = (total / 3, 2 * total / 3);
+    let path = PathBuf::from("scripted.nniseg");
+    let rows = |from: usize, to: usize| -> Vec<(Vec<u64>, Vec<u64>)> {
+        (from..to)
+            .map(|t| {
+                let paths = set.log.path_count();
+                (
+                    (0..paths)
+                        .map(|p| set.log.sent(t, nni_topology::PathId(p)))
+                        .collect(),
+                    (0..paths)
+                        .map(|p| set.log.lost(t, nni_topology::PathId(p)))
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+
+    // The script: activity, two quiet polls, then a poll carrying ONLY a
+    // gap, one more carrying ONLY an unrelated corruption report, a quiet
+    // stretch that is one poll short of the idle budget, the resumed
+    // intervals, and finally silence. With idle_exit = 3 the loop reaches
+    // the resumed intervals only if the gap-only and corrupt-only polls
+    // both reset the counter — otherwise it exits during the quiet
+    // stretch and the post-gap data is never consumed.
+    let script: VecDeque<Vec<TailEvent>> = VecDeque::from(vec![
+        vec![
+            TailEvent::SegmentHeader {
+                path: path.clone(),
+                set: set.clone(),
+            },
+            TailEvent::SegmentIntervals {
+                path: path.clone(),
+                first_t: 0,
+                rows: rows(0, a),
+            },
+        ],
+        vec![],
+        vec![],
+        vec![TailEvent::SegmentGap {
+            path: path.clone(),
+            from_interval: a,
+            to_interval: b,
+            bytes_skipped: 123,
+        }],
+        vec![],
+        vec![],
+        vec![TailEvent::Corrupt {
+            path: PathBuf::from("other-file.nniset"),
+            message: "scripted corruption".into(),
+        }],
+        vec![],
+        vec![],
+        vec![TailEvent::SegmentIntervals {
+            path: path.clone(),
+            first_t: b,
+            rows: rows(b, total),
+        }],
+    ]);
+    let polls_scripted = script.len() as u64;
+
+    let mut monitor = LiveMonitor::new(LiveConfig::default());
+    let mut sink = Vec::new();
+    let mut diag = Vec::new();
+    let stats = run_live(
+        &mut Script(script),
+        &mut monitor,
+        &mut sink,
+        &mut diag,
+        &quick_cfg(Some(3)),
+    )
+    .expect("loop runs clean");
+
+    // Every scripted batch was consumed, then exactly the idle budget.
+    assert_eq!(
+        stats.polls,
+        polls_scripted + 3,
+        "the loop must outlast every damage report before idling out"
+    );
+    let out = String::from_utf8(sink).unwrap();
+    assert!(
+        out.contains("\"mode\":\"resync\""),
+        "the gap-only poll was handled: {out}"
+    );
+    let last = out.lines().last().expect("updates emitted");
+    assert!(
+        last.contains(&format!("\"interval\":{total}")) && last.contains("\"degraded\":true"),
+        "the post-gap intervals were consumed: {last}"
+    );
+    let diag = String::from_utf8(diag).unwrap();
+    assert!(diag.contains("gap in scripted.nniseg"), "{diag}");
+    assert!(diag.contains("corrupt other-file.nniset"), "{diag}");
+    // Degraded is degraded, not wrong.
+    assert!(monitor.verify_batch().is_empty());
+}
+
+#[test]
+fn without_activity_the_loop_exits_after_exactly_the_idle_budget() {
+    let mut monitor = LiveMonitor::new(LiveConfig::default());
+    let (mut sink, mut diag) = (Vec::new(), Vec::new());
+    let stats = run_live(
+        &mut Script(VecDeque::new()),
+        &mut monitor,
+        &mut sink,
+        &mut diag,
+        &quick_cfg(Some(4)),
+    )
+    .expect("loop runs clean");
+    assert_eq!(stats.polls, 4);
+    assert_eq!(stats.emitted, 0);
+}
+
+/// Corpus fixture shared by the bit-identity tests: two segments, one of
+/// them with a corrupt middle chunk (so the remote replay must exercise
+/// the gap/resync path too, not just the happy path).
+fn build_corpus(dir: &std::path::Path) -> usize {
+    let mut sessions = 0;
+    for (seed, corrupt) in [(41, false), (43, true)] {
+        let set = recorded_set(seed);
+        let total = set.log.interval_count();
+        let third = total / 3;
+        let path = dir.join(segment_file_name(&set.provenance));
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, third).unwrap();
+        let clean = std::fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, third, 2 * third).unwrap();
+        w.append_intervals(&set.log, 2 * third, total).unwrap();
+        if corrupt {
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[clean + 20] ^= 0x20; // middle chunk's payload
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        sessions += 1;
+    }
+    sessions
+}
+
+#[test]
+fn remote_replay_emits_byte_identical_jsonl_to_a_local_tail() {
+    let dir = temp_dir("bit-identity");
+    let sessions = build_corpus(&dir);
+
+    // Local: a directory tail, one poll of which sees everything.
+    let mut local_monitor = LiveMonitor::new(LiveConfig::default());
+    let (mut local_out, mut local_diag) = (Vec::new(), Vec::new());
+    let local_stats = run_live(
+        &mut CorpusTail::open(&dir).unwrap(),
+        &mut local_monitor,
+        &mut local_out,
+        &mut local_diag,
+        &quick_cfg(Some(1)),
+    )
+    .expect("local run");
+
+    // Remote: the same corpus pumped through the relay protocol into a
+    // RemoteTail; the loop ends on the source's own finished signal (a
+    // closed connection), with no idle budget at all.
+    let mut wire = Vec::new();
+    RelaySource::new(&dir).pump(&mut wire).unwrap();
+    let mut remote_monitor = LiveMonitor::new(LiveConfig::default());
+    let (mut remote_out, mut remote_diag) = (Vec::new(), Vec::new());
+    let remote_stats = run_live(
+        &mut RemoteTail::from_reader(std::io::Cursor::new(wire)),
+        &mut remote_monitor,
+        &mut remote_out,
+        &mut remote_diag,
+        &quick_cfg(None),
+    )
+    .expect("remote run");
+
+    assert_eq!(
+        String::from_utf8(local_out).unwrap(),
+        String::from_utf8(remote_out).unwrap(),
+        "remote JSONL must be byte-identical to local"
+    );
+    assert_eq!(local_stats.emitted, remote_stats.emitted);
+    assert_eq!(local_monitor.session_count(), sessions);
+    assert_eq!(remote_monitor.session_count(), sessions);
+    // Both sides saw the same gap; both verdict streams verify against
+    // batch inference over what was actually consumed.
+    assert!(String::from_utf8(local_diag).unwrap().contains("gap in"));
+    assert!(String::from_utf8(remote_diag).unwrap().contains("gap in"));
+    assert!(local_monitor.verify_batch().is_empty());
+    assert!(remote_monitor.verify_batch().is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

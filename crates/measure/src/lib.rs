@@ -31,6 +31,11 @@
 //! * [`tail`] — [`CorpusTail`], a poll-based watcher over a growing corpus
 //!   directory yielding complete entries, live segment intervals, and
 //!   resync gaps.
+//! * [`relay`] — the segment relay: [`RelaySource`] streams a directory's
+//!   raw `.nniseg` bytes as checksummed frames (over a socket), and
+//!   [`RemoteTail`] replays them through the same follower state machine
+//!   a local tail runs — remote monitoring with identical resync and
+//!   degraded-stream semantics.
 //! * [`wire`] — the shared byte-level primitives every codec folds through
 //!   ([`WireWriter`]/[`WireReader`]) plus checksummed stream framing
 //!   ([`wire::write_frame`]/[`wire::read_frame`]) for the worker protocol.
@@ -43,6 +48,7 @@ pub mod jsonl;
 pub mod normalize;
 pub mod observer;
 pub mod record;
+pub mod relay;
 pub mod segment;
 pub mod stream;
 pub mod tail;
@@ -61,12 +67,15 @@ pub use normalize::{
 };
 pub use observer::MeasuredObservations;
 pub use record::{MeasurementLog, MergeError};
+pub use relay::{decode_relay, relay_frame, RelaySource, RemoteTail, RELAY_MAGIC};
 pub use segment::{
     IntervalRows, SegmentBatch, SegmentError, SegmentFollower, SegmentGap, SegmentItem,
-    SegmentWriter, MAX_CHUNK_BYTES, SEGMENT_EXT,
+    SegmentWriter, MAX_CHUNK_BYTES, SEGMENT_EXT, VERSION as SEGMENT_VERSION,
+    VERSION_V1 as SEGMENT_VERSION_V1,
 };
 pub use stream::{PathsetHandle, SlidingCounts, StreamError, StreamingLog};
 pub use tail::{CorpusTail, TailEvent};
 pub use wire::{
-    frame_bytes, read_frame, write_frame, FrameError, WireReader, WireWriter, FRAME_VERSION,
+    frame_bytes, frame_bytes_v1, read_frame, read_frame_v1, write_frame, FrameError, WireReader,
+    WireWriter, FRAME_VERSION, FRAME_VERSION_V1, SYNC_MARKER,
 };

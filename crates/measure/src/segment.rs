@@ -7,18 +7,26 @@
 //! once, checksummed individually, and never touched again — so a follower
 //! can consume closed intervals while the producer is still appending.
 //!
-//! # Format (version 1)
+//! # Format (version 2)
 //!
 //! ```text
 //! magic     7 bytes  b"NNISEGS"
-//! version   u8       1
-//! chunks    each:  tag u8, payload length u64 LE, payload bytes,
-//!                  checksum u64 LE (FNV-1a over tag + length + payload)
+//! version   u8       2
+//! chunks    each:  sync 8 bytes (wire::SYNC_MARKER), tag u8,
+//!                  payload length u64 LE, payload bytes,
+//!                  checksum u64 LE (FNV-1a over sync + tag + length +
+//!                  payload)
 //!   tag 1  HEADER     a full codec-v1 encoding of the set with an *empty*
 //!                     log — provenance, topology, classes, interval grid
 //!   tag 2  INTERVALS  first interval vu, interval count vu, then per
 //!                     interval per path: sent vu, lost vu
 //! ```
+//!
+//! Version 1 is the same layout without the per-chunk sync marker. The
+//! follower reads both; the writer emits v2 ([`SegmentWriter::create_v1`]
+//! still writes v1 for compatibility tests), and a deployed v1 reader
+//! meeting a v2 file stops at the version byte with
+//! [`SegmentError::UnsupportedVersion`]`(2)`.
 //!
 //! Interval chunks are contiguous: each chunk's first interval equals the
 //! number of intervals in all chunks before it. A reader that finds fewer
@@ -36,10 +44,20 @@
 //! byte must not end a session. Each chunk carries its own first-interval
 //! index precisely so a reader can re-anchor after losing bytes. The one
 //! unrecoverable region is the header: without it a reader cannot even
-//! size an interval row, so header corruption stays terminal. A corrupt
-//! *length* field can masquerade as an incomplete trailing chunk until
-//! enough bytes arrive to disprove it (lengths above [`MAX_CHUNK_BYTES`]
-//! are rejected outright); a sync marker fixing that is wire-v2 material.
+//! size an interval row, so header corruption stays terminal.
+//!
+//! The sync marker is what makes v2 resync *honest about lengths*. In v1
+//! a corrupt *length* field can masquerade as an incomplete trailing
+//! chunk forever (lengths above [`MAX_CHUNK_BYTES`] are rejected, but a
+//! plausible corrupt length stalls the follower on a tail that will never
+//! complete). In v2 the claim is falsifiable: an append-only producer
+//! writes chunks in order, so bytes after a genuinely in-flight chunk
+//! cannot contain a complete chunk — if the follower finds a complete,
+//! checksum-valid, in-order intervals chunk at a *later* sync marker, the
+//! trailing chunk's length was a lie, and the follower reports the loss
+//! as a gap (resync mode) or fails loudly (strict mode) instead of
+//! waiting forever. Scanning is marker-to-marker rather than v1's
+//! byte-by-byte trial decode.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -48,7 +66,7 @@ use std::path::{Path, PathBuf};
 use crate::codec::{self, CodecError};
 use crate::dataset::{Fnv, MeasurementSet};
 use crate::record::MeasurementLog;
-use crate::wire::{WireReader, WireWriter};
+use crate::wire::{WireReader, WireWriter, SYNC_MARKER};
 use nni_topology::PathId;
 
 /// File extension of segment files.
@@ -57,8 +75,11 @@ pub const SEGMENT_EXT: &str = "nniseg";
 /// Magic prefix of every segment file.
 pub const MAGIC: &[u8; 7] = b"NNISEGS";
 
-/// Current segment format version.
-pub const VERSION: u8 = 1;
+/// Current segment format version: sync-marker chunks.
+pub const VERSION: u8 = 2;
+
+/// The frozen version-1 segment format (chunks without sync markers).
+pub const VERSION_V1: u8 = 1;
 
 const TAG_HEADER: u8 = 1;
 const TAG_INTERVALS: u8 = 2;
@@ -127,8 +148,26 @@ fn header_set(set: &MeasurementSet) -> MeasurementSet {
     }
 }
 
-/// Frames one chunk: tag, length, payload, trailing FNV over all of it.
+/// Frames one v2 chunk: sync marker, tag, length, payload, trailing FNV
+/// over all of it.
 fn chunk_bytes(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.raw(&SYNC_MARKER);
+    w.u8(tag);
+    w.u64(payload.len() as u64);
+    w.raw(payload);
+    let mut h = Fnv::new();
+    for &b in w.bytes() {
+        h.byte(b);
+    }
+    let checksum = h.0;
+    w.u64(checksum);
+    w.into_bytes()
+}
+
+/// Frames one frozen v1 chunk (no sync marker) — what pre-v2 writers
+/// emitted.
+fn chunk_bytes_v1(tag: u8, payload: &[u8]) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.u8(tag);
     w.u64(payload.len() as u64);
@@ -150,6 +189,7 @@ pub struct SegmentWriter {
     file: File,
     n_paths: usize,
     written: usize,
+    version: u8,
 }
 
 impl SegmentWriter {
@@ -160,6 +200,25 @@ impl SegmentWriter {
         path: impl AsRef<Path>,
         set: &MeasurementSet,
     ) -> Result<SegmentWriter, SegmentError> {
+        SegmentWriter::create_with_version(path, set, VERSION)
+    }
+
+    /// Creates a frozen version-1 segment — what every pre-v2 producer
+    /// wrote. Kept so interop tests can generate genuine v1 files and pin
+    /// both that the follower still reads them bit-identically and the v1
+    /// length-field stall this format cannot avoid.
+    pub fn create_v1(
+        path: impl AsRef<Path>,
+        set: &MeasurementSet,
+    ) -> Result<SegmentWriter, SegmentError> {
+        SegmentWriter::create_with_version(path, set, VERSION_V1)
+    }
+
+    fn create_with_version(
+        path: impl AsRef<Path>,
+        set: &MeasurementSet,
+        version: u8,
+    ) -> Result<SegmentWriter, SegmentError> {
         let mut file = OpenOptions::new()
             .write(true)
             .create(true)
@@ -167,14 +226,20 @@ impl SegmentWriter {
             .open(path.as_ref())?;
         let mut prefix = Vec::with_capacity(MAGIC.len() + 1);
         prefix.extend_from_slice(MAGIC);
-        prefix.push(VERSION);
+        prefix.push(version);
         file.write_all(&prefix)?;
-        file.write_all(&chunk_bytes(TAG_HEADER, &codec::encode(&header_set(set))))?;
+        let header = codec::encode(&header_set(set));
+        let chunk = match version {
+            VERSION_V1 => chunk_bytes_v1(TAG_HEADER, &header),
+            _ => chunk_bytes(TAG_HEADER, &header),
+        };
+        file.write_all(&chunk)?;
         file.flush()?;
         Ok(SegmentWriter {
             file,
             n_paths: set.log.path_count(),
             written: 0,
+            version,
         })
     }
 
@@ -212,8 +277,11 @@ impl SegmentWriter {
                 w.vu(log.lost(t, PathId(p)));
             }
         }
-        self.file
-            .write_all(&chunk_bytes(TAG_INTERVALS, w.bytes()))?;
+        let chunk = match self.version {
+            VERSION_V1 => chunk_bytes_v1(TAG_INTERVALS, w.bytes()),
+            _ => chunk_bytes(TAG_INTERVALS, w.bytes()),
+        };
+        self.file.write_all(&chunk)?;
         self.file.flush()?;
         self.written = to;
         Ok(())
@@ -295,6 +363,8 @@ impl SegmentBatch {
 pub struct SegmentFollower {
     path: PathBuf,
     offset: usize,
+    /// The file's format version, learned from the prefix on first poll.
+    version: Option<u8>,
     n_paths: Option<usize>,
     seen_intervals: usize,
     resync: bool,
@@ -312,6 +382,7 @@ impl SegmentFollower {
         SegmentFollower {
             path: path.into(),
             offset: 0,
+            version: None,
             n_paths: None,
             seen_intervals: 0,
             resync: false,
@@ -365,9 +436,18 @@ impl SegmentFollower {
             }
             Err(e) => return Err(e.into()),
         };
+        self.poll_bytes(&bytes)
+    }
+
+    /// The core of [`poll`](SegmentFollower::poll), over a caller-supplied
+    /// snapshot of the segment bytes — the entry point for remote
+    /// followers fed over a socket instead of a local file. Each call's
+    /// buffer must extend the previous call's (append-only), exactly as a
+    /// growing file would.
+    pub fn poll_bytes(&mut self, bytes: &[u8]) -> Result<SegmentBatch, SegmentError> {
         let mut batch = SegmentBatch::default();
 
-        if self.offset == 0 {
+        if self.version.is_none() {
             // The fixed prefix: magic + version.
             if bytes.len() < MAGIC.len() + 1 {
                 return Ok(batch); // still being written
@@ -376,22 +456,40 @@ impl SegmentFollower {
                 return Err(SegmentError::BadMagic);
             }
             let version = bytes[MAGIC.len()];
-            if version != VERSION {
+            if version != VERSION && version != VERSION_V1 {
                 return Err(SegmentError::UnsupportedVersion(version));
             }
+            self.version = Some(version);
             self.offset = MAGIC.len() + 1;
         }
+        let version = self.version.expect("version parsed above");
 
         loop {
             if self.scanning {
-                if !self.scan(&bytes, &mut batch) {
+                if !self.scan(bytes, &mut batch) {
                     break; // nothing valid completed yet; resume next poll
                 }
                 continue;
             }
-            let (tag, payload, next) = match complete_chunk(&bytes, self.offset) {
+            let (tag, payload, next) = match complete_chunk(bytes, self.offset, version) {
                 Ok(Some(chunk)) => chunk,
-                Ok(None) => break, // trailing chunk still being written
+                Ok(None) => {
+                    // In v2 an "in-flight" trailing chunk is a falsifiable
+                    // claim: an append-only producer cannot have completed
+                    // a later chunk while this one is short, so a valid
+                    // in-order chunk at a later sync marker means the
+                    // trailing length field is corrupt — the v1 stall this
+                    // version exists to fix. `corrupted` arms the scan
+                    // (resync) or fails loudly (strict); the scan then
+                    // recovers at the chunk that disproved the claim.
+                    if version >= VERSION && self.disproven(bytes) {
+                        self.corrupted(SegmentError::Corrupt(
+                            "trailing chunk disproven by a later sync marker",
+                        ))?;
+                        continue;
+                    }
+                    break; // trailing chunk still being written
+                }
                 Err(e) => {
                     self.corrupted(e)?;
                     continue;
@@ -406,6 +504,31 @@ impl SegmentFollower {
             }
         }
         Ok(batch)
+    }
+
+    /// Whether an apparently in-flight trailing chunk at `offset` is
+    /// disproven by a complete, checksum-valid, in-order intervals chunk
+    /// at a later sync marker (v2 only; pre-header there is nothing to
+    /// validate a later chunk against, so header corruption stays
+    /// terminal-or-waiting as documented).
+    fn disproven(&self, bytes: &[u8]) -> bool {
+        let Some(n_paths) = self.n_paths else {
+            return false;
+        };
+        // Skip the trailing chunk's own marker: only *later* markers can
+        // contradict it.
+        let mut at = self.offset + 1;
+        while let Some(pos) = find_sync(bytes, at) {
+            if let Ok(Some((TAG_INTERVALS, payload, _))) = complete_chunk(bytes, pos, VERSION) {
+                if let Ok((first, _)) = parse_intervals(payload, n_paths) {
+                    if first >= self.seen_intervals {
+                        return true;
+                    }
+                }
+            }
+            at = pos + 1;
+        }
+        false
     }
 
     /// Decodes one complete chunk into an item, advancing follower state.
@@ -453,21 +576,91 @@ impl SegmentFollower {
         Ok(())
     }
 
-    /// Advances the forward scan: tries every byte offset from `scan_at`
-    /// to the end of the buffer. The first complete, checksum-valid
+    /// Accepts a recovery candidate found at `at`: emits the gap and the
+    /// chunk, reanchors the follower after it, and disarms the scan.
+    fn recover(
+        &mut self,
+        batch: &mut SegmentBatch,
+        at: usize,
+        first: usize,
+        rows: IntervalRows,
+        next: usize,
+    ) {
+        batch.items.push(SegmentItem::Gap(SegmentGap {
+            from_interval: self.seen_intervals,
+            to_interval: first,
+            bytes_skipped: at - self.scan_from,
+        }));
+        self.seen_intervals = first + rows.len();
+        batch.items.push(SegmentItem::Intervals {
+            first_t: first,
+            rows,
+        });
+        self.offset = next;
+        self.scanning = false;
+    }
+
+    /// Advances the forward scan. The first complete, checksum-valid
     /// intervals chunk with an in-order first interval wins (recovery —
-    /// emits the gap and the chunk, returns `true`). If nothing validates
-    /// the scan pauses at the earliest offset that still *could* be a
-    /// chunk in flight — garbage can masquerade as an incomplete chunk
-    /// (e.g. a window onto a later chunk's small LE length field), so a
-    /// single "not enough bytes yet" candidate must not stop the sweep —
-    /// and resumes there next poll (returns `false`).
+    /// emits the gap and the chunk, returns `true`); otherwise the scan
+    /// pauses and resumes next poll (returns `false`). In v2 the scan
+    /// hops from sync marker to sync marker; in v1 — no markers on the
+    /// wire — it must trial-decode at every byte offset.
     fn scan(&mut self, bytes: &[u8], batch: &mut SegmentBatch) -> bool {
+        match self.version {
+            Some(VERSION_V1) => self.scan_v1(bytes, batch),
+            _ => self.scan_v2(bytes, batch),
+        }
+    }
+
+    /// v2 scan: candidates are exactly the sync-marker positions from
+    /// `scan_at` on. A candidate that is short of bytes could be a chunk
+    /// in flight — the scan pauses there (and re-checks it next poll) but
+    /// keeps sweeping past it, since a later complete chunk disproves it.
+    fn scan_v2(&mut self, bytes: &[u8], batch: &mut SegmentBatch) -> bool {
+        let n_paths = self.n_paths.expect("scan is only armed after the header");
+        let mut pending: Option<usize> = None;
+        let mut at = self.scan_at;
+        while let Some(pos) = find_sync(bytes, at) {
+            match complete_chunk(bytes, pos, VERSION) {
+                Ok(None) => {
+                    pending.get_or_insert(pos);
+                }
+                Ok(Some((TAG_INTERVALS, payload, next))) => {
+                    if let Ok((first, rows)) = parse_intervals(payload, n_paths) {
+                        if first >= self.seen_intervals {
+                            self.recover(batch, pos, first, rows, next);
+                            return true;
+                        }
+                    }
+                }
+                Ok(Some(_)) | Err(_) => {}
+            }
+            at = pos + 1;
+        }
+        // Resume at the paused candidate, or just before the buffer end —
+        // a marker can straddle the append boundary.
+        self.scan_at = pending.unwrap_or_else(|| {
+            bytes
+                .len()
+                .saturating_sub(SYNC_MARKER.len() - 1)
+                .max(self.scan_at)
+        });
+        false
+    }
+
+    /// v1 scan: tries every byte offset from `scan_at` to the end of the
+    /// buffer. If nothing validates the scan pauses at the earliest
+    /// offset that still *could* be a chunk in flight — garbage can
+    /// masquerade as an incomplete chunk (e.g. a window onto a later
+    /// chunk's small LE length field), so a single "not enough bytes yet"
+    /// candidate must not stop the sweep — and resumes there next poll.
+    fn scan_v1(&mut self, bytes: &[u8], batch: &mut SegmentBatch) -> bool {
         let n_paths = self.n_paths.expect("scan is only armed after the header");
         let mut pending: Option<usize> = None;
         let mut at = self.scan_at;
         while at < bytes.len() {
-            match complete_chunk(bytes, at) {
+            match complete_chunk(bytes, at, VERSION_V1) {
                 Ok(None) => {
                     pending.get_or_insert(at);
                     at += 1;
@@ -475,18 +668,7 @@ impl SegmentFollower {
                 Ok(Some((TAG_INTERVALS, payload, next))) => {
                     if let Ok((first, rows)) = parse_intervals(payload, n_paths) {
                         if first >= self.seen_intervals {
-                            batch.items.push(SegmentItem::Gap(SegmentGap {
-                                from_interval: self.seen_intervals,
-                                to_interval: first,
-                                bytes_skipped: at - self.scan_from,
-                            }));
-                            self.seen_intervals = first + rows.len();
-                            batch.items.push(SegmentItem::Intervals {
-                                first_t: first,
-                                rows,
-                            });
-                            self.offset = next;
-                            self.scanning = false;
+                            self.recover(batch, at, first, rows, next);
                             return true;
                         }
                     }
@@ -498,6 +680,15 @@ impl SegmentFollower {
         self.scan_at = pending.unwrap_or(bytes.len());
         false
     }
+}
+
+/// Position of the next [`SYNC_MARKER`] at or after `from`.
+fn find_sync(bytes: &[u8], from: usize) -> Option<usize> {
+    if bytes.len() < SYNC_MARKER.len() {
+        return None;
+    }
+    (from..=bytes.len() - SYNC_MARKER.len())
+        .find(|&i| bytes[i..i + SYNC_MARKER.len()] == SYNC_MARKER)
 }
 
 /// Decodes an intervals-chunk payload into `(first_interval, rows)`.
@@ -525,30 +716,44 @@ fn parse_intervals(payload: &[u8], n_paths: usize) -> Result<(usize, IntervalRow
 /// the bytes run out before the chunk does (still being written).
 type ChunkAt<'a> = Option<(u8, &'a [u8], usize)>;
 
-/// Parses the chunk at `offset` if it is completely present. Verifies the
+/// Parses the chunk at `offset` if it is completely present, in the given
+/// format version (v2 chunks lead with the sync marker). Verifies the
 /// chunk checksum.
-fn complete_chunk(bytes: &[u8], offset: usize) -> Result<ChunkAt<'_>, SegmentError> {
+fn complete_chunk(bytes: &[u8], offset: usize, version: u8) -> Result<ChunkAt<'_>, SegmentError> {
     let rest = &bytes[offset.min(bytes.len())..];
-    if rest.len() < 1 + 8 {
+    let sync = if version == VERSION_V1 {
+        0
+    } else {
+        SYNC_MARKER.len()
+    };
+    // Validate the marker as its bytes arrive (like the wire magic): a
+    // tail that already disagrees with the marker prefix is corruption,
+    // not a chunk in flight, however short it is.
+    let have = rest.len().min(sync);
+    if rest[..have] != SYNC_MARKER[..have] {
+        return Err(SegmentError::Corrupt("chunk sync marker mismatch"));
+    }
+    if rest.len() < sync + 1 + 8 {
         return Ok(None);
     }
-    let tag = rest[0];
-    let len64 = u64::from_le_bytes(rest[1..9].try_into().expect("8 bytes"));
+    let tag = rest[sync];
+    let len64 = u64::from_le_bytes(rest[sync + 1..sync + 9].try_into().expect("8 bytes"));
     if len64 > MAX_CHUNK_BYTES {
         return Err(SegmentError::Corrupt("chunk length implausible"));
     }
     let len = len64 as usize;
-    let total = 1 + 8 + len + 8;
+    let head = sync + 1 + 8;
+    let total = head + len + 8;
     if rest.len() < total {
         return Ok(None);
     }
-    let payload = &rest[9..9 + len];
+    let payload = &rest[head..head + len];
     let mut h = Fnv::new();
-    for &b in &rest[..9 + len] {
+    for &b in &rest[..head + len] {
         h.byte(b);
     }
     let expect = h.0;
-    let got = u64::from_le_bytes(rest[9 + len..total].try_into().expect("8 bytes"));
+    let got = u64::from_le_bytes(rest[head + len..total].try_into().expect("8 bytes"));
     if got != expect {
         return Err(SegmentError::ChecksumMismatch);
     }
@@ -692,7 +897,7 @@ mod tests {
         let after_second = std::fs::read(&path).unwrap().len();
         w.append_intervals(&set.log, 20, 30).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[clean + 12] ^= 0x40; // flip one byte in the middle chunk
+        bytes[clean + 20] ^= 0x40; // flip one payload byte in the middle chunk
         std::fs::write(&path, &bytes).unwrap();
 
         let mut f = SegmentFollower::open(&path).with_resync(true);
@@ -743,7 +948,7 @@ mod tests {
         let after_second = std::fs::read(&path).unwrap().len();
         w.append_intervals(&set.log, 20, 30).unwrap();
         let mut full = std::fs::read(&path).unwrap();
-        full[clean + 12] ^= 0x40; // corrupt the middle chunk
+        full[clean + 20] ^= 0x40; // corrupt the middle chunk's payload
 
         // Only the corrupt chunk is on disk: the scan must pause, not
         // fail and not fabricate a recovery.
@@ -776,6 +981,7 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         // A "chunk" whose length field says 2^60: a strict follower must
         // call it corrupt instead of waiting forever for the bytes.
+        bytes.extend_from_slice(&SYNC_MARKER);
         bytes.push(TAG_INTERVALS);
         bytes.extend_from_slice(&(1u64 << 60).to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
@@ -784,6 +990,179 @@ mod tests {
             f.poll(),
             Err(SegmentError::Corrupt("chunk length implausible"))
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trailing_garbage_that_cannot_be_a_marker_is_corruption() {
+        let set = sample_set(4);
+        let path = temp_path("garbage-tail");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 4).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Three bytes that disagree with the sync marker's prefix: too
+        // short to be a header, but already provably not a chunk start.
+        bytes.extend_from_slice(b"zzz");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = SegmentFollower::open(&path);
+        assert!(matches!(
+            f.poll(),
+            Err(SegmentError::Corrupt("chunk sync marker mismatch"))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The headline regression for protocol v2: corrupt the *length
+    /// field* of the final in-flight chunk — plausible (below
+    /// `MAX_CHUNK_BYTES`) but wrong, so the chunk forever claims to be
+    /// incomplete. The v2 follower disproves the claim at the next sync
+    /// marker, reports the loss as a gap, and consumes the following
+    /// chunk.
+    #[test]
+    fn v2_recovers_from_a_corrupt_length_field_via_the_sync_marker() {
+        let set = sample_set(30);
+        let path = temp_path("length-stall-v2");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 10).unwrap();
+        let clean = std::fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, 10, 20).unwrap();
+        let after_second = std::fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, 20, 30).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The middle chunk's length field starts after its sync marker
+        // and tag. Add 2^24 bytes: plausible, but the file ends first —
+        // in v1 this claims "still being written" forever.
+        bytes[clean + SYNC_MARKER.len() + 1 + 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut f = SegmentFollower::open(&path).with_resync(true);
+        let batch = f.poll().unwrap();
+        assert!(batch.header().is_some());
+        let gaps: Vec<&SegmentGap> = batch
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SegmentItem::Gap(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gaps.len(), 1, "items: {:?}", batch.items);
+        assert_eq!((gaps[0].from_interval, gaps[0].to_interval), (10, 20));
+        assert_eq!(gaps[0].bytes_skipped, after_second - clean);
+        // No forged rows: chunk 1 and chunk 3, nothing in between.
+        let runs: Vec<(usize, usize)> = batch
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SegmentItem::Intervals { first_t, rows } => Some((*first_t, rows.len())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(runs, vec![(0, 10), (20, 10)]);
+        assert_eq!(f.intervals_seen(), 30);
+        assert!(!f.is_resyncing());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The same length-field corruption in strict (no-resync) mode fails
+    /// loudly instead of stalling: a later valid chunk disproves the
+    /// "still being written" claim, and strict mode treats disproof as
+    /// the corruption it is.
+    #[test]
+    fn v2_strict_mode_fails_loudly_on_a_disproven_trailing_chunk() {
+        let set = sample_set(30);
+        let path = temp_path("length-stall-strict");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 10).unwrap();
+        let clean = std::fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, 10, 20).unwrap();
+        w.append_intervals(&set.log, 20, 30).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[clean + SYNC_MARKER.len() + 1 + 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = SegmentFollower::open(&path); // strict
+        assert!(matches!(
+            f.poll(),
+            Err(SegmentError::Corrupt(
+                "trailing chunk disproven by a later sync marker"
+            ))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The frozen v1 format cannot fix the stall: the same corruption
+    /// leaves the follower waiting forever even after a later chunk
+    /// lands. Pinned as a documented limitation — this test is the
+    /// motivation for version 2, not a bug to fix in v1.
+    #[test]
+    fn v1_stalls_forever_on_a_corrupt_length_field_documented_limitation() {
+        let set = sample_set(30);
+        let path = temp_path("length-stall-v1");
+        let mut w = SegmentWriter::create_v1(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 10).unwrap();
+        let clean = std::fs::read(&path).unwrap().len();
+        w.append_intervals(&set.log, 10, 20).unwrap();
+        w.append_intervals(&set.log, 20, 30).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // v1 chunk layout: tag, then the length field.
+        bytes[clean + 1 + 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut f = SegmentFollower::open(&path).with_resync(true);
+        let batch = f.poll().unwrap();
+        assert_eq!(batch.rows().count(), 10);
+        // The third chunk is on disk and valid, but the follower cannot
+        // see past the lying length field: every further poll is empty.
+        for _ in 0..5 {
+            let again = f.poll().unwrap();
+            assert!(again.is_empty(), "v1 unexpectedly recovered");
+        }
+        assert_eq!(f.intervals_seen(), 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_follower_reads_v1_files_bit_identically() {
+        let set = sample_set(12);
+        let p1 = temp_path("interop-v1");
+        let p2 = temp_path("interop-v2");
+        let mut w1 = SegmentWriter::create_v1(&p1, &set).unwrap();
+        let mut w2 = SegmentWriter::create(&p2, &set).unwrap();
+        for w in [&mut w1, &mut w2] {
+            w.append_intervals(&set.log, 0, 5).unwrap();
+            w.append_intervals(&set.log, 5, 12).unwrap();
+        }
+        let mut f1 = SegmentFollower::open(&p1);
+        let mut f2 = SegmentFollower::open(&p2);
+        let b1 = f1.poll().unwrap();
+        let b2 = f2.poll().unwrap();
+        assert_eq!(b1.header().unwrap(), b2.header().unwrap());
+        let rows1: Vec<_> = b1.rows().cloned().collect();
+        let rows2: Vec<_> = b2.rows().cloned().collect();
+        assert_eq!(rows1, rows2);
+        assert_eq!(rows1.len(), 12);
+        std::fs::remove_file(&p1).unwrap();
+        std::fs::remove_file(&p2).unwrap();
+    }
+
+    #[test]
+    fn future_segment_version_is_rejected_at_the_version_byte() {
+        let set = sample_set(3);
+        let path = temp_path("future-version");
+        let mut w = SegmentWriter::create(&path, &set).unwrap();
+        w.append_intervals(&set.log, 0, 3).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[MAGIC.len()] = 3;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = SegmentFollower::open(&path);
+        assert!(matches!(f.poll(), Err(SegmentError::UnsupportedVersion(3))));
+        // A deployed v1 reader's prefix check was `version != 1` →
+        // UnsupportedVersion(version): a v2 file fails it at the version
+        // byte, before any length is interpreted — negotiation, never a
+        // checksum or allocation error.
+        bytes[MAGIC.len()] = VERSION;
+        assert_eq!(bytes[MAGIC.len()], 2);
+        assert_ne!(bytes[MAGIC.len()], VERSION_V1);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -6,22 +6,35 @@
 //! through these primitives, so every format in the tree shares one
 //! definition of varints, strings, and f64 bit patterns — and one checksum.
 //!
-//! # Frame layout (version 1)
+//! # Frame layout (version 2)
 //!
 //! A *frame* is one length-prefixed, checksummed message on a byte stream
 //! (worker stdin/stdout, a spool file, a socket):
 //!
 //! ```text
 //! magic     7 bytes   frame-type magic (e.g. b"NNIWJOB")
-//! version   u8        1
+//! version   u8        2
+//! sync      8 bytes   SYNC_MARKER — the self-delimiting resync boundary
 //! length    u64 LE    payload byte count
 //! payload   …         codec-specific bytes
 //! checksum  u64 LE    FNV-1a over every preceding byte (magic included)
 //! ```
 //!
-//! The version byte is the compatibility gate: a future v2 bumps it and
-//! keeps this decoder readable. Readers reject bad magic, newer versions,
-//! and checksum mismatches with typed [`CodecError`]s; a clean end-of-stream
+//! Version 1 is the same layout without the sync marker. The marker is
+//! what makes v2 streams recoverable without trusting the length field: a
+//! reader that loses framing scans for the next marker instead of
+//! trial-decoding at every byte offset, so a corrupted *length* can no
+//! longer masquerade as an in-flight message forever.
+//!
+//! # Negotiation
+//!
+//! The magic and version byte lead both layouts, so the version byte is
+//! the compatibility gate in both directions: this (v2) reader accepts v1
+//! frames bit-identically, and a deployed v1 reader that meets a v2 frame
+//! stops at the version byte with [`CodecError::UnsupportedVersion`]`(2)` —
+//! never a checksum or allocation error, because it rejects before ever
+//! interpreting a length. Readers reject bad magic, newer versions, and
+//! checksum mismatches with typed [`CodecError`]s; a clean end-of-stream
 //! *between* frames reads as `Ok(None)`, while a stream that dies mid-frame
 //! is [`CodecError::UnexpectedEof`].
 
@@ -30,8 +43,18 @@ use std::io::{Read, Write};
 use crate::codec::CodecError;
 use crate::dataset::Fnv;
 
-/// Current frame-format version (all frame magics).
-pub const FRAME_VERSION: u8 = 1;
+/// Current frame-format version (all frame magics): sync-marker frames.
+pub const FRAME_VERSION: u8 = 2;
+
+/// The frozen version-1 frame format (no sync marker). Still fully
+/// readable; [`frame_bytes_v1`] still writes it for compatibility tests.
+pub const FRAME_VERSION_V1: u8 = 1;
+
+/// The 8-byte synchronization marker that leads every v2 frame and every
+/// v2 segment chunk. Chosen like the PNG signature: a high bit set (so
+/// 7-bit-clean transports corrupt it loudly), the protocol name, and a
+/// CR-LF tail that newline-translating transports would mangle.
+pub const SYNC_MARKER: [u8; 8] = [0xC5, b'N', b'N', b'I', b'2', 0x96, 0x0D, 0x0A];
 
 /// Append-only byte sink with the codec primitives: little-endian
 /// `u64`/`f64` (bit patterns), LEB128 varints, length-prefixed strings.
@@ -224,12 +247,32 @@ impl From<CodecError> for FrameError {
     }
 }
 
-/// Serializes one frame: magic, version byte, payload length, payload, and
-/// the trailing FNV-1a checksum over everything before it.
+/// Serializes one v2 frame: magic, version byte, sync marker, payload
+/// length, payload, and the trailing FNV-1a checksum over everything
+/// before it.
 pub fn frame_bytes(magic: &[u8; 7], payload: &[u8]) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.raw(magic);
     w.u8(FRAME_VERSION);
+    w.raw(&SYNC_MARKER);
+    w.u64(payload.len() as u64);
+    w.raw(payload);
+    let mut h = Fnv::new();
+    for &b in w.bytes() {
+        h.byte(b);
+    }
+    let checksum = h.0;
+    w.u64(checksum);
+    w.into_bytes()
+}
+
+/// Serializes one frozen version-1 frame (no sync marker) — what every
+/// pre-v2 binary wrote. Kept so interop tests can generate genuine v1
+/// streams and pin that [`read_frame`] accepts them bit-identically.
+pub fn frame_bytes_v1(magic: &[u8; 7], payload: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.raw(magic);
+    w.u8(FRAME_VERSION_V1);
     w.u64(payload.len() as u64);
     w.raw(payload);
     let mut h = Fnv::new();
@@ -253,12 +296,95 @@ pub fn write_frame(
     Ok(())
 }
 
-/// Reads one frame from a stream, verifying magic, version, and checksum.
+/// `read_exact` with mid-frame EOF mapped to the codec error it is.
+fn read_frame_bytes(input: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    input.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => FrameError::Codec(CodecError::UnexpectedEof),
+        _ => FrameError::Io(e),
+    })
+}
+
+/// Reads one frame (version 1 or 2) from a stream, verifying magic,
+/// version, sync marker (v2), and checksum.
 ///
 /// Returns `Ok(None)` on a clean end-of-stream (no bytes before EOF) — how
 /// a worker recognizes an orderly shutdown; an EOF *inside* a frame is
-/// [`CodecError::UnexpectedEof`] (a peer died mid-message).
+/// [`CodecError::UnexpectedEof`] (a peer died mid-message). The magic is
+/// validated as its bytes arrive, so input that was never a frame — even
+/// input shorter than a full header — classifies as
+/// [`CodecError::BadMagic`] at the first disagreeing byte rather than
+/// `UnexpectedEof` at the end of a header read that could not succeed.
 pub fn read_frame(input: &mut impl Read, magic: &[u8; 7]) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut head = [0u8; 7];
+    let mut got = 0usize;
+    while got < head.len() {
+        let n = input.read(&mut head[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            // A true prefix of the magic, then silence: a peer died
+            // mid-frame, not a stream of non-frame bytes.
+            return Err(CodecError::UnexpectedEof.into());
+        }
+        got += n;
+        if head[..got] != magic[..got] {
+            return Err(CodecError::BadMagic.into());
+        }
+    }
+    let mut version = [0u8; 1];
+    read_frame_bytes(input, &mut version)?;
+    let version = version[0];
+    // Everything before the payload participates in the checksum.
+    let mut header: Vec<u8> = Vec::with_capacity(7 + 1 + 8 + 8);
+    header.extend_from_slice(&head);
+    header.push(version);
+    match version {
+        FRAME_VERSION_V1 => {}
+        FRAME_VERSION => {
+            let mut sync = [0u8; 8];
+            read_frame_bytes(input, &mut sync)?;
+            if sync != SYNC_MARKER {
+                return Err(CodecError::BadValue("frame sync marker mismatch").into());
+            }
+            header.extend_from_slice(&sync);
+        }
+        other => return Err(CodecError::UnsupportedVersion(other).into()),
+    }
+    let mut len_bytes = [0u8; 8];
+    read_frame_bytes(input, &mut len_bytes)?;
+    header.extend_from_slice(&len_bytes);
+    let len = u64::from_le_bytes(len_bytes);
+    // A frame is one in-flight message, not a corpus: cap the payload so a
+    // corrupted length fails loudly instead of attempting a huge allocation.
+    const MAX_FRAME: u64 = 1 << 32;
+    if len > MAX_FRAME {
+        return Err(CodecError::BadValue("frame payload over 4 GiB").into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_frame_bytes(input, &mut payload)?;
+    let mut trailer = [0u8; 8];
+    read_frame_bytes(input, &mut trailer)?;
+    let mut h = Fnv::new();
+    for &b in header.iter().chain(&payload) {
+        h.byte(b);
+    }
+    if u64::from_le_bytes(trailer) != h.0 {
+        return Err(CodecError::ChecksumMismatch.into());
+    }
+    Ok(Some(payload))
+}
+
+/// The frozen version-1 reader, byte-for-byte what every pre-v2 binary
+/// runs: reads the full 16-byte header before validating anything and
+/// accepts only version 1. Kept so interop tests can pin how deployed v1
+/// readers classify v2 input ([`CodecError::UnsupportedVersion`]`(2)`,
+/// never a checksum or allocation error) — including its documented
+/// rough edge that short garbage reads as `UnexpectedEof`.
+pub fn read_frame_v1(
+    input: &mut impl Read,
+    magic: &[u8; 7],
+) -> Result<Option<Vec<u8>>, FrameError> {
     let mut header = [0u8; 16]; // magic + version + length
     let mut got = 0usize;
     while got < header.len() {
@@ -274,26 +400,18 @@ pub fn read_frame(input: &mut impl Read, magic: &[u8; 7]) -> Result<Option<Vec<u
     if &header[..7] != magic {
         return Err(CodecError::BadMagic.into());
     }
-    if header[7] != FRAME_VERSION {
+    if header[7] != FRAME_VERSION_V1 {
         return Err(CodecError::UnsupportedVersion(header[7]).into());
     }
     let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-    // A frame is one in-flight message, not a corpus: cap the payload so a
-    // corrupted length fails loudly instead of attempting a huge allocation.
     const MAX_FRAME: u64 = 1 << 32;
     if len > MAX_FRAME {
         return Err(CodecError::BadValue("frame payload over 4 GiB").into());
     }
     let mut payload = vec![0u8; len as usize];
-    input.read_exact(&mut payload).map_err(|e| match e.kind() {
-        std::io::ErrorKind::UnexpectedEof => FrameError::Codec(CodecError::UnexpectedEof),
-        _ => FrameError::Io(e),
-    })?;
+    read_frame_bytes(input, &mut payload)?;
     let mut trailer = [0u8; 8];
-    input.read_exact(&mut trailer).map_err(|e| match e.kind() {
-        std::io::ErrorKind::UnexpectedEof => FrameError::Codec(CodecError::UnexpectedEof),
-        _ => FrameError::Io(e),
-    })?;
+    read_frame_bytes(input, &mut trailer)?;
     let mut h = Fnv::new();
     for &b in header.iter().chain(&payload) {
         h.byte(b);
@@ -361,9 +479,18 @@ mod tests {
             err,
             FrameError::Codec(CodecError::UnsupportedVersion(9))
         ));
-        // Flipped payload byte trips the checksum.
+        // Damaged sync marker.
         let mut b = bytes.clone();
-        b[18] ^= 0x01;
+        b[10] ^= 0x20;
+        let err = read_frame(&mut b.as_slice(), MAGIC).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::Codec(CodecError::BadValue("frame sync marker mismatch"))
+        ));
+        // Flipped payload byte trips the checksum (v2 payload starts at
+        // magic + version + sync + length = 24).
+        let mut b = bytes.clone();
+        b[24] ^= 0x01;
         let err = read_frame(&mut b.as_slice(), MAGIC).unwrap_err();
         assert!(matches!(
             err,
@@ -378,11 +505,48 @@ mod tests {
     #[test]
     fn oversized_length_is_rejected_before_allocating() {
         let mut bytes = frame_bytes(MAGIC, b"x");
-        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
         let err = read_frame(&mut bytes.as_slice(), MAGIC).unwrap_err();
         assert!(matches!(
             err,
             FrameError::Codec(CodecError::BadValue("frame payload over 4 GiB"))
         ));
+    }
+
+    #[test]
+    fn v2_reader_accepts_v1_frames() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&frame_bytes_v1(MAGIC, b"legacy"));
+        stream.extend_from_slice(&frame_bytes(MAGIC, b"modern"));
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_frame(&mut cursor, MAGIC).unwrap().unwrap(), b"legacy");
+        assert_eq!(read_frame(&mut cursor, MAGIC).unwrap().unwrap(), b"modern");
+        assert!(read_frame(&mut cursor, MAGIC).unwrap().is_none());
+    }
+
+    #[test]
+    fn v1_reader_rejects_v2_frames_at_the_version_byte() {
+        let bytes = frame_bytes(MAGIC, b"from the future");
+        let err = read_frame_v1(&mut bytes.as_slice(), MAGIC).unwrap_err();
+        assert!(matches!(
+            err,
+            FrameError::Codec(CodecError::UnsupportedVersion(FRAME_VERSION))
+        ));
+    }
+
+    #[test]
+    fn short_garbage_is_bad_magic_not_eof() {
+        // Fewer bytes than a header, none of them magic: the stream was
+        // never a frame, and the error must say so.
+        for garbage in [&b"x"[..], b"junk", b"NNIXXXX", b"\x00\x00\x00"] {
+            let err = read_frame(&mut &garbage[..], MAGIC).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Codec(CodecError::BadMagic)),
+                "{garbage:?} -> {err:?}"
+            );
+        }
+        // A true prefix of the magic, then EOF: a peer died mid-frame.
+        let err = read_frame(&mut &MAGIC[..3], MAGIC).unwrap_err();
+        assert!(matches!(err, FrameError::Codec(CodecError::UnexpectedEof)));
     }
 }

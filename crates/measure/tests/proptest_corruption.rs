@@ -11,8 +11,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nni_measure::codec::{self, CodecError};
 use nni_measure::{
-    frame_bytes, read_frame, FrameError, MeasurementLog, MeasurementSet, Provenance,
-    SegmentFollower, SegmentItem, SegmentWriter,
+    frame_bytes, frame_bytes_v1, read_frame, read_frame_v1, FrameError, MeasurementLog,
+    MeasurementSet, Provenance, SegmentFollower, SegmentItem, SegmentWriter, FRAME_VERSION,
 };
 use nni_topology::{PathId, TopologyBuilder};
 use proptest::prelude::*;
@@ -61,18 +61,20 @@ fn at(frac: f64, n: usize) -> usize {
 }
 
 /// Spills `set` as four interval chunks and returns the file bytes plus
-/// the offset where the header chunk ends.
-fn segment_bytes(path: &PathBuf, set: &MeasurementSet) -> (Vec<u8>, usize) {
+/// the byte offset where each chunk *starts* (marks[0] is the header
+/// chunk's end, i.e. where the first interval chunk begins).
+fn segment_bytes(path: &PathBuf, set: &MeasurementSet) -> (Vec<u8>, Vec<usize>) {
     let total = set.log.interval_count();
     let mut w = SegmentWriter::create(path, set).unwrap();
-    let header_end = std::fs::read(path).unwrap().len();
+    let mut marks = vec![std::fs::read(path).unwrap().len()];
     let quarter = total / 4;
     for i in 0..4 {
         let from = i * quarter;
         let to = if i == 3 { total } else { (i + 1) * quarter };
         w.append_intervals(&set.log, from, to).unwrap();
+        marks.push(std::fs::read(path).unwrap().len());
     }
-    (std::fs::read(path).unwrap(), header_end)
+    (std::fs::read(path).unwrap(), marks)
 }
 
 /// Every `Intervals` item a follower hands out must match the recorded
@@ -104,6 +106,7 @@ proptest! {
         let _ = codec::decode(&soup);
         let _ = codec::decode_prefix(&soup);
         let _ = read_frame(&mut Cursor::new(&soup), MAGIC);
+        let _ = read_frame_v1(&mut Cursor::new(&soup), MAGIC);
     }
 
     /// A single flipped bit anywhere in an encoded measurement set is
@@ -212,6 +215,85 @@ proptest! {
                 }
             }
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Interop on the measurement wire: a frozen v1 frame carrying an
+    /// encoded set decodes bit-identically through the v2 reader, and a
+    /// v2 frame stops a v1 reader at the version byte with the typed
+    /// `UnsupportedVersion(2)` — by construction, whatever the payload.
+    #[test]
+    fn set_frames_interop_across_wire_versions(
+        intervals in 1usize..20,
+        salt in 0u64..u64::MAX,
+    ) {
+        let set = sample_set(intervals, salt);
+        let encoded = codec::encode(&set);
+
+        let v1 = frame_bytes_v1(MAGIC, &encoded);
+        let payload = read_frame(&mut Cursor::new(&v1), MAGIC)
+            .expect("v1 frame reads clean in the v2 reader")
+            .expect("one frame present");
+        prop_assert_eq!(&codec::decode(&payload).unwrap(), &set);
+
+        let v2 = frame_bytes(MAGIC, &encoded);
+        prop_assert!(matches!(
+            read_frame_v1(&mut Cursor::new(&v2), MAGIC),
+            Err(FrameError::Codec(CodecError::UnsupportedVersion(FRAME_VERSION)))
+        ));
+    }
+
+    /// Marker-adjacent corruption in a segment: a flip inside an interval
+    /// chunk's own sync marker costs exactly that chunk. The resync
+    /// scanner re-anchors on the next genuine marker, every surviving row
+    /// is genuine, and the loss is declared as one well-formed gap — never
+    /// silently absorbed.
+    #[test]
+    fn marker_corruption_costs_exactly_the_damaged_chunk(
+        intervals in 8usize..24,
+        salt in 0u64..u64::MAX,
+        byte in 0usize..8,
+        bit in 0u8..8,
+    ) {
+        let set = sample_set(intervals, salt);
+        let path = temp_segment();
+        let (mut bytes, marks) = segment_bytes(&path, &set);
+        // marks[1] is where the second interval chunk — and therefore its
+        // leading sync marker — begins.
+        bytes[marks[1] + byte] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut resync = SegmentFollower::open(&path).with_resync(true);
+        let batch = resync.poll().expect("marker damage is routable");
+        assert_rows_genuine(&batch.items, &set);
+
+        let quarter = intervals / 4;
+        let mut seen = vec![false; intervals];
+        for item in &batch.items {
+            if let SegmentItem::Intervals { first_t, rows } = item {
+                for i in 0..rows.len() {
+                    seen[first_t + i] = true;
+                }
+            }
+        }
+        for (t, &got) in seen.iter().enumerate() {
+            let damaged = (quarter..2 * quarter).contains(&t);
+            prop_assert_eq!(got, !damaged, "interval {}", t);
+        }
+        let gaps: Vec<_> = batch
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SegmentItem::Gap(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(gaps.len(), 1, "one declared gap");
+        prop_assert_eq!(
+            (gaps[0].from_interval, gaps[0].to_interval),
+            (quarter, 2 * quarter)
+        );
+        prop_assert!(gaps[0].bytes_skipped > 0);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -108,7 +108,8 @@ pub use generate::{GenConfig, ScenarioGen};
 pub use infer::{infer, infer_scored, InferenceConfig, InferenceOutcome};
 pub use process::{
     default_worker_bin, BatchOutcome, ProcessError, ProcessExecutor, ProcessStats, Quarantined,
-    WorkerFailure, DEFAULT_JOB_TIMEOUT_MS, DEFAULT_MAX_ATTEMPTS, WORKER_BIN_ENV,
+    WorkerFailure, WorkerTransport, DEFAULT_CONNECT_TIMEOUT_MS, DEFAULT_JOB_TIMEOUT_MS,
+    DEFAULT_MAX_ATTEMPTS, WORKER_BIN_ENV,
 };
 pub use proto::{
     decode_scenario, encode_scenario, read_job, read_result, result_frame_bytes, write_job,

@@ -35,12 +35,14 @@
 
 use std::collections::VecDeque;
 use std::ffi::OsString;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nni_emu::SimReport;
 use nni_measure::codec::CodecError;
@@ -70,6 +72,32 @@ pub const DEFAULT_BACKOFF_BASE_MS: u64 = 10;
 
 /// Default ceiling of the respawn backoff.
 pub const DEFAULT_BACKOFF_CAP_MS: u64 = 1_000;
+
+/// How long the pool waits for a spawned TCP-mode worker to connect back
+/// (or for a dial-out connection to a remote worker to establish) before
+/// calling the spawn failed.
+pub const DEFAULT_CONNECT_TIMEOUT_MS: u64 = 10_000;
+
+/// How the pool reaches its workers. The `NNIWJOB`/`NNIWRES` frame
+/// protocol — and every crash/hang/timeout semantic built on it — is
+/// byte-identical on all three transports; only the plumbing differs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum WorkerTransport {
+    /// Frames over the spawned child's stdin/stdout pipes (the default).
+    #[default]
+    Stdio,
+    /// Connect-back TCP over loopback: the pool binds an ephemeral
+    /// `127.0.0.1` port per worker, spawns `nni-worker --connect <addr>`,
+    /// and accepts exactly that worker's connection. Killing the child
+    /// closes its socket, so hang/crash detection carries over unchanged.
+    Tcp,
+    /// Dial out to already-running `nni-worker --listen` processes —
+    /// possibly on other machines. The pool cannot kill a remote worker:
+    /// on a hang it drops the connection (the worker's serve loop sees
+    /// EOF) and redials. Per-spawn environment (`with_env`) does not
+    /// apply; a remote worker's fault plan rides its own environment.
+    Remote(Vec<SocketAddr>),
+}
 
 /// Where the worker binary lives when no override is given: next to the
 /// current executable (stepping out of cargo's `deps/` directory when the
@@ -266,6 +294,8 @@ pub struct ProcessExecutor {
     backoff_base: Duration,
     backoff_cap: Duration,
     envs: Vec<(OsString, OsString)>,
+    transport: WorkerTransport,
+    connect_timeout: Duration,
 }
 
 impl ProcessExecutor {
@@ -280,7 +310,34 @@ impl ProcessExecutor {
             backoff_base: Duration::from_millis(DEFAULT_BACKOFF_BASE_MS),
             backoff_cap: Duration::from_millis(DEFAULT_BACKOFF_CAP_MS),
             envs: Vec::new(),
+            transport: WorkerTransport::default(),
+            connect_timeout: Duration::from_millis(DEFAULT_CONNECT_TIMEOUT_MS),
         }
+    }
+
+    /// Same pool, explicit worker transport (stdio pipes, connect-back
+    /// TCP, or dial-out to remote `--listen` workers).
+    pub fn with_transport(mut self, transport: WorkerTransport) -> ProcessExecutor {
+        if let WorkerTransport::Remote(addrs) = &transport {
+            // One connection per pool thread: cap the pool at the number
+            // of addresses only if none were given (a misconfiguration
+            // that would otherwise spin on an empty modulus).
+            assert!(!addrs.is_empty(), "remote transport needs addresses");
+        }
+        self.transport = transport;
+        self
+    }
+
+    /// Same pool, explicit connect/accept deadline for socket transports
+    /// (floored at one millisecond).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> ProcessExecutor {
+        self.connect_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// The configured transport.
+    pub fn transport(&self) -> &WorkerTransport {
+        &self.transport
     }
 
     /// Same pool, explicit worker binary.
@@ -356,8 +413,10 @@ impl ProcessExecutor {
         let timeouts = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
+            for widx in 0..workers {
+                let (failure, queue, slots, quarantined) = (&failure, &queue, &slots, &quarantined);
+                let (respawns, retries, timeouts) = (&respawns, &retries, &timeouts);
+                scope.spawn(move || {
                     let mut worker: Option<Worker> = None;
                     // Consecutive deaths seen by this thread; drives the
                     // respawn backoff and resets on a completed job.
@@ -378,11 +437,11 @@ impl ProcessExecutor {
                                     deaths,
                                 ));
                             }
-                            match Worker::spawn(&self.worker_bin, &self.envs) {
+                            match Worker::spawn_for(self, widx) {
                                 Ok(w) => worker = Some(w),
                                 Err(error) => {
                                     fail(
-                                        &failure,
+                                        failure,
                                         ProcessError::Spawn {
                                             bin: self.worker_bin.clone(),
                                             error,
@@ -425,7 +484,7 @@ impl ProcessExecutor {
                                 }
                             }
                             JobResult::Fatal(error) => {
-                                fail(&failure, error);
+                                fail(failure, error);
                                 break;
                             }
                         }
@@ -520,7 +579,13 @@ impl Executor for ProcessExecutor {
     }
 
     fn describe(&self) -> String {
-        format!("process({})", self.workers)
+        match &self.transport {
+            WorkerTransport::Stdio => format!("process({})", self.workers),
+            WorkerTransport::Tcp => format!("process_tcp({})", self.workers),
+            WorkerTransport::Remote(addrs) => {
+                format!("process_remote({}x{})", self.workers, addrs.len())
+            }
+        }
     }
 }
 
@@ -548,18 +613,83 @@ enum JobResult {
     Fatal(ProcessError),
 }
 
-/// One live worker subprocess. Results are pulled by a dedicated reader
-/// thread and handed over a channel, so the parent can bound its wait
-/// (`recv_timeout`) and kill a hung worker instead of blocking forever.
+/// The job-write half of a worker connection: a child's stdin pipe or the
+/// write side of a TCP stream.
+enum WorkerIo {
+    Stdio(ChildStdin),
+    Tcp(TcpStream),
+}
+
+impl Write for WorkerIo {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            WorkerIo::Stdio(s) => s.write(buf),
+            WorkerIo::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            WorkerIo::Stdio(s) => s.flush(),
+            WorkerIo::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl WorkerIo {
+    /// Signals end-of-jobs to the worker. Dropping a `ChildStdin` closes
+    /// the pipe, but dropping a cloned `TcpStream` handle does not close
+    /// the socket — the read half still holds it — so TCP needs an
+    /// explicit write-side shutdown.
+    fn close(self) {
+        match self {
+            WorkerIo::Stdio(stdin) => drop(stdin),
+            WorkerIo::Tcp(stream) => {
+                let _ = stream.shutdown(Shutdown::Write);
+            }
+        }
+    }
+
+    /// Tears the whole connection down (post-crash/hang cleanup): for a
+    /// remote worker this is the only kill the pool has.
+    fn sever(self) {
+        match self {
+            WorkerIo::Stdio(stdin) => drop(stdin),
+            WorkerIo::Tcp(stream) => {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// One live worker: a spawned subprocess (stdio or connect-back TCP) or a
+/// dialed-out connection to a remote `--listen` worker (no child to
+/// manage). Results are pulled by a dedicated reader thread and handed
+/// over a channel, so the parent can bound its wait (`recv_timeout`) and
+/// kill a hung worker instead of blocking forever.
 struct Worker {
-    child: Child,
-    stdin: ChildStdin,
-    results: Receiver<Result<Option<(u64, SimReport)>, FrameError>>,
+    child: Option<Child>,
+    io: WorkerIo,
+    results: Receiver<ResultMsg>,
     reader: std::thread::JoinHandle<()>,
 }
 
 impl Worker {
-    fn spawn(bin: &Path, envs: &[(OsString, OsString)]) -> Result<Worker, std::io::Error> {
+    /// Spawns (or dials) one worker per the executor's transport. `widx`
+    /// picks the remote address round-robin in `Remote` mode.
+    fn spawn_for(exec: &ProcessExecutor, widx: usize) -> Result<Worker, std::io::Error> {
+        match &exec.transport {
+            WorkerTransport::Stdio => Worker::spawn_stdio(&exec.worker_bin, &exec.envs),
+            WorkerTransport::Tcp => {
+                Worker::spawn_tcp(&exec.worker_bin, &exec.envs, exec.connect_timeout)
+            }
+            WorkerTransport::Remote(addrs) => {
+                Worker::dial(addrs[widx % addrs.len()], exec.connect_timeout)
+            }
+        }
+    }
+
+    fn spawn_stdio(bin: &Path, envs: &[(OsString, OsString)]) -> Result<Worker, std::io::Error> {
         let mut cmd = Command::new(bin);
         cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
         for (key, value) in envs {
@@ -567,26 +697,90 @@ impl Worker {
         }
         let mut child = cmd.spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
-        let mut stdout = child.stdout.take().expect("piped stdout");
-        let (tx, results) = std::sync::mpsc::channel();
-        let reader = std::thread::spawn(move || loop {
-            let msg = read_result(&mut stdout);
-            // Anything but a result ends the stream; forward it and stop.
-            let stop = !matches!(msg, Ok(Some(_)));
-            if tx.send(msg).is_err() || stop {
-                break;
-            }
-        });
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (results, reader) = spawn_reader(stdout);
         Ok(Worker {
-            child,
-            stdin,
+            child: Some(child),
+            io: WorkerIo::Stdio(stdin),
+            results,
+            reader,
+        })
+    }
+
+    /// Connect-back TCP: bind an ephemeral loopback port, hand it to the
+    /// worker via `--connect`, and accept with a deadline so a worker
+    /// that dies before connecting cannot wedge the pool.
+    fn spawn_tcp(
+        bin: &Path,
+        envs: &[(OsString, OsString)],
+        connect_timeout: Duration,
+    ) -> Result<Worker, std::io::Error> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let mut cmd = Command::new(bin);
+        cmd.arg("--connect")
+            .arg(addr.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null());
+        for (key, value) in envs {
+            cmd.env(key, value);
+        }
+        let mut child = cmd.spawn()?;
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + connect_timeout;
+        let stream = loop {
+            match listener.accept() {
+                Ok((stream, _)) => break stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        return Err(std::io::Error::other(format!(
+                            "worker exited ({status}) before connecting back"
+                        )));
+                    }
+                    if Instant::now() >= deadline {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(std::io::Error::other(
+                            "worker did not connect back within the connect timeout",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(e);
+                }
+            }
+        };
+        stream.set_nonblocking(false)?;
+        let _ = stream.set_nodelay(true);
+        let write = stream.try_clone()?;
+        let (results, reader) = spawn_reader(stream);
+        Ok(Worker {
+            child: Some(child),
+            io: WorkerIo::Tcp(write),
+            results,
+            reader,
+        })
+    }
+
+    /// Dial-out to a remote `--listen` worker.
+    fn dial(addr: SocketAddr, connect_timeout: Duration) -> Result<Worker, std::io::Error> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        let _ = stream.set_nodelay(true);
+        let write = stream.try_clone()?;
+        let (results, reader) = spawn_reader(stream);
+        Ok(Worker {
+            child: None,
+            io: WorkerIo::Tcp(write),
             results,
             reader,
         })
     }
 
     fn run_job(&mut self, job: usize, scenario: &Scenario, timeout: Duration) -> JobResult {
-        if let Err(e) = write_job(&mut self.stdin, job as u64, scenario) {
+        if let Err(e) = write_job(&mut self.io, job as u64, scenario) {
             // A write failure (EPIPE) means the worker is gone.
             return JobResult::WorkerDied(WorkerFailure::Io(format!("job write failed: {e}")));
         }
@@ -620,37 +814,64 @@ impl Worker {
         }
     }
 
-    /// Orderly shutdown: close stdin (the worker reads EOF and exits),
-    /// reap, and join the reader.
+    /// Orderly shutdown: signal end-of-jobs (close stdin / shut down the
+    /// socket's write side — the worker reads EOF and exits or moves to
+    /// its next connection), reap any child, and join the reader.
     fn shutdown(self) {
         let Worker {
-            mut child,
-            stdin,
+            child,
+            io,
             results,
             reader,
         } = self;
-        drop(stdin);
-        let _ = child.wait();
+        io.close();
+        if let Some(mut child) = child {
+            let _ = child.wait();
+        }
         drop(results);
         let _ = reader.join();
     }
 
-    /// Post-crash (or post-hang) cleanup: make sure the process is gone,
-    /// reap it, and join the reader (the kill closes the pipe, so the
-    /// reader's blocking read returns).
+    /// Post-crash (or post-hang) cleanup: make sure the process is gone
+    /// (for a remote worker, that the connection is), reap any child, and
+    /// join the reader (the kill or socket shutdown closes the stream, so
+    /// the reader's blocking read returns).
     fn reap(self) {
         let Worker {
-            mut child,
-            stdin,
+            child,
+            io,
             results,
             reader,
         } = self;
-        drop(stdin);
-        let _ = child.kill();
-        let _ = child.wait();
+        io.sever();
+        if let Some(mut child) = child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
         drop(results);
         let _ = reader.join();
     }
+}
+
+/// What the reader thread delivers per result frame: `Some((job id,
+/// report))`, `None` on a clean end-of-stream, or the frame error.
+type ResultMsg = Result<Option<(u64, SimReport)>, FrameError>;
+
+/// Starts the dedicated result-reader thread over a worker's byte stream,
+/// returning the channel the parent waits on and the thread's handle.
+fn spawn_reader(
+    mut input: impl std::io::Read + Send + 'static,
+) -> (Receiver<ResultMsg>, std::thread::JoinHandle<()>) {
+    let (tx, results) = std::sync::mpsc::channel();
+    let reader = std::thread::spawn(move || loop {
+        let msg = read_result(&mut input);
+        // Anything but a result ends the stream; forward it and stop.
+        let stop = !matches!(msg, Ok(Some(_)));
+        if tx.send(msg).is_err() || stop {
+            break;
+        }
+    });
+    (results, reader)
 }
 
 #[cfg(test)]

@@ -7,11 +7,15 @@
 //! nni-serviced <spool> [--workers N] [--drain] [--worker-bin PATH]
 //!              [--poll-ms N] [--max-attempts N] [--follow]
 //!              [--job-timeout-ms N] [--job-retries N] [--max-batch N]
+//!              [--serve-segments ADDR]
 //! ```
 //!
 //! With `--follow`, completed jobs spill as chunked `.nniseg` segments
 //! instead of whole `.nniset` entries, so a live tail (`nni-live`) sees
-//! intervals land while the spool drains.
+//! intervals land while the spool drains. `--serve-segments ADDR` also
+//! streams that live segment traffic to remote tails over TCP (announced
+//! as `serving-segments <bound-addr>` on stdout; pair with
+//! `nni-live --connect`).
 //!
 //! Without `--drain` the daemon polls forever (until a drain marker is
 //! written, e.g. by `nni-servicectl drain`). Undecodable or persistently
@@ -28,7 +32,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: nni-serviced <spool> [--workers N] [--drain] \
          [--worker-bin PATH] [--poll-ms N] [--max-attempts N] [--follow] \
-         [--job-timeout-ms N] [--job-retries N] [--max-batch N]"
+         [--job-timeout-ms N] [--job-retries N] [--max-batch N] \
+         [--serve-segments ADDR]"
     );
     exit(2);
 }
@@ -62,6 +67,9 @@ fn main() {
             "--job-timeout-ms" => cfg.job_timeout_ms = parse("--job-timeout-ms", args.next()),
             "--job-retries" => cfg.job_retries = parse("--job-retries", args.next()),
             "--max-batch" => cfg.max_batch = parse("--max-batch", args.next()),
+            "--serve-segments" => {
+                cfg.serve_segments = Some(parse::<String>("--serve-segments", args.next()))
+            }
             "--help" | "-h" => usage(),
             _ if spool.is_none() && !arg.starts_with('-') => spool = Some(PathBuf::from(arg)),
             _ => {

@@ -30,11 +30,13 @@
 use std::collections::HashMap;
 use std::ffi::OsString;
 use std::fs;
+use std::io::Write;
+use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use nni_measure::wire::FrameError;
-use nni_measure::{Corpus, Fnv, MeasurementSet, SegmentWriter};
+use nni_measure::{Corpus, Fnv, MeasurementSet, RelaySource, SegmentWriter};
 use nni_scenario::fault::FaultPlan;
 use nni_scenario::{
     read_job, Executor, Experiment, ProcessError, ProcessExecutor, Quarantined, Scenario,
@@ -78,6 +80,11 @@ pub struct DaemonConfig {
     /// Extra environment variables for spawned workers (how tests ship a
     /// `FaultPlan` without touching the daemon's own environment).
     pub worker_env: Vec<(String, String)>,
+    /// Serve the corpus's live `.nniseg` traffic to remote tails
+    /// (`nni-live --connect`) on this address. `None`: no listener. The
+    /// bound address is announced as `serving-segments <addr>` on stdout,
+    /// so `127.0.0.1:0` picks a free port race-free.
+    pub serve_segments: Option<String>,
 }
 
 impl DaemonConfig {
@@ -98,6 +105,7 @@ impl DaemonConfig {
             retry_cap_ms: 1_000,
             max_batch: 32,
             worker_env: Vec::new(),
+            serve_segments: None,
         }
     }
 }
@@ -222,9 +230,48 @@ fn retry_backoff(cfg: &DaemonConfig, name: &OsString, strike: u32) -> Duration {
 
 /// Runs the daemon until drained (drain mode / drain marker) or a terminal
 /// error. See the module docs for the durability contract.
+/// Spawns the segment-relay accept loop on an already-bound listener:
+/// each connection gets its own [`RelaySource`] over `dir` (full history
+/// from byte zero) on its own thread. Connection endings are logged, not
+/// fatal; the loop runs until the process exits.
+pub fn spawn_segment_server(
+    listener: TcpListener,
+    dir: PathBuf,
+    poll: Duration,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let dir = dir.clone();
+                    std::thread::spawn(move || {
+                        let _ = stream.set_nodelay(true);
+                        let mut out = std::io::BufWriter::new(stream);
+                        let e = RelaySource::new(&dir).serve(&mut out, poll);
+                        // A tail hanging up is how relay connections end.
+                        eprintln!("segment relay connection ended: {e}");
+                    });
+                }
+                Err(e) => eprintln!("segment relay accept failed: {e}"),
+            }
+        }
+    })
+}
+
 pub fn run_daemon(cfg: &DaemonConfig) -> Result<DaemonSummary, ServiceError> {
     let spool = Spool::open(&cfg.spool)?;
     let corpus = Corpus::open(spool.corpus_dir())?;
+    if let Some(addr) = &cfg.serve_segments {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        println!("serving-segments {bound}");
+        let _ = std::io::stdout().flush();
+        spawn_segment_server(
+            listener,
+            spool.corpus_dir().to_path_buf(),
+            Duration::from_millis(cfg.poll_ms.max(1)),
+        );
+    }
     let mut exec = ProcessExecutor::new(cfg.workers)
         .with_max_attempts(cfg.max_attempts)
         .with_job_timeout(Duration::from_millis(cfg.job_timeout_ms.max(1)));

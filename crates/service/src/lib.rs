@@ -32,6 +32,6 @@ pub mod daemon;
 pub mod spool;
 pub mod worker;
 
-pub use daemon::{run_daemon, DaemonConfig, DaemonSummary, ServiceError};
+pub use daemon::{run_daemon, spawn_segment_server, DaemonConfig, DaemonSummary, ServiceError};
 pub use spool::{reason_path_for, Spool, SpoolCounts, JOB_EXT};
 pub use worker::{fault_token, serve, CRASH_ONCE_ENV};

@@ -11,6 +11,8 @@
 //! environment, so these tests run in parallel with everything else.
 //!
 //! `NNI_FAULT_SEED` reseeds both the population and the plan (CI pins 42).
+//! The full storm runs twice — over stdio pipes and over loopback TCP —
+//! because fault classification must not depend on the transport.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -144,13 +146,16 @@ fn clean_eof_mid_batch_is_distinguished_from_a_hang() {
     }
 }
 
-#[test]
-fn chaos_population_is_bit_identical_and_quarantines_exactly_the_poison_set() {
+/// The full fault storm over one worker transport. The fault hooks live
+/// in the worker's serve loop, which reads and writes a generic stream —
+/// so every failure mode (torn frames, bit flips, crashes, hangs) must
+/// classify identically whether the frames cross pipes or a socket.
+fn storm(tag: &str, transport: nni_scenario::WorkerTransport) {
     let scenarios = chaos_population();
     let refs: Vec<&Scenario> = scenarios.iter().collect();
 
     // The plan is known before the storm: predict the poison set.
-    let state = temp_dir("storm-state");
+    let state = temp_dir(&format!("storm-state-{tag}"));
     let plan = FaultPlan {
         crash_before: 0.12,
         crash_after: 0.12,
@@ -182,6 +187,7 @@ fn chaos_population_is_bit_identical_and_quarantines_exactly_the_poison_set() {
 
     let exec = ProcessExecutor::new(4)
         .with_worker_bin(worker_bin())
+        .with_transport(transport)
         .with_max_attempts(6) // transients fire once: never quarantined
         .with_job_timeout(Duration::from_secs(10))
         .with_backoff(Duration::from_millis(5), Duration::from_millis(50))
@@ -214,6 +220,16 @@ fn chaos_population_is_bit_identical_and_quarantines_exactly_the_poison_set() {
         }
     }
     std::fs::remove_dir_all(&state).unwrap();
+}
+
+#[test]
+fn chaos_population_is_bit_identical_and_quarantines_exactly_the_poison_set() {
+    storm("stdio", nni_scenario::WorkerTransport::Stdio);
+}
+
+#[test]
+fn chaos_storm_over_tcp_sockets_is_bit_identical_too() {
+    storm("tcp", nni_scenario::WorkerTransport::Tcp);
 }
 
 #[test]

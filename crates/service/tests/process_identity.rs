@@ -1,21 +1,53 @@
-//! The three-way identity gate: for the same scenarios, the process
-//! executor's outcomes are bit-identical to the serial and sharded
-//! executors' — across the curated 14-scenario identity suite AND the
-//! 24-scenario randomized invariant population. This is the suite the
-//! dedicated `process-identity` CI job runs.
+//! The identity gate: for the same scenarios, the process executor's
+//! outcomes are bit-identical to the serial and sharded executors' —
+//! across the curated 14-scenario identity suite AND the 24-scenario
+//! randomized invariant population, over every worker transport (stdio
+//! pipes, TCP connect-back, and dial-out to `--listen` workers). This is
+//! the suite the dedicated `process-identity` and `socket-identity` CI
+//! jobs run (the latter filters on `socket`).
 //!
 //! The worker binary is the one cargo just built for this crate
 //! (`CARGO_BIN_EXE_nni-worker`), so the gate always tests the code under
 //! review, never a stale installed binary.
 
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
 use nni_scenario::library::identity_suite;
 use nni_scenario::{
     run_sets, Executor, ProcessExecutor, Scenario, ScenarioGen, SerialExecutor, ShardedExecutor,
-    SweepSet,
+    SweepSet, WorkerTransport,
 };
 
 fn process_pool(workers: usize) -> ProcessExecutor {
     ProcessExecutor::new(workers).with_worker_bin(env!("CARGO_BIN_EXE_nni-worker"))
+}
+
+fn tcp_pool(workers: usize) -> ProcessExecutor {
+    process_pool(workers).with_transport(WorkerTransport::Tcp)
+}
+
+/// Spawns one standalone `nni-worker --listen 127.0.0.1:0` and parses the
+/// bound address off its announcement line.
+fn listen_worker() -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nni-worker"))
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("listen worker spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("announcement line");
+    let addr = line
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("bad announcement: {line:?}"))
+        .trim()
+        .parse()
+        .expect("announced address parses");
+    (child, addr)
 }
 
 fn invariant_seed() -> u64 {
@@ -81,6 +113,75 @@ fn randomized_population_is_three_way_bit_identical() {
     assert_eq!(
         serial, process,
         "process sweep-set outcomes must be bit-identical to serial"
+    );
+}
+
+#[test]
+fn identity_suite_is_bit_identical_over_tcp_sockets() {
+    // The socket leg of the gate: same jobs, same answers, whether the
+    // frames cross stdio pipes or a loopback TCP connection.
+    let experiments: Vec<_> = identity_suite().iter().map(Scenario::compile).collect();
+    let serial = SerialExecutor.execute(&experiments);
+
+    let (tcp, stats) = tcp_pool(2)
+        .try_execute(&experiments)
+        .expect("tcp batch succeeds");
+    assert_eq!(
+        serial, tcp,
+        "socket-transport outcomes must be bit-identical to serial"
+    );
+    assert_eq!(
+        (stats.respawns, stats.retries),
+        (0, 0),
+        "a healthy socket pool neither crashes nor retries"
+    );
+}
+
+#[test]
+fn randomized_population_is_bit_identical_over_tcp_sockets() {
+    let sets: Vec<SweepSet> = random_population()
+        .chunks(6)
+        .enumerate()
+        .map(|(i, chunk)| {
+            SweepSet::from_points(
+                format!("random socket set {i}"),
+                "member",
+                chunk.iter().map(|s| (s.name.clone(), s.clone())),
+            )
+        })
+        .collect();
+    let serial = run_sets(&sets, &SerialExecutor);
+    let tcp = run_sets(&sets, &tcp_pool(2));
+    assert_eq!(
+        serial, tcp,
+        "socket sweep-set outcomes must be bit-identical to serial"
+    );
+}
+
+#[test]
+fn identity_holds_against_standalone_listen_socket_workers() {
+    // Dial-out mode: the pool owns no worker processes at all — it
+    // connects to already-running `nni-worker --listen` endpoints, the
+    // fleet-of-boxes shape. Identity must survive that too.
+    let (mut w1, a1) = listen_worker();
+    let (mut w2, a2) = listen_worker();
+    let experiments: Vec<_> = identity_suite()
+        .iter()
+        .take(6)
+        .map(Scenario::compile)
+        .collect();
+    let serial = SerialExecutor.execute(&experiments);
+    let remote = ProcessExecutor::new(2)
+        .with_transport(WorkerTransport::Remote(vec![a1, a2]))
+        .try_execute(&experiments);
+    let _ = w1.kill();
+    let _ = w2.kill();
+    let _ = w1.wait();
+    let _ = w2.wait();
+    let (remote, _) = remote.expect("remote batch succeeds");
+    assert_eq!(
+        serial, remote,
+        "dial-out worker outcomes must be bit-identical to serial"
     );
 }
 

@@ -1,0 +1,184 @@
+//! The remote-monitor gate: `nni-serviced --serve-segments` must stream a
+//! draining spool's live `.nniseg` traffic to a connected
+//! [`RemoteTail`](nni_measure::RemoteTail) such that the remote replay is
+//! bit-identical to what a local [`CorpusTail`](nni_measure::CorpusTail)
+//! reads off the corpus directory — and to the original simulation.
+
+use std::io::BufRead;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use nni_measure::{MeasurementLog, RemoteTail, TailEvent};
+use nni_scenario::library::{topology_a_scenario, ExperimentParams};
+use nni_service::{run_daemon, spawn_segment_server, DaemonConfig, Spool};
+use nni_topology::PathId;
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_nni-worker")
+}
+
+fn temp_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nni-remote-seg-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Replays header + interval events into a log, panicking on anything a
+/// clean stream must not contain.
+fn reassemble(
+    events: &[TailEvent],
+) -> (Option<nni_measure::MeasurementSet>, Option<MeasurementLog>) {
+    let mut header = None;
+    let mut log: Option<MeasurementLog> = None;
+    for e in events {
+        match e {
+            TailEvent::SegmentHeader { set, .. } => {
+                log = Some(MeasurementLog::new(
+                    set.log.path_count(),
+                    set.log.interval_s(),
+                ));
+                header = Some(set.clone());
+            }
+            TailEvent::SegmentIntervals { first_t, rows, .. } => {
+                let log = log.as_mut().expect("header precedes intervals");
+                for (i, (sent, lost)) in rows.iter().enumerate() {
+                    for (p, (&s, &l)) in sent.iter().zip(lost).enumerate() {
+                        log.record_sent(first_t + i, PathId(p), s);
+                        log.record_lost(first_t + i, PathId(p), l);
+                    }
+                }
+            }
+            other => panic!("unexpected event on a clean stream: {other:?}"),
+        }
+    }
+    (header, log)
+}
+
+#[test]
+fn remote_tail_replays_a_draining_spool_bit_identically() {
+    let spool_dir = temp_spool("inproc");
+    let spool = Spool::open(&spool_dir).expect("spool opens");
+    let scenario = topology_a_scenario(ExperimentParams {
+        duration_s: 4.0,
+        ..ExperimentParams::default()
+    });
+    spool.submit(&scenario.with_seed(21)).expect("submit");
+
+    // Bind the relay ourselves (port 0, race-free) and point a remote
+    // tail at it *before* the daemon runs: the connection must see the
+    // segment grow, not just the finished file.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    spawn_segment_server(
+        listener,
+        spool.corpus_dir().to_path_buf(),
+        Duration::from_millis(5),
+    );
+    let mut remote = RemoteTail::connect(addr).expect("connect");
+
+    let cfg = DaemonConfig {
+        worker_bin: Some(PathBuf::from(worker_bin())),
+        follow: true,
+        ..DaemonConfig::drain(&spool_dir)
+    };
+    let summary = run_daemon(&cfg).expect("daemon drains");
+    assert_eq!(summary.jobs_done, 1);
+
+    // Collect remotely until the full log has crossed the wire.
+    let want = scenario.with_seed(21).compile().simulate();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut events = Vec::new();
+    loop {
+        events.extend(remote.poll().expect("remote poll"));
+        let (_, log) = reassemble(&events);
+        if log.as_ref() == Some(&want.log) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "remote replay incomplete after 60s: {} events",
+            events.len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (header, _) = reassemble(&events);
+    assert_eq!(header.expect("header seen").provenance, want.provenance);
+
+    // And the remote stream is exactly what a local tail reads.
+    let mut local_tail = nni_measure::CorpusTail::open(spool.corpus_dir()).expect("local tail");
+    let local = local_tail.poll().expect("local poll");
+    let (lh, ll) = reassemble(&local);
+    assert_eq!(lh.expect("local header").provenance, want.provenance);
+    assert_eq!(ll.expect("local log"), want.log);
+    std::fs::remove_dir_all(&spool_dir).expect("cleanup");
+}
+
+#[test]
+fn serviced_binary_announces_and_serves_segments_over_a_socket() {
+    let spool_dir = temp_spool("bin");
+    let spool = Spool::open(&spool_dir).expect("spool opens");
+    let scenario = topology_a_scenario(ExperimentParams {
+        duration_s: 4.0,
+        ..ExperimentParams::default()
+    });
+    spool.submit(&scenario.with_seed(23)).expect("submit");
+
+    // Follow mode, no --drain: the daemon keeps serving after the queue
+    // empties, so the relay is guaranteed alive until we kill it.
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_nni-serviced"))
+        .arg(&spool_dir)
+        .args([
+            "--follow",
+            "--serve-segments",
+            "127.0.0.1:0",
+            "--poll-ms",
+            "20",
+        ])
+        .args(["--worker-bin", worker_bin()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = daemon.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("announcement line");
+    let addr: SocketAddr = line
+        .strip_prefix("serving-segments ")
+        .unwrap_or_else(|| panic!("bad announcement: {line:?}"))
+        .trim()
+        .parse()
+        .expect("announced address parses");
+
+    let want = scenario.with_seed(23).compile().simulate();
+    let mut remote = RemoteTail::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut events = Vec::new();
+    let complete = loop {
+        match remote.poll() {
+            Ok(batch) => events.extend(batch),
+            Err(e) => panic!("remote poll failed: {e}"),
+        }
+        let (_, log) = reassemble(&events);
+        if log.as_ref() == Some(&want.log) {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+    assert!(complete, "remote replay incomplete after 60s");
+    let (header, _) = reassemble(&events);
+    assert_eq!(header.expect("header seen").provenance, want.provenance);
+    std::fs::remove_dir_all(&spool_dir).expect("cleanup");
+}
