@@ -1,0 +1,101 @@
+//! The topogen experiment: an ISP-scale generated hierarchy end to end,
+//! plus the delay-vs-loss headline.
+//!
+//! Part 1 generates the `isp_200link` preset (≥200 links, ≥1000 measured
+//! paths), simulates a neutral web-browsing scenario on it, and runs
+//! inference with the population's recalibrated config — reporting sizes,
+//! wall-clock, and the (expected-neutral) verdict.
+//!
+//! Part 2 runs the delay-visible shaper on topology A and contrasts the
+//! loss-only and joint loss+delay verdicts, alongside the Glasnost-style
+//! loss and delay baselines — the discrimination the delay feature buys.
+//!
+//! ```text
+//! exp_topogen [--duration <s>] [--seed <n>]
+//! ```
+
+use std::time::Instant;
+
+use nni_scenario::baselines::{glasnost, glasnost_delay};
+use nni_scenario::library::{delay_visible_shaper, HEADLINE_DELAY_FEATURE};
+use nni_scenario::{infer_scored, InferenceConfig};
+use nni_topogen::{generate, isp_scenario, IspParams};
+
+fn main() {
+    let mut duration_s = 3.0;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--duration" => {
+                duration_s = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--duration needs seconds");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: exp_topogen [--duration <s>] [--seed <n>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Part 1: the generated ISP hierarchy at headline scale.
+    let params = IspParams::isp_200link();
+    let t0 = Instant::now();
+    let paper = generate(&params, seed);
+    println!(
+        "generated isp_200link: {} nodes, {} links, {} paths ({:?})",
+        paper.topology.nodes().len(),
+        paper.topology.link_count(),
+        paper.topology.path_count(),
+        t0.elapsed()
+    );
+
+    let scenario = isp_scenario(&params, duration_s, seed);
+    let t1 = Instant::now();
+    let set = scenario.compile().simulate();
+    let sim_elapsed = t1.elapsed();
+    let t2 = Instant::now();
+    let outcome = infer_scored(&set, &InferenceConfig::of(&scenario), &scenario.expectation);
+    println!(
+        "isp_200link_{duration_s}s: simulate {sim_elapsed:?}, infer {:?}, flagged={} correct={}",
+        t2.elapsed(),
+        outcome.flagged_nonneutral,
+        outcome.correct
+    );
+
+    // Part 2: the delay-vs-loss headline on topology A.
+    let headline = delay_visible_shaper(10.0, seed);
+    let set = headline.compile().simulate();
+    let joint_cfg = InferenceConfig::of(&headline);
+    let loss_cfg = InferenceConfig {
+        delay: None,
+        ..joint_cfg
+    };
+    let joint = infer_scored(&set, &joint_cfg, &headline.expectation);
+    let loss = infer_scored(&set, &loss_cfg, &headline.expectation);
+    println!(
+        "delay_visible_shaper: joint flagged={} (correct={}), loss-only flagged={} (correct={})",
+        joint.flagged_nonneutral, joint.correct, loss.flagged_nonneutral, loss.correct
+    );
+    let g_loss = glasnost(&set, &loss_cfg, 0.05);
+    let g_delay = glasnost_delay(&set, &HEADLINE_DELAY_FEATURE, 0.05)
+        .expect("headline set carries a delay grid");
+    println!(
+        "glasnost loss: differentiated={} ({:.3} vs {:.3}); glasnost delay: differentiated={} ({:.3} vs {:.3})",
+        g_loss.differentiated,
+        g_loss.class1_congestion,
+        g_loss.class2_congestion,
+        g_delay.differentiated,
+        g_delay.class1_congestion,
+        g_delay.class2_congestion
+    );
+}

@@ -89,6 +89,14 @@ fn emulator_workload() -> u64 {
     sim.run().segments_sent
 }
 
+/// Three simulated seconds of light web traffic over the generated
+/// `isp_200link` hierarchy (240 links, 1056 measured paths): the
+/// acquisition half only — simulate + fold into a measurement set — so
+/// the number tracks the emulator's scaling with topology size.
+fn topogen_workload(scenario: &nni_scenario::Scenario) -> usize {
+    scenario.compile().simulate().log.interval_count()
+}
+
 fn fig8_workload() -> bool {
     run_topology_a(ExperimentParams {
         mechanism: Mechanism::Policing(0.2),
@@ -334,8 +342,14 @@ fn main() {
     let reinfer = reinfer_sets_for_workload();
     let live_set = live_set_for_workload();
 
+    let topogen_scenario =
+        nni_topogen::isp_scenario(&nni_topogen::IspParams::isp_200link(), 3.0, 42);
+
     let mut results = vec![
         measure("emulator/topology_a_1s", emu_iters, emulator_workload),
+        measure("topogen/isp_200link_3s", emu_iters, || {
+            topogen_workload(&topogen_scenario)
+        }),
         measure("experiment/fig8_policing_10s", fig8_iters, fig8_workload),
         measure("executor/table2_sweep_3s_serial", sweep_iters, || {
             sweep_workload(&sweep)

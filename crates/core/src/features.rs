@@ -1,0 +1,93 @@
+//! Feature definitions for the congestion-free indicator — the axis along
+//! which Algorithm 1/2 "see" differentiation.
+//!
+//! The paper's evaluation uses a **loss** feature: an interval is
+//! congestion-free for a path when the retained loss fraction stays below a
+//! threshold. That feature is blind to a shaper whose lane buffer is deep
+//! enough to absorb the excess without dropping: the lane's queue grows,
+//! one-way delay inflates by orders of magnitude, and not a single packet
+//! is lost inside the measurement window.
+//!
+//! [`DelayFeature`] defines the complementary **delay** half of a joint
+//! loss+delay feature vector: an interval is congestion-free only when the
+//! loss feature says so *and* the path's p90 one-way delay is not inflated
+//! relative to its own baseline (the minimum per-interval median across the
+//! run, i.e. the least-queued view of the path's propagation + transmission
+//! floor). A neutral congested queue inflates delay for *every* path through
+//! it in the *same* intervals, so joint indicators stay class-symmetric and
+//! the slice systems stay solvable — only class-asymmetric inflation (a
+//! per-class shaper lane) makes them unsolvable.
+//!
+//! The feature is defined here, in `nni-core`, because it is part of the
+//! inference contract (what "congestion-free" means), not of any particular
+//! measurement platform; `nni-measure`'s Algorithm 2 normalization consumes
+//! it.
+
+/// Parameters of the delay half of a joint loss+delay congestion-free
+/// feature.
+///
+/// A path is **delay-inflated** in an interval when its p90 one-way delay
+/// exceeds `rel_factor × baseline + abs_floor_s`, where `baseline` is the
+/// path's minimum per-interval p50 across the run. The relative factor
+/// tolerates self-induced queueing (a TCP flow standing its own queue); the
+/// absolute floor keeps short-baseline paths (sub-millisecond propagation)
+/// from tripping on scheduling noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayFeature {
+    /// Multiple of the per-path baseline p50 above which p90 counts as
+    /// inflated.
+    pub rel_factor: f64,
+    /// Absolute slack in seconds added on top of the relative threshold.
+    pub abs_floor_s: f64,
+}
+
+impl Default for DelayFeature {
+    /// The calibrated default for the generated-topology regime (see the
+    /// `topogen_population` suite): tolerant enough that neutral BDP-sized
+    /// drop-tail queues — which can stand ~200 ms of class-symmetric
+    /// queueing — never flag, tight enough that a deep shaper lane
+    /// (seconds of class-asymmetric queueing) always does.
+    fn default() -> Self {
+        DelayFeature {
+            rel_factor: 8.0,
+            abs_floor_s: 0.25,
+        }
+    }
+}
+
+impl DelayFeature {
+    /// Whether a p90 one-way delay is inflated relative to the path
+    /// baseline under this feature.
+    pub fn inflated(&self, p90_s: f64, baseline_p50_s: f64) -> bool {
+        p90_s > self.rel_factor * baseline_p50_s + self.abs_floor_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflation_thresholds() {
+        let f = DelayFeature {
+            rel_factor: 3.0,
+            abs_floor_s: 0.015,
+        };
+        // Baseline 10 ms: threshold is 45 ms.
+        assert!(!f.inflated(0.045, 0.010));
+        assert!(f.inflated(0.046, 0.010));
+        // The absolute floor protects near-zero baselines.
+        assert!(!f.inflated(0.014, 0.0));
+        assert!(f.inflated(0.016, 0.0));
+    }
+
+    #[test]
+    fn default_tolerates_bdp_queueing() {
+        let f = DelayFeature::default();
+        // A neutral 100 Mb/s BDP queue stands at most ~200 ms on top of a
+        // ~25 ms baseline — not inflated under the default.
+        assert!(!f.inflated(0.225, 0.025));
+        // A deep shaper lane standing multiple seconds is.
+        assert!(f.inflated(2.0, 0.025));
+    }
+}

@@ -19,6 +19,7 @@
 //! | §5 Algorithm 1 + redundancy removal | [`algorithm`] |
 //! | §5 FN / FP / granularity metrics | [`metrics`] |
 //! | observation sources (oracle vs measured) | [`obs`] |
+//! | joint loss+delay feature definitions (beyond the paper) | [`features`] |
 //!
 //! ## Quick start
 //!
@@ -42,6 +43,7 @@
 pub mod algorithm;
 pub mod class;
 pub mod equivalent;
+pub mod features;
 pub mod fnv;
 pub mod identifiability;
 pub mod metrics;
@@ -57,6 +59,7 @@ pub use algorithm::{
 };
 pub use class::{ClassError, Classes};
 pub use equivalent::{EquivalentNetwork, VirtualLink, VirtualRole};
+pub use features::DelayFeature;
 pub use fnv::Fnv;
 pub use identifiability::{lemma3_condition, seq_nonneutral, seq_top_class, system4_unsolvable};
 pub use metrics::{evaluate, Quality};

@@ -23,6 +23,12 @@ pub struct SimConfig {
     pub warmup_s: f64,
     /// RNG seed (flow sizes, inter-flow gaps, start jitter).
     pub seed: u64,
+    /// Record per-packet one-way delay and fold per-interval percentile
+    /// summaries into the measurement log. Off by default: delay recording
+    /// is pure observation (no RNG consumption, no event reordering), but
+    /// the resulting log carries a v2 delay grid, so the default stays
+    /// bit-identical to pre-delay builds.
+    pub record_delay: bool,
 }
 
 impl Default for SimConfig {
@@ -36,6 +42,7 @@ impl Default for SimConfig {
             min_rto_s: 0.2,
             warmup_s: 5.0,
             seed: 1,
+            record_delay: false,
         }
     }
 }

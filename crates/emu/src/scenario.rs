@@ -101,20 +101,23 @@ pub fn shaper_at_fraction(
     )
 }
 
-/// How one policer's token rate compares to the traffic that feeds it.
+/// How one policer's (or shaper lane's) token rate compares to the traffic
+/// that feeds it.
 ///
 /// Produced by [`policed_demand`]; the numbers encode the PR 1 seed-test
 /// lesson — a policer experiment is only meaningful when the targeted class
 /// *demands* more than the token rate, from more than one flow slot (a
 /// single policed flow can collapse into an RTO crawl below the rate and
-/// never trip the bucket).
+/// never trip the bucket). The same starvation mode applies to a shaper
+/// lane: an under-demanded lane never queues, so both mechanisms report
+/// one entry per targeted class.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicedDemand {
-    /// The policed link.
+    /// The policed (or shaped) link.
     pub link: LinkId,
     /// The targeted class.
     pub class: ClassLabel,
-    /// The policer's token rate (bits per second).
+    /// The policer's (or lane's) token rate (bits per second).
     pub rate_bps: f64,
     /// Conservative lower bound on the targeted class's sustained demand
     /// through the link (sum of [`sustained_demand_bps`] over feeding
@@ -124,11 +127,13 @@ pub struct PolicedDemand {
     pub feeding_slots: usize,
 }
 
-/// Audits every policer in `links` against the traffic that crosses it: for
-/// each [`Differentiation::Policing`] stage, sums the targeted class's
-/// sustained demand and parallel flow slots over all routes traversing the
-/// link. `nni-scenario`'s `assert_demand_exceeds_policed_rate` asserts on
-/// this report at the scenario level; raw-simulator tests use it directly.
+/// Audits every policer and shaper lane in `links` against the traffic that
+/// crosses it: for each token bucket (a [`Differentiation::Policing`] stage,
+/// or one lane of a [`Differentiation::Shaping`] stage), sums the targeted
+/// class's sustained demand and parallel flow slots over all routes
+/// traversing the link. `nni-scenario`'s
+/// `assert_demand_exceeds_policed_rate` asserts on this report at the
+/// scenario level; raw-simulator tests use it directly.
 pub fn policed_demand(
     links: &[LinkParams],
     routes: &[Route],
@@ -137,38 +142,49 @@ pub fn policed_demand(
     links
         .iter()
         .enumerate()
-        .filter_map(|(i, l)| match l.diff {
-            Differentiation::Policing {
-                class, rate_bps, ..
-            } => {
-                let link = LinkId(i);
-                let mut demand_bps = 0.0;
-                let mut feeding_slots = 0;
-                for spec in specs {
-                    let route = &routes[spec.route.index()];
-                    if spec.class != class || !route.links.contains(&link) {
-                        continue;
+        .flat_map(|(i, l)| {
+            let link = LinkId(i);
+            // Every token bucket on this link, as (targeted class, rate).
+            let buckets: Vec<(ClassLabel, f64)> = match &l.diff {
+                Differentiation::None => Vec::new(),
+                Differentiation::Policing {
+                    class, rate_bps, ..
+                } => vec![(*class, *rate_bps)],
+                Differentiation::Shaping { lanes } => lanes
+                    .iter()
+                    .map(|lane| (lane.class, lane.rate_bps))
+                    .collect(),
+            };
+            buckets
+                .into_iter()
+                .map(|(class, rate_bps)| {
+                    let mut demand_bps = 0.0;
+                    let mut feeding_slots = 0;
+                    for spec in specs {
+                        let route = &routes[spec.route.index()];
+                        if spec.class != class || !route.links.contains(&link) {
+                            continue;
+                        }
+                        // The transfer rate is bounded by the slowest link of
+                        // the route (the bucket's own token rate is demand we
+                        // are measuring, not a bound on it).
+                        let line_rate = route
+                            .links
+                            .iter()
+                            .map(|&l| links[l.index()].rate_bps)
+                            .fold(f64::INFINITY, f64::min);
+                        demand_bps += sustained_demand_bps(spec, line_rate);
+                        feeding_slots += spec.parallel;
                     }
-                    // The transfer rate is bounded by the slowest link of
-                    // the route (the policer's own token rate is demand we
-                    // are measuring, not a bound on it).
-                    let line_rate = route
-                        .links
-                        .iter()
-                        .map(|&l| links[l.index()].rate_bps)
-                        .fold(f64::INFINITY, f64::min);
-                    demand_bps += sustained_demand_bps(spec, line_rate);
-                    feeding_slots += spec.parallel;
-                }
-                Some(PolicedDemand {
-                    link,
-                    class,
-                    rate_bps,
-                    demand_bps,
-                    feeding_slots,
+                    PolicedDemand {
+                        link,
+                        class,
+                        rate_bps,
+                        demand_bps,
+                        feeding_slots,
+                    }
                 })
-            }
-            _ => None,
+                .collect::<Vec<_>>()
         })
         .collect()
 }
@@ -273,6 +289,51 @@ mod tests {
         // Cycle = 1 s gap + 10 Mb / 50 Mb/s = 1.2 s -> 8.33 Mb/s per slot.
         assert!((d.demand_bps - 4.0 * 10e6 / 1.2).abs() < 1.0);
         assert!(d.demand_bps > d.rate_bps);
+    }
+
+    #[test]
+    fn policed_demand_covers_shaper_lanes() {
+        let links = vec![LinkParams {
+            rate_bps: 100e6,
+            delay_s: 0.001,
+            diff: Differentiation::Shaping {
+                lanes: vec![
+                    crate::ShapeLaneConfig {
+                        class: 0,
+                        rate_bps: 70e6,
+                        burst_bytes: 3_000.0,
+                        buffer_bytes: 100_000,
+                    },
+                    crate::ShapeLaneConfig {
+                        class: 1,
+                        rate_bps: 30e6,
+                        burst_bytes: 3_000.0,
+                        buffer_bytes: 100_000,
+                    },
+                ],
+            },
+            queue_bytes: None,
+        }];
+        let routes = vec![Route {
+            links: vec![LinkId(0)],
+            path: None,
+        }];
+        let specs = vec![TrafficSpec {
+            route: RouteId(0),
+            class: 1,
+            cc: CcKind::Cubic.into(),
+            size: SizeDist::Fixed { bytes: 1_250_000 },
+            mean_gap_s: 1.0,
+            parallel: 4,
+        }];
+        let audit = policed_demand(&links, &routes, &specs);
+        // One entry per lane; only the class-1 lane is fed.
+        assert_eq!(audit.len(), 2);
+        assert_eq!((audit[0].class, audit[0].rate_bps), (0, 70e6));
+        assert_eq!(audit[0].feeding_slots, 0);
+        assert_eq!((audit[1].class, audit[1].rate_bps), (1, 30e6));
+        assert_eq!(audit[1].feeding_slots, 4);
+        assert!(audit[1].demand_bps > audit[1].rate_bps);
     }
 
     #[test]

@@ -52,7 +52,7 @@ use crate::window::{OooWindow, SendTimes};
 // (`nni_measure::interval`), so a boundary timestamp can never bin
 // differently in the emulator and the log.
 use nni_measure::interval::{interval_boundary_ns, interval_index};
-use nni_measure::MeasurementLog;
+use nni_measure::{DelayStats, MeasurementLog};
 use nni_topology::LinkId;
 
 /// Physical parameters of one simulated link.
@@ -126,6 +126,12 @@ pub struct Simulator {
     cur_interval_end: SimTime,
     // Statistics.
     log: MeasurementLog,
+    /// One-way delay samples per (send interval, path), nanoseconds —
+    /// collected only under `cfg.record_delay` and folded into the log's
+    /// percentile grid at end of run. Recording is pure observation: no RNG
+    /// is consumed and no event is reordered, so a delay-recording run is
+    /// otherwise bit-identical to the same seed without it.
+    delay_ns: Vec<Vec<Vec<u64>>>,
     truth: LinkTruth,
     traces: Vec<QueueTrace>,
     completed_flows: usize,
@@ -201,6 +207,7 @@ impl Simulator {
             cur_interval: 0,
             cur_interval_end: SimTime(interval_boundary_ns(cfg.interval_s, 1)),
             log: MeasurementLog::new(n_paths.max(1), cfg.interval_s),
+            delay_ns: Vec::new(),
             truth: LinkTruth::new(n_links, n_classes),
             traces: vec![QueueTrace::default(); n_links],
             completed_flows: 0,
@@ -259,6 +266,9 @@ impl Simulator {
             0,
             "packet slab leaked handles at end of run"
         );
+        if self.cfg.record_delay {
+            self.fold_delay_grid();
+        }
         let warmup = self.cfg.warmup_intervals();
         self.log.drop_warmup(warmup);
         self.truth.drop_warmup(warmup);
@@ -278,6 +288,33 @@ impl Simulator {
         if let Event::Arrive(h) = ev {
             self.slab.remove(h);
         }
+    }
+
+    /// Sorts the collected per-cell delay samples and installs the
+    /// percentile grid on the log (before warm-up dropping, so the rows
+    /// drain in lockstep with the counts). Sample order never matters:
+    /// sorting u64 nanoseconds is total, so the fold is deterministic
+    /// whatever order deliveries were observed in.
+    fn fold_delay_grid(&mut self) {
+        let n_paths = self.log.path_count();
+        let mut rows = Vec::with_capacity(self.log.interval_count());
+        for t in 0..self.log.interval_count() {
+            let mut row = Vec::with_capacity(n_paths);
+            for p in 0..n_paths {
+                let stats = self
+                    .delay_ns
+                    .get_mut(t)
+                    .map(|r| &mut r[p])
+                    .filter(|s| !s.is_empty())
+                    .and_then(|samples| {
+                        samples.sort_unstable();
+                        DelayStats::from_sorted_ns(samples)
+                    });
+                row.push(stats);
+            }
+            rows.push(row);
+        }
+        self.log.set_delay(rows);
     }
 
     /// Measurement interval containing an arbitrary timestamp (float
@@ -425,6 +462,18 @@ impl Simulator {
 
     fn deliver(&mut self, pkt: Packet, arrive_at: SimTime) {
         self.segments_delivered += 1;
+        if self.cfg.record_delay {
+            if let Some(path) = self.routes[pkt.route.index()].path {
+                // Attributed to the *send* interval, like sent/lost counts,
+                // so the three grids describe the same packet population.
+                let t = self.interval_at(pkt.sent_at);
+                let n_paths = self.log.path_count();
+                while self.delay_ns.len() <= t {
+                    self.delay_ns.push(vec![Vec::new(); n_paths]);
+                }
+                self.delay_ns[t][path.index()].push((arrive_at - pkt.sent_at).nanos());
+            }
+        }
         let flow = &mut self.flows[pkt.flow.index()];
         let seq = pkt.seq as u64;
         if seq == flow.rcv_nxt {
@@ -889,6 +938,63 @@ mod tests {
         };
         assert_eq!(run(7), run(7), "same seed, same outcome");
         assert_ne!(run(7), run(8), "different seed, different traffic");
+    }
+
+    #[test]
+    fn delay_recording_is_pure_observation() {
+        // Same seed with and without delay recording: identical counts and
+        // counters (recording consumes no RNG and reorders no event), and
+        // the recorded percentiles respect the propagation floor.
+        let run = |record_delay: bool| {
+            let (links, routes) = two_link_setup(8e6);
+            let mut sim = Simulator::new(
+                links,
+                routes,
+                1,
+                1,
+                SimConfig {
+                    record_delay,
+                    ..quick_cfg(10.0)
+                },
+            );
+            sim.add_traffic(TrafficSpec {
+                route: RouteId(0),
+                class: 0,
+                cc: CcKind::Cubic.into(),
+                size: SizeDist::ParetoMean {
+                    mean_bytes: 100_000.0,
+                    shape: 1.5,
+                },
+                mean_gap_s: 0.2,
+                parallel: 2,
+            });
+            sim.run()
+        };
+        let plain = run(false);
+        let delayed = run(true);
+        assert!(!plain.log.has_delay());
+        assert!(delayed.log.has_delay());
+        assert_eq!(plain.segments_sent, delayed.segments_sent);
+        assert_eq!(plain.segments_delivered, delayed.segments_delivered);
+        assert_eq!(plain.segments_dropped, delayed.segments_dropped);
+        assert_eq!(plain.log.interval_count(), delayed.log.interval_count());
+        let mut sampled = 0u64;
+        for t in 0..plain.log.interval_count() {
+            assert_eq!(plain.log.sent(t, PathId(0)), delayed.log.sent(t, PathId(0)));
+            assert_eq!(plain.log.lost(t, PathId(0)), delayed.log.lost(t, PathId(0)));
+            if let Some(s) = delayed.log.delay(t, PathId(0)) {
+                sampled += s.count;
+                // One-way delay ≥ 2 × 5 ms propagation, and the ranks are
+                // ordered.
+                assert!(s.p50_s >= 0.01, "p50 below propagation floor");
+                assert!(s.p50_s <= s.p90_s && s.p90_s <= s.p99_s);
+            }
+        }
+        assert_eq!(
+            sampled, delayed.segments_delivered,
+            "every delivered segment contributes one delay sample"
+        );
+        assert!(delayed.log.delay_baseline(PathId(0)).unwrap() >= 0.01);
     }
 
     #[test]

@@ -3,11 +3,11 @@
 //! is written out longhand and pinned by exhaustive round-trip tests plus a
 //! committed golden corpus in CI.
 //!
-//! # Format (version 1)
+//! # Format (versions 1 and 2)
 //!
 //! ```text
 //! magic     7 bytes  b"NNIMSET"
-//! version   u8       1
+//! version   u8       1 (loss-only) or 2 (with one-way delay section)
 //! sections  each:  tag u8, payload length u64 LE, payload bytes
 //!   tag 1  PROVENANCE  scenario str, fingerprint u64, seed u64, build str
 //!   tag 2  TOPOLOGY    nodes (kind u8, name str)…,
@@ -16,6 +16,8 @@
 //!   tag 3  CLASSES     per class: member path ids vu…
 //!   tag 4  LOG         interval_s f64, n_paths vu, n_intervals vu,
 //!                      per interval per path: sent vu, lost vu
+//!   tag 5  DELAY       (v2 only) per interval per path:
+//!                      present u8; when 1: count vu, p50 f64, p90 f64, p99 f64
 //! trailer   tag 0xFF, then FNV-1a u64 LE over every preceding byte
 //! ```
 //!
@@ -27,23 +29,36 @@
 //! loudly with [`CodecError::UnexpectedEof`] instead of misparsing.
 //!
 //! Sections must appear in tag order exactly once each; the version byte is
-//! the compatibility gate (a future v2 bumps it and keeps this decoder).
+//! the compatibility gate. [`encode`] emits version 1 — bit-identical to
+//! every pre-delay build — unless the log carries a delay grid, in which
+//! case it emits version 2 with the DELAY section (the grid dimensions are
+//! implied by the LOG section, so the section is never ambiguous).
+//! [`decode`] accepts both; [`decode_v1`] is the frozen v1-only reader and
+//! rejects version 2 with [`CodecError::UnsupportedVersion`] — the typed
+//! error a pre-delay reader would raise.
 
 use crate::dataset::{Fnv, MeasurementSet, Provenance};
-use crate::record::MeasurementLog;
+use crate::record::{DelayStats, MeasurementLog};
 use crate::wire::{WireReader, WireWriter};
 use nni_topology::{NodeKind, PathId, TopologyBuilder, TopologyError};
 
 /// Magic prefix of every encoded set.
 pub const MAGIC: &[u8; 7] = b"NNIMSET";
 
-/// Current format version.
-pub const VERSION: u8 = 1;
+/// The original loss-only format version.
+pub const VERSION_V1: u8 = 1;
+
+/// The delay-carrying format version (adds the DELAY section).
+pub const VERSION_V2: u8 = 2;
+
+/// Newest format version this decoder understands.
+pub const VERSION: u8 = VERSION_V2;
 
 const TAG_PROVENANCE: u8 = 1;
 const TAG_TOPOLOGY: u8 = 2;
 const TAG_CLASSES: u8 = 3;
 const TAG_LOG: u8 = 4;
+const TAG_DELAY: u8 = 5;
 const TAG_END: u8 = 0xFF;
 
 /// Why a byte stream failed to decode.
@@ -105,11 +120,17 @@ fn section(out: &mut WireWriter, tag: u8, payload: impl FnOnce(&mut WireWriter))
     out.raw(w.bytes());
 }
 
-/// Encodes a measurement set into the versioned binary format.
+/// Encodes a measurement set into the versioned binary format: version 1
+/// when the log is loss-only (bit-identical to pre-delay builds), version 2
+/// when it carries a delay grid.
 pub fn encode(set: &MeasurementSet) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.raw(MAGIC);
-    w.u8(VERSION);
+    w.u8(if set.log.has_delay() {
+        VERSION_V2
+    } else {
+        VERSION_V1
+    });
     section(&mut w, TAG_PROVENANCE, |w| {
         w.str(&set.provenance.scenario);
         w.u64(set.provenance.scenario_fingerprint);
@@ -161,6 +182,25 @@ pub fn encode(set: &MeasurementSet) -> Vec<u8> {
             }
         }
     });
+    if set.log.has_delay() {
+        section(&mut w, TAG_DELAY, |w| {
+            let log = &set.log;
+            for t in 0..log.interval_count() {
+                for p in 0..log.path_count() {
+                    match log.delay(t, PathId(p)) {
+                        Some(stats) => {
+                            w.u8(1);
+                            w.vu(stats.count);
+                            w.f64(stats.p50_s);
+                            w.f64(stats.p90_s);
+                            w.f64(stats.p99_s);
+                        }
+                        None => w.u8(0),
+                    }
+                }
+            }
+        });
+    }
     w.u8(TAG_END);
     let mut h = Fnv::new();
     for &b in w.bytes() {
@@ -173,10 +213,13 @@ pub fn encode(set: &MeasurementSet) -> Vec<u8> {
 
 // ---------------------------------------------------------------- reading
 
-/// Decodes a measurement set, verifying the checksum and re-validating the
-/// topology through [`TopologyBuilder`].
+/// Decodes a measurement set (either format version), verifying the
+/// checksum and re-validating the topology through [`TopologyBuilder`].
 pub fn decode(bytes: &[u8]) -> Result<MeasurementSet, CodecError> {
     let provenance = decode_prefix(bytes)?;
+    // decode_prefix validated magic + version, so the version byte sits
+    // right after the magic.
+    let version = bytes[MAGIC.len()];
     let mut r = WireReader::at(bytes, provenance.1);
 
     // TOPOLOGY.
@@ -266,6 +309,38 @@ pub fn decode(bytes: &[u8]) -> Result<MeasurementSet, CodecError> {
         }
     }
 
+    // DELAY (v2 only): the grid's dimensions are the LOG section's.
+    if version == VERSION_V2 {
+        expect_section(&mut r, TAG_DELAY)?;
+        let mut rows = Vec::with_capacity(n_intervals);
+        for _ in 0..n_intervals {
+            let mut row = Vec::with_capacity(n_paths);
+            for _ in 0..n_paths {
+                row.push(match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let count = r.vu()?;
+                        if count == 0 {
+                            return Err(CodecError::BadValue("delay cell with zero samples"));
+                        }
+                        let p50_s = r.f64()?;
+                        let p90_s = r.f64()?;
+                        let p99_s = r.f64()?;
+                        Some(DelayStats {
+                            count,
+                            p50_s,
+                            p90_s,
+                            p99_s,
+                        })
+                    }
+                    _ => return Err(CodecError::BadValue("delay cell presence flag")),
+                });
+            }
+            rows.push(row);
+        }
+        log.set_delay(rows);
+    }
+
     // Trailer: end marker, then the checksum over everything before it.
     if r.u8()? != TAG_END {
         return Err(CodecError::BadValue("missing end marker"));
@@ -290,6 +365,23 @@ pub fn decode(bytes: &[u8]) -> Result<MeasurementSet, CodecError> {
     })
 }
 
+/// Decodes a measurement set through the **frozen version-1 reader**: the
+/// exact compatibility surface of a pre-delay build. A version-2 stream is
+/// rejected with [`CodecError::UnsupportedVersion`]`(2)` — the typed error
+/// old readers raise on new corpora — instead of being silently truncated
+/// to its loss half.
+pub fn decode_v1(bytes: &[u8]) -> Result<MeasurementSet, CodecError> {
+    let mut r = WireReader::new(bytes);
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION_V1 {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    decode(bytes)
+}
+
 /// Decodes only the header and provenance section — how a corpus lists its
 /// entries' [`SetKey`](crate::SetKey)s without paying for full decodes.
 /// Returns the provenance and the stream offset of the next section.
@@ -299,7 +391,7 @@ pub fn decode_prefix(bytes: &[u8]) -> Result<(Provenance, usize), CodecError> {
         return Err(CodecError::BadMagic);
     }
     let version = r.u8()?;
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(CodecError::UnsupportedVersion(version));
     }
     expect_section(&mut r, TAG_PROVENANCE)?;
@@ -364,6 +456,16 @@ mod tests {
         }
     }
 
+    fn sample_with_delay() -> MeasurementSet {
+        let mut set = sample();
+        let n = set.log.interval_count();
+        let mut rows = vec![vec![None; 1]; n];
+        rows[0][0] = crate::record::DelayStats::from_sorted_ns(&[5_000_000, 9_000_000]);
+        rows[3][0] = crate::record::DelayStats::from_sorted_ns(&[1_250_000_000]);
+        set.log.set_delay(rows);
+        set
+    }
+
     #[test]
     fn round_trip_is_bit_identical() {
         let set = sample();
@@ -371,6 +473,60 @@ mod tests {
         let back = decode(&bytes).expect("decodes");
         assert_eq!(set, back);
         assert_eq!(set.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn loss_only_sets_still_encode_as_version_1() {
+        // The pre-delay compatibility surface: a loss-only set's bytes are
+        // version 1 and the frozen v1 reader accepts them.
+        let set = sample();
+        let bytes = encode(&set);
+        assert_eq!(bytes[MAGIC.len()], VERSION_V1);
+        assert_eq!(decode_v1(&bytes).expect("v1 reader decodes"), set);
+    }
+
+    #[test]
+    fn delay_sets_round_trip_as_version_2() {
+        let set = sample_with_delay();
+        let bytes = encode(&set);
+        assert_eq!(bytes[MAGIC.len()], VERSION_V2);
+        let back = decode(&bytes).expect("decodes");
+        assert_eq!(set, back);
+        assert!(back.log.has_delay());
+        assert_eq!(back.log.delay(0, PathId(0)).unwrap().count, 2);
+        assert_eq!(back.log.delay(3, PathId(0)).unwrap().p99_s, 1.25);
+        assert_eq!(back.log.delay(1, PathId(0)), None);
+    }
+
+    #[test]
+    fn v1_reader_rejects_v2_streams_with_typed_version_error() {
+        let bytes = encode(&sample_with_delay());
+        assert_eq!(
+            decode_v1(&bytes).unwrap_err(),
+            CodecError::UnsupportedVersion(VERSION_V2)
+        );
+        // The prefix reader (corpus listing) accepts both versions.
+        assert!(decode_prefix(&bytes).is_ok());
+    }
+
+    #[test]
+    fn delay_section_is_validated() {
+        // A present cell claiming zero samples is structurally impossible
+        // (DelayStats::from_sorted_ns never yields one) — the decoder
+        // rejects it with a typed error instead of admitting it.
+        let mut poisoned = sample_with_delay();
+        let mut rows = vec![vec![None; 1]; poisoned.log.interval_count()];
+        rows[0][0] = Some(crate::record::DelayStats {
+            count: 0,
+            p50_s: 0.0,
+            p90_s: 0.0,
+            p99_s: 0.0,
+        });
+        poisoned.log.set_delay(rows);
+        assert_eq!(
+            decode(&encode(&poisoned)).unwrap_err(),
+            CodecError::BadValue("delay cell with zero samples")
+        );
     }
 
     #[test]

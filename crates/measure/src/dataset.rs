@@ -107,6 +107,25 @@ impl MeasurementSet {
                 h.word(self.log.lost(t, PathId(p)));
             }
         }
+        // Delay grid: folded only when present, so loss-only sets keep the
+        // exact pre-delay fingerprints the golden-corpus CI gate pins.
+        if self.log.has_delay() {
+            h.word(1);
+            for t in 0..self.log.interval_count() {
+                for p in 0..self.log.path_count() {
+                    match self.log.delay(t, PathId(p)) {
+                        Some(s) => {
+                            h.word(1);
+                            h.word(s.count);
+                            h.word(s.p50_s.to_bits());
+                            h.word(s.p90_s.to_bits());
+                            h.word(s.p99_s.to_bits());
+                        }
+                        None => h.word(0),
+                    }
+                }
+            }
+        }
         h.0
     }
 }
@@ -351,6 +370,18 @@ mod tests {
                 seed: 1
             }
         );
+    }
+
+    #[test]
+    fn delay_grid_changes_the_fingerprint() {
+        let a = tiny_set(1);
+        let mut b = tiny_set(1);
+        b.log
+            .set_delay(vec![vec![crate::record::DelayStats::from_sorted_ns(&[
+                1_000_000,
+            ])]]);
+        assert_ne!(a, b);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -14,6 +14,15 @@
 //! {"type":"interval","t":0,"sent":[…],"lost":[…]}      (one per interval)
 //! ```
 //!
+//! Version 2 (emitted only when the log carries a one-way delay grid, same
+//! rule as the binary codec) appends one `"delay"` array per interval line
+//! — `null` per no-sample cell, else
+//! `{"count":…,"p50_s":…,"p90_s":…,"p99_s":…}`:
+//!
+//! ```text
+//! {"type":"interval","t":0,"sent":[…],"lost":[…],"delay":[null,{"count":12,…}]}
+//! ```
+//!
 //! Round trips are bit-identical: floats are printed with Rust's shortest
 //! round-trip formatting and parsed back with `str::parse::<f64>`, and
 //! `u64`s (seeds, fingerprints, counts) are kept as raw digit strings until
@@ -22,11 +31,17 @@
 
 use crate::codec::CodecError;
 use crate::dataset::{MeasurementSet, Provenance};
-use crate::record::MeasurementLog;
+use crate::record::{DelayStats, MeasurementLog};
 use nni_topology::{NodeId, NodeKind, PathId, TopologyBuilder};
 
-/// Format version stamped into the `meta` line.
-pub const JSONL_VERSION: u64 = 1;
+/// The loss-only format version.
+pub const JSONL_VERSION_V1: u64 = 1;
+
+/// The delay-carrying format version.
+pub const JSONL_VERSION_V2: u64 = 2;
+
+/// Newest `meta`-line version this parser understands.
+pub const JSONL_VERSION: u64 = JSONL_VERSION_V2;
 
 // ---------------------------------------------------------------- writing
 
@@ -61,8 +76,13 @@ fn u64_list(vals: impl Iterator<Item = u64>) -> String {
 pub fn to_jsonl(set: &MeasurementSet) -> String {
     let mut out = String::new();
     let p = &set.provenance;
+    let version = if set.log.has_delay() {
+        JSONL_VERSION_V2
+    } else {
+        JSONL_VERSION_V1
+    };
     out.push_str(&format!(
-        "{{\"type\":\"meta\",\"version\":{JSONL_VERSION},\"scenario\":\"{}\",\
+        "{{\"type\":\"meta\",\"version\":{version},\"scenario\":\"{}\",\
          \"fingerprint\":{},\"seed\":{},\"build\":\"{}\"}}\n",
         esc(&p.scenario),
         p.scenario_fingerprint,
@@ -114,8 +134,25 @@ pub fn to_jsonl(set: &MeasurementSet) -> String {
         log.interval_count(),
     ));
     for t in 0..log.interval_count() {
+        let delay = if log.has_delay() {
+            let cells: Vec<String> = (0..log.path_count())
+                .map(|p| match log.delay(t, PathId(p)) {
+                    Some(s) => format!(
+                        "{{\"count\":{},\"p50_s\":{},\"p90_s\":{},\"p99_s\":{}}}",
+                        s.count,
+                        num(s.p50_s),
+                        num(s.p90_s),
+                        num(s.p99_s),
+                    ),
+                    None => "null".to_string(),
+                })
+                .collect();
+            format!(",\"delay\":[{}]", cells.join(","))
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{{\"type\":\"interval\",\"t\":{t},\"sent\":{},\"lost\":{}}}\n",
+            "{{\"type\":\"interval\",\"t\":{t},\"sent\":{},\"lost\":{}{delay}}}\n",
             u64_list((0..log.path_count()).map(|p| log.sent(t, PathId(p)))),
             u64_list((0..log.path_count()).map(|p| log.lost(t, PathId(p)))),
         ));
@@ -383,7 +420,7 @@ pub fn from_jsonl(text: &str) -> Result<MeasurementSet, CodecError> {
         return Err(CodecError::BadValue("first line must be meta"));
     }
     let version = meta.get("version")?.u64()?;
-    if version != JSONL_VERSION {
+    if version != JSONL_VERSION_V1 && version != JSONL_VERSION_V2 {
         return Err(CodecError::UnsupportedVersion(version.min(255) as u8));
     }
     let provenance = Provenance {
@@ -397,6 +434,7 @@ pub fn from_jsonl(text: &str) -> Result<MeasurementSet, CodecError> {
     let mut classes: Option<Vec<Vec<PathId>>> = None;
     let mut log: Option<MeasurementLog> = None;
     let mut expected_intervals = 0usize;
+    let mut delay_rows: Vec<Vec<Option<DelayStats>>> = Vec::new();
 
     for line in lines {
         let v = parse_line(line)?;
@@ -474,14 +512,44 @@ pub fn from_jsonl(text: &str) -> Result<MeasurementSet, CodecError> {
                     log.record_sent(t, PathId(p), s);
                     log.record_lost(t, PathId(p), l);
                 }
+                if version == JSONL_VERSION_V2 {
+                    let cells = v.get("delay")?.arr()?;
+                    if cells.len() != log.path_count() {
+                        return Err(CodecError::BadValue("delay row width"));
+                    }
+                    let row = cells
+                        .iter()
+                        .map(|cell| match cell {
+                            Json::Null => Ok(None),
+                            cell => {
+                                let count = cell.get("count")?.u64()?;
+                                if count == 0 {
+                                    return Err(CodecError::BadValue(
+                                        "delay cell with zero samples",
+                                    ));
+                                }
+                                Ok(Some(DelayStats {
+                                    count,
+                                    p50_s: cell.get("p50_s")?.f64()?,
+                                    p90_s: cell.get("p90_s")?.f64()?,
+                                    p99_s: cell.get("p99_s")?.f64()?,
+                                }))
+                            }
+                        })
+                        .collect::<Result<_, CodecError>>()?;
+                    delay_rows.push(row);
+                }
             }
             _ => return Err(CodecError::BadValue("unknown line type")),
         }
     }
 
-    let log = log.ok_or(CodecError::BadValue("missing log header"))?;
+    let mut log = log.ok_or(CodecError::BadValue("missing log header"))?;
     if log.interval_count() != expected_intervals {
         return Err(CodecError::BadValue("interval count mismatch"));
+    }
+    if version == JSONL_VERSION_V2 {
+        log.set_delay(delay_rows);
     }
     let topology = b.build();
     // Same structural check as the binary decoder: the log's width must be
@@ -538,12 +606,54 @@ mod tests {
         assert_eq!(set.fingerprint(), back.fingerprint());
     }
 
+    fn sample_with_delay() -> MeasurementSet {
+        let mut set = sample();
+        let mut rows = vec![vec![None; 1]; set.log.interval_count()];
+        rows[0][0] = DelayStats::from_sorted_ns(&[5_000_000, 7_000_000, 9_000_000]);
+        rows[2][0] = DelayStats::from_sorted_ns(&[333_333_333]);
+        set.log.set_delay(rows);
+        set
+    }
+
     #[test]
     fn jsonl_and_binary_agree() {
         let set = sample();
         let via_binary = codec::decode(&codec::encode(&set)).unwrap();
         let via_text = from_jsonl(&to_jsonl(&set)).unwrap();
         assert_eq!(via_binary, via_text);
+    }
+
+    #[test]
+    fn delay_sets_round_trip_as_version_2() {
+        let set = sample_with_delay();
+        let text = to_jsonl(&set);
+        assert!(text.starts_with("{\"type\":\"meta\",\"version\":2,"));
+        assert!(text.contains("\"delay\":["));
+        let back = from_jsonl(&text).expect("parses");
+        assert_eq!(set, back);
+        assert_eq!(set.fingerprint(), back.fingerprint());
+        // The text and binary forms still agree cell-for-cell.
+        assert_eq!(back, codec::decode(&codec::encode(&set)).unwrap());
+        // Loss-only dumps keep the version-1 meta line bit-for-bit.
+        assert!(to_jsonl(&sample()).starts_with("{\"type\":\"meta\",\"version\":1,"));
+    }
+
+    #[test]
+    fn version_2_interval_lines_require_the_delay_array() {
+        let text = to_jsonl(&sample_with_delay());
+        // Stripping the delay arrays while keeping the v2 meta line must
+        // fail loudly, not parse into a loss-only set.
+        let stripped: String = text
+            .lines()
+            .map(|l| match l.find(",\"delay\":") {
+                Some(i) => format!("{}}}\n", &l[..i]),
+                None => format!("{l}\n"),
+            })
+            .collect();
+        assert_eq!(
+            from_jsonl(&stripped).unwrap_err(),
+            CodecError::BadValue("missing object key")
+        );
     }
 
     #[test]

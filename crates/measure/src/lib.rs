@@ -62,11 +62,11 @@ pub use dataset::{
     SourceError,
 };
 pub use normalize::{
-    group_indicators, hypergeometric, interval_eval_count, interval_indicators, pathset_cf_counts,
-    perf_from_counts, NormalizeConfig,
+    delay_baselines, group_indicators, hypergeometric, interval_eval_count, interval_indicators,
+    pathset_cf_counts, perf_from_counts, NormalizeConfig,
 };
 pub use observer::MeasuredObservations;
-pub use record::{MeasurementLog, MergeError};
+pub use record::{DelayStats, MeasurementLog, MergeError};
 pub use relay::{decode_relay, relay_frame, RelaySource, RemoteTail, RELAY_MAGIC};
 pub use segment::{
     IntervalRows, SegmentBatch, SegmentError, SegmentFollower, SegmentGap, SegmentItem,

@@ -74,6 +74,14 @@ pub struct NormalizeConfig {
     pub loss_threshold: f64,
     /// RNG seed for the packet-discounting draws (deterministic runs).
     pub seed: u64,
+    /// When set, the congestion-free indicator becomes the **joint
+    /// loss+delay feature**: an interval is congestion-free only when the
+    /// loss feature passes *and* the path's p90 one-way delay is not
+    /// inflated relative to its baseline (see
+    /// [`nni_core::DelayFeature`]). Ignored — i.e. pure loss-only,
+    /// bit-identical to the paper's feature — when the log carries no
+    /// delay grid.
+    pub delay: Option<nni_core::DelayFeature>,
 }
 
 impl Default for NormalizeConfig {
@@ -81,8 +89,16 @@ impl Default for NormalizeConfig {
         NormalizeConfig {
             loss_threshold: 0.01,
             seed: 0x5eed,
+            delay: None,
         }
     }
+}
+
+/// The per-path delay baselines of a group (min per-interval p50, see
+/// [`MeasurementLog::delay_baseline`]), in group order. All-`None` when the
+/// log has no delay grid.
+pub fn delay_baselines(log: &MeasurementLog, group: &[PathId]) -> Vec<Option<f64>> {
+    group.iter().map(|&p| log.delay_baseline(p)).collect()
 }
 
 /// Per-interval congestion-free indicators `S[t][{p}]` for each path of a
@@ -97,9 +113,12 @@ pub fn group_indicators(
     cfg: NormalizeConfig,
 ) -> Vec<Vec<Option<bool>>> {
     let t_max = log.interval_count();
+    // Baselines are whole-log statistics: computed once per group pass
+    // instead of once per interval column.
+    let baselines = delay_baselines(log, group);
     let mut out = vec![Vec::with_capacity(t_max); group.len()];
     for t in 0..t_max {
-        let col = interval_indicators(log, group, t, cfg);
+        let col = indicators_with_baselines(log, group, t, cfg, &baselines);
         for (row, s) in out.iter_mut().zip(col) {
             row.push(s);
         }
@@ -120,6 +139,17 @@ pub fn interval_indicators(
     group: &[PathId],
     t: usize,
     cfg: NormalizeConfig,
+) -> Vec<Option<bool>> {
+    let baselines = delay_baselines(log, group);
+    indicators_with_baselines(log, group, t, cfg, &baselines)
+}
+
+fn indicators_with_baselines(
+    log: &MeasurementLog,
+    group: &[PathId],
+    t: usize,
+    cfg: NormalizeConfig,
+    baselines: &[Option<f64>],
 ) -> Vec<Option<bool>> {
     INTERVAL_EVALS.fetch_add(1, Ordering::Relaxed);
     let mut col = vec![None; group.len()];
@@ -144,7 +174,16 @@ pub fn interval_indicators(
         };
         // Algorithm 2 line 11: congestion-free iff lost fraction below
         // the threshold of the *common* budget m.
-        col[gi] = Some((retained_lost as f64) < cfg.loss_threshold * m as f64);
+        let mut cf = (retained_lost as f64) < cfg.loss_threshold * m as f64;
+        // Joint loss+delay feature: additionally require that the path's
+        // p90 delay is not inflated over its baseline. Cells without delay
+        // samples carry no delay evidence and fall back to the loss half.
+        if let Some(feature) = cfg.delay {
+            if let (Some(stats), Some(baseline)) = (log.delay(t, p), baselines[gi]) {
+                cf = cf && !feature.inflated(stats.p90_s, baseline);
+            }
+        }
+        col[gi] = Some(cf);
     }
     col
 }
@@ -287,6 +326,55 @@ mod tests {
         assert_eq!((cf_pair, total_pair), (1, 3));
         let y = perf_from_counts(cf_pair, total_pair);
         assert!((y + (1.0f64 / 3.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_feature_flags_delay_inflation_without_loss() {
+        use crate::record::DelayStats;
+        let mut log = MeasurementLog::new(2, 0.1);
+        let (p0, p1) = (PathId(0), PathId(1));
+        let ms = |k: u64| Some(DelayStats::from_sorted_ns(&[k * 1_000_000]).unwrap());
+        for t in 0..4 {
+            log.record_sent(t, p0, 100);
+            log.record_sent(t, p1, 100);
+        }
+        // p1's delay balloons from 10 ms to 2 s after interval 0; p0 stays
+        // flat. Nobody loses a packet.
+        log.set_delay(vec![
+            vec![ms(10), ms(10)],
+            vec![ms(10), ms(2_000)],
+            vec![ms(11), ms(2_100)],
+            vec![ms(10), ms(2_200)],
+        ]);
+        let loss_only = NormalizeConfig::default();
+        let ind = group_indicators(&log, &[p0, p1], loss_only);
+        assert!(ind.iter().flatten().all(|s| *s == Some(true)));
+        // The joint feature sees the inflation, on the inflated path only.
+        let joint = NormalizeConfig {
+            delay: Some(nni_core::DelayFeature::default()),
+            ..loss_only
+        };
+        let ind = group_indicators(&log, &[p0, p1], joint);
+        assert_eq!(ind[0], vec![Some(true); 4]);
+        assert_eq!(
+            ind[1],
+            vec![Some(true), Some(false), Some(false), Some(false)]
+        );
+    }
+
+    #[test]
+    fn joint_feature_without_delay_grid_is_loss_only() {
+        let mut log = MeasurementLog::new(1, 0.1);
+        log.record_sent(0, PathId(0), 100);
+        log.record_lost(0, PathId(0), 50);
+        log.record_sent(1, PathId(0), 100);
+        let joint = NormalizeConfig {
+            delay: Some(nni_core::DelayFeature::default()),
+            ..NormalizeConfig::default()
+        };
+        let a = group_indicators(&log, &[PathId(0)], NormalizeConfig::default());
+        let b = group_indicators(&log, &[PathId(0)], joint);
+        assert_eq!(a, b, "no delay grid: the joint feature is pure loss");
     }
 
     #[test]

@@ -7,7 +7,49 @@
 
 use nni_topology::PathId;
 
-/// Raw measurement log: packets sent and lost per interval per path.
+/// Per-(interval, path) one-way delay summary: the sample count and
+/// nearest-rank percentiles of the delays of packets *sent* in that
+/// interval (the same send-interval attribution the sent/lost counts use).
+///
+/// Percentiles are folded from integer-nanosecond samples, so they are
+/// bit-deterministic across executors and platforms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayStats {
+    /// Number of delivered packets the percentiles summarize.
+    pub count: u64,
+    /// Median one-way delay in seconds.
+    pub p50_s: f64,
+    /// 90th-percentile one-way delay in seconds.
+    pub p90_s: f64,
+    /// 99th-percentile one-way delay in seconds.
+    pub p99_s: f64,
+}
+
+impl DelayStats {
+    /// Nearest-rank percentiles over ascending-sorted nanosecond samples.
+    /// Returns `None` for an empty sample set.
+    pub fn from_sorted_ns(sorted_ns: &[u64]) -> Option<DelayStats> {
+        if sorted_ns.is_empty() {
+            return None;
+        }
+        debug_assert!(sorted_ns.windows(2).all(|w| w[0] <= w[1]));
+        let n = sorted_ns.len();
+        let rank = |q: f64| {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            sorted_ns[idx] as f64 / 1e9
+        };
+        Some(DelayStats {
+            count: n as u64,
+            p50_s: rank(0.50),
+            p90_s: rank(0.90),
+            p99_s: rank(0.99),
+        })
+    }
+}
+
+/// Raw measurement log: packets sent and lost per interval per path, plus
+/// an optional per-cell one-way delay summary grid (recorded only when the
+/// measurement platform was asked to — see `SimConfig::record_delay`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MeasurementLog {
     interval_s: f64,
@@ -15,6 +57,9 @@ pub struct MeasurementLog {
     /// `sent[t][p]`, `lost[t][p]`.
     sent: Vec<Vec<u64>>,
     lost: Vec<Vec<u64>>,
+    /// `delay[t][p]` when delay was recorded; `None` cells are intervals
+    /// with no delivered packets on that path.
+    delay: Option<Vec<Vec<Option<DelayStats>>>>,
 }
 
 impl MeasurementLog {
@@ -28,6 +73,7 @@ impl MeasurementLog {
             n_paths,
             sent: Vec::new(),
             lost: Vec::new(),
+            delay: None,
         }
     }
 
@@ -58,6 +104,9 @@ impl MeasurementLog {
         while self.sent.len() <= t {
             self.sent.push(vec![0; self.n_paths]);
             self.lost.push(vec![0; self.n_paths]);
+            if let Some(delay) = &mut self.delay {
+                delay.push(vec![None; self.n_paths]);
+            }
         }
     }
 
@@ -83,11 +132,56 @@ impl MeasurementLog {
         self.lost[t][path.index()]
     }
 
+    /// Whether this log carries a one-way delay grid.
+    pub fn has_delay(&self) -> bool {
+        self.delay.is_some()
+    }
+
+    /// The delay summary of `(t, path)`, when delay was recorded and the
+    /// cell saw delivered packets.
+    pub fn delay(&self, t: usize, path: PathId) -> Option<DelayStats> {
+        self.delay.as_ref().and_then(|d| d[t][path.index()])
+    }
+
+    /// Installs a complete delay grid (rows per interval, cells per path).
+    /// Rows shorter than the log's current interval count are padded with
+    /// empty cells; extra rows grow the log like `record_sent` would.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a row's width is not the log's path count.
+    pub fn set_delay(&mut self, mut rows: Vec<Vec<Option<DelayStats>>>) {
+        for row in &rows {
+            assert_eq!(row.len(), self.n_paths, "delay row width != path count");
+        }
+        if rows.len() > self.sent.len() {
+            self.ensure(rows.len() - 1);
+        }
+        while rows.len() < self.sent.len() {
+            rows.push(vec![None; self.n_paths]);
+        }
+        self.delay = Some(rows);
+    }
+
+    /// The path's delay baseline: its minimum per-interval p50 across the
+    /// log — the least-queued view of the propagation + transmission floor
+    /// that the delay feature measures inflation against. `None` when the
+    /// log has no delay grid or the path never delivered a packet.
+    pub fn delay_baseline(&self, path: PathId) -> Option<f64> {
+        let rows = self.delay.as_ref()?;
+        rows.iter()
+            .filter_map(|row| row[path.index()].map(|s| s.p50_s))
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
     /// Drops the first `k` intervals (warm-up: slow-start transients).
     pub fn drop_warmup(&mut self, k: usize) {
         let k = k.min(self.sent.len());
         self.sent.drain(0..k);
         self.lost.drain(0..k);
+        if let Some(delay) = &mut self.delay {
+            delay.drain(0..k.min(delay.len()));
+        }
     }
 
     /// The *unnormalized* per-path congestion probability: the fraction of
@@ -133,6 +227,12 @@ impl MeasurementLog {
     /// path count; interval counts may differ (the shorter log contributes
     /// zeros to the tail).
     pub fn merge(&mut self, other: &MeasurementLog) -> Result<(), MergeError> {
+        if self.delay.is_some() || other.delay.is_some() {
+            // Percentiles are order statistics: two cells' p90s cannot be
+            // combined into the union's p90 without the raw samples, so a
+            // cell-wise merge of delay-carrying logs would fabricate data.
+            return Err(MergeError::DelayNotMergeable);
+        }
         if self.interval_s.to_bits() != other.interval_s.to_bits() {
             return Err(MergeError::IntervalMismatch {
                 ours: self.interval_s,
@@ -176,6 +276,10 @@ pub enum MergeError {
         /// The other log's path count.
         theirs: usize,
     },
+    /// At least one side carries a delay grid. Delay percentiles are order
+    /// statistics and cannot be summed cell-wise; multi-vantage aggregation
+    /// is a loss-only operation.
+    DelayNotMergeable,
 }
 
 impl std::fmt::Display for MergeError {
@@ -186,6 +290,12 @@ impl std::fmt::Display for MergeError {
             }
             MergeError::PathCountMismatch { ours, theirs } => {
                 write!(f, "path count mismatch: {ours} vs {theirs}")
+            }
+            MergeError::DelayNotMergeable => {
+                write!(
+                    f,
+                    "logs carrying delay percentiles cannot be merged cell-wise"
+                )
             }
         }
     }
@@ -321,5 +431,80 @@ mod tests {
         assert_eq!(log.sent(0, PathId(0)), 9);
         assert_eq!(log.total_sent(PathId(0)), 9);
         assert_eq!(log.total_lost(PathId(0)), 0);
+    }
+
+    #[test]
+    fn delay_stats_nearest_rank() {
+        assert_eq!(DelayStats::from_sorted_ns(&[]), None);
+        let s = DelayStats::from_sorted_ns(&[1_000_000]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_s, 0.001);
+        assert_eq!(s.p90_s, 0.001);
+        assert_eq!(s.p99_s, 0.001);
+        // Ten samples 1..=10 ms: p50 = 5 ms, p90 = 9 ms, p99 = 10 ms.
+        let ns: Vec<u64> = (1..=10).map(|k| k * 1_000_000).collect();
+        let s = DelayStats::from_sorted_ns(&ns).unwrap();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.p50_s, 0.005);
+        assert_eq!(s.p90_s, 0.009);
+        assert_eq!(s.p99_s, 0.010);
+    }
+
+    fn stats(ms: u64) -> DelayStats {
+        DelayStats::from_sorted_ns(&[ms * 1_000_000]).unwrap()
+    }
+
+    #[test]
+    fn delay_grid_follows_the_log() {
+        let mut log = MeasurementLog::new(2, 0.1);
+        log.record_sent(0, PathId(0), 10);
+        log.record_sent(2, PathId(0), 10);
+        assert!(!log.has_delay());
+        assert_eq!(log.delay(0, PathId(0)), None);
+        log.set_delay(vec![vec![Some(stats(5)), None], vec![None, Some(stats(7))]]);
+        assert!(log.has_delay());
+        // The short grid was padded to the log's three intervals …
+        assert_eq!(log.delay(2, PathId(0)), None);
+        assert_eq!(log.delay(0, PathId(0)), Some(stats(5)));
+        assert_eq!(log.delay(1, PathId(1)), Some(stats(7)));
+        // … and subsequent growth extends both grids.
+        log.record_sent(4, PathId(1), 1);
+        assert_eq!(log.interval_count(), 5);
+        assert_eq!(log.delay(4, PathId(1)), None);
+        // Warm-up dropping drains delay rows in lockstep.
+        log.drop_warmup(1);
+        assert_eq!(log.delay(0, PathId(1)), Some(stats(7)));
+        assert_eq!(log.delay_baseline(PathId(1)), Some(0.007));
+        assert_eq!(log.delay_baseline(PathId(0)), None);
+    }
+
+    #[test]
+    fn delay_baseline_is_min_p50() {
+        let mut log = MeasurementLog::new(1, 0.1);
+        log.record_sent(2, PathId(0), 1);
+        log.set_delay(vec![
+            vec![Some(stats(9))],
+            vec![Some(stats(4))],
+            vec![Some(stats(30))],
+        ]);
+        assert_eq!(log.delay_baseline(PathId(0)), Some(0.004));
+    }
+
+    #[test]
+    fn merge_refuses_delay_grids() {
+        let mut a = MeasurementLog::new(1, 0.1);
+        a.record_sent(0, PathId(0), 1);
+        let mut b = a.clone();
+        b.set_delay(vec![vec![Some(stats(5))]]);
+        assert_eq!(a.merge(&b), Err(MergeError::DelayNotMergeable));
+        assert_eq!(
+            b.merge(&a.clone()),
+            Err(MergeError::DelayNotMergeable),
+            "a delay-carrying target must refuse loss-only input too"
+        );
+        // Loss-only logs still merge.
+        let mut c = a.clone();
+        c.merge(&a).unwrap();
+        assert_eq!(c.sent(0, PathId(0)), 2);
     }
 }

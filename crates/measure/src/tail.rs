@@ -29,6 +29,9 @@ use crate::segment::{SegmentFollower, SegmentItem, SEGMENT_EXT};
 pub const DEFAULT_RETRY_BUDGET: u32 = 200;
 
 /// One arrival surfaced by [`CorpusTail::poll`].
+// Events are produced one at a time and consumed immediately, never stored
+// in bulk, so the size spread between variants costs nothing in practice.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum TailEvent {
     /// A complete corpus entry landed (decodes cleanly end to end).

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nni_measure::codec::{self, CodecError};
 use nni_measure::{
-    frame_bytes, frame_bytes_v1, read_frame, read_frame_v1, FrameError, MeasurementLog,
+    frame_bytes, frame_bytes_v1, read_frame, read_frame_v1, DelayStats, FrameError, MeasurementLog,
     MeasurementSet, Provenance, SegmentFollower, SegmentItem, SegmentWriter, FRAME_VERSION,
 };
 use nni_topology::{PathId, TopologyBuilder};
@@ -43,6 +43,33 @@ fn sample_set(intervals: usize, salt: u64) -> MeasurementSet {
             build: "test".into(),
         },
     }
+}
+
+/// `sample_set` plus a salt-derived one-way delay grid: a mix of empty and
+/// populated cells with awkward nanosecond values, so the v2 DELAY section
+/// is exercised across its whole shape space.
+fn sample_set_with_delay(intervals: usize, salt: u64) -> MeasurementSet {
+    let mut set = sample_set(intervals, salt);
+    let n = set.log.interval_count();
+    let mut rows = Vec::with_capacity(n);
+    for t in 0..n {
+        let mut row = Vec::with_capacity(set.log.path_count());
+        for p in 0..set.log.path_count() as u64 {
+            let x = (t as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(salt ^ (p << 17));
+            if x.is_multiple_of(3) {
+                row.push(None);
+            } else {
+                let base = 1_000_000 + x % 50_000_000;
+                let ns: Vec<u64> = (0..1 + x % 7).map(|k| base + k * 13_337).collect();
+                row.push(DelayStats::from_sorted_ns(&ns));
+            }
+        }
+        rows.push(row);
+    }
+    set.log.set_delay(rows);
+    set
 }
 
 /// One fresh segment file per proptest case.
@@ -216,6 +243,45 @@ proptest! {
             }
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Delay-carrying sets round trip bit-identically through the v2
+    /// codec — binary and JSONL — and a single flipped bit anywhere in the
+    /// v2 stream (including inside the DELAY section) is always rejected.
+    #[test]
+    fn delay_sets_round_trip_and_reject_flips(
+        intervals in 1usize..20,
+        salt in 0u64..u64::MAX,
+        frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let set = sample_set_with_delay(intervals, salt);
+        let mut bytes = codec::encode(&set);
+        prop_assert_eq!(bytes[7], 2, "delay sets encode as version 2");
+        prop_assert_eq!(&codec::decode(&bytes).unwrap(), &set);
+        let text = nni_measure::jsonl::to_jsonl(&set);
+        prop_assert_eq!(&nni_measure::jsonl::from_jsonl(&text).unwrap(), &set);
+        let i = at(frac, bytes.len());
+        bytes[i] ^= 1 << bit;
+        prop_assert!(codec::decode(&bytes).is_err());
+    }
+
+    /// The frozen v1 set reader accepts every loss-only stream (which
+    /// still encodes as version 1, bit-identical to pre-delay builds) and
+    /// rejects every delay-carrying stream with the typed
+    /// `UnsupportedVersion(2)` — the pre-delay compatibility contract.
+    #[test]
+    fn v1_set_reader_interop(intervals in 1usize..20, salt in 0u64..u64::MAX) {
+        let loss_only = sample_set(intervals, salt);
+        let bytes = codec::encode(&loss_only);
+        prop_assert_eq!(bytes[7], 1, "loss-only sets stay version 1");
+        prop_assert_eq!(&codec::decode_v1(&bytes).unwrap(), &loss_only);
+
+        let with_delay = sample_set_with_delay(intervals, salt);
+        prop_assert!(matches!(
+            codec::decode_v1(&codec::encode(&with_delay)),
+            Err(CodecError::UnsupportedVersion(2))
+        ));
     }
 
     /// Interop on the measurement wire: a frozen v1 frame carrying an

@@ -163,9 +163,9 @@ proptest! {
         let n = log.path_count();
         let group: Vec<PathId> = (0..n).map(PathId).collect();
         let lo = group_indicators(
-            &log, &group, NormalizeConfig { loss_threshold: 0.01, seed: 9 });
+            &log, &group, NormalizeConfig { loss_threshold: 0.01, seed: 9, delay: None });
         let hi = group_indicators(
-            &log, &group, NormalizeConfig { loss_threshold: 0.10, seed: 9 });
+            &log, &group, NormalizeConfig { loss_threshold: 0.10, seed: 9, delay: None });
         for (row_lo, row_hi) in lo.iter().zip(&hi) {
             for (a, b) in row_lo.iter().zip(row_hi) {
                 match (a, b) {

@@ -64,6 +64,7 @@ pub fn loss(set: &MeasurementSet, cfg: &InferenceConfig) -> LossTomography {
         NormalizeConfig {
             loss_threshold: cfg.loss_threshold,
             seed: set.provenance.seed ^ cfg.normalize_salt,
+            delay: cfg.delay,
         },
     );
     let group: Vec<PathId> = g.path_ids().collect();
@@ -90,6 +91,62 @@ pub fn glasnost(set: &MeasurementSet, cfg: &InferenceConfig, margin: f64) -> Gla
     let class1 = set.classes.first().map_or(empty, Vec::as_slice);
     let class2 = set.classes.get(1).map_or(empty, Vec::as_slice);
     glasnost_detect(&set.log, class1, class2, cfg.loss_threshold, margin)
+}
+
+/// The delay-aware Glasnost variant: compares the two classes' *delay
+/// inflation* rates instead of their loss rates, over the same measurement
+/// set. A cell counts as inflated when its p90 one-way delay exceeds the
+/// feature's threshold against the path's own baseline (min p50 across the
+/// log) — exactly the joint indicator's delay half. Returns `None` when the
+/// set carries no delay grid (a loss-only v1 set).
+///
+/// This is the baseline the headline scenario leans on: a deep-buffered
+/// shaper delays a class without dropping, so loss-based
+/// [`glasnost`] sees nothing while the delay variant flags it.
+pub fn glasnost_delay(
+    set: &MeasurementSet,
+    feature: &nni_core::DelayFeature,
+    margin: f64,
+) -> Option<GlasnostVerdict> {
+    if !set.log.has_delay() {
+        return None;
+    }
+    let empty: &[PathId] = &[];
+    let class1 = set.classes.first().map_or(empty, Vec::as_slice);
+    let class2 = set.classes.get(1).map_or(empty, Vec::as_slice);
+    let inflation_rate = |class: &[PathId]| {
+        let log = &set.log;
+        let mut inflated = 0usize;
+        let mut informative = 0usize;
+        for &p in class {
+            let Some(baseline) = log.delay_baseline(p) else {
+                continue;
+            };
+            for t in 0..log.interval_count() {
+                if let Some(stats) = log.delay(t, p) {
+                    informative += 1;
+                    if feature.inflated(stats.p90_s, baseline) {
+                        inflated += 1;
+                    }
+                }
+            }
+        }
+        if informative == 0 {
+            0.0
+        } else {
+            inflated as f64 / informative as f64
+        }
+    };
+    let class1_congestion = inflation_rate(class1);
+    let class2_congestion = inflation_rate(class2);
+    let diff = (class1_congestion - class2_congestion).abs();
+    let ratio_split =
+        class1_congestion.max(class2_congestion) > 2.0 * class1_congestion.min(class2_congestion);
+    Some(GlasnostVerdict {
+        class1_congestion,
+        class2_congestion,
+        differentiated: diff > margin && ratio_split,
+    })
 }
 
 /// A NetPolice-style per-link comparator \[31\] fed perfect interior probes:

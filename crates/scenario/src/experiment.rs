@@ -116,6 +116,7 @@ impl Experiment {
             duration_s: m.duration_s,
             interval_s: m.interval_s,
             seed: m.seed,
+            record_delay: m.record_delay,
             ..SimConfig::default()
         };
         if let Some(warmup_s) = m.warmup_s {

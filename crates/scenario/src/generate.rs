@@ -74,12 +74,52 @@ impl Default for GenConfig {
     }
 }
 
+/// Where [`ScenarioGen`] draws its topologies from.
+///
+/// The default [`LibraryTopologies`] source draws the hand-built paper
+/// topologies (topology A, dumbbells, parking lots); `nni-topogen` plugs in
+/// generated ISP-like hierarchies through the same seam. A source draws
+/// from the generator's own RNG, so a fixed seed still pins the whole
+/// scenario stream.
+pub trait TopologySource: std::fmt::Debug {
+    /// Draws the next topology (with its class partition) plus a family
+    /// label for the scenario name.
+    fn draw(&mut self, rng: &mut StdRng) -> (PaperTopology, String);
+}
+
+/// The built-in source: the `nni_topology::library` paper topologies, with
+/// randomized RTTs and fan-outs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LibraryTopologies;
+
+impl TopologySource for LibraryTopologies {
+    fn draw(&mut self, rng: &mut StdRng) -> (PaperTopology, String) {
+        match rng.gen_range(0u32..4) {
+            0 => {
+                let rtt = rng.gen_range(0.04..0.08);
+                (topology_a(rtt, rtt), "topology-a".into())
+            }
+            1 => {
+                let n1 = rng.gen_range(1usize..=3);
+                let n2 = rng.gen_range(1usize..=3);
+                (dumbbell(n1, n2), "dumbbell".into())
+            }
+            2 => {
+                let segments = rng.gen_range(2usize..=4);
+                (parking_lot(segments), "parking-lot".into())
+            }
+            _ => (dumbbell(2, 2), "dumbbell-2x2".into()),
+        }
+    }
+}
+
 /// A deterministic stream of valid random scenarios (see the module docs).
 #[derive(Debug)]
 pub struct ScenarioGen {
     rng: StdRng,
     cfg: GenConfig,
     counter: u64,
+    source: Box<dyn TopologySource>,
 }
 
 impl ScenarioGen {
@@ -90,10 +130,22 @@ impl ScenarioGen {
 
     /// A generator with explicit bounds.
     pub fn with_config(seed: u64, cfg: GenConfig) -> ScenarioGen {
+        ScenarioGen::with_source(seed, cfg, LibraryTopologies)
+    }
+
+    /// A generator drawing topologies from an explicit source — how
+    /// `nni-topogen` routes generated hierarchies into the population
+    /// machinery.
+    pub fn with_source(
+        seed: u64,
+        cfg: GenConfig,
+        source: impl TopologySource + 'static,
+    ) -> ScenarioGen {
         ScenarioGen {
             rng: StdRng::seed_from_u64(seed),
             cfg,
             counter: 0,
+            source: Box::new(source),
         }
     }
 
@@ -112,7 +164,7 @@ impl ScenarioGen {
     /// [`ScenarioBuilder::build`](crate::ScenarioBuilder) internally.
     pub fn scenario(&mut self) -> Scenario {
         self.counter += 1;
-        let (paper, family) = self.random_topology();
+        let (paper, family) = self.source.draw(&mut self.rng);
         let g = &paper.topology;
 
         // Differentiation: maybe a policer or a two-lane shaper, placed on
@@ -199,25 +251,6 @@ impl ScenarioGen {
         (0..n).map(|_| self.scenario()).collect()
     }
 
-    fn random_topology(&mut self) -> (PaperTopology, &'static str) {
-        match self.rng.gen_range(0u32..4) {
-            0 => {
-                let rtt = self.rng.gen_range(0.04..0.08);
-                (topology_a(rtt, rtt), "topology-a")
-            }
-            1 => {
-                let n1 = self.rng.gen_range(1usize..=3);
-                let n2 = self.rng.gen_range(1usize..=3);
-                (dumbbell(n1, n2), "dumbbell")
-            }
-            2 => {
-                let segments = self.rng.gen_range(2usize..=4);
-                (parking_lot(segments), "parking-lot")
-            }
-            _ => (dumbbell(2, 2), "dumbbell-2x2"),
-        }
-    }
-
     /// A random link crossed by a random measured path — differentiation
     /// and queue overrides land where traffic actually flows.
     fn random_path_link(&mut self, paper: &PaperTopology) -> LinkId {
@@ -285,6 +318,34 @@ mod tests {
                 "generated scenarios must re-validate Ok"
             );
         }
+    }
+
+    #[test]
+    fn custom_sources_route_through_the_same_machinery() {
+        #[derive(Debug)]
+        struct FixedSource;
+        impl TopologySource for FixedSource {
+            fn draw(&mut self, _rng: &mut StdRng) -> (PaperTopology, String) {
+                (dumbbell(2, 2), "fixed".into())
+            }
+        }
+        let mut g = ScenarioGen::with_source(3, GenConfig::default(), FixedSource);
+        for s in g.scenarios(5) {
+            assert!(s.name.contains("fixed"));
+            assert!(ScenarioBuilder::of(s).build().is_ok());
+        }
+        // The default source *is* LibraryTopologies: identical streams.
+        let a: Vec<String> = ScenarioGen::new(9)
+            .scenarios(4)
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        let b: Vec<String> = ScenarioGen::with_source(9, GenConfig::default(), LibraryTopologies)
+            .scenarios(4)
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct InferenceConfig {
     pub normalize_salt: u64,
     /// Algorithm 1 configuration.
     pub algorithm: Config,
+    /// Delay-inflation feature for the joint loss+delay congestion-free
+    /// indicator. `None` (the default) keeps inference loss-only; cells
+    /// without delay statistics fall back to loss-only either way.
+    pub delay: Option<nni_core::DelayFeature>,
 }
 
 impl InferenceConfig {
@@ -39,6 +43,7 @@ impl InferenceConfig {
             loss_threshold: scenario.measurement.loss_threshold,
             normalize_salt: scenario.measurement.normalize_salt,
             algorithm: scenario.inference,
+            delay: scenario.measurement.delay_feature,
         }
     }
 }
@@ -49,6 +54,7 @@ impl Default for InferenceConfig {
             loss_threshold: 0.01,
             normalize_salt: crate::spec::DEFAULT_NORMALIZE_SALT,
             algorithm: Config::clustered(),
+            delay: None,
         }
     }
 }
@@ -77,6 +83,7 @@ pub(crate) fn infer_parts(
         NormalizeConfig {
             loss_threshold: cfg.loss_threshold,
             seed: seed ^ cfg.normalize_salt,
+            delay: cfg.delay,
         },
     );
     identify(topology, &obs, cfg.algorithm)

@@ -104,7 +104,7 @@ pub use audit::{assert_demand_exceeds_policed_rate, policed_demand_report, DEMAN
 pub use executor::{compile_all, seed_sweep, Executor, SerialExecutor, ShardedExecutor};
 pub use experiment::{simulation_count, Experiment, ExperimentOutcome};
 pub use fault::{job_token, Fault, FaultPlan, FaultPlanParseError, FAULT_PLAN_ENV};
-pub use generate::{GenConfig, ScenarioGen};
+pub use generate::{GenConfig, LibraryTopologies, ScenarioGen, TopologySource};
 pub use infer::{infer, infer_scored, InferenceConfig, InferenceOutcome};
 pub use process::{
     default_worker_bin, BatchOutcome, ProcessError, ProcessExecutor, ProcessStats, Quarantined,

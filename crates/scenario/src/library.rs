@@ -6,11 +6,16 @@
 //! inference method (Algorithm 1 and the tomography baselines of
 //! [`crate::baselines`]) consumes identical inputs.
 
-use nni_emu::{policer_at_fraction, shaper_at_fraction, CcFleet, CcKind};
-use nni_topology::library::{topology_a, topology_b, PaperTopology};
+use nni_emu::{
+    policer_at_fraction, shaper_at_fraction, CcFleet, CcKind, Differentiation, ShapeLaneConfig,
+    SizeDist,
+};
+use nni_topology::library::{topology_a, topology_b, PaperTopology, BOTTLENECK_BPS};
 use nni_topology::PathId;
 
-use crate::spec::{Expectation, QueueOverride, Scenario, ScenarioBuilder, TrafficProfile};
+use crate::spec::{
+    Expectation, MeasurementConfig, QueueOverride, Scenario, ScenarioBuilder, TrafficProfile,
+};
 use crate::sweep::SweepSet;
 
 /// What the shared link of topology A does (Table 2's "Link l5 behavior").
@@ -391,6 +396,77 @@ pub fn deep_buffer_policing(duration_s: f64, seed: u64) -> Scenario {
     s
 }
 
+/// The delay feature the delay-vs-loss headline runs with. Tighter than
+/// [`nni_core::DelayFeature::default`] (which tolerates a full BDP-sized
+/// standing queue): the headline's shaper lane is *rate*-visible long before
+/// its deep buffer drops anything, so a 4x-over-baseline p90 with a 50 ms
+/// absolute floor is the calibrated operating point. Neutral populations
+/// stay unflagged under this feature because neutral queueing inflates
+/// every class alike — see `tests/topogen_population.rs`.
+pub const HEADLINE_DELAY_FEATURE: nni_core::DelayFeature = nni_core::DelayFeature {
+    rel_factor: 4.0,
+    abs_floor_s: 0.05,
+};
+
+/// Beyond Table 2 #9 — the **delay-visible shaper**, the delay-based
+/// differentiation headline: class 2 is shaped to 30% of `l5` through a
+/// single token-bucket lane whose buffer (16 MB) sits far above the class's
+/// in-flight ceiling, so the lane *never drops a packet*. Class 2's flows
+/// are fixed-size (1.875 MB each, 2 slots per path), which caps the bytes
+/// TCP can have in flight at ~7.5 MB across the class — the lane queue
+/// grows, oscillates, and drains, but cannot overflow. Class 1 is kept
+/// light, and the shared FIFO never saturates.
+///
+/// The result is a network whose only differentiation signature is
+/// *queueing delay*: loss-only inference sees a loss-free network and
+/// answers "neutral" (a miss — the expectation says non-neutral), while the
+/// joint loss+delay feature sees class 2's p90 one-way delay inflate far
+/// past its slow-start baseline and flags `l5`. The discrimination gate
+/// lives in `tests/delay_headline.rs`.
+pub fn delay_visible_shaper(duration_s: f64, seed: u64) -> Scenario {
+    let paper = topology_a(0.05, 0.05);
+    let g = &paper.topology;
+    let l5 = paper.link_named("l5");
+    let lane = ShapeLaneConfig {
+        class: 1,
+        rate_bps: 0.3 * BOTTLENECK_BPS,
+        burst_bytes: 3_000.0,
+        buffer_bytes: 16_000_000,
+    };
+    let mut b = Scenario::builder("topology-a delay-visible shaper", g.clone())
+        .classes(paper.classes.clone())
+        .differentiate(l5, Differentiation::Shaping { lanes: vec![lane] })
+        .measurement(MeasurementConfig {
+            duration_s,
+            // A tiny warm-up keeps the slow-start intervals in the log:
+            // they are the low-delay baseline the inflation test needs.
+            warmup_s: Some(0.2),
+            seed,
+            ..MeasurementConfig::default()
+        })
+        .delay_feature(HEADLINE_DELAY_FEATURE);
+    for path in g.path_ids() {
+        let is_c2 = paper.classes[1].contains(&path);
+        let profile = if is_c2 {
+            // Fixed-size transfers bound the in-flight bytes per slot, so
+            // the lane queue has a hard ceiling below its buffer.
+            TrafficProfile {
+                class: 1,
+                cc: CcKind::Cubic.into(),
+                size: SizeDist::Fixed { bytes: 1_875_000 },
+                mean_gap_s: 0.5,
+                parallel: 2,
+            }
+        } else {
+            TrafficProfile::pareto_bits(0, CcKind::Cubic, 5e6, 1.0, 2)
+        };
+        b = b.path_traffic(path, profile);
+    }
+    b.expect(Expectation::nonneutral(vec![l5]))
+        .build()
+        .expect("library scenario is valid")
+}
+
 /// Beyond Table 2 #8 — **policer-rate sweep on topology B**: the §6.4
 /// network with a single policer on the tier-2 ingress `l14`, swept over
 /// three token rates (15%, 25%, 35% of capacity) as one [`SweepSet`]. The
@@ -577,6 +653,29 @@ mod tests {
         );
         assert!(deep.expectation.expect_flagged);
         crate::audit::assert_demand_exceeds_policed_rate(&deep);
+    }
+
+    #[test]
+    fn delay_visible_shaper_carries_the_headline_structure() {
+        let s = delay_visible_shaper(6.0, 42);
+        // Joint inference is configured in: recording plus the calibrated
+        // feature.
+        assert!(s.measurement.record_delay);
+        assert_eq!(s.measurement.delay_feature, Some(HEADLINE_DELAY_FEATURE));
+        assert!(s.expectation.expect_flagged);
+        // One deep-buffered lane, shaping class 2 only.
+        let lanes = match &s.differentiation[0].1 {
+            Differentiation::Shaping { lanes } => lanes,
+            _ => panic!("expected a shaper"),
+        };
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].class, 1);
+        // The lane buffer exceeds the class's in-flight ceiling (4 slots x
+        // 1.875 MB fixed flows), so it can never drop.
+        assert!(lanes[0].buffer_bytes > 4 * 1_875_000);
+        // The PR 1 lesson applies to shaper lanes too: the audit now covers
+        // them, and the lane is well fed.
+        crate::audit::assert_demand_exceeds_policed_rate(&s);
     }
 
     #[test]

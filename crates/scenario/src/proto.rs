@@ -242,6 +242,15 @@ pub fn encode_scenario(s: &Scenario) -> Vec<u8> {
     }
     w.u64(m.seed);
     w.u64(m.normalize_salt);
+    w.u8(m.record_delay as u8);
+    match m.delay_feature {
+        None => w.u8(0),
+        Some(f) => {
+            w.u8(1);
+            w.f64(f.rel_factor);
+            w.f64(f.abs_floor_s);
+        }
+    }
 
     w.vu(s.inference.min_pairs as u64);
     match s.inference.mode {
@@ -404,13 +413,30 @@ pub fn decode_scenario(bytes: &[u8]) -> Result<Scenario, CodecError> {
         1 => Some(r.f64()?),
         _ => return Err(CodecError::BadValue("warmup tag")),
     };
+    let seed = r.u64()?;
+    let normalize_salt = r.u64()?;
+    let record_delay = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CodecError::BadValue("record-delay flag")),
+    };
+    let delay_feature = match r.u8()? {
+        0 => None,
+        1 => Some(nni_core::DelayFeature {
+            rel_factor: r.f64()?,
+            abs_floor_s: r.f64()?,
+        }),
+        _ => return Err(CodecError::BadValue("delay-feature tag")),
+    };
     let measurement = MeasurementConfig {
         duration_s,
         interval_s,
         loss_threshold,
         warmup_s,
-        seed: r.u64()?,
-        normalize_salt: r.u64()?,
+        seed,
+        normalize_salt,
+        record_delay,
+        delay_feature,
     };
 
     let min_pairs = r.vu()? as usize;
@@ -573,6 +599,29 @@ mod tests {
                 format!("{:?}", s.inference)
             );
         }
+    }
+
+    #[test]
+    fn delay_fields_round_trip() {
+        let mut s = topology_a_scenario(ExperimentParams {
+            duration_s: 4.0,
+            ..ExperimentParams::default()
+        });
+        s.measurement.record_delay = true;
+        s.measurement.delay_feature = Some(nni_core::DelayFeature {
+            rel_factor: 6.5,
+            abs_floor_s: 0.125,
+        });
+        let back = decode_scenario(&encode_scenario(&s)).expect("decode");
+        assert_eq!(back.measurement, s.measurement);
+        // Recording-only (no feature) survives too.
+        s.measurement.delay_feature = None;
+        let back = decode_scenario(&encode_scenario(&s)).expect("decode");
+        assert_eq!(back.measurement, s.measurement);
+        // A feature without recording fails builder re-validation on decode.
+        s.measurement.record_delay = false;
+        s.measurement.delay_feature = Some(nni_core::DelayFeature::default());
+        assert!(decode_scenario(&encode_scenario(&s)).is_err());
     }
 
     #[test]

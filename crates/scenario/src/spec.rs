@@ -35,6 +35,15 @@ pub struct MeasurementConfig {
     pub seed: u64,
     /// Salt XORed with `seed` to seed Algorithm 2's normalization draw.
     pub normalize_salt: u64,
+    /// Record per-packet one-way delay during emulation and fold
+    /// per-interval percentiles into the measurement log (the log then
+    /// encodes as a v2 set). Off by default so existing scenarios stay
+    /// bit-identical.
+    pub record_delay: bool,
+    /// Delay-inflation feature folded into the congestion-free indicator
+    /// (joint loss+delay inference). Requires `record_delay`; `None` keeps
+    /// inference loss-only even when delay is recorded.
+    pub delay_feature: Option<nni_core::DelayFeature>,
 }
 
 impl Default for MeasurementConfig {
@@ -46,6 +55,8 @@ impl Default for MeasurementConfig {
             warmup_s: None,
             seed: 42,
             normalize_salt: DEFAULT_NORMALIZE_SALT,
+            record_delay: false,
+            delay_feature: None,
         }
     }
 }
@@ -234,6 +245,9 @@ pub enum ScenarioError {
     BadQueueOverride(LinkId),
     /// Two queue overrides on the same link.
     DuplicateQueueOverride(LinkId),
+    /// A delay feature was configured without enabling delay recording —
+    /// joint inference would silently degrade to loss-only.
+    DelayFeatureWithoutRecording,
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -265,6 +279,9 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::DuplicateQueueOverride(l) => {
                 write!(f, "two queue overrides on link {l}")
+            }
+            ScenarioError::DelayFeatureWithoutRecording => {
+                write!(f, "delay feature configured without record_delay")
             }
         }
     }
@@ -498,6 +515,13 @@ impl Scenario {
                 h.word(w.to_bits());
             }
         }
+        // Delay recording shapes the measured set (a v2 delay grid rides
+        // along), so it moves the fingerprint — but only when enabled, which
+        // keeps every pre-delay fingerprint unchanged. The delay *feature*
+        // is an inference knob (like the loss threshold) and stays out.
+        if self.measurement.record_delay {
+            h.word(1);
+        }
         h.0
     }
 
@@ -636,6 +660,23 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables (or disables) per-packet one-way-delay recording; the
+    /// measurement log then carries per-interval delay percentiles and
+    /// serializes as a v2 set.
+    pub fn record_delay(mut self, record: bool) -> Self {
+        self.scenario.measurement.record_delay = record;
+        self
+    }
+
+    /// Folds a delay-inflation feature into the congestion-free indicator
+    /// (joint loss+delay inference) and enables delay recording, which the
+    /// feature requires.
+    pub fn delay_feature(mut self, feature: nni_core::DelayFeature) -> Self {
+        self.scenario.measurement.delay_feature = Some(feature);
+        self.scenario.measurement.record_delay = true;
+        self
+    }
+
     /// Sets the Algorithm 1 configuration.
     pub fn inference(mut self, cfg: Config) -> Self {
         self.scenario.inference = cfg;
@@ -655,6 +696,9 @@ impl ScenarioBuilder {
         let m = &s.measurement;
         if !(m.duration_s > 0.0 && m.interval_s > 0.0) {
             return Err(ScenarioError::BadWindow);
+        }
+        if m.delay_feature.is_some() && !m.record_delay {
+            return Err(ScenarioError::DelayFeatureWithoutRecording);
         }
         let mut seen = vec![false; g.path_count()];
         for class in &s.classes {
@@ -958,6 +1002,10 @@ mod tests {
         s.measurement.normalize_salt = 0x1234;
         s.inference = nni_core::Config::exact();
         s.expectation = Expectation::nonneutral(vec![l5]);
+        // The delay feature is inference-side too (needs record_delay to
+        // build, but the raw-field edit shows it alone leaves the
+        // fingerprint untouched).
+        s.measurement.delay_feature = Some(nni_core::DelayFeature::default());
         assert_eq!(s.measurement_fingerprint(), fp);
 
         // Every measurement-shaping axis moves it.
@@ -979,6 +1027,42 @@ mod tests {
         let mut s = base.clone();
         s.classes.push(vec![]);
         assert_ne!(s.measurement_fingerprint(), fp);
+        // Delay recording changes what the emulator measures.
+        let mut s = base.clone();
+        s.measurement.record_delay = true;
+        assert_ne!(s.measurement_fingerprint(), fp);
+    }
+
+    #[test]
+    fn delay_feature_requires_recording() {
+        let paper = topology_a(0.05, 0.05);
+        // Raw-field edit: feature without recording is a typed build error.
+        let mut s = Scenario::builder("t", paper.topology.clone())
+            .path_traffic(PathId(0), profile())
+            .build()
+            .unwrap();
+        s.measurement.delay_feature = Some(nni_core::DelayFeature::default());
+        assert_eq!(
+            ScenarioBuilder::of(s).build().unwrap_err(),
+            ScenarioError::DelayFeatureWithoutRecording
+        );
+        // The builder setter enables recording alongside the feature.
+        let s = Scenario::builder("t", paper.topology.clone())
+            .path_traffic(PathId(0), profile())
+            .delay_feature(nni_core::DelayFeature::default())
+            .build()
+            .unwrap();
+        assert!(s.measurement.record_delay);
+        assert!(s.measurement.delay_feature.is_some());
+        // Recording without the feature is fine (loss-only inference over a
+        // delay-carrying set).
+        let s = Scenario::builder("t", paper.topology.clone())
+            .path_traffic(PathId(0), profile())
+            .record_delay(true)
+            .build()
+            .unwrap();
+        assert!(s.measurement.record_delay);
+        assert!(s.measurement.delay_feature.is_none());
     }
 
     #[test]

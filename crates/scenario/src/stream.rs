@@ -72,9 +72,16 @@ impl StreamingInference {
         window: Option<usize>,
     ) -> StreamingInference {
         let plan = IdentifyPlan::new(topology, &cfg.algorithm);
+        // Streaming inference is loss-only by design: the joint indicator's
+        // delay baseline is a min over the *whole* log (and per-interval
+        // percentiles are order statistics, so they cannot be folded
+        // incrementally) — a delay feature here would silently diverge from
+        // batch. `MergeError::DelayNotMergeable` enforces the same boundary
+        // on the vantage-merge side.
         let ncfg = NormalizeConfig {
             loss_threshold: cfg.loss_threshold,
             seed: seed ^ cfg.normalize_salt,
+            delay: None,
         };
         let mut counts = match window {
             Some(w) => SlidingCounts::with_window(ncfg, w),

@@ -1,0 +1,131 @@
+//! The delay-vs-loss discrimination gate: a shaper sized so that joint
+//! loss+delay inference flags it while loss-only inference misses it.
+//!
+//! [`delay_visible_shaper`] gives the targeted class a dedicated lane
+//! whose buffer exceeds the class's in-flight ceiling — the lane *never
+//! drops*, so the only externally visible signature is queueing delay.
+//! One simulation feeds both inference configurations (the measurement
+//! set is the seam), making this a pure feature-set comparison over
+//! identical measurements.
+
+use nni_scenario::baselines::{glasnost, glasnost_delay};
+use nni_scenario::library::{delay_visible_shaper, HEADLINE_DELAY_FEATURE};
+use nni_scenario::{
+    assert_demand_exceeds_policed_rate, infer_scored, InferenceConfig, MeasurementSet, Scenario,
+};
+
+fn headline_run() -> (Scenario, MeasurementSet) {
+    let s = delay_visible_shaper(10.0, 42);
+    let set = s.compile().simulate();
+    (s, set)
+}
+
+#[test]
+fn joint_inference_flags_what_loss_only_misses() {
+    let (s, set) = headline_run();
+    // The shaper lane is meaningfully exercised (PR 1 lesson, extended to
+    // shaper lanes): demand exceeds the lane rate from multiple slots.
+    assert_demand_exceeds_policed_rate(&s);
+
+    let joint_cfg = InferenceConfig::of(&s);
+    assert_eq!(joint_cfg.delay, Some(HEADLINE_DELAY_FEATURE));
+    let loss_cfg = InferenceConfig {
+        delay: None,
+        ..joint_cfg
+    };
+
+    let joint = infer_scored(&set, &joint_cfg, &s.expectation);
+    let loss = infer_scored(&set, &loss_cfg, &s.expectation);
+
+    assert!(
+        joint.flagged_nonneutral && joint.correct,
+        "joint loss+delay inference must flag the delay-visible shaper"
+    );
+    assert!(
+        !loss.flagged_nonneutral && !loss.correct,
+        "loss-only inference must miss it — the lane never drops"
+    );
+    // The culprit is localized, not just detected: l5 appears in the
+    // identified non-neutral sequences.
+    let l5 = s.topology.link_by_name("l5").unwrap();
+    assert!(
+        joint
+            .inference
+            .nonneutral
+            .iter()
+            .any(|seq| seq.contains(l5)),
+        "joint inference must localize the shaper to l5"
+    );
+}
+
+#[test]
+fn the_shaped_class_loses_almost_nothing() {
+    // The physics behind the headline: the lane's buffer (16 MB) exceeds
+    // the shaped class's in-flight ceiling (4 slots × 1.875 MB), so the
+    // loss signature loss-only inference depends on is simply absent.
+    let (s, set) = headline_run();
+    let class2 = &s.classes[1];
+    let (mut sent, mut lost) = (0u64, 0u64);
+    for &p in class2 {
+        for t in 0..set.log.interval_count() {
+            sent += set.log.sent(t, p);
+            lost += set.log.lost(t, p);
+        }
+    }
+    assert!(sent > 0, "the shaped class must actually transmit");
+    assert!(
+        (lost as f64) < 0.001 * sent as f64,
+        "the shaped class must be essentially loss-free, got {lost}/{sent}"
+    );
+    // …while its delay is visibly inflated: the delay grid is present and
+    // some cell trips the headline feature against the path baseline.
+    assert!(set.log.has_delay());
+    let inflated = class2.iter().any(|&p| {
+        let Some(baseline) = set.log.delay_baseline(p) else {
+            return false;
+        };
+        (0..set.log.interval_count()).any(|t| {
+            set.log
+                .delay(t, p)
+                .is_some_and(|d| HEADLINE_DELAY_FEATURE.inflated(d.p90_s, baseline))
+        })
+    });
+    assert!(
+        inflated,
+        "the shaped class's p90 delay must trip the feature"
+    );
+}
+
+#[test]
+fn glasnost_baselines_split_the_same_way() {
+    // The related-work view of the same run: the loss-based Glasnost
+    // comparator sees two loss-free classes, the delay variant sees the
+    // shaped class's inflation.
+    let (s, set) = headline_run();
+    let cfg = InferenceConfig::of(&s);
+    let g_loss = glasnost(&set, &cfg, 0.05);
+    assert!(
+        !g_loss.differentiated,
+        "loss-based Glasnost must see nothing ({:.3} vs {:.3})",
+        g_loss.class1_congestion, g_loss.class2_congestion
+    );
+    let g_delay = glasnost_delay(&set, &HEADLINE_DELAY_FEATURE, 0.05)
+        .expect("the headline set carries a delay grid");
+    assert!(
+        g_delay.differentiated,
+        "delay-based Glasnost must split the classes ({:.3} vs {:.3})",
+        g_delay.class1_congestion, g_delay.class2_congestion
+    );
+    assert!(g_delay.class2_congestion > g_delay.class1_congestion);
+
+    // A loss-only set (delay recording off) degrades the delay variant to
+    // None rather than a bogus verdict.
+    let mut loss_only = nni_scenario::ScenarioBuilder::of(s.clone());
+    loss_only = loss_only.measurement(nni_scenario::MeasurementConfig {
+        record_delay: false,
+        delay_feature: None,
+        ..s.measurement
+    });
+    let loss_set = loss_only.build().unwrap().compile().simulate();
+    assert!(glasnost_delay(&loss_set, &HEADLINE_DELAY_FEATURE, 0.05).is_none());
+}

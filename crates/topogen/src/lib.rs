@@ -1,0 +1,49 @@
+//! # nni-topogen
+//!
+//! Seeded parametric generation of Internet-scale topologies — the
+//! "scenario diversity" subsystem: hierarchical ISP-like graphs
+//! (access → aggregation → core tiers) far beyond the paper's hand-built
+//! topologies A/B, plus the noise models and richer traffic shapes that
+//! make them behave like real networks.
+//!
+//! * [`gen`] — [`IspParams`] / [`generate`]: the three-tier hierarchy
+//!   (core ring with chords, per-tier rates/delays/buffers, seeded delay
+//!   jitter, deterministic shortest-path routing). The
+//!   [`IspParams::isp_200link`] preset emits ≥200 links and ≥1000
+//!   measured paths.
+//! * [`noise`] — [`lossy_link_background`] (seeded interior background
+//!   load) and [`route_churn`] (an epoch schedule rotating the route set
+//!   over a fixed graph).
+//! * [`traffic`] — [`video_on_off`] bursts and [`web_train`] request
+//!   trains as ordinary `TrafficProfile`s.
+//! * [`scenario`](mod@scenario) — [`GeneratedTopologies`] (a
+//!   `TopologySource` feeding `ScenarioGen`), the [`isp_scenario`]
+//!   assembly, the seeded [`neutral_population`] behind the calibration
+//!   invariant, and the population's recalibrated [`calibrated_config`].
+//!
+//! Everything is deterministic in `(params, seed)`: the same inputs
+//! produce bit-identical topologies, scenarios, and measurement sets on
+//! every executor — which is exactly what the service-level
+//! executor-identity gate checks at ISP scale.
+//!
+//! ```
+//! use nni_topogen::{generate, IspParams};
+//!
+//! let small = generate(&IspParams::small(), 7);
+//! assert_eq!(small.topology.link_count(), 24);
+//! let big = generate(&IspParams::isp_200link(), 42);
+//! assert!(big.topology.link_count() >= 200);
+//! assert!(big.topology.path_count() >= 1000);
+//! ```
+
+pub mod gen;
+pub mod noise;
+pub mod scenario;
+pub mod traffic;
+
+pub use gen::{generate, IspParams, LinkTier};
+pub use noise::{lossy_link_background, route_churn, LossyLinkNoise};
+pub use scenario::{
+    calibrated_config, isp_scenario, neutral_population, tier_queue_overrides, GeneratedTopologies,
+};
+pub use traffic::{video_on_off, web_train};

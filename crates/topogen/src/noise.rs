@@ -1,0 +1,146 @@
+//! Noise models for generated topologies: lossy-link background load and
+//! a route-churn schedule.
+//!
+//! Both are deterministic in their seed, like everything else in this
+//! crate: the same `(params, seed)` yields the same background routes and
+//! the same epoch sequence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nni_emu::CcKind;
+use nni_scenario::{BackgroundTraffic, TrafficProfile};
+use nni_topology::library::PaperTopology;
+
+use crate::gen::{generate, IspParams};
+
+/// Background load dropped onto a seeded selection of interior links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossyLinkNoise {
+    /// How many distinct interior (non-host) links to load.
+    pub links: usize,
+    /// Mean burst size in bits per background flow.
+    pub mean_bits: f64,
+    /// Mean idle gap between bursts (seconds).
+    pub mean_gap_s: f64,
+    /// Parallel background slots per loaded link.
+    pub parallel: usize,
+}
+
+impl Default for LossyLinkNoise {
+    fn default() -> Self {
+        LossyLinkNoise {
+            links: 2,
+            mean_bits: 10e6,
+            mean_gap_s: 0.5,
+            parallel: 4,
+        }
+    }
+}
+
+/// Picks `noise.links` distinct interior links (aggregation/access tier —
+/// the ones measured paths share) and returns one unmeasured background
+/// source per pick. The background class is 0 on even picks and 1 on odd
+/// ones, so the load stays class-symmetric on average and a neutral
+/// network under noise still reads as neutral.
+pub fn lossy_link_background(
+    paper: &PaperTopology,
+    noise: &LossyLinkNoise,
+    seed: u64,
+) -> Vec<BackgroundTraffic> {
+    let g = &paper.topology;
+    let mut interior: Vec<_> = g
+        .link_ids()
+        .filter(|&l| !g.link(l).name.starts_with("host:"))
+        .filter(|&l| !g.paths_through(l).is_empty())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for i in 0..noise.links.min(interior.len()) {
+        let pick = interior.remove(rng.gen_range(0..interior.len()));
+        out.push(BackgroundTraffic {
+            links: vec![pick],
+            profiles: vec![TrafficProfile::pareto_bits(
+                (i % 2) as u8,
+                CcKind::Cubic,
+                noise.mean_bits,
+                noise.mean_gap_s,
+                noise.parallel,
+            )],
+        });
+    }
+    out
+}
+
+/// A route-churn schedule: `epochs` topologies over the *same* graph
+/// whose route sets rotate — epoch `e` shifts every source's first sink
+/// by `e` access switches. Consumers run one scenario per epoch to model
+/// paths re-routing under them mid-study; within an epoch routes are
+/// stable (the measurement layer's steady-routing assumption holds per
+/// epoch).
+pub fn route_churn(params: &IspParams, seed: u64, epochs: usize) -> Vec<PaperTopology> {
+    (0..epochs)
+        .map(|e| {
+            let p = IspParams {
+                sink_offset: params.sink_offset + e,
+                ..*params
+            };
+            generate(&p, seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_targets_interior_links_deterministically() {
+        let paper = generate(&IspParams::small(), 9);
+        let noise = LossyLinkNoise::default();
+        let a = lossy_link_background(&paper, &noise, 1);
+        let b = lossy_link_background(&paper, &noise, 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].links, b[0].links);
+        assert_eq!(a[1].links, b[1].links);
+        assert_ne!(a[0].links, a[1].links, "picks are distinct");
+        for bg in &a {
+            let name = &paper.topology.link(bg.links[0]).name;
+            assert!(
+                !name.starts_with("host:"),
+                "interior links only, got {name}"
+            );
+        }
+        let c = lossy_link_background(&paper, &noise, 2);
+        assert!(
+            a[0].links != c[0].links || a[1].links != c[1].links,
+            "a different seed should usually move the picks"
+        );
+    }
+
+    #[test]
+    fn churn_rotates_routes_on_a_fixed_graph() {
+        let params = IspParams::small();
+        let epochs = route_churn(&params, 5, 3);
+        assert_eq!(epochs.len(), 3);
+        let links: Vec<_> = epochs.iter().map(|t| t.topology.links().to_vec()).collect();
+        assert_eq!(links[0], links[1], "the graph itself does not churn");
+        assert_eq!(links[1], links[2]);
+        let routes = |t: &PaperTopology| -> Vec<Vec<_>> {
+            t.topology
+                .paths()
+                .iter()
+                .map(|p| p.links().to_vec())
+                .collect()
+        };
+        assert_ne!(
+            routes(&epochs[0]),
+            routes(&epochs[1]),
+            "routes rotate per epoch"
+        );
+        assert_eq!(
+            epochs[0].topology.path_count(),
+            epochs[1].topology.path_count()
+        );
+    }
+}

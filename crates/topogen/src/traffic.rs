@@ -1,0 +1,84 @@
+//! Richer traffic shapes layered on [`TrafficProfile`]: video-like on/off
+//! chunk fetches and web request trains. Both are ordinary profiles —
+//! size distribution + idle gap + parallel slots — so they compose with
+//! `CcFleet` mixes and flow through every executor unchanged.
+
+use nni_emu::{CcKind, SizeDist};
+use nni_scenario::TrafficProfile;
+
+/// A video-like on/off source: every `chunk_s` seconds a slot fetches one
+/// fixed-size chunk of `chunk_s` seconds of media at `bitrate_bps`, then
+/// idles until the next chunk boundary — the classic DASH pattern of
+/// line-rate bursts separated by quiet periods.
+///
+/// The on/off duty cycle is what makes shapers visible in *delay* before
+/// loss: each burst momentarily exceeds the shaped rate and queues, but
+/// the long off period drains the lane before it overflows.
+pub fn video_on_off(
+    class: u8,
+    cc: CcKind,
+    bitrate_bps: f64,
+    chunk_s: f64,
+    parallel: usize,
+) -> TrafficProfile {
+    TrafficProfile {
+        class,
+        cc: cc.into(),
+        size: SizeDist::Fixed {
+            bytes: ((bitrate_bps * chunk_s / 8.0) as u64).max(1500),
+        },
+        mean_gap_s: chunk_s,
+        parallel,
+    }
+}
+
+/// A web-like request train: short Pareto-sized objects (heavy tail, mean
+/// `mean_object_bytes`) with brief think times — many small transfers
+/// that live mostly in slow start.
+pub fn web_train(
+    class: u8,
+    cc: CcKind,
+    mean_object_bytes: f64,
+    think_s: f64,
+    parallel: usize,
+) -> TrafficProfile {
+    TrafficProfile {
+        class,
+        cc: cc.into(),
+        size: SizeDist::ParetoMean {
+            mean_bytes: mean_object_bytes,
+            shape: 1.5,
+        },
+        mean_gap_s: think_s,
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_chunks_match_bitrate() {
+        let p = video_on_off(1, CcKind::Cubic, 4e6, 2.0, 3);
+        match p.size {
+            SizeDist::Fixed { bytes } => assert_eq!(bytes, 1_000_000), // 4 Mb/s × 2 s / 8
+            _ => panic!("video chunks are fixed-size"),
+        }
+        assert_eq!(p.mean_gap_s, 2.0);
+        assert_eq!(p.parallel, 3);
+    }
+
+    #[test]
+    fn web_trains_are_heavy_tailed_and_small() {
+        let p = web_train(0, CcKind::NewReno, 50_000.0, 0.2, 4);
+        match p.size {
+            SizeDist::ParetoMean { mean_bytes, shape } => {
+                assert_eq!(mean_bytes, 50_000.0);
+                assert_eq!(shape, 1.5);
+            }
+            _ => panic!("web objects are pareto-sized"),
+        }
+        assert!(p.mean_gap_s < 1.0);
+    }
+}

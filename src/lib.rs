@@ -21,6 +21,7 @@
 //! | [`measure`] | `nni-measure` | Algorithm 2: normalization, loss thresholds, pathset performance numbers |
 //! | [`emu`] | `nni-emu` | Deterministic packet-level emulator: drop-tail queues, policers, shapers, NewReno/CUBIC TCP |
 //! | [`scenario`] | `nni-scenario` | Topology-agnostic Scenario API: declarative experiments, serial / sharded / process executors, baseline adapters |
+//! | [`topogen`] | `nni-topogen` | Seeded ISP-like topology generation (access/aggregation/core tiers), noise models, video/web traffic shapes |
 //! | [`service`] | `nni-service` | Distributed execution: `nni-worker` subprocesses, the `nni-serviced` spool daemon, `nni-servicectl` |
 //! | [`live`] | `nni-live` | Online inference: `nni-live` tails a growing corpus, re-clustering per closed interval with multi-vantage merge |
 //! | [`tomography`] | `nni-tomography` | Related-work baselines (boolean tomography, loss tomography, Glasnost-style) |
@@ -63,4 +64,5 @@ pub use nni_scenario as scenario;
 pub use nni_service as service;
 pub use nni_stats as stats;
 pub use nni_tomography as tomography;
+pub use nni_topogen as topogen;
 pub use nni_topology as topology;

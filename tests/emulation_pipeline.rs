@@ -146,6 +146,7 @@ fn loss_threshold_sweep_keeps_the_verdict() {
             NormalizeConfig {
                 loss_threshold: thr,
                 seed: 77,
+                delay: None,
             },
         );
         let result = identify(g, &obs, Config::clustered());
